@@ -1,0 +1,78 @@
+(* Bechamel micro-benchmarks: one statistically analysed Test.make per
+   figure/table primitive, so each reported series has a robust ns/op
+   grounding alongside the wall-clock harnesses. *)
+
+open Bechamel
+open Toolkit
+
+let make_tests () =
+  let rng = Drbg.create ~seed:"bechamel" in
+  let sore_key = Sore.keygen ~rng in
+  let hmac_key = Drbg.generate rng 16 in
+  let aes_key = Aes128.expand (Drbg.generate rng 16) in
+  let params = Rsa_acc.setup ~rng ~bits:512 () in
+  let primes = List.init 64 (fun i -> Prime_rep.to_prime (Printf.sprintf "bb-%d" i)) in
+  let ac = Rsa_acc.accumulate params primes in
+  let x = List.hd primes in
+  let witness = Rsa_acc.mem_witness params primes x in
+  let pk, _sk = Rsa_tdp.keygen ~bits:512 ~rng () in
+  let trapdoor = Rsa_tdp.random_element ~rng pk in
+  let ct = Sore.encrypt ~rng sore_key ~width:16 12345 in
+  let tk = Sore.token ~rng sore_key ~width:16 30000 Bitvec.Gt in
+  let counter = ref 0 in
+  let fresh () =
+    incr counter;
+    !counter
+  in
+  [ (* Fig. 3a: index entry = 2 PRFs + 1 AES block. *)
+    Test.make ~name:"fig3a/hmac-prf128"
+      (Staged.stage (fun () -> ignore (Hmac.prf128 ~key:hmac_key (string_of_int (fresh ())))));
+    Test.make ~name:"fig3a/aes-block"
+      (Staged.stage (fun () -> ignore (Aes128.encrypt_block aes_key "0123456789abcdef")));
+    (* Fig. 3b / 7b: ADS building blocks. *)
+    Test.make ~name:"fig3b/h-prime-uncached"
+      (Staged.stage (fun () -> ignore (Prime_rep.to_prime (Printf.sprintf "fresh-%d" (fresh ())))));
+    Test.make ~name:"fig3b/accumulator-add"
+      (Staged.stage (fun () -> ignore (Rsa_acc.add params ac x)));
+    (* Fig. 5: search-side primitives. *)
+    Test.make ~name:"fig5/sore-encrypt-w16"
+      (Staged.stage (fun () -> ignore (Sore.encrypt ~rng sore_key ~width:16 (fresh () land 0xffff))));
+    Test.make ~name:"fig5/sore-compare"
+      (Staged.stage (fun () -> ignore (Sore.compare_ct ct tk)));
+    Test.make ~name:"fig5/trapdoor-walk"
+      (Staged.stage (fun () -> ignore (Rsa_tdp.forward_bytes pk trapdoor)));
+    Test.make ~name:"fig5b/witness-64"
+      (Staged.stage (fun () -> ignore (Rsa_acc.mem_witness params primes x)));
+    (* Table II / Alg. 5: on-chain verification primitive. *)
+    Test.make ~name:"table2/verify-mem"
+      (Staged.stage (fun () -> ignore (Rsa_acc.verify_mem params ~ac ~x ~witness)));
+    Test.make ~name:"table2/mset-hash-64"
+      (Staged.stage
+         (fun () -> ignore (Mset_hash.of_list (List.init 64 (fun i -> string_of_int i))))) ]
+
+let run () =
+  Bench_common.header "Bechamel micro-benchmarks (ns/op, OLS on monotonic clock)";
+  let tests = Test.make_grouped ~name:"slicer" (make_tests ()) in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.4) ~kde:None () in
+  let raw = Benchmark.all cfg [ Instance.monotonic_clock ] tests in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold (fun name result acc -> (name, result) :: acc) results []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  Bench_common.row_header [ "benchmark"; "ns/op"; "r^2" ];
+  List.iter
+    (fun (name, result) ->
+      let est =
+        match Analyze.OLS.estimates result with
+        | Some [ e ] -> Printf.sprintf "%.0f" e
+        | Some _ | None -> "-"
+      in
+      let r2 =
+        match Analyze.OLS.r_square result with
+        | Some r -> Printf.sprintf "%.4f" r
+        | None -> "-"
+      in
+      Printf.printf "%-28s %12s  %8s\n" name est r2)
+    rows

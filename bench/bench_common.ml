@@ -1,0 +1,90 @@
+(* Shared plumbing for the figure/table harnesses: scales, timing,
+   series rendering, and system construction. *)
+
+type scale = {
+  label : string;
+  widths : int list;        (* value bit-counts: the paper uses 8/16/24 *)
+  sizes : int list;         (* record counts: the paper uses 10K..160K *)
+  order_sizes : int list;   (* sizes for order-search points (VO gen is O(|X|) per token) *)
+  insert_preload : int;     (* Fig. 7 preload (paper: 160K) *)
+  insert_batches : int list;
+  queries_per_point : int;
+}
+
+(* Defaults are scaled to finish in minutes on a laptop while keeping
+   every curve's shape; --full pushes toward paper-scale counts. *)
+let default_scale =
+  { label = "default (scaled; run with --full for paper-scale counts)";
+    widths = [ 8; 12 ];
+    sizes = [ 250; 500; 1000; 2000 ];
+    order_sizes = [ 250; 500; 1000 ];
+    insert_preload = 1000;
+    insert_batches = [ 50; 100; 200; 400 ];
+    queries_per_point = 2 }
+
+let full_scale =
+  { label = "full";
+    widths = [ 8; 16 ];
+    sizes = [ 2500; 5000; 10000; 20000 ];
+    order_sizes = [ 1000; 2500 ];
+    insert_preload = 10000;
+    insert_batches = [ 250; 500; 1000; 2000 ];
+    queries_per_point = 3 }
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let header title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let subheader s = Printf.printf "\n-- %s --\n" s
+
+let row_header cols = Printf.printf "%s\n" (String.concat "  " (List.map (Printf.sprintf "%12s") cols))
+
+let row label cells =
+  Printf.printf "%12s  %s\n" label (String.concat "  " (List.map (Printf.sprintf "%12s") cells))
+
+let seconds s = Printf.sprintf "%.3fs" s
+let mb bytes = Printf.sprintf "%.3fMB" (float_of_int bytes /. 1_048_576.)
+let kb bytes = Printf.sprintf "%.1fKB" (float_of_int bytes /. 1024.)
+
+(* A built owner+cloud pair (no chain) for the protocol-cost figures. *)
+type bench_system = {
+  bs_owner : Owner.t;
+  bs_cloud : Cloud.t;
+  bs_user : User.t;
+  bs_rng : Drbg.t;
+  bs_records : Slicer_types.record list;
+  bs_width : int;
+}
+
+(* Systems are memoized per (width, size): fig3/4 and fig5/6 share the
+   same builds instead of reconstructing them. *)
+let system_cache : (int * int, bench_system) Hashtbl.t = Hashtbl.create 16
+
+let build_system_uncached ~width ~size =
+  let rng = Drbg.create ~seed:(Printf.sprintf "bench-%d-%d" width size) in
+  let keys = Keys.generate ~tdp_bits:512 ~rng () in
+  let acc_params = Rsa_acc.setup ~rng ~bits:512 () in
+  let owner = Owner.create ~width ~rng ~acc_params ~keys () in
+  let records = Gen.uniform_records ~rng ~width size in
+  let shipment = Owner.build owner records in
+  let cloud = Cloud.create ~acc_params ~tdp_public:keys.Keys.tdp_public () in
+  Cloud.install cloud shipment;
+  let user = User.create ~keys:(Keys.for_user keys) ~width (Owner.export_trapdoor_state owner) in
+  { bs_owner = owner; bs_cloud = cloud; bs_user = user; bs_rng = rng; bs_records = records; bs_width = width }
+
+let build_system ~width ~size =
+  match Hashtbl.find_opt system_cache (width, size) with
+  | Some sys -> sys
+  | None ->
+    let sys = build_system_uncached ~width ~size in
+    Hashtbl.replace system_cache (width, size) sys;
+    sys
+
+(* Average a measurement over random queries. *)
+let average_queries ~n f =
+  let rec go i acc = if i >= n then acc /. float_of_int n else go (i + 1) (acc +. f i) in
+  go 0 0.

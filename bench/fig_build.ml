@@ -1,0 +1,29 @@
+(* Fig. 3 (time cost of Build) and Fig. 4 (storage cost of Build).
+
+   For each width and record count: build the system once, report the
+   owner's index/ADS time split (Fig. 3a/3b) and the cloud's index/ADS
+   storage (Fig. 4a/4b). Paper shapes to reproduce: index time and
+   storage linear in records at every width; ADS time and storage
+   constant at 8 bits (saturated value space) and growing at wider
+   settings. *)
+
+let run (scale : Bench_common.scale) =
+  Bench_common.header "Fig. 3 - time cost of Build  /  Fig. 4 - storage cost of Build";
+  Printf.printf "(paper: Fig 3a index time, Fig 3b ADS time; Fig 4a index MB, Fig 4b ADS MB)\n";
+  List.iter
+    (fun width ->
+      Bench_common.subheader (Printf.sprintf "%d-bit values" width);
+      Bench_common.row_header
+        [ "records"; "index time"; "ADS time"; "index size"; "ADS size"; "keywords" ];
+      List.iter
+        (fun size ->
+          let sys = Bench_common.build_system ~width ~size in
+          let t = Owner.last_timings sys.Bench_common.bs_owner in
+          Bench_common.row (string_of_int size)
+            [ Bench_common.seconds t.Owner.index_seconds;
+              Bench_common.seconds t.Owner.ads_seconds;
+              Bench_common.mb (Cloud.index_bytes sys.Bench_common.bs_cloud);
+              Bench_common.mb (Cloud.ads_bytes sys.Bench_common.bs_cloud);
+              string_of_int (Owner.keyword_count sys.Bench_common.bs_owner) ])
+        scale.Bench_common.sizes)
+    scale.Bench_common.widths

@@ -1,0 +1,32 @@
+(* Fig. 7 (time cost of Insert): preload the system, then insert batches
+   of increasing size and report the index/ADS time split. Paper shape:
+   both series grow proportionally with the inserted amount; the ADS
+   share dominates as width grows (more fresh keywords, more primes). *)
+
+let run (scale : Bench_common.scale) =
+  Bench_common.header "Fig. 7 - time cost of Insert";
+  Printf.printf "(paper: Fig 7a index insert time, Fig 7b ADS insert time; preload %d records)\n"
+    scale.Bench_common.insert_preload;
+  List.iter
+    (fun width ->
+      Bench_common.subheader (Printf.sprintf "%d-bit values" width);
+      Bench_common.row_header [ "inserted"; "index time"; "ADS time"; "new primes" ];
+      List.iter
+        (fun batch ->
+          (* Fresh preloaded system per point so batches do not compound. *)
+          let sys = Bench_common.build_system_uncached ~width ~size:scale.Bench_common.insert_preload in
+          let rng = sys.Bench_common.bs_rng in
+          let records =
+            List.init batch (fun i ->
+                Slicer_types.record_of_value
+                  (Printf.sprintf "ins-%d" i)
+                  (Drbg.uniform_int rng (1 lsl width)))
+          in
+          let shipment = Owner.insert sys.Bench_common.bs_owner records in
+          let t = Owner.last_timings sys.Bench_common.bs_owner in
+          Bench_common.row (string_of_int batch)
+            [ Bench_common.seconds t.Owner.index_seconds;
+              Bench_common.seconds t.Owner.ads_seconds;
+              string_of_int (List.length shipment.Owner.sh_primes) ])
+        scale.Bench_common.insert_batches)
+    scale.Bench_common.widths

@@ -1,0 +1,46 @@
+(* Benchmark harness entry point.
+
+   With no arguments, regenerates every table and figure of the paper's
+   evaluation section at the default scale, then runs the Bechamel
+   micro-suite. Individual targets:
+
+     dune exec bench/main.exe -- fig3 | fig4 | fig5 | fig6 | fig7
+     dune exec bench/main.exe -- table1 | table2 | ablation | micro
+     dune exec bench/main.exe -- --full        (paper-scale record counts)
+
+   fig3/fig4 share one harness (a build produces both time and storage
+   series), as do fig5/fig6 (a search produces both time and overhead). *)
+
+let usage () =
+  print_endline
+    "usage: main.exe [--full] [fig3|fig4|fig5|fig6|fig7|table1|table2|ablation|micro|all]";
+  exit 1
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let full = List.mem "--full" args in
+  let targets = List.filter (fun a -> a <> "--full") args in
+  let scale = if full then Bench_common.full_scale else Bench_common.default_scale in
+  let targets = match targets with [] -> [ "all" ] | ts -> ts in
+  Printf.printf "Slicer benchmark harness - scale: %s\n" scale.Bench_common.label;
+  let run_target = function
+    | "fig3" | "fig4" -> Fig_build.run scale
+    | "fig5" | "fig6" -> Fig_search.run scale
+    | "fig7" -> Fig_insert.run scale
+    | "table1" -> Tables.table1 ()
+    | "table2" -> Tables.table2 ()
+    | "ablation" -> Ablation.run ()
+    | "micro" -> Bechamel_suite.run ()
+    | "all" ->
+      Tables.table1 ();
+      Tables.table2 ();
+      Fig_build.run scale;
+      Fig_search.run scale;
+      Fig_insert.run scale;
+      Ablation.run ();
+      Bechamel_suite.run ()
+    | other ->
+      Printf.printf "unknown target %S\n" other;
+      usage ()
+  in
+  List.iter run_target targets

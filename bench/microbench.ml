@@ -1,0 +1,42 @@
+let time label f =
+  let t0 = Unix.gettimeofday () in
+  let n = f () in
+  Printf.printf "%-28s %8.3f ms (%d)\n" label ((Unix.gettimeofday () -. t0) *. 1000.) n
+
+let () =
+  let rng = Drbg.create ~seed:"mb" in
+  time "100x H_prime" (fun () ->
+    for i = 0 to 99 do ignore (Prime_rep.to_prime (string_of_int i)) done; 100);
+  let params = Rsa_acc.setup ~rng ~bits:512 () in
+  let xs = List.init 100 (fun i -> Prime_rep.to_prime ("p" ^ string_of_int i)) in
+  time "accumulate 100 primes(512)" (fun () -> ignore (Rsa_acc.accumulate params xs); 100);
+  time "1 mem_witness over 100" (fun () -> ignore (Rsa_acc.mem_witness params xs (List.hd xs)); 1);
+  time "all_witnesses 100" (fun () -> ignore (Rsa_acc.all_witnesses params xs); 100);
+  let params1024 = Rsa_acc.default_params () in
+  time "accumulate 100 primes(1024)" (fun () -> ignore (Rsa_acc.accumulate params1024 xs); 100);
+  time "10000x HMAC-prf128" (fun () ->
+    for i = 0 to 9999 do ignore (Hmac.prf128 ~key:"0123456789abcdef" (string_of_int i)) done; 10000);
+  time "10000x AES block" (fun () ->
+    let k = Aes128.expand "0123456789abcdef" in
+    for _ = 0 to 9999 do ignore (Aes128.encrypt_block k "0123456789abcdef") done; 10000);
+  let sk = Sore.key_of_bytes "0123456789abcdef" in
+  time "1000x SORE encrypt w16" (fun () ->
+    for i = 0 to 999 do ignore (Sore.encrypt ~rng sk ~width:16 (i land 65535)) done; 1000);
+  time "tdp keygen 512" (fun () -> ignore (Rsa_tdp.keygen ~bits:512 ~rng ()); 1);
+  let pk, sk2 = Rsa_tdp.keygen ~bits:512 ~rng () in
+  let e = Rsa_tdp.random_element ~rng pk in
+  time "100x tdp forward" (fun () ->
+    let x = ref e in for _ = 1 to 100 do x := Rsa_tdp.forward_bytes pk !x done; 100);
+  time "10x tdp inverse" (fun () ->
+    let x = ref e in for _ = 1 to 10 do x := Rsa_tdp.inverse_bytes sk2 pk !x done; 10)
+
+let () =
+  let p = Primegen.next_prime (Bigint.shift_left Bigint.one 271) in
+  let e = Bigint.pred p in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to 100 do ignore (Bigint.mod_pow Bigint.two e p) done;
+  Printf.printf "%-28s %8.3f ms\n" "100x modexp 272-bit" ((Unix.gettimeofday () -. t0) *. 1000.);
+  let m512 = Bigint.pred (Bigint.shift_left Bigint.one 512) in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to 100 do ignore (Bigint.mod_pow Bigint.two e m512) done;
+  Printf.printf "%-28s %8.3f ms\n" "100x modexp e272 m512" ((Unix.gettimeofday () -. t0) *. 1000.)

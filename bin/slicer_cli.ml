@@ -1,0 +1,160 @@
+(* The slicer command-line tool.
+
+     slicer demo     - end-to-end verifiable search on random data
+     slicer sore     - SORE encrypt/compare playground
+     slicer features - Table I feature matrix
+     slicer gas      - live gas costs on the simulated chain
+
+   Every run is deterministic given --seed. *)
+
+open Cmdliner
+
+let width_arg =
+  let doc = "Value width in bits (the paper's b; 1-30)." in
+  Arg.(value & opt int 8 & info [ "width"; "w" ] ~docv:"BITS" ~doc)
+
+let seed_arg =
+  let doc = "Deterministic seed for keys, data and trapdoors." in
+  Arg.(value & opt string "slicer-cli" & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let records_arg =
+  let doc = "Number of random records to outsource." in
+  Arg.(value & opt int 50 & info [ "records"; "n" ] ~docv:"N" ~doc)
+
+(* --- demo ------------------------------------------------------------ *)
+
+let misbehavior_conv =
+  let parse = function
+    | "honest" -> Ok Cloud.Honest
+    | "drop" -> Ok Cloud.Drop_result
+    | "inject" -> Ok Cloud.Inject_result
+    | "tamper" -> Ok Cloud.Tamper_result
+    | "forge" -> Ok Cloud.Forge_witness
+    | "stale" -> Ok Cloud.Stale_results
+    | s -> Error (`Msg (Printf.sprintf "unknown cloud behaviour %S" s))
+  in
+  let print fmt m =
+    Format.pp_print_string fmt
+      (match m with
+       | Cloud.Honest -> "honest"
+       | Cloud.Drop_result -> "drop"
+       | Cloud.Inject_result -> "inject"
+       | Cloud.Tamper_result -> "tamper"
+       | Cloud.Forge_witness -> "forge"
+       | Cloud.Stale_results -> "stale")
+  in
+  Arg.conv (parse, print)
+
+let behavior_arg =
+  let doc = "Cloud behaviour: honest, drop, inject, tamper, forge or stale." in
+  Arg.(value & opt misbehavior_conv Cloud.Honest & info [ "cloud" ] ~docv:"MODE" ~doc)
+
+let value_arg =
+  let doc = "Query value (default: width-dependent midpoint)." in
+  Arg.(value & opt (some int) None & info [ "value"; "v" ] ~docv:"V" ~doc)
+
+let cond_conv =
+  let parse = function
+    | "eq" | "=" -> Ok Slicer_types.Eq
+    | "gt" | ">" -> Ok Slicer_types.Gt
+    | "lt" | "<" -> Ok Slicer_types.Lt
+    | s -> Error (`Msg (Printf.sprintf "unknown condition %S (use =, > or <)" s))
+  in
+  Arg.conv (parse, Slicer_types.pp_condition)
+
+let cond_arg =
+  let doc = "Matching condition: =, > or < (the query (v, oc) matches records a with v oc a)." in
+  Arg.(value & opt cond_conv Slicer_types.Gt & info [ "cond"; "c" ] ~docv:"OC" ~doc)
+
+let verbose_arg =
+  let doc = "Enable protocol debug logging." in
+  Arg.(value & flag & info [ "verbose" ] ~doc)
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.Src.set_level Protocol.log_src (Some (if verbose then Logs.Debug else Logs.Info))
+
+let run_demo width seed records behavior value cond verbose =
+  setup_logs verbose;
+  if width < 1 || width > Bitvec.max_width then `Error (false, "width out of range")
+  else begin
+    Printf.printf "Building a %d-record system (width %d, seed %S)...\n" records width seed;
+    let rng = Drbg.create ~seed:(seed ^ ":data") in
+    let db = Gen.uniform_records ~rng ~width records in
+    let system = Protocol.setup ~width ~seed db in
+    Protocol.set_cloud_behavior system behavior;
+    let v = match value with Some v -> v | None -> 1 lsl (width - 1) in
+    let query = Slicer_types.query v cond in
+    Format.printf "Searching: (%d, %a)\n%!" v Slicer_types.pp_condition cond;
+    let out = Protocol.search system query in
+    Printf.printf "  tokens: %d   encrypted results: %dB   VOs: %dB\n"
+      out.Protocol.so_token_count out.Protocol.so_result_bytes out.Protocol.so_vo_bytes;
+    Printf.printf "  matches: [%s]\n" (String.concat "; " (List.sort compare out.Protocol.so_ids));
+    Printf.printf "  on-chain verification: %s (settlement gas %d)\n"
+      (if out.Protocol.so_verified then "PASS - cloud paid" else "FAIL - user refunded")
+      out.Protocol.so_gas_used;
+    let expected = List.sort compare (Slicer_types.reference_search db query) in
+    Printf.printf "  plaintext oracle agrees: %b\n"
+      (expected = List.sort compare out.Protocol.so_ids || behavior <> Cloud.Honest);
+    `Ok ()
+  end
+
+let demo_cmd =
+  let info = Cmd.info "demo" ~doc:"End-to-end verifiable encrypted search on random data" in
+  Cmd.v info
+    Term.(
+      ret
+        (const run_demo $ width_arg $ seed_arg $ records_arg $ behavior_arg $ value_arg
+       $ cond_arg $ verbose_arg))
+
+(* --- sore ------------------------------------------------------------- *)
+
+let x_arg = Arg.(required & pos 0 (some int) None & info [] ~docv:"X" ~doc:"Query value.")
+let y_arg = Arg.(required & pos 1 (some int) None & info [] ~docv:"Y" ~doc:"Encrypted value.")
+
+let run_sore width seed x y =
+  let rng = Drbg.create ~seed in
+  let key = Sore.keygen ~rng in
+  (try Bitvec.check_value ~width x; Bitvec.check_value ~width y
+   with Invalid_argument m -> prerr_endline m; exit 1);
+  let ct = Sore.encrypt ~rng key ~width y in
+  Printf.printf "SORE.Encrypt(%d) -> %d slices of 16 bytes:\n" y width;
+  List.iter (fun s -> Printf.printf "  %s\n" (Bytesutil.to_hex s)) ct.Sore.ct_slices;
+  List.iter
+    (fun (oc, label) ->
+      let tk = Sore.token ~rng key ~width x oc in
+      Printf.printf "SORE.Compare(ct(%d), token(%d %s .)) = %b\n" y x label (Sore.compare_ct ct tk))
+    [ (Bitvec.Gt, ">"); (Bitvec.Lt, "<") ];
+  Printf.printf "(ground truth: %d > %d is %b, %d < %d is %b)\n" x y (x > y) x y (x < y)
+
+let sore_cmd =
+  let info = Cmd.info "sore" ~doc:"SORE encrypt/compare playground" in
+  Cmd.v info Term.(const run_sore $ width_arg $ seed_arg $ x_arg $ y_arg)
+
+(* --- features / gas ----------------------------------------------------- *)
+
+let features_cmd =
+  let info = Cmd.info "features" ~doc:"Print the Table I feature matrix" in
+  Cmd.v info Term.(const (fun () -> print_string (Features.render ())) $ const ())
+
+let run_gas seed =
+  let db = List.init 20 (fun i -> Slicer_types.record_of_value (Printf.sprintf "r%d" i) (i * 11 mod 256)) in
+  let system = Protocol.setup ~width:8 ~seed db in
+  let deploy_gas =
+    match List.nth_opt (Ledger.blocks (Protocol.ledger system)) 1 with
+    | Some b -> (match b.Block.receipts with r :: _ -> r.Vm.r_gas_used | [] -> 0)
+    | None -> 0
+  in
+  Protocol.insert system [ Slicer_types.record_of_value "probe" 77 ];
+  let out = Protocol.search system (Slicer_types.query 77 Slicer_types.Eq) in
+  Printf.printf "deployment:   %7d gas\n" deploy_gas;
+  Printf.printf "verification: %7d gas (equality search settlement)\n" out.Protocol.so_gas_used;
+  Printf.printf "(paper, Rinkeby: deployment 745,346; insertion 29,144; verification 94,531)\n"
+
+let gas_cmd =
+  let info = Cmd.info "gas" ~doc:"Measure smart-contract gas costs on the simulated chain" in
+  Cmd.v info Term.(const run_gas $ seed_arg)
+
+let () =
+  let info = Cmd.info "slicer" ~version:"1.0.0" ~doc:"Verifiable encrypted numerical search (ICDCS'22 reproduction)" in
+  exit (Cmd.eval (Cmd.group info [ demo_cmd; sore_cmd; features_cmd; gas_cmd ]))

@@ -1,0 +1,52 @@
+(* Audit trail: the extension APIs in one scenario — deletion and update
+   via the dual-instance construction (paper Section V-F), interval
+   queries, and batched settlement.
+
+   A payment processor keeps an encrypted ledger of transaction amounts;
+   disputed transactions are deleted; auditors run verified interval
+   queries over what remains.
+
+     dune exec examples/audit_trail.exe *)
+
+let txn id amount = Slicer_types.record_of_value id amount
+
+let show label (out : Dual.search_outcome) =
+  Printf.printf "%-44s -> [%s]%s\n" label
+    (String.concat "; " (List.sort compare out.Dual.ids))
+    (if out.Dual.verified then "" else "  (VERIFICATION FAILED)")
+
+let () =
+  Printf.printf "== Deletable encrypted audit trail ==\n\n";
+
+  let initial =
+    [ txn "tx-1001" 120; txn "tx-1002" 250; txn "tx-1003" 80;
+      txn "tx-1004" 250; txn "tx-1005" 40 ]
+  in
+  let trail = Dual.setup ~width:10 ~seed:"audit" initial in
+  Printf.printf "Processor outsources %d encrypted transactions (live: %d)\n\n"
+    (List.length initial) (Dual.live_count trail);
+
+  show "amounts = 250" (Dual.search trail (Slicer_types.query 250 Slicer_types.Eq));
+  show "amounts > 100  (query (100,'<'))" (Dual.search trail (Slicer_types.query 100 Slicer_types.Lt));
+
+  Printf.printf "\ntx-1002 is disputed and removed; tx-1004 is corrected to 275:\n\n";
+  Dual.delete trail [ txn "tx-1002" 250 ];
+  Dual.update trail ~old_record:(txn "tx-1004" 250) (txn "tx-1004v2" 275);
+
+  show "amounts = 250 (both 250s gone)" (Dual.search trail (Slicer_types.query 250 Slicer_types.Eq));
+  show "amounts = 275 (the correction)" (Dual.search trail (Slicer_types.query 275 Slicer_types.Eq));
+  Printf.printf "live transactions: %d\n\n" (Dual.live_count trail);
+
+  (* Interval queries and batched settlement run on a plain instance. *)
+  Printf.printf "Auditor-side extras on a fresh single-instance system:\n";
+  let system =
+    Protocol.setup ~width:10 ~seed:"audit-extras"
+      [ txn "a" 120; txn "b" 250; txn "c" 80; txn "d" 275; txn "e" 40 ]
+  in
+  let between = Protocol.search_between system ~lo:100 ~hi:260 () in
+  Printf.printf "  100 < amount < 260 -> [%s] (verified: %b)\n"
+    (String.concat "; " (List.sort compare between.Protocol.so_ids))
+    between.Protocol.so_verified;
+  let batched = Protocol.search_batched system (Slicer_types.query 1023 Slicer_types.Gt) in
+  Printf.printf "  batched order search: %d tokens, ONE %dB verification object (verified: %b)\n"
+    batched.Protocol.so_token_count batched.Protocol.so_vo_bytes batched.Protocol.so_verified

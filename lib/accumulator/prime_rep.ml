@@ -1,0 +1,48 @@
+let counter_bits = 16
+
+(* H_prime is a pure function each party (owner, cloud, contract)
+   evaluates on the same inputs; a process-wide memo table removes the
+   repeated prime walks. *)
+let cache : (string, Bigint.t) Hashtbl.t = Hashtbl.create 4096
+
+(* The candidate walk sieves incrementally: the residue of [base] modulo
+   each small prime is computed once with bigint division, after which
+   every candidate [base + j] is screened with native-int arithmetic
+   only. Survivors get the deterministic Miller-Rabin battery. *)
+let to_prime_uncached s =
+  let digest = Sha256.digest (Bytesutil.concat [ "h-prime"; s ]) in
+  (* high = digest with the top bit forced so every representative has
+     exactly 256 + counter_bits significant bits. *)
+  let high = Bigint.of_bytes_be digest in
+  let high = Bigint.add (Bigint.shift_left Bigint.one 255) (Bigint.erem high (Bigint.shift_left Bigint.one 255)) in
+  let base = Bigint.shift_left high counter_bits in
+  let nprimes = Array.length Sieve.small_primes in
+  let residues = Array.make nprimes 0 in
+  for i = 0 to nprimes - 1 do
+    residues.(i) <- snd (Bigint.divmod_int base Sieve.small_primes.(i))
+  done;
+  let survives_sieve j =
+    let rec go i =
+      i >= nprimes
+      || ((residues.(i) + j) mod Sieve.small_primes.(i) <> 0 && go (i + 1))
+    in
+    (* Skip index 0 (p = 2): odd offsets on an even base are never even. *)
+    go 1
+  in
+  let rec walk j =
+    if j >= 1 lsl counter_bits then failwith "Prime_rep.to_prime: no prime in interval"
+    else if survives_sieve j && Primegen.miller_rabin_det (Bigint.add_int base j) then
+      Bigint.add_int base j
+    else walk (j + 2)
+  in
+  walk 1 (* odd offsets only *)
+
+let to_prime s =
+  match Hashtbl.find_opt cache s with
+  | Some x -> x
+  | None ->
+    let x = to_prime_uncached s in
+    if Hashtbl.length cache < 1_000_000 then Hashtbl.replace cache s x;
+    x
+
+let is_representative_of x s = Bigint.equal x (to_prime s)

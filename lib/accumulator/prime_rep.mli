@@ -1,0 +1,21 @@
+(** Prime representatives — the random-oracle-style map [H_prime] of the
+    paper (after Barić & Pfitzmann) from byte strings to primes.
+
+    Construction: the SHA-256 digest of the input forms the high 256 bits
+    of the candidate and a 16-bit counter the low bits; the counter is
+    walked upward until a (deterministic Miller-Rabin) prime appears.
+    Distinct digests occupy disjoint candidate intervals, so collision
+    resistance reduces to that of SHA-256. *)
+
+val counter_bits : int
+(** Width of the low counter field (16). *)
+
+val to_prime : string -> Bigint.t
+(** [to_prime s] is the deterministic 272-bit prime representative of
+    [s]. All honest parties (owner, cloud, contract) compute the same
+    prime for the same token-and-hash string.
+    @raise Failure in the cryptographically negligible event that no
+    prime lies in the candidate interval. *)
+
+val is_representative_of : Bigint.t -> string -> bool
+(** Checks that a claimed prime is exactly [to_prime s]. *)

@@ -1,0 +1,112 @@
+type params = { modulus : Bigint.t; generator : Bigint.t }
+
+let setup ?(safe = false) ~rng ~bits () =
+  let m = Primegen.random_rsa_modulus ~safe ~rng ~bits () in
+  (* Random quadratic residue != 1: square a random unit. *)
+  let rec gen () =
+    let a = Bigint.add Bigint.two (Drbg.uniform_bigint rng (Bigint.sub m.Primegen.n (Bigint.of_int 3))) in
+    if not (Bigint.equal (Bigint.gcd a m.Primegen.n) Bigint.one) then gen ()
+    else begin
+      let g = Bigint.mod_mul a a m.Primegen.n in
+      if Bigint.equal g Bigint.one then gen () else g
+    end
+  in
+  { modulus = m.Primegen.n; generator = gen () }
+
+let default_params =
+  let memo =
+    lazy (setup ~rng:(Drbg.create ~seed:"slicer-rsa-accumulator-public-params-v1") ~bits:1024 ())
+  in
+  fun () -> Lazy.force memo
+
+let accumulate params xs =
+  List.fold_left (fun ac x -> Bigint.mod_pow ac x params.modulus) params.generator xs
+
+let add params ac x = Bigint.mod_pow ac x params.modulus
+
+let mem_witness params xs x =
+  let rec drop_one seen = function
+    | [] -> invalid_arg "Rsa_acc.mem_witness: element not in set"
+    | y :: rest -> if Bigint.equal y x then List.rev_append seen rest else drop_one (y :: seen) rest
+  in
+  accumulate params (drop_one [] xs)
+
+let all_witnesses params xs =
+  (* Root splitting: witness(x in xs) = g^(Π xs \ x). Recursively raise
+     the running base to the product of the *other* half's primes. *)
+  let arr = Array.of_list xs in
+  let n = Array.length arr in
+  if n = 0 then []
+  else begin
+    let out = Array.make n Bigint.zero in
+    let rec go base lo hi =
+      if hi - lo = 1 then out.(lo) <- base
+      else begin
+        let mid = (lo + hi) / 2 in
+        let raise_range b l h =
+          let acc = ref b in
+          for i = l to h - 1 do
+            acc := Bigint.mod_pow !acc arr.(i) params.modulus
+          done;
+          !acc
+        in
+        go (raise_range base mid hi) lo mid;
+        go (raise_range base lo mid) mid hi
+      end
+    in
+    go params.generator 0 n;
+    Array.to_list (Array.mapi (fun i w -> (arr.(i), w)) out)
+  end
+
+let verify_mem params ~ac ~x ~witness =
+  Bigint.equal (Bigint.mod_pow witness x params.modulus) ac
+
+(* --- batched membership ------------------------------------------------ *)
+
+let batch_witness params xs subset =
+  let remaining =
+    List.fold_left
+      (fun remaining x ->
+        let rec drop_one seen = function
+          | [] -> invalid_arg "Rsa_acc.batch_witness: element not in set"
+          | y :: rest -> if Bigint.equal y x then List.rev_append seen rest else drop_one (y :: seen) rest
+        in
+        drop_one [] remaining)
+      xs subset
+  in
+  accumulate params remaining
+
+let verify_mem_batch params ~ac ~xs ~witness =
+  let lifted = List.fold_left (fun w x -> Bigint.mod_pow w x params.modulus) witness xs in
+  Bigint.equal lifted ac
+
+(* --- non-membership (universal accumulator, LLX '07) ------------------- *)
+
+type non_mem_witness = { nw_a : Bigint.t; nw_d : Bigint.t }
+
+let non_mem_witness params xs x =
+  let u = List.fold_left Bigint.mul Bigint.one xs in
+  let g, a, b = Bigint.egcd u x in
+  if not (Bigint.equal g Bigint.one) then
+    invalid_arg "Rsa_acc.non_mem_witness: element is (a factor of) the set product";
+  (* Shift the Bézout pair so the exponent on Ac is positive:
+     a' = a + kx, b' = b - ku still satisfy a'u + b'x = 1, and for
+     a' >= 1 we have b' <= 0, so d = g^(-b') needs no inversion. *)
+  let k =
+    if Bigint.sign a > 0 then Bigint.zero
+    else Bigint.succ (Bigint.div (Bigint.neg a) x)
+  in
+  let a' = Bigint.add a (Bigint.mul k x) in
+  let b' = Bigint.sub b (Bigint.mul k u) in
+  assert (Bigint.sign a' > 0);
+  { nw_a = a'; nw_d = Bigint.mod_pow params.generator (Bigint.neg b') params.modulus }
+
+let verify_non_mem params ~ac ~x ~witness =
+  (* Ac^a = g^(a'u) = g^(1 - b'x) = g * d^x. *)
+  let lhs = Bigint.mod_pow ac witness.nw_a params.modulus in
+  let rhs =
+    Bigint.mod_mul params.generator
+      (Bigint.mod_pow witness.nw_d x params.modulus)
+      params.modulus
+  in
+  Bigint.equal lhs rhs

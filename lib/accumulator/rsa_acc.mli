@@ -1,0 +1,76 @@
+(** RSA accumulator (Li, Li & Xue, ACNS 2007 flavour) — the paper's ADS.
+
+    The accumulation value of a set of primes [X] is
+    [Ac = g^(Π_{x∈X} x) mod n]; the membership witness for [x] is
+    [mw = g^(Π X \ {x}) mod n] and verification checks
+    [mw^x = Ac (mod n)]. Witnesses are constant-size (one group
+    element), which is what makes on-chain verification cheap. *)
+
+type params = {
+  modulus : Bigint.t;   (** RSA modulus [n = p*q]; factors are discarded. *)
+  generator : Bigint.t; (** A quadratic residue [g ∈ QR_n \ {1}]. *)
+}
+
+val setup : ?safe:bool -> rng:Drbg.t -> bits:int -> unit -> params
+(** Generates fresh parameters; the factorisation (the trapdoor) is
+    dropped, making the accumulator trustless for the cloud. [~safe]
+    requests safe primes as in the paper (slower). *)
+
+val default_params : unit -> params
+(** Fixed 1024-bit parameters generated once per process by {!setup}
+    with a public seed ("nothing up my sleeve"), for benches and the
+    contract demo where per-run setup time is noise. *)
+
+val accumulate : params -> Bigint.t list -> Bigint.t
+(** [Ac] for the given prime list (order-independent). The empty list
+    accumulates to [g]. *)
+
+val add : params -> Bigint.t -> Bigint.t -> Bigint.t
+(** [add params ac x] is the incremental update [ac^x mod n] — used by
+    Insert so the owner need not re-accumulate from scratch. *)
+
+val mem_witness : params -> Bigint.t list -> Bigint.t -> Bigint.t
+(** [mem_witness params xs x] is the witness for [x] against
+    [accumulate params xs]. [x] must occur in [xs]; exactly one
+    occurrence is excluded.
+    @raise Invalid_argument when [x] does not occur. *)
+
+val all_witnesses : params -> Bigint.t list -> (Bigint.t * Bigint.t) list
+(** Witnesses for every element by divide-and-conquer root splitting —
+    [O(n log n)] exponentiations instead of the naive [O(n^2)]. Returns
+    [(x, witness)] pairs in input order. *)
+
+val verify_mem : params -> ac:Bigint.t -> x:Bigint.t -> witness:Bigint.t -> bool
+(** The contract-side check [witness^x mod n = ac]. *)
+
+(** {1 Batched membership}
+
+    A single witness can cover a whole set of member primes:
+    [w = g^(Π X \ S)] verifies via [w^(Π S) = Ac]. The cloud uses this
+    to answer an order search (up to [b] claims) with {e one}
+    accumulator pass and one 64-byte object instead of [b]. *)
+
+val batch_witness : params -> Bigint.t list -> Bigint.t list -> Bigint.t
+(** [batch_witness params xs subset] excludes one occurrence of each
+    subset element. @raise Invalid_argument when some element does not
+    occur. *)
+
+val verify_mem_batch : params -> ac:Bigint.t -> xs:Bigint.t list -> witness:Bigint.t -> bool
+(** [witness^(Π xs) = Ac], computed as iterated exponentiation (the
+    same shape the metered contract charges). The empty list verifies
+    iff [witness = ac]. *)
+
+(** {1 Non-membership (universal accumulator)}
+
+    The Li-Li-Xue construction the paper builds on is {e universal}:
+    for a prime [x] outside the set, Bézout coefficients of
+    [(x, Π X)] yield a constant-size proof of absence. *)
+
+type non_mem_witness = { nw_a : Bigint.t; nw_d : Bigint.t }
+
+val non_mem_witness : params -> Bigint.t list -> Bigint.t -> non_mem_witness
+(** @raise Invalid_argument when [x] divides the set product (i.e. is a
+    member). *)
+
+val verify_non_mem : params -> ac:Bigint.t -> x:Bigint.t -> witness:non_mem_witness -> bool
+(** Checks [ac^a = g * d^x (mod n)]. *)

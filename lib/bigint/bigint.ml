@@ -1,0 +1,664 @@
+(* Arbitrary-precision integers on 31-bit limbs.
+
+   Representation: sign-magnitude. [mag] is a little-endian array of limbs
+   in base 2^31 with no leading (high-order) zero limb; [sign] is -1, 0 or
+   1, and [sign = 0] iff [mag] is empty. 31-bit limbs keep every
+   intermediate product of two limbs plus two limb-sized carries strictly
+   below 2^62, so all inner loops stay within OCaml's 63-bit native int. *)
+
+let limb_bits = 31
+let base = 1 lsl limb_bits
+let mask = base - 1
+
+type t = { sign : int; mag : int array }
+
+let zero = { sign = 0; mag = [||] }
+
+(* ------------------------------------------------------------------ *)
+(* Magnitude (natural number) primitives.                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Drop high-order zero limbs so magnitudes are canonical. *)
+let nat_normalize a =
+  let n = ref (Array.length a) in
+  while !n > 0 && a.(!n - 1) = 0 do
+    decr n
+  done;
+  if !n = Array.length a then a else Array.sub a 0 !n
+
+let nat_is_zero a = Array.length a = 0
+
+let nat_compare a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Stdlib.compare la lb
+  else
+    let rec go i = if i < 0 then 0 else if a.(i) <> b.(i) then Stdlib.compare a.(i) b.(i) else go (i - 1) in
+    go (la - 1)
+
+let nat_add a b =
+  let la = Array.length a and lb = Array.length b in
+  let lr = (if la > lb then la else lb) + 1 in
+  let r = Array.make lr 0 in
+  let carry = ref 0 in
+  for i = 0 to lr - 2 do
+    let s = (if i < la then a.(i) else 0) + (if i < lb then b.(i) else 0) + !carry in
+    r.(i) <- s land mask;
+    carry := s lsr limb_bits
+  done;
+  r.(lr - 1) <- !carry;
+  nat_normalize r
+
+(* Requires a >= b. *)
+let nat_sub a b =
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let d = a.(i) - (if i < lb then b.(i) else 0) - !borrow in
+    if d < 0 then begin
+      r.(i) <- d + base;
+      borrow := 1
+    end
+    else begin
+      r.(i) <- d;
+      borrow := 0
+    end
+  done;
+  assert (!borrow = 0);
+  nat_normalize r
+
+let nat_mul a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then [||]
+  else begin
+    let r = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let ai = a.(i) in
+      if ai <> 0 then begin
+        let carry = ref 0 in
+        for j = 0 to lb - 1 do
+          (* ai*b.(j) <= (2^31-1)^2; + r + carry stays < 2^63. *)
+          let p = (ai * b.(j)) + r.(i + j) + !carry in
+          r.(i + j) <- p land mask;
+          carry := p lsr limb_bits
+        done;
+        r.(i + lb) <- r.(i + lb) + !carry
+      end
+    done;
+    nat_normalize r
+  end
+
+(* m must satisfy 0 <= m < base. *)
+let nat_mul_small a m =
+  if m = 0 || nat_is_zero a then [||]
+  else begin
+    let la = Array.length a in
+    let r = Array.make (la + 1) 0 in
+    let carry = ref 0 in
+    for i = 0 to la - 1 do
+      let p = (a.(i) * m) + !carry in
+      r.(i) <- p land mask;
+      carry := p lsr limb_bits
+    done;
+    r.(la) <- !carry;
+    nat_normalize r
+  end
+
+let nat_add_small a m =
+  if m = 0 then a
+  else if nat_is_zero a then [| m |]
+  else begin
+    let la = Array.length a in
+    let r = Array.make (la + 1) 0 in
+    Array.blit a 0 r 0 la;
+    let carry = ref m in
+    let i = ref 0 in
+    while !carry <> 0 && !i < la do
+      let s = r.(!i) + !carry in
+      r.(!i) <- s land mask;
+      carry := s lsr limb_bits;
+      incr i
+    done;
+    r.(la) <- !carry;
+    nat_normalize r
+  end
+
+let nat_shift_left a k =
+  if nat_is_zero a || k = 0 then Array.copy a
+  else begin
+    let limbs = k / limb_bits and bits = k mod limb_bits in
+    let la = Array.length a in
+    let r = Array.make (la + limbs + 1) 0 in
+    if bits = 0 then Array.blit a 0 r limbs la
+    else begin
+      let carry = ref 0 in
+      for i = 0 to la - 1 do
+        let v = (a.(i) lsl bits) lor !carry in
+        r.(i + limbs) <- v land mask;
+        carry := v lsr limb_bits
+      done;
+      r.(la + limbs) <- !carry
+    end;
+    nat_normalize r
+  end
+
+let nat_shift_right a k =
+  if nat_is_zero a || k = 0 then Array.copy a
+  else begin
+    let limbs = k / limb_bits and bits = k mod limb_bits in
+    let la = Array.length a in
+    if limbs >= la then [||]
+    else begin
+      let lr = la - limbs in
+      let r = Array.make lr 0 in
+      if bits = 0 then Array.blit a limbs r 0 lr
+      else begin
+        for i = 0 to lr - 1 do
+          let lo = a.(i + limbs) lsr bits in
+          let hi = if i + limbs + 1 < la then (a.(i + limbs + 1) lsl (limb_bits - bits)) land mask else 0 in
+          r.(i) <- lo lor hi
+        done
+      end;
+      nat_normalize r
+    end
+  end
+
+let nat_num_bits a =
+  let la = Array.length a in
+  if la = 0 then 0
+  else begin
+    let top = a.(la - 1) in
+    let rec width n = if n = 0 then 0 else 1 + width (n lsr 1) in
+    ((la - 1) * limb_bits) + width top
+  end
+
+(* Divisor d must satisfy 0 < d < base. Returns (quotient, remainder). *)
+let nat_divmod_small a d =
+  let la = Array.length a in
+  let q = Array.make la 0 in
+  let r = ref 0 in
+  for i = la - 1 downto 0 do
+    (* r < d <= 2^31-1, so r*base + limb < 2^62. *)
+    let cur = (!r lsl limb_bits) lor a.(i) in
+    q.(i) <- cur / d;
+    r := cur mod d
+  done;
+  (nat_normalize q, !r)
+
+(* Knuth Algorithm D. Requires Array.length v >= 2 and v normalized
+   (no leading zero limb). Returns (quotient, remainder). *)
+let nat_divmod_knuth u v =
+  let n = Array.length v in
+  let m = Array.length u - n in
+  if m < 0 then ([||], Array.copy u)
+  else begin
+    (* Normalize so the top divisor limb has its high bit set. *)
+    let rec lead_zeros w acc = if w land (1 lsl (limb_bits - 1)) <> 0 then acc else lead_zeros (w lsl 1) (acc + 1) in
+    let s = lead_zeros v.(n - 1) 0 in
+    let vn = nat_shift_left v s in
+    let vn = if Array.length vn < n then Array.append vn (Array.make (n - Array.length vn) 0) else vn in
+    let un = Array.make (m + n + 1) 0 in
+    let shifted = nat_shift_left u s in
+    Array.blit shifted 0 un 0 (Array.length shifted);
+    let q = Array.make (m + 1) 0 in
+    let vh = vn.(n - 1) and vl = vn.(n - 2) in
+    for j = m downto 0 do
+      let num = (un.(j + n) lsl limb_bits) lor un.(j + n - 1) in
+      let qhat = ref (num / vh) and rhat = ref (num mod vh) in
+      let continue = ref true in
+      while !continue do
+        if !qhat >= base then begin
+          decr qhat;
+          rhat := !rhat + vh
+        end
+        else if !rhat < base && (!qhat * vl) > ((!rhat lsl limb_bits) lor un.(j + n - 2)) then begin
+          decr qhat;
+          rhat := !rhat + vh
+        end
+        else continue := false
+      done;
+      (* Multiply and subtract qhat * vn from un[j .. j+n]. *)
+      let borrow = ref 0 in
+      for i = 0 to n - 1 do
+        let p = (!qhat * vn.(i)) + !borrow in
+        let sub = un.(j + i) - (p land mask) in
+        if sub < 0 then begin
+          un.(j + i) <- sub + base;
+          borrow := (p lsr limb_bits) + 1
+        end
+        else begin
+          un.(j + i) <- sub;
+          borrow := p lsr limb_bits
+        end
+      done;
+      let sub = un.(j + n) - !borrow in
+      if sub < 0 then begin
+        (* qhat was one too large: add the divisor back. *)
+        un.(j + n) <- sub + base;
+        q.(j) <- !qhat - 1;
+        let carry = ref 0 in
+        for i = 0 to n - 1 do
+          let s2 = un.(j + i) + vn.(i) + !carry in
+          un.(j + i) <- s2 land mask;
+          carry := s2 lsr limb_bits
+        done;
+        un.(j + n) <- (un.(j + n) + !carry) land mask
+      end
+      else begin
+        un.(j + n) <- sub;
+        q.(j) <- !qhat
+      end
+    done;
+    let r = nat_shift_right (nat_normalize (Array.sub un 0 n)) s in
+    (nat_normalize q, r)
+  end
+
+let nat_divmod a b =
+  match Array.length b with
+  | 0 -> raise Division_by_zero
+  | 1 ->
+    let q, r = nat_divmod_small a b.(0) in
+    (q, if r = 0 then [||] else [| r |])
+  | _ -> if nat_compare a b < 0 then ([||], Array.copy a) else nat_divmod_knuth a b
+
+(* ------------------------------------------------------------------ *)
+(* Signed layer.                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let make sign mag =
+  let mag = nat_normalize mag in
+  if nat_is_zero mag then zero else { sign; mag }
+
+let of_int n =
+  if n = 0 then zero
+  else begin
+    let sign = if n < 0 then -1 else 1 in
+    let rec limbs n acc = if n = 0 then List.rev acc else limbs (n lsr limb_bits) ((n land mask) :: acc) in
+    (* |min_int| overflows native negation: build |min_int + 1| then add 1. *)
+    let mag =
+      if n = Stdlib.min_int then nat_add_small (Array.of_list (limbs Stdlib.max_int [])) 1
+      else Array.of_list (limbs (Stdlib.abs n) [])
+    in
+    { sign; mag }
+  end
+
+let one = of_int 1
+let two = of_int 2
+let minus_one = of_int (-1)
+
+let sign x = x.sign
+let is_zero x = x.sign = 0
+
+let compare a b =
+  if a.sign <> b.sign then Stdlib.compare a.sign b.sign
+  else if a.sign >= 0 then nat_compare a.mag b.mag
+  else nat_compare b.mag a.mag
+
+let equal a b = compare a b = 0
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+
+let neg x = if is_zero x then zero else { x with sign = -x.sign }
+let abs x = if x.sign < 0 then neg x else x
+
+let add a b =
+  if is_zero a then b
+  else if is_zero b then a
+  else if a.sign = b.sign then make a.sign (nat_add a.mag b.mag)
+  else begin
+    let c = nat_compare a.mag b.mag in
+    if c = 0 then zero
+    else if c > 0 then make a.sign (nat_sub a.mag b.mag)
+    else make b.sign (nat_sub b.mag a.mag)
+  end
+
+let sub a b = add a (neg b)
+let succ x = add x one
+let pred x = sub x one
+
+let mul a b =
+  if is_zero a || is_zero b then zero else make (a.sign * b.sign) (nat_mul a.mag b.mag)
+
+let add_int a n = add a (of_int n)
+
+let mul_int a n =
+  if n = 0 || is_zero a then zero
+  else if n > 0 && n < base then make a.sign (nat_mul_small a.mag n)
+  else mul a (of_int n)
+
+(* Euclidean division: remainder is always in [0, |b|). *)
+let divmod a b =
+  if is_zero b then raise Division_by_zero;
+  let q, r = nat_divmod a.mag b.mag in
+  let q = make (a.sign * b.sign) q and r = make 1 r in
+  if a.sign >= 0 || is_zero r then (q, r)
+  else begin
+    (* Negative dividend: shift the truncated result to Euclidean form. *)
+    let babs = abs b in
+    (sub q (if b.sign > 0 then one else minus_one), sub babs r)
+  end
+
+let div a b = fst (divmod a b)
+let rem a b = snd (divmod a b)
+
+let divmod_int a d =
+  if d <= 0 || d >= base then invalid_arg "Bigint.divmod_int: divisor out of range";
+  let q, r = nat_divmod_small a.mag d in
+  let q = make a.sign q in
+  if a.sign >= 0 || r = 0 then (q, r) else (pred q, d - r)
+
+let pow x n =
+  if n < 0 then invalid_arg "Bigint.pow: negative exponent";
+  let rec go acc b n = if n = 0 then acc else go (if n land 1 = 1 then mul acc b else acc) (mul b b) (n lsr 1) in
+  go one x n
+
+let shift_left x k =
+  if k < 0 then invalid_arg "Bigint.shift_left";
+  if is_zero x then zero else make x.sign (nat_shift_left x.mag k)
+
+let shift_right x k =
+  if k < 0 then invalid_arg "Bigint.shift_right";
+  if is_zero x then zero else make x.sign (nat_shift_right x.mag k)
+
+let num_bits x = nat_num_bits x.mag
+
+let testbit x i =
+  if i < 0 then invalid_arg "Bigint.testbit";
+  let limb = i / limb_bits and bit = i mod limb_bits in
+  limb < Array.length x.mag && (x.mag.(limb) lsr bit) land 1 = 1
+
+let is_even x = not (testbit x 0)
+let is_odd x = testbit x 0
+
+let to_int_opt x =
+  (* Fits when at most 62 significant bits (conservative for both signs). *)
+  if num_bits x > 62 then None
+  else begin
+    let v = Array.fold_right (fun limb acc -> (acc lsl limb_bits) lor limb) x.mag 0 in
+    Some (if x.sign < 0 then -v else v)
+  end
+
+let to_int_exn x =
+  match to_int_opt x with
+  | Some v -> v
+  | None -> failwith "Bigint.to_int_exn: does not fit in int"
+
+(* ------------------------------------------------------------------ *)
+(* Radix conversion.                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let decimal_chunk = 1_000_000_000 (* 10^9 < 2^31 *)
+
+let to_string x =
+  if is_zero x then "0"
+  else begin
+    let buf = Buffer.create 32 in
+    let rec chunks mag acc =
+      if nat_is_zero mag then acc
+      else begin
+        let q, r = nat_divmod_small mag decimal_chunk in
+        chunks q (r :: acc)
+      end
+    in
+    (match chunks x.mag [] with
+     | [] -> assert false
+     | first :: rest ->
+       if x.sign < 0 then Buffer.add_char buf '-';
+       Buffer.add_string buf (string_of_int first);
+       List.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%09d" c)) rest);
+    Buffer.contents buf
+  end
+
+let of_string s =
+  let len = String.length s in
+  if len = 0 then invalid_arg "Bigint.of_string: empty string";
+  let negative, start =
+    match s.[0] with '-' -> (true, 1) | '+' -> (false, 1) | _ -> (false, 0)
+  in
+  if start >= len then invalid_arg "Bigint.of_string: no digits";
+  let acc = ref zero in
+  let chunk = ref 0 and chunk_len = ref 0 in
+  for i = start to len - 1 do
+    let c = s.[i] in
+    if c < '0' || c > '9' then invalid_arg "Bigint.of_string: bad digit";
+    chunk := (!chunk * 10) + (Char.code c - Char.code '0');
+    incr chunk_len;
+    if !chunk_len = 9 then begin
+      acc := add_int (mul_int !acc decimal_chunk) !chunk;
+      chunk := 0;
+      chunk_len := 0
+    end
+  done;
+  if !chunk_len > 0 then begin
+    let scale = int_of_float (10. ** float_of_int !chunk_len) in
+    acc := add_int (mul_int !acc scale) !chunk
+  end;
+  if negative then neg !acc else !acc
+
+let of_hex s =
+  let len = String.length s in
+  if len = 0 then invalid_arg "Bigint.of_hex: empty string";
+  let digit c =
+    match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+    | _ -> invalid_arg "Bigint.of_hex: bad digit"
+  in
+  let acc = ref zero in
+  String.iter (fun c -> acc := add_int (mul_int !acc 16) (digit c)) s;
+  !acc
+
+let to_hex x =
+  if is_zero x then "0"
+  else begin
+    let nibbles = (num_bits x + 3) / 4 in
+    let buf = Buffer.create nibbles in
+    for i = nibbles - 1 downto 0 do
+      let limb = (i * 4) / limb_bits and off = (i * 4) mod limb_bits in
+      let v =
+        if limb >= Array.length x.mag then 0
+        else begin
+          let lo = x.mag.(limb) lsr off in
+          let hi = if off > limb_bits - 4 && limb + 1 < Array.length x.mag then x.mag.(limb + 1) lsl (limb_bits - off) else 0 in
+          (lo lor hi) land 0xf
+        end
+      in
+      Buffer.add_char buf "0123456789abcdef".[v]
+    done;
+    (* Drop any leading zero nibble produced by rounding. *)
+    let s = Buffer.contents buf in
+    let i = ref 0 in
+    while !i < String.length s - 1 && s.[!i] = '0' do incr i done;
+    String.sub s !i (String.length s - !i)
+  end
+
+let of_bytes_be s =
+  let acc = ref zero in
+  String.iter (fun c -> acc := add_int (mul_int !acc 256) (Char.code c)) s;
+  !acc
+
+let to_bytes_be ?len x =
+  let nbytes = Stdlib.max 1 ((num_bits x + 7) / 8) in
+  let nbytes =
+    match len with
+    | None -> nbytes
+    | Some l ->
+      if l < nbytes then invalid_arg "Bigint.to_bytes_be: value too large for len";
+      l
+  in
+  let b = Bytes.make nbytes '\000' in
+  let v = ref (abs x) in
+  let i = ref (nbytes - 1) in
+  while not (is_zero !v) do
+    let q, r = divmod_int !v 256 in
+    Bytes.set b !i (Char.chr r);
+    v := q;
+    decr i
+  done;
+  Bytes.to_string b
+
+let pp fmt x = Format.pp_print_string fmt (to_string x)
+
+(* ------------------------------------------------------------------ *)
+(* Modular arithmetic.                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let erem a m =
+  if is_zero m then raise Division_by_zero;
+  snd (divmod a (abs m))
+
+let mod_add a b m = erem (add a b) m
+let mod_sub a b m = erem (sub a b) m
+let mod_mul a b m = erem (mul a b) m
+
+let gcd a b =
+  let rec go a b = if is_zero b then a else go b (erem a b) in
+  go (abs a) (abs b)
+
+let egcd a b =
+  (* Iterative extended Euclid on signed values. *)
+  let rec go old_r r old_s s old_t t =
+    if is_zero r then (old_r, old_s, old_t)
+    else begin
+      let q = div old_r r in
+      go r (sub old_r (mul q r)) s (sub old_s (mul q s)) t (sub old_t (mul q t))
+    end
+  in
+  let g, x, y = go a b one zero zero one in
+  if sign g < 0 then (neg g, neg x, neg y) else (g, x, y)
+
+let mod_inv a m =
+  let m = abs m in
+  if compare m two < 0 then None
+  else begin
+    let g, x, _ = egcd (erem a m) m in
+    if equal g one then Some (erem x m) else None
+  end
+
+(* --- Montgomery exponentiation (odd modulus) ----------------------- *)
+
+(* Inverse of an odd limb modulo 2^31 by Newton iteration. *)
+let limb_inv n0 =
+  let x = ref n0 in
+  for _ = 1 to 5 do
+    x := (!x * (2 - (n0 * !x))) land mask
+  done;
+  !x land mask
+
+let mod_pow b e m =
+  if sign e < 0 then invalid_arg "Bigint.mod_pow: negative exponent";
+  if compare m two < 0 then invalid_arg "Bigint.mod_pow: modulus <= 1";
+  if is_zero e then erem one m
+  else if is_even m then begin
+    (* Rare path: plain square-and-multiply with division-based reduction. *)
+    let b = erem b m in
+    let bits = num_bits e in
+    let acc = ref (erem one m) in
+    for i = bits - 1 downto 0 do
+      acc := mod_mul !acc !acc m;
+      if testbit e i then acc := mod_mul !acc b m
+    done;
+    !acc
+  end
+  else begin
+    (* Allocation-free Montgomery ladder: operands live in fixed (k+1)-limb
+       buffers (top limb zero between operations since values stay < m),
+       products and REDC run in one shared scratch buffer. *)
+    let mmag = (abs m).mag in
+    let k = Array.length mmag in
+    let m0' = (base - limb_inv mmag.(0)) land mask in
+    let t = Array.make ((2 * k) + 2) 0 in
+    (* REDC t in place, write the (< m) result into dst (k+1 limbs). *)
+    let redc_into dst =
+      for i = 0 to k - 1 do
+        let u = (t.(i) * m0') land mask in
+        if u <> 0 then begin
+          let carry = ref 0 in
+          for j = 0 to k - 1 do
+            let p = (u * mmag.(j)) + t.(i + j) + !carry in
+            t.(i + j) <- p land mask;
+            carry := p lsr limb_bits
+          done;
+          let j = ref (i + k) in
+          while !carry <> 0 do
+            let s2 = t.(!j) + !carry in
+            t.(!j) <- s2 land mask;
+            carry := s2 lsr limb_bits;
+            incr j
+          done
+        end
+      done;
+      Array.blit t k dst 0 (k + 1);
+      (* Result is < 2m: one conditional subtraction normalises it. *)
+      let ge =
+        dst.(k) <> 0
+        ||
+        let rec cmp i = if i < 0 then true else if dst.(i) <> mmag.(i) then dst.(i) > mmag.(i) else cmp (i - 1) in
+        cmp (k - 1)
+      in
+      if ge then begin
+        let borrow = ref 0 in
+        for i = 0 to k - 1 do
+          let d = dst.(i) - mmag.(i) - !borrow in
+          if d < 0 then begin
+            dst.(i) <- d + base;
+            borrow := 1
+          end
+          else begin
+            dst.(i) <- d;
+            borrow := 0
+          end
+        done;
+        dst.(k) <- dst.(k) - !borrow
+      end
+    in
+    let mont_mul_into dst a bm =
+      Array.fill t 0 ((2 * k) + 2) 0;
+      for i = 0 to k do
+        let ai = a.(i) in
+        if ai <> 0 then begin
+          let carry = ref 0 in
+          for j = 0 to k do
+            let p = (ai * bm.(j)) + t.(i + j) + !carry in
+            t.(i + j) <- p land mask;
+            carry := p lsr limb_bits
+          done;
+          (* i + k + 1 <= 2k + 1: inside the scratch buffer. *)
+          if !carry <> 0 then t.(i + k + 1) <- t.(i + k + 1) + !carry
+        end
+      done;
+      redc_into dst
+    in
+    let to_buf mag =
+      let buf = Array.make (k + 1) 0 in
+      Array.blit mag 0 buf 0 (Array.length mag);
+      buf
+    in
+    (* R mod m and b*R mod m via one general division each. *)
+    let r_mod_m = (erem (shift_left one (k * limb_bits)) m).mag in
+    let b_mont = (erem (shift_left (erem b m) (k * limb_bits)) m).mag in
+    if nat_is_zero b_mont then zero
+    else begin
+      let acc = ref (to_buf r_mod_m) and tmp = ref (Array.make (k + 1) 0) in
+      let bm = to_buf b_mont in
+      let bits = num_bits e in
+      for i = bits - 1 downto 0 do
+        mont_mul_into !tmp !acc !acc;
+        let swap = !acc in
+        acc := !tmp;
+        tmp := swap;
+        if testbit e i then begin
+          mont_mul_into !tmp !acc bm;
+          let swap = !acc in
+          acc := !tmp;
+          tmp := swap
+        end
+      done;
+      (* Convert out of Montgomery form: REDC(acc * 1). *)
+      Array.fill t 0 ((2 * k) + 2) 0;
+      Array.blit !acc 0 t 0 (k + 1);
+      redc_into !tmp;
+      make 1 (nat_normalize (Array.copy !tmp))
+    end
+  end

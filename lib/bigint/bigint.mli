@@ -1,0 +1,125 @@
+(** Arbitrary-precision signed integers.
+
+    The sealed build environment has no [zarith], so every cryptographic
+    substrate in this repository (RSA accumulator, trapdoor permutation,
+    multiset hash over a prime field, primality testing) rests on this
+    module. Magnitudes are little-endian arrays of 31-bit limbs; division
+    is Knuth's Algorithm D; modular exponentiation uses Montgomery
+    multiplication for odd moduli. *)
+
+type t
+(** An immutable arbitrary-precision integer. *)
+
+(** {1 Constants} *)
+
+val zero : t
+val one : t
+val two : t
+val minus_one : t
+
+(** {1 Construction and conversion} *)
+
+val of_int : int -> t
+
+val to_int_opt : t -> int option
+(** [to_int_opt x] is [Some n] when [x] fits in a native [int]. *)
+
+val to_int_exn : t -> int
+(** @raise Failure when the value does not fit in a native [int]. *)
+
+val of_string : string -> t
+(** Parses an optionally sign-prefixed decimal string.
+    @raise Invalid_argument on malformed input. *)
+
+val to_string : t -> string
+(** Decimal rendering, e.g. ["-12345"]. *)
+
+val of_hex : string -> t
+(** Parses an unsigned hexadecimal string (no ["0x"] prefix).
+    @raise Invalid_argument on malformed input. *)
+
+val to_hex : t -> string
+(** Lowercase hexadecimal rendering of the absolute value. *)
+
+val of_bytes_be : string -> t
+(** Interprets a byte string as an unsigned big-endian integer. *)
+
+val to_bytes_be : ?len:int -> t -> string
+(** Big-endian byte rendering of the absolute value. With [~len] the
+    result is left-padded with zero bytes to exactly [len] bytes.
+    @raise Invalid_argument if the value needs more than [len] bytes. *)
+
+val pp : Format.formatter -> t -> unit
+
+(** {1 Comparison} *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val sign : t -> int
+val is_zero : t -> bool
+val min : t -> t -> t
+val max : t -> t -> t
+
+(** {1 Arithmetic} *)
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val succ : t -> t
+val pred : t -> t
+
+val add_int : t -> int -> t
+val mul_int : t -> int -> t
+
+val divmod : t -> t -> t * t
+(** [divmod a b] is [(q, r)] with [a = q*b + r], [0 <= r < |b|]
+    (Euclidean division). @raise Division_by_zero when [b] is zero. *)
+
+val div : t -> t -> t
+val rem : t -> t -> t
+
+val divmod_int : t -> int -> t * int
+(** Euclidean division by a positive native int [< 2^31].
+    @raise Invalid_argument when the divisor is out of range. *)
+
+val pow : t -> int -> t
+(** [pow x n] for [n >= 0]. *)
+
+(** {1 Bit operations} *)
+
+val shift_left : t -> int -> t
+val shift_right : t -> int -> t
+(** Arithmetic shift of the magnitude (sign preserved). *)
+
+val num_bits : t -> int
+(** Bit length of the absolute value; [num_bits zero = 0]. *)
+
+val testbit : t -> int -> bool
+(** [testbit x i] is bit [i] of the absolute value. *)
+
+val is_even : t -> bool
+val is_odd : t -> bool
+
+(** {1 Modular arithmetic} *)
+
+val erem : t -> t -> t
+(** [erem a m] is the least non-negative residue of [a] modulo [|m|]. *)
+
+val mod_add : t -> t -> t -> t
+val mod_sub : t -> t -> t -> t
+val mod_mul : t -> t -> t -> t
+
+val mod_pow : t -> t -> t -> t
+(** [mod_pow b e m] is [b^e mod m] for [e >= 0], [m > 1]. Uses Montgomery
+    multiplication when [m] is odd. @raise Invalid_argument on negative
+    exponent or modulus [<= 1]. *)
+
+val gcd : t -> t -> t
+
+val egcd : t -> t -> t * t * t
+(** [egcd a b] is [(g, x, y)] with [a*x + b*y = g = gcd a b], [g >= 0]. *)
+
+val mod_inv : t -> t -> t option
+(** [mod_inv a m] is the inverse of [a] modulo [m], when it exists. *)

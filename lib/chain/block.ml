@@ -1,0 +1,27 @@
+type header = {
+  parent : string;
+  number : int;
+  timestamp : int;
+  tx_root : string;
+  sealer : Vm.address;
+  seal : string;
+}
+
+type t = { header : header; txns : Vm.txn list; receipts : Vm.receipt list }
+
+let tx_root txns = Merkle.root (Merkle.build (List.map Vm.txn_bytes txns))
+
+let header_preimage h =
+  Bytesutil.concat
+    [ h.parent; string_of_int h.number; string_of_int h.timestamp; h.tx_root; h.sealer ]
+
+let hash b = Sha256.digest (Bytesutil.concat [ header_preimage b.header; b.header.seal ])
+
+let make ~parent ~number ~timestamp ~sealer ~seal txns receipts =
+  let unsealed = { parent; number; timestamp; tx_root = tx_root txns; sealer; seal = "" } in
+  { header = { unsealed with seal = seal (header_preimage unsealed) }; txns; receipts }
+
+let prove_inclusion b i = Merkle.prove (Merkle.build (List.map Vm.txn_bytes b.txns)) i
+
+let verify_inclusion b txn proof =
+  Merkle.verify ~root:b.header.tx_root ~leaf:(Vm.txn_bytes txn) proof

@@ -1,0 +1,67 @@
+(** EVM-style gas schedule.
+
+    Constants follow the Ethereum yellow paper / Berlin-era EIPs so the
+    simulated chain charges the same costs the paper's Rinkeby contract
+    paid: intrinsic transaction gas, calldata bytes, storage writes and
+    reads, hashing, logs, contract creation, and the EIP-2565 modexp
+    precompile the RSA verification rides on. Table II of the paper is
+    regenerated against this schedule. *)
+
+val tx_base : int
+(** 21000 — intrinsic cost of any transaction. *)
+
+val tx_create : int
+(** 32000 — additional cost of a contract-creating transaction. *)
+
+val code_deposit_per_byte : int
+(** 200 — charged per byte of deployed code. *)
+
+val calldata_zero_byte : int
+(** 4 *)
+
+val calldata_nonzero_byte : int
+(** 16 *)
+
+val calldata : string -> int
+(** Cost of a calldata payload (per-byte zero/nonzero rule). *)
+
+val sstore_set : int
+(** 20000 — storage write, zero to non-zero. *)
+
+val sstore_reset : int
+(** 5000 — storage write, non-zero slot updated. *)
+
+val sload : int
+(** 2100 — cold storage read. *)
+
+val hash_base : int
+(** 30 — base cost of a hashing opcode. *)
+
+val hash_per_word : int
+(** 6 — per 32-byte word hashed. *)
+
+val hash : int -> int
+(** Hashing cost for a payload of the given byte length. *)
+
+val mulmod : int
+(** 8 — one 256-bit modular multiplication opcode. *)
+
+val log_base : int
+(** 375 — LOG0 base cost. *)
+
+val log_per_byte : int
+(** 8 *)
+
+val call_value_transfer : int
+(** 9000 — surcharge for a value-bearing internal call (settlement). *)
+
+val modexp : base_len:int -> exp:Bigint.t -> mod_len:int -> int
+(** EIP-2565 cost of the MODEXP precompile for a [base_len]-byte base,
+    exponent [exp] and [mod_len]-byte modulus. *)
+
+val h_prime : input_len:int -> int
+(** Modeled cost of reproducing a prime representative on-chain: one
+    hash of the input plus the expected candidate walk (trial divisions
+    as mulmod batches, surviving candidates as 272-bit modexp rounds,
+    and the deterministic confirmation rounds). Documented in
+    DESIGN.md §5. *)

@@ -1,0 +1,70 @@
+(** The Slicer verification smart contract (Algorithm 5 + the fairness
+    escrow of Section IV-A).
+
+    Life cycle:
+    + the data owner deploys the contract with the accumulator public
+      parameters and initial accumulation value [Ac];
+    + [updateAc] — the owner refreshes [Ac] after every Insert (the
+      cheap "Data insertion" row of Table II);
+    + [requestSearch] — a data user posts search tokens and locks the
+      search fee in escrow;
+    + [submitResult] — the cloud posts results and witnesses; the
+      contract recomputes each claim's multiset hash and prime
+      representative, checks the RSA witnesses against [Ac], and either
+      pays the cloud or refunds the user.
+
+    Neither plaintext values nor decryption keys ever reach the chain:
+    verification works entirely on PRF tokens, encrypted record IDs and
+    group elements (the "public verification without privacy leakage"
+    requirement). *)
+
+type claim = {
+  token_bytes : string;   (** [t_j ‖ j ‖ G1 ‖ G2] — the search token *)
+  results : string list;  (** encrypted matched records [er] *)
+  witness : Bigint.t;     (** the verification object [vo] *)
+}
+
+val encode_claims : claim list -> string
+val decode_claims : string -> claim list option
+
+val contract : modulus:Bigint.t -> generator:Bigint.t -> initial_ac:Bigint.t -> Vm.contract_def
+(** Contract definition; deploy with {!Vm.make_deploy} (no init args —
+    parameters are baked into the constructor closure, standing in for
+    constructor calldata which is charged separately). *)
+
+(** Client-side transaction builders. *)
+
+val deploy :
+  Ledger.t -> owner:Vm.address -> modulus:Bigint.t -> generator:Bigint.t -> initial_ac:Bigint.t ->
+  Vm.address * Vm.receipt
+(** Deploys and seals a block; returns the contract address. *)
+
+val update_ac : Ledger.t -> owner:Vm.address -> contract:Vm.address -> Bigint.t -> Vm.receipt
+
+val request_search :
+  Ledger.t -> user:Vm.address -> contract:Vm.address -> request_id:string ->
+  tokens:string list -> payment:int -> Vm.receipt
+(** Posts the search tokens (as opaque byte strings) with the fee in
+    escrow. *)
+
+val submit_result :
+  Ledger.t -> cloud:Vm.address -> contract:Vm.address -> request_id:string ->
+  claim list -> Vm.receipt
+(** Triggers on-chain verification and settlement. The receipt's output
+    is [["paid"]] or [["refunded"]]. *)
+
+val submit_result_batched :
+  Ledger.t -> cloud:Vm.address -> contract:Vm.address -> request_id:string ->
+  claim list -> witness:Bigint.t -> Vm.receipt
+(** Settlement with one batched membership witness covering every claim
+    (the per-claim [witness] fields are ignored); saves [(k-1) * 64]
+    bytes of verification objects for a [k]-token order search. *)
+
+val request_status : Ledger.t -> contract:Vm.address -> request_id:string -> string option
+(** ["pending"], ["paid"] or ["refunded"]. *)
+
+val stored_ac : Ledger.t -> contract:Vm.address -> Bigint.t option
+(** The accumulation value currently on chain (freshness anchor). *)
+
+val stored_tokens : Ledger.t -> contract:Vm.address -> request_id:string -> string list option
+(** The tokens the cloud retrieves from the chain for a request. *)

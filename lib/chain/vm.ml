@@ -1,0 +1,197 @@
+type address = string
+
+let address_of_name name = String.sub (Sha256.digest ("addr:" ^ name)) 0 20
+
+let pp_address fmt a = Format.fprintf fmt "0x%s…" (Bytesutil.to_hex (String.sub a 0 6))
+
+type state = {
+  balances : (address, int) Hashtbl.t;
+  nonces : (address, int) Hashtbl.t;
+  storage : (address, (string, string) Hashtbl.t) Hashtbl.t;
+  deployed : (address, contract_def) Hashtbl.t;
+  mutable journal : (unit -> unit) list option;
+      (* [Some undos] while a transaction runs; mutations push undo
+         thunks, replayed in order on revert. *)
+  mutable events : string list; (* collected during the current txn *)
+}
+
+and ctx = { state : state; meter : Gasmeter.t; sender : address; self : address; value : int }
+
+and method_impl = ctx -> string list -> (string list, string) result
+
+and contract_def = { cd_name : string; cd_code : string; cd_methods : (string * method_impl) list }
+
+let create_state () =
+  { balances = Hashtbl.create 16;
+    nonces = Hashtbl.create 16;
+    storage = Hashtbl.create 4;
+    deployed = Hashtbl.create 4;
+    journal = None;
+    events = [] }
+
+let record state undo =
+  match state.journal with
+  | Some undos -> state.journal <- Some (undo :: undos)
+  | None -> ()
+
+let balance state addr = Option.value ~default:0 (Hashtbl.find_opt state.balances addr)
+let nonce state addr = Option.value ~default:0 (Hashtbl.find_opt state.nonces addr)
+let contract_at state addr = Hashtbl.find_opt state.deployed addr
+
+let set_balance state addr v =
+  let old = balance state addr in
+  record state (fun () -> Hashtbl.replace state.balances addr old);
+  Hashtbl.replace state.balances addr v
+
+let fund state addr amount =
+  if amount < 0 then invalid_arg "Vm.fund: negative amount";
+  set_balance state addr (balance state addr + amount)
+
+let move_value state ~from ~to_ amount =
+  if amount < 0 then Error "negative transfer"
+  else if balance state from < amount then Error "insufficient balance"
+  else begin
+    set_balance state from (balance state from - amount);
+    set_balance state to_ (balance state to_ + amount);
+    Ok ()
+  end
+
+(* --- contract-side operations ---------------------------------------- *)
+
+let storage_of state addr =
+  match Hashtbl.find_opt state.storage addr with
+  | Some tbl -> tbl
+  | None ->
+    let tbl = Hashtbl.create 16 in
+    Hashtbl.replace state.storage addr tbl;
+    tbl
+
+let sload ctx key =
+  Gasmeter.charge ctx.meter ~label:"sload" Gas.sload;
+  Hashtbl.find_opt (storage_of ctx.state ctx.self) key
+
+let sstore ctx key value =
+  let tbl = storage_of ctx.state ctx.self in
+  let old = Hashtbl.find_opt tbl key in
+  let cost = match old with None -> Gas.sstore_set | Some _ -> Gas.sstore_reset in
+  Gasmeter.charge ctx.meter ~label:"sstore" cost;
+  record ctx.state (fun () ->
+      match old with None -> Hashtbl.remove tbl key | Some v -> Hashtbl.replace tbl key v);
+  Hashtbl.replace tbl key value
+
+let emit ctx event =
+  Gasmeter.charge ctx.meter ~label:"log" (Gas.log_base + (Gas.log_per_byte * String.length event));
+  let old = ctx.state.events in
+  record ctx.state (fun () -> ctx.state.events <- old);
+  ctx.state.events <- event :: ctx.state.events
+
+let send ctx ~to_ amount =
+  Gasmeter.charge ctx.meter ~label:"call" Gas.call_value_transfer;
+  move_value ctx.state ~from:ctx.self ~to_ amount
+
+let require _ctx cond reason = if cond then Ok () else Error reason
+
+(* --- transactions ------------------------------------------------------ *)
+
+type payload =
+  | Transfer
+  | Deploy of { def : contract_def; init_args : string list }
+  | Call of { method_ : string; args : string list }
+
+type txn = { tx_sender : address; tx_to : address; tx_value : int; tx_nonce : int; tx_payload : payload }
+
+let deploy_address ~sender ~nonce = String.sub (Sha256.digest (Bytesutil.concat [ "create"; sender; string_of_int nonce ])) 0 20
+
+let make_transfer state ~sender ~to_ ~value =
+  { tx_sender = sender; tx_to = to_; tx_value = value; tx_nonce = nonce state sender; tx_payload = Transfer }
+
+let make_deploy state ~sender ?(value = 0) def init_args =
+  let n = nonce state sender in
+  { tx_sender = sender;
+    tx_to = deploy_address ~sender ~nonce:n;
+    tx_value = value;
+    tx_nonce = n;
+    tx_payload = Deploy { def; init_args } }
+
+let make_call state ~sender ~to_ ?(value = 0) method_ args =
+  { tx_sender = sender; tx_to = to_; tx_value = value; tx_nonce = nonce state sender; tx_payload = Call { method_; args } }
+
+let payload_bytes = function
+  | Transfer -> "" (* a plain value transfer carries no calldata *)
+  | Deploy { def; init_args } -> Bytesutil.concat ("deploy" :: def.cd_name :: def.cd_code :: init_args)
+  | Call { method_; args } -> Bytesutil.concat ("call" :: method_ :: args)
+
+let txn_bytes t =
+  Bytesutil.concat
+    [ t.tx_sender; t.tx_to; string_of_int t.tx_value; string_of_int t.tx_nonce; payload_bytes t.tx_payload ]
+
+let txn_hash t = Sha256.digest (txn_bytes t)
+
+type receipt = {
+  r_txn_hash : string;
+  r_gas_used : int;
+  r_events : string list;
+  r_output : (string list, string) result;
+}
+
+(* Calldata gas is charged on the serialized payload — the closest
+   analogue of ABI-encoded calldata. *)
+let intrinsic_gas t =
+  Gas.tx_base
+  + Gas.calldata (payload_bytes t.tx_payload)
+  + match t.tx_payload with
+    | Deploy { def; _ } -> Gas.tx_create + (Gas.code_deposit_per_byte * String.length def.cd_code)
+    | Transfer | Call _ -> 0
+
+let run_payload state meter t =
+  match t.tx_payload with
+  | Transfer -> Ok []
+  | Deploy { def; init_args } ->
+    if Hashtbl.mem state.deployed t.tx_to then Error "address already occupied"
+    else begin
+      Hashtbl.replace state.deployed t.tx_to def;
+      record state (fun () -> Hashtbl.remove state.deployed t.tx_to);
+      (match List.assoc_opt "constructor" def.cd_methods with
+       | None -> Ok []
+       | Some ctor ->
+         ctor { state; meter; sender = t.tx_sender; self = t.tx_to; value = t.tx_value } init_args)
+    end
+  | Call { method_; args } ->
+    (match contract_at state t.tx_to with
+     | None -> Error "no contract at address"
+     | Some def ->
+       (match List.assoc_opt method_ def.cd_methods with
+        | None -> Error (Printf.sprintf "unknown method %s" method_)
+        | Some impl ->
+          impl { state; meter; sender = t.tx_sender; self = t.tx_to; value = t.tx_value } args))
+
+let execute state t =
+  if state.journal <> None then invalid_arg "Vm.execute: reentrant execution";
+  state.events <- [];
+  let meter = Gasmeter.create () in
+  let finish output =
+    { r_txn_hash = txn_hash t;
+      r_gas_used = Gasmeter.used meter;
+      r_events = List.rev state.events;
+      r_output = output }
+  in
+  if t.tx_nonce <> nonce state t.tx_sender then finish (Error "bad nonce")
+  else begin
+    Hashtbl.replace state.nonces t.tx_sender (t.tx_nonce + 1);
+    Gasmeter.charge meter ~label:"intrinsic" (intrinsic_gas t);
+    state.journal <- Some [];
+    let output =
+      match move_value state ~from:t.tx_sender ~to_:t.tx_to t.tx_value with
+      | Error _ as e -> e |> Result.map (fun () -> [])
+      | Ok () -> ( try run_payload state meter t with Gasmeter.Out_of_gas _ -> Error "out of gas" )
+    in
+    (match output with
+     | Ok _ -> ()
+     | Error _ ->
+       (* Revert: replay undo thunks, newest first. *)
+       (match state.journal with
+        | Some undos -> List.iter (fun undo -> undo ()) undos
+        | None -> ()));
+    state.journal <- None;
+    finish output
+  end

@@ -1,0 +1,95 @@
+(** Account state, contracts and metered transaction execution — the
+    simulated chain's execution engine.
+
+    Contracts are OCaml closures registered under an address; their
+    storage reads/writes and value transfers are gas-metered against
+    {!Gas} and journaled, so a reverting call rolls back every state
+    change exactly as the EVM would. *)
+
+type address = string
+(** 20-byte account identifier. *)
+
+val address_of_name : string -> address
+(** Deterministic address from a human-readable name (hash-derived). *)
+
+val pp_address : Format.formatter -> address -> unit
+(** Short hex rendering. *)
+
+type state
+
+type ctx = {
+  state : state;
+  meter : Gasmeter.t;
+  sender : address; (** [msg.sender] *)
+  self : address;   (** the executing contract's address *)
+  value : int;      (** [msg.value], already credited to [self] *)
+}
+
+type method_impl = ctx -> string list -> (string list, string) result
+(** A contract method: returns output words, or [Error reason] which
+    reverts the call's state changes. *)
+
+type contract_def = {
+  cd_name : string;
+  cd_code : string;     (** pseudo-bytecode; its length drives deploy gas *)
+  cd_methods : (string * method_impl) list;
+}
+
+(** {1 State} *)
+
+val create_state : unit -> state
+val fund : state -> address -> int -> unit
+val balance : state -> address -> int
+val nonce : state -> address -> int
+val contract_at : state -> address -> contract_def option
+
+(** {1 Contract-side operations (metered, journaled)} *)
+
+val sload : ctx -> string -> string option
+val sstore : ctx -> string -> string -> unit
+val emit : ctx -> string -> unit
+(** Emits a log event (gas only; events are recorded in the receipt). *)
+
+val send : ctx -> to_:address -> int -> (unit, string) result
+(** Value transfer out of the executing contract. *)
+
+val require : ctx -> bool -> string -> (unit, string) result
+(** [require ctx cond reason] is [Error reason] when the condition
+    fails — the Solidity idiom. *)
+
+(** {1 Transactions} *)
+
+type payload =
+  | Transfer
+  | Deploy of { def : contract_def; init_args : string list }
+  | Call of { method_ : string; args : string list }
+
+type txn = private {
+  tx_sender : address;
+  tx_to : address; (** for [Deploy], the created contract's address *)
+  tx_value : int;
+  tx_nonce : int;
+  tx_payload : payload;
+}
+
+val make_transfer : state -> sender:address -> to_:address -> value:int -> txn
+val make_deploy : state -> sender:address -> ?value:int -> contract_def -> string list -> txn
+val make_call : state -> sender:address -> to_:address -> ?value:int -> string -> string list -> txn
+
+val txn_bytes : txn -> string
+(** Canonical serialization (closures are represented by the contract
+    name and code, which is what an on-chain deployment carries). *)
+
+val txn_hash : txn -> string
+
+type receipt = {
+  r_txn_hash : string;
+  r_gas_used : int;
+  r_events : string list;
+  r_output : (string list, string) result;
+}
+
+val execute : state -> txn -> receipt
+(** Applies the transaction: checks nonce and balance, charges intrinsic
+    and execution gas, runs the payload, and rolls back on revert. A
+    failed transaction still consumes its gas and bumps the nonce. *)

@@ -1,0 +1,167 @@
+type misbehavior =
+  | Honest
+  | Drop_result
+  | Inject_result
+  | Tamper_result
+  | Forge_witness
+  | Stale_results
+
+type t = {
+  c_params : Rsa_acc.params;
+  c_tdp : Rsa_tdp.public;
+  index : Enc_index.t;
+  mutable primes : Bigint.t list;
+  mutable ac : Bigint.t;
+  mutable mode : misbehavior;
+  (* Snapshot support for Stale_results: positions added by the most
+     recent shipment, and the prime list before it. *)
+  mutable last_shipment : (string, unit) Hashtbl.t;
+  mutable prev_primes : Bigint.t list;
+  mutable witness_cache : (string, Bigint.t) Hashtbl.t option;
+}
+
+let create ~acc_params ~tdp_public () =
+  { c_params = acc_params;
+    c_tdp = tdp_public;
+    index = Enc_index.create ();
+    primes = [];
+    ac = acc_params.Rsa_acc.generator;
+    mode = Honest;
+    last_shipment = Hashtbl.create 1;
+    prev_primes = [];
+    witness_cache = None }
+
+let install t (sh : Owner.shipment) =
+  t.prev_primes <- t.primes;
+  t.last_shipment <- Hashtbl.create (List.length sh.Owner.sh_entries);
+  List.iter
+    (fun (l, d) ->
+      Enc_index.put t.index ~l ~d;
+      Hashtbl.replace t.last_shipment l ())
+    sh.Owner.sh_entries;
+  t.primes <- t.primes @ sh.Owner.sh_primes;
+  t.ac <- sh.Owner.sh_ac;
+  t.witness_cache <- None
+
+let set_behavior t m = t.mode <- m
+let behavior t = t.mode
+
+let precompute_witnesses t =
+  let cache = Hashtbl.create (List.length t.primes) in
+  List.iter
+    (fun (x, w) -> Hashtbl.replace cache (Bigint.to_string x) w)
+    (Rsa_acc.all_witnesses t.c_params t.primes);
+  t.witness_cache <- Some cache
+
+let witness_for t ~primes x =
+  let cached =
+    match t.witness_cache with
+    | Some cache when t.mode <> Stale_results -> Hashtbl.find_opt cache (Bigint.to_string x)
+    | Some _ | None -> None
+  in
+  match cached with
+  | Some w -> w
+  | None -> ( try Rsa_acc.mem_witness t.c_params primes x with Invalid_argument _ -> Bigint.one )
+
+(* Algorithm 4 traversal: walk generations j..0, scanning counters under
+   each trapdoor until the first miss. *)
+let collect_results t (st : Slicer_types.search_token) =
+  let stale = t.mode = Stale_results in
+  let find l =
+    if stale && Hashtbl.mem t.last_shipment l then None else Enc_index.find t.index l
+  in
+  let results = ref [] in
+  let trapdoor = ref st.Slicer_types.st_trapdoor in
+  for i = st.Slicer_types.st_updates downto 0 do
+    let rec scan c =
+      let l = Keys.f ~key:st.Slicer_types.st_g1 ~trapdoor:!trapdoor ~counter:c in
+      match find l with
+      | None -> ()
+      | Some d ->
+        let r = Bytesutil.xor (Keys.f ~key:st.Slicer_types.st_g2 ~trapdoor:!trapdoor ~counter:c) d in
+        results := r :: !results;
+        scan (c + 1)
+    in
+    scan 0;
+    if i > 0 then trapdoor := Rsa_tdp.forward_bytes t.c_tdp !trapdoor
+  done;
+  List.rev !results
+
+let flip_bit s =
+  if String.length s = 0 then s
+  else String.mapi (fun i c -> if i = 0 then Char.chr (Char.code c lxor 1) else c) s
+
+(* Results after the configured misbehaviour is applied. *)
+let delivered_results t st =
+  let honest_results = collect_results t st in
+  match t.mode with
+  | Honest | Forge_witness | Stale_results -> honest_results
+  | Drop_result -> ( match honest_results with [] -> [] | _ :: rest -> rest )
+  | Inject_result -> honest_results @ [ Sha256.digest "bogus" |> fun d -> String.sub d 0 16 ]
+  | Tamper_result -> ( match honest_results with [] -> [] | r :: rest -> flip_bit r :: rest )
+
+let claim_prime ~token_bytes results =
+  let h = Mset_hash.of_list results in
+  Prime_rep.to_prime (Bytesutil.concat [ token_bytes; Mset_hash.to_bytes h ])
+
+let search_one t st =
+  let results = delivered_results t st in
+  let token_bytes = Slicer_types.token_bytes st in
+  let x = claim_prime ~token_bytes results in
+  let primes = if t.mode = Stale_results then t.prev_primes else t.primes in
+  let witness = witness_for t ~primes x in
+  let witness = if t.mode = Forge_witness then Bigint.succ witness else witness in
+  { Slicer_contract.token_bytes; results; witness }
+
+let search_batched t sts =
+  let partial =
+    List.map
+      (fun st ->
+        let results = delivered_results t st in
+        let token_bytes = Slicer_types.token_bytes st in
+        (token_bytes, results, claim_prime ~token_bytes results))
+      sts
+  in
+  let xs = List.map (fun (_, _, x) -> x) partial in
+  let primes = if t.mode = Stale_results then t.prev_primes else t.primes in
+  let witness =
+    try Rsa_acc.batch_witness t.c_params primes xs with Invalid_argument _ -> Bigint.one
+  in
+  let witness = if t.mode = Forge_witness then Bigint.succ witness else witness in
+  let claims =
+    List.map
+      (fun (token_bytes, results, _) ->
+        (* Per-claim witnesses are replaced by the one batch object. *)
+        { Slicer_contract.token_bytes; results; witness = Bigint.one })
+      partial
+  in
+  (claims, witness)
+
+let search t sts = List.map (search_one t) sts
+
+type search_timings = { result_seconds : float; vo_seconds : float }
+
+let search_instrumented t sts =
+  let result_time = ref 0. and vo_time = ref 0. in
+  let claims =
+    List.map
+      (fun st ->
+        let t0 = Unix.gettimeofday () in
+        let results = collect_results t st in
+        let t1 = Unix.gettimeofday () in
+        let h = Mset_hash.of_list results in
+        let token_bytes = Slicer_types.token_bytes st in
+        let x = Prime_rep.to_prime (Bytesutil.concat [ token_bytes; Mset_hash.to_bytes h ]) in
+        let witness = witness_for t ~primes:t.primes x in
+        let t2 = Unix.gettimeofday () in
+        result_time := !result_time +. (t1 -. t0);
+        vo_time := !vo_time +. (t2 -. t1);
+        { Slicer_contract.token_bytes; results; witness })
+      sts
+  in
+  (claims, { result_seconds = !result_time; vo_seconds = !vo_time })
+
+let index_entries t = Enc_index.entry_count t.index
+let index_bytes t = Enc_index.size_bytes t.index
+let prime_count t = List.length t.primes
+let ads_bytes t = 34 * List.length t.primes

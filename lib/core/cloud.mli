@@ -1,0 +1,69 @@
+(** The cloud: index storage and the Search protocol (Algorithm 4).
+
+    The cloud walks each search token's trapdoor chain backwards with
+    the public permutation, collects every masked index entry, computes
+    the multiset hash and prime representative of the result set, and
+    produces the RSA membership witness (the verification object).
+
+    The threat model's dishonest behaviours are built in as
+    {!misbehavior} modes so tests, examples and benches can demonstrate
+    that every deviation is caught on chain and punished via refund. *)
+
+type t
+
+type misbehavior =
+  | Honest
+  | Drop_result     (** omit one matched record from each claim *)
+  | Inject_result   (** add a bogus encrypted record to each claim *)
+  | Tamper_result   (** flip a bit in one returned record *)
+  | Forge_witness   (** return a perturbed verification object *)
+  | Stale_results   (** answer from a pre-insert snapshot of the index *)
+
+val create : acc_params:Rsa_acc.params -> tdp_public:Rsa_tdp.public -> unit -> t
+
+val install : t -> Owner.shipment -> unit
+(** Apply a Build/Insert shipment: add index entries and primes, adopt
+    the new [Ac]. [Stale_results] mode answers from the state before
+    the most recent shipment. *)
+
+val set_behavior : t -> misbehavior -> unit
+val behavior : t -> misbehavior
+
+val search_one : t -> Slicer_types.search_token -> Slicer_contract.claim
+(** Algorithm 4 for a single token (with any configured misbehaviour
+    applied). *)
+
+val search : t -> Slicer_types.search_token list -> Slicer_contract.claim list
+
+val search_batched :
+  t -> Slicer_types.search_token list -> Slicer_contract.claim list * Bigint.t
+(** Like {!search}, but all claims share one batched membership witness
+    ([Rsa_acc.batch_witness]): one accumulator pass and a single
+    64-byte object for a whole order search, instead of one per slice.
+    The per-claim [witness] fields are placeholders; the second
+    component is the batch object for
+    [Slicer_contract.submit_result_batched]. *)
+
+type search_timings = { result_seconds : float; vo_seconds : float }
+
+val search_instrumented :
+  t -> Slicer_types.search_token list -> Slicer_contract.claim list * search_timings
+(** {!search} with the wall-clock split the paper's Fig. 5 reports:
+    result generation (index traversal and unmasking) versus
+    verification-object generation (multiset hash, prime representative
+    and RSA witness). *)
+
+val precompute_witnesses : t -> unit
+(** Optional optimisation (ablation bench): compute all membership
+    witnesses in O(n log n) once, so each query's VO generation is a
+    table lookup instead of an O(n) exponentiation chain. Invalidated
+    by the next {!install}. *)
+
+val index_entries : t -> int
+val index_bytes : t -> int
+(** Fig. 4a metric. *)
+
+val ads_bytes : t -> int
+(** Fig. 4b metric: the prime list (34 bytes per 272-bit prime). *)
+
+val prime_count : t -> int

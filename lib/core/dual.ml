@@ -1,0 +1,56 @@
+type t = {
+  ins : Protocol.t;
+  del : Protocol.t;
+  inserted : (string, Slicer_types.record) Hashtbl.t;
+  deleted : (string, unit) Hashtbl.t;
+}
+
+type search_outcome = { ids : string list; verified : bool; gas_used : int }
+
+let setup ?width ?tdp_bits ?acc_bits ~seed records =
+  let t =
+    { ins = Protocol.setup ?width ?tdp_bits ?acc_bits ~seed:(seed ^ ":ins") records;
+      del = Protocol.setup ?width ?tdp_bits ?acc_bits ~seed:(seed ^ ":del") [];
+      inserted = Hashtbl.create 256;
+      deleted = Hashtbl.create 64 }
+  in
+  List.iter (fun r -> Hashtbl.replace t.inserted r.Slicer_types.id r) records;
+  t
+
+let insert t records =
+  List.iter
+    (fun r ->
+      if Hashtbl.mem t.inserted r.Slicer_types.id || Hashtbl.mem t.deleted r.Slicer_types.id then
+        invalid_arg (Printf.sprintf "Dual.insert: id %S already used" r.Slicer_types.id))
+    records;
+  Protocol.insert t.ins records;
+  List.iter (fun r -> Hashtbl.replace t.inserted r.Slicer_types.id r) records
+
+let delete t records =
+  List.iter
+    (fun r ->
+      match Hashtbl.find_opt t.inserted r.Slicer_types.id with
+      | None -> invalid_arg (Printf.sprintf "Dual.delete: id %S was never inserted" r.Slicer_types.id)
+      | Some original ->
+        if original <> r then
+          invalid_arg (Printf.sprintf "Dual.delete: id %S fields differ from inserted record" r.Slicer_types.id);
+        if Hashtbl.mem t.deleted r.Slicer_types.id then
+          invalid_arg (Printf.sprintf "Dual.delete: id %S already deleted" r.Slicer_types.id))
+    records;
+  Protocol.insert t.del records;
+  List.iter (fun r -> Hashtbl.replace t.deleted r.Slicer_types.id ()) records
+
+let update t ~old_record record =
+  delete t [ old_record ];
+  insert t [ record ]
+
+let search t query =
+  let ins_out = Protocol.search t.ins query in
+  let del_out = Protocol.search t.del query in
+  let removed = Hashtbl.create 16 in
+  List.iter (fun id -> Hashtbl.replace removed id ()) del_out.Protocol.so_ids;
+  { ids = List.filter (fun id -> not (Hashtbl.mem removed id)) ins_out.Protocol.so_ids;
+    verified = ins_out.Protocol.so_verified && del_out.Protocol.so_verified;
+    gas_used = ins_out.Protocol.so_gas_used + del_out.Protocol.so_gas_used }
+
+let live_count t = Hashtbl.length t.inserted - Hashtbl.length t.deleted

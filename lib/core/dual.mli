@@ -1,0 +1,37 @@
+(** Deletion and update support (Section V-F): two Slicer instances,
+    one accumulating insertions and one accumulating deletions; a search
+    answers with the difference of the two verified result sets.
+
+    Record IDs are unique across the system's lifetime: a deleted ID
+    cannot be re-inserted (the paper forbids repeated IDs — an update
+    uses a fresh version of the payload under the same logical key is
+    out of scope; {!update} models it as delete + insert of a record
+    whose ID gains a version suffix handled by the caller). *)
+
+type t
+
+type search_outcome = {
+  ids : string list;        (** surviving record IDs (inserted minus deleted) *)
+  verified : bool;          (** both instances' on-chain verification passed *)
+  gas_used : int;           (** combined settlement gas *)
+}
+
+val setup :
+  ?width:int -> ?tdp_bits:int -> ?acc_bits:int -> seed:string -> Slicer_types.record list -> t
+
+val insert : t -> Slicer_types.record list -> unit
+(** @raise Invalid_argument on an ID already inserted or deleted. *)
+
+val delete : t -> Slicer_types.record list -> unit
+(** Deletes records (the full original record is required so the
+    deletion instance can index the same keywords).
+    @raise Invalid_argument when the record was never inserted, the
+    fields differ from the inserted version, or it is already deleted. *)
+
+val update : t -> old_record:Slicer_types.record -> Slicer_types.record -> unit
+(** Delete + insert; the new record must carry a fresh ID. *)
+
+val search : t -> Slicer_types.query -> search_outcome
+
+val live_count : t -> int
+(** Inserted minus deleted records. *)

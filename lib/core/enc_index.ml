@@ -1,0 +1,13 @@
+type t = (string, string) Hashtbl.t
+
+let create () = Hashtbl.create 1024
+
+let put t ~l ~d =
+  if Hashtbl.mem t l then invalid_arg "Enc_index.put: position already occupied";
+  Hashtbl.replace t l d
+
+let find t l = Hashtbl.find_opt t l
+
+let entry_count = Hashtbl.length
+
+let size_bytes t = 32 * Hashtbl.length t

@@ -1,0 +1,20 @@
+(** The encrypted index [I]: a history-independent dictionary from
+    16-byte positions [l] to 16-byte masked payloads [d]. The cloud
+    stores and queries it; nothing about keyword grouping or insertion
+    order is recoverable from it (positions are PRF outputs). *)
+
+type t
+
+val create : unit -> t
+
+val put : t -> l:string -> d:string -> unit
+(** @raise Invalid_argument if the position is already occupied — PRF
+    collisions at 128 bits indicate a protocol bug, not bad luck. *)
+
+val find : t -> string -> string option
+
+val entry_count : t -> int
+
+val size_bytes : t -> int
+(** Storage footprint: 32 bytes per entry (16-byte key + 16-byte
+    payload) — the Fig. 4a metric. *)

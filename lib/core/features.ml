@@ -1,0 +1,51 @@
+type support = Yes | No | Na
+
+type scheme = {
+  label : string;
+  group : string;
+  dynamics : support;
+  numerical : support;
+  freshness : support;
+  forward_security : support;
+  public_verifiability : support;
+}
+
+let traditional = "Traditional"
+let blockchain = "Blockchain-based"
+
+let row group label dynamics numerical freshness forward_security public_verifiability =
+  { label; group; dynamics; numerical; freshness; forward_security; public_verifiability }
+
+let slicer = row blockchain "Ours (Slicer)" Yes Yes Yes Yes Yes
+
+let all =
+  [ row traditional "[3] Chai-Gong PPTrie" No No Na Na No;
+    row traditional "[11],[6] Stefanov / Bost" Yes No Na Yes No;
+    row traditional "[12] ServeDB" Yes Yes No No No;
+    row traditional "[9] Ge et al." Yes No No No No;
+    row traditional "[7] GSSE" Yes No Yes No No;
+    row traditional "[8] Liu et al." Yes No No No No;
+    row traditional "[10] Soleimanian-Khazaei" No No Na Na Yes;
+    row traditional "[4] VABKS" No No Na Na No;
+    row traditional "[5] VCKS" Yes No No No Yes;
+    row blockchain "[13],[14],[15] Hu / Guo / Li" Yes No Yes Yes Yes;
+    row blockchain "[19] Cai et al." No No Yes Yes Yes;
+    slicer ]
+
+let mark = function Yes -> "yes" | No -> "no " | Na -> "n/a"
+
+let render () =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-30s %-16s %-8s %-9s %-9s %-8s %-6s\n" "Design" "Group" "Dynamics"
+       "Numerical" "Freshness" "FwdSec" "PubVer");
+  Buffer.add_string buf (String.make 92 '-');
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun s ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-30s %-16s %-8s %-9s %-9s %-8s %-6s\n" s.label s.group (mark s.dynamics)
+           (mark s.numerical) (mark s.freshness) (mark s.forward_security)
+           (mark s.public_verifiability)))
+    all;
+  Buffer.contents buf

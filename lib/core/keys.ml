@@ -1,0 +1,35 @@
+type master = {
+  k : string;
+  k_r : string;
+  tdp_public : Rsa_tdp.public;
+  tdp_secret : Rsa_tdp.secret;
+}
+
+type user_keys = { u_k : string; u_k_r : string; u_tdp_public : Rsa_tdp.public }
+
+let generate ?(tdp_bits = 512) ~rng () =
+  let tdp_public, tdp_secret = Rsa_tdp.keygen ~bits:tdp_bits ~rng () in
+  { k = Drbg.generate rng 16; k_r = Drbg.generate rng 16; tdp_public; tdp_secret }
+
+let for_user m = { u_k = m.k; u_k_r = m.k_r; u_tdp_public = m.tdp_public }
+
+let g1 ~k w = Hmac.prf128 ~key:k (Bytesutil.concat [ w; "1" ])
+let g2 ~k w = Hmac.prf128 ~key:k (Bytesutil.concat [ w; "2" ])
+
+let f ~key ~trapdoor ~counter =
+  Hmac.prf128 ~key (Bytesutil.concat [ trapdoor; string_of_int counter ])
+
+(* AES key schedules are cached: record encryption happens once per
+   index entry and the expansion would otherwise dominate. *)
+let schedule_cache : (string, Aes128.key) Hashtbl.t = Hashtbl.create 4
+
+let schedule k_r =
+  match Hashtbl.find_opt schedule_cache k_r with
+  | Some s -> s
+  | None ->
+    let s = Aes128.expand k_r in
+    Hashtbl.replace schedule_cache k_r s;
+    s
+
+let encrypt_record_id ~k_r id = Aes128.encrypt_string (schedule k_r) id
+let decrypt_record_id ~k_r ct = Aes128.decrypt_string (schedule k_r) ct

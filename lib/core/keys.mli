@@ -1,0 +1,45 @@
+(** Key material and the PRFs F and G of the paper.
+
+    [K] keys the keyword-derivation PRF [G]; [K_R] is the record
+    encryption key; the trapdoor permutation key pair drives forward
+    security. The data owner holds everything; authorized data users
+    receive [K], [K_R], the trapdoor {e public} key and the trapdoor
+    state [T]. *)
+
+type master = {
+  k : string;                 (** PRF key K (16 bytes) *)
+  k_r : string;               (** record encryption key K_R (16 bytes) *)
+  tdp_public : Rsa_tdp.public;
+  tdp_secret : Rsa_tdp.secret;
+}
+
+type user_keys = {
+  u_k : string;
+  u_k_r : string;
+  u_tdp_public : Rsa_tdp.public;
+}
+
+val generate : ?tdp_bits:int -> rng:Drbg.t -> unit -> master
+(** Fresh master keys; [tdp_bits] defaults to 512 (the trapdoor chain is
+    exercised constantly, and 512 keeps experiments brisk — pass 1024+
+    for deployment-grade parameters). *)
+
+val for_user : master -> user_keys
+(** What the owner hands to an authorized data user (no trapdoor secret:
+    users cannot forge future insertions). *)
+
+val g1 : k:string -> string -> string
+(** [G(K, w ‖ 1)] — the per-keyword index PRF key. *)
+
+val g2 : k:string -> string -> string
+(** [G(K, w ‖ 2)] — the per-keyword payload PRF key. *)
+
+val f : key:string -> trapdoor:string -> counter:int -> string
+(** The PRF [F] applied to [t ‖ c]: derives index positions (under
+    [G1]) and payload masks (under [G2]). 16-byte output. *)
+
+val encrypt_record_id : k_r:string -> string -> string
+(** Deterministic one-block [Enc(K_R, R)]. *)
+
+val decrypt_record_id : k_r:string -> string -> string
+(** Inverse of {!encrypt_record_id}. *)

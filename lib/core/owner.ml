@@ -1,0 +1,146 @@
+type trapdoor_state = (string, string * int) Hashtbl.t
+
+type t = {
+  o_width : int;
+  o_rng : Drbg.t;
+  o_params : Rsa_acc.params;
+  o_keys : Keys.master;
+  trapdoors : trapdoor_state;                   (* T *)
+  set_hashes : (string, Mset_hash.t) Hashtbl.t; (* S, keyed by token bytes *)
+  seen_ids : (string, unit) Hashtbl.t;
+  mutable primes : Bigint.t list; (* X, newest first *)
+  mutable ac : Bigint.t;
+  mutable built : bool;
+  mutable t_index : float;
+  mutable t_ads : float;
+}
+
+type timings = { index_seconds : float; ads_seconds : float }
+
+type shipment = {
+  sh_entries : (string * string) list;
+  sh_primes : Bigint.t list;
+  sh_ac : Bigint.t;
+}
+
+let create ?(width = 16) ~rng ~acc_params ~keys () =
+  { o_width = width;
+    o_rng = rng;
+    o_params = acc_params;
+    o_keys = keys;
+    trapdoors = Hashtbl.create 256;
+    set_hashes = Hashtbl.create 256;
+    seen_ids = Hashtbl.create 256;
+    primes = [];
+    ac = acc_params.Rsa_acc.generator;
+    built = false;
+    t_index = 0.;
+    t_ads = 0. }
+
+let width t = t.o_width
+let keys t = t.o_keys
+let acc_params t = t.o_params
+let current_ac t = t.ac
+let all_primes t = List.rev t.primes
+let keyword_count t = Hashtbl.length t.trapdoors
+
+(* Keywords of one record: per field, the equality keyword plus the b
+   SORE ciphertext tuples. *)
+let keywords_of t record =
+  List.concat_map
+    (fun (attr, v) ->
+      Bitvec.equality_keyword ~attr ~width:t.o_width v :: Bitvec.cipher_tuples ~attr ~width:t.o_width v)
+    record.Slicer_types.fields
+
+let token_key ~trapdoor ~j ~g1 ~g2 =
+  Slicer_types.token_bytes
+    { Slicer_types.st_trapdoor = trapdoor; st_updates = j; st_g1 = g1; st_g2 = g2 }
+
+(* Core of Algorithms 1 and 2: fold a batch of records into the state,
+   returning the shipment for the cloud and chain. *)
+let add_records t records =
+  let started = Unix.gettimeofday () in
+  let ads_time = ref 0. in
+  let timed_ads f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    ads_time := !ads_time +. (Unix.gettimeofday () -. t0);
+    r
+  in
+  List.iter (Slicer_types.check_record ~width:t.o_width) records;
+  List.iter
+    (fun r ->
+      if Hashtbl.mem t.seen_ids r.Slicer_types.id then
+        invalid_arg (Printf.sprintf "Owner: duplicate record id %S" r.Slicer_types.id);
+      Hashtbl.replace t.seen_ids r.Slicer_types.id ())
+    records;
+  (* Group record IDs by keyword, preserving record order. *)
+  let by_keyword : (string, string list ref) Hashtbl.t = Hashtbl.create 1024 in
+  let keyword_order = ref [] in
+  List.iter
+    (fun r ->
+      List.iter
+        (fun w ->
+          match Hashtbl.find_opt by_keyword w with
+          | Some ids -> ids := r.Slicer_types.id :: !ids
+          | None ->
+            Hashtbl.replace by_keyword w (ref [ r.Slicer_types.id ]);
+            keyword_order := w :: !keyword_order)
+        (keywords_of t r))
+    records;
+  let entries = ref [] and new_primes = ref [] in
+  let k = t.o_keys.Keys.k and k_r = t.o_keys.Keys.k_r in
+  List.iter
+    (fun w ->
+      let ids = List.rev !(Hashtbl.find by_keyword w) in
+      let g1 = Keys.g1 ~k w and g2 = Keys.g2 ~k w in
+      (* Trapdoor bookkeeping: fresh chain for a new keyword, or advance
+         the chain with the inverse permutation (forward security). *)
+      let trapdoor, j, h0 =
+        match Hashtbl.find_opt t.trapdoors w with
+        | None -> (Rsa_tdp.random_element ~rng:t.o_rng t.o_keys.Keys.tdp_public, 0, Mset_hash.empty)
+        | Some (told, jold) ->
+          let h0 =
+            match Hashtbl.find_opt t.set_hashes (token_key ~trapdoor:told ~j:jold ~g1 ~g2) with
+            | Some h ->
+              Hashtbl.remove t.set_hashes (token_key ~trapdoor:told ~j:jold ~g1 ~g2);
+              h
+            | None -> Mset_hash.empty
+          in
+          (Rsa_tdp.inverse_bytes t.o_keys.Keys.tdp_secret t.o_keys.Keys.tdp_public told, jold + 1, h0)
+      in
+      Hashtbl.replace t.trapdoors w (trapdoor, j);
+      let h = ref h0 in
+      List.iteri
+        (fun c id ->
+          let l = Keys.f ~key:g1 ~trapdoor ~counter:c in
+          let enc_id = Keys.encrypt_record_id ~k_r id in
+          let d = Bytesutil.xor (Keys.f ~key:g2 ~trapdoor ~counter:c) enc_id in
+          entries := (l, d) :: !entries;
+          h := Mset_hash.add !h enc_id)
+        ids;
+      let tk = token_key ~trapdoor ~j ~g1 ~g2 in
+      Hashtbl.replace t.set_hashes tk !h;
+      let x = timed_ads (fun () -> Prime_rep.to_prime (Bytesutil.concat [ tk; Mset_hash.to_bytes !h ])) in
+      new_primes := x :: !new_primes)
+    (List.rev !keyword_order);
+  let new_primes = List.rev !new_primes in
+  t.primes <- List.rev_append new_primes t.primes;
+  timed_ads (fun () ->
+      t.ac <- List.fold_left (fun ac x -> Rsa_acc.add t.o_params ac x) t.ac new_primes);
+  t.t_ads <- !ads_time;
+  t.t_index <- Unix.gettimeofday () -. started -. !ads_time;
+  { sh_entries = List.rev !entries; sh_primes = new_primes; sh_ac = t.ac }
+
+let build t records =
+  if t.built then invalid_arg "Owner.build: already built (use insert)";
+  t.built <- true;
+  add_records t records
+
+let insert t records =
+  if not t.built then invalid_arg "Owner.insert: call build first";
+  add_records t records
+
+let export_trapdoor_state t = Hashtbl.copy t.trapdoors
+
+let last_timings t = { index_seconds = t.t_index; ads_seconds = t.t_ads }

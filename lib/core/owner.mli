@@ -1,0 +1,56 @@
+(** The data owner: Build (Algorithm 1) and forward-secure Insert
+    (Algorithm 2).
+
+    The owner maintains the trapdoor state [T] (keyword → newest
+    trapdoor and generation count) and the set-hash state [S] (token →
+    multiset hash of every encrypted result under that keyword so far).
+    Each Build/Insert produces a shipment of fresh index entries and
+    prime representatives for the cloud plus the new accumulation value
+    for the blockchain. *)
+
+type t
+
+type trapdoor_state = (string, string * int) Hashtbl.t
+(** The [T] dictionary the owner shares with authorized users. *)
+
+type shipment = {
+  sh_entries : (string * string) list; (** new [(l, d)] index entries *)
+  sh_primes : Bigint.t list;           (** new prime representatives [X⁺] *)
+  sh_ac : Bigint.t;                    (** accumulation value after the update *)
+}
+
+val create :
+  ?width:int -> rng:Drbg.t -> acc_params:Rsa_acc.params -> keys:Keys.master -> unit -> t
+(** Fresh owner state. [width] is the value bit-count [b]
+    (default 16; the paper evaluates 8, 16 and 24). *)
+
+val width : t -> int
+val keys : t -> Keys.master
+val acc_params : t -> Rsa_acc.params
+val current_ac : t -> Bigint.t
+val all_primes : t -> Bigint.t list
+(** The full prime list [X] (what the cloud holds after all shipments). *)
+
+val build : t -> Slicer_types.record list -> shipment
+(** Algorithm 1. May only be called once, on a fresh state.
+    @raise Invalid_argument on duplicate record IDs or reuse. *)
+
+val insert : t -> Slicer_types.record list -> shipment
+(** Algorithm 2: touched keywords advance their trapdoor chain with
+    [π_sk⁻¹]; new keywords start one. @raise Invalid_argument on
+    duplicate record IDs. *)
+
+val export_trapdoor_state : t -> trapdoor_state
+(** Snapshot of [T] for the data user (the owner→user channel of the
+    paper's Fig. 1; re-export after every insert). *)
+
+val keyword_count : t -> int
+(** Number of distinct keywords — the ADS size driver (Fig. 3b/4b). *)
+
+type timings = { index_seconds : float; ads_seconds : float }
+
+val last_timings : t -> timings
+(** Wall-clock split of the most recent {!build}/{!insert}: time spent
+    producing index entries (PRFs, record encryption, multiset hashes)
+    versus time spent on the ADS (prime representatives and
+    accumulation) — the two series of Fig. 3 and Fig. 7. *)

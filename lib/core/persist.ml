@@ -1,0 +1,101 @@
+let ( let* ) = Option.bind
+
+(* --- records ----------------------------------------------------------- *)
+
+let record_to_bytes (r : Slicer_types.record) =
+  Bytesutil.concat
+    (r.Slicer_types.id
+     :: List.concat_map (fun (a, v) -> [ a; string_of_int v ]) r.Slicer_types.fields)
+
+let record_of_bytes s =
+  let* pieces = Bytesutil.split s in
+  match pieces with
+  | id :: rest ->
+    let rec fields acc = function
+      | [] -> Some (List.rev acc)
+      | a :: v :: more ->
+        let* v = int_of_string_opt v in
+        fields ((a, v) :: acc) more
+      | [ _ ] -> None
+    in
+    let* fields = fields [] rest in
+    if fields = [] then None else Some { Slicer_types.id; fields }
+  | [] -> None
+
+let records_to_bytes rs = Bytesutil.concat (List.map record_to_bytes rs)
+
+let records_of_bytes s =
+  let* pieces = Bytesutil.split s in
+  let rec go acc = function
+    | [] -> Some (List.rev acc)
+    | p :: rest ->
+      let* r = record_of_bytes p in
+      go (r :: acc) rest
+  in
+  go [] pieces
+
+(* --- shipments ----------------------------------------------------------- *)
+
+let shipment_to_bytes (sh : Owner.shipment) =
+  Bytesutil.concat
+    [ Bytesutil.concat (List.concat_map (fun (l, d) -> [ l; d ]) sh.Owner.sh_entries);
+      Bytesutil.concat (List.map Bigint.to_bytes_be sh.Owner.sh_primes);
+      Bigint.to_bytes_be sh.Owner.sh_ac ]
+
+let shipment_of_bytes s =
+  let* pieces = Bytesutil.split s in
+  match pieces with
+  | [ entries_blob; primes_blob; ac ] ->
+    let* entry_pieces = Bytesutil.split entries_blob in
+    let rec entries acc = function
+      | [] -> Some (List.rev acc)
+      | l :: d :: rest -> entries ((l, d) :: acc) rest
+      | [ _ ] -> None
+    in
+    let* sh_entries = entries [] entry_pieces in
+    let* prime_pieces = Bytesutil.split primes_blob in
+    Some
+      { Owner.sh_entries;
+        sh_primes = List.map Bigint.of_bytes_be prime_pieces;
+        sh_ac = Bigint.of_bytes_be ac }
+  | _ -> None
+
+(* --- trapdoor state -------------------------------------------------------- *)
+
+let trapdoor_state_to_bytes (st : Owner.trapdoor_state) =
+  let bindings =
+    Hashtbl.fold (fun w (trapdoor, j) acc -> (w, trapdoor, j) :: acc) st []
+    |> List.sort compare
+  in
+  Bytesutil.concat
+    (List.concat_map (fun (w, trapdoor, j) -> [ w; trapdoor; string_of_int j ]) bindings)
+
+let trapdoor_state_of_bytes s =
+  let* pieces = Bytesutil.split s in
+  let st : Owner.trapdoor_state = Hashtbl.create (List.length pieces / 3) in
+  let rec go = function
+    | [] -> Some st
+    | w :: trapdoor :: j :: rest ->
+      let* j = int_of_string_opt j in
+      if j < 0 then None
+      else begin
+        Hashtbl.replace st w (trapdoor, j);
+        go rest
+      end
+    | _ -> None
+  in
+  go pieces
+
+(* --- files ------------------------------------------------------------------ *)
+
+let save ~path bytes =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc bytes)
+
+let load ~path =
+  match open_in_bin path with
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> Some (really_input_string ic (in_channel_length ic)))
+  | exception Sys_error _ -> None

@@ -1,0 +1,21 @@
+(** Wire codecs and file persistence for the artifacts that cross party
+    boundaries: plaintext record batches (owner-side staging), Build and
+    Insert shipments (owner → cloud), and the trapdoor state (owner →
+    user). Everything round-trips through the same length-prefixed
+    framing the protocol already uses, so malformed input is rejected
+    rather than misparsed. *)
+
+val records_to_bytes : Slicer_types.record list -> string
+val records_of_bytes : string -> Slicer_types.record list option
+
+val shipment_to_bytes : Owner.shipment -> string
+val shipment_of_bytes : string -> Owner.shipment option
+
+val trapdoor_state_to_bytes : Owner.trapdoor_state -> string
+val trapdoor_state_of_bytes : string -> Owner.trapdoor_state option
+
+val save : path:string -> string -> unit
+(** Writes bytes to a file (truncating). *)
+
+val load : path:string -> string option
+(** Reads a whole file; [None] when unreadable. *)

@@ -1,0 +1,207 @@
+let log_src = Logs.Src.create "slicer.protocol" ~doc:"Slicer protocol orchestration"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type t = {
+  p_owner : Owner.t;
+  p_cloud : Cloud.t;
+  p_user : User.t;
+  p_ledger : Ledger.t;
+  p_contract : Vm.address;
+  p_owner_addr : Vm.address;
+  p_user_addr : Vm.address;
+  p_cloud_addr : Vm.address;
+  p_rng : Drbg.t;
+  p_payment : int;
+  mutable p_request_counter : int;
+}
+
+type search_outcome = {
+  so_ids : string list;
+  so_verified : bool;
+  so_token_count : int;
+  so_result_bytes : int;
+  so_vo_bytes : int;
+  so_gas_used : int;
+}
+
+let setup ?(width = 16) ?(tdp_bits = 512) ?(acc_bits = 512) ?(payment = 1000) ~seed records =
+  let rng = Drbg.create ~seed in
+  let keys = Keys.generate ~tdp_bits ~rng () in
+  let acc_params = Rsa_acc.setup ~rng ~bits:acc_bits () in
+  let owner = Owner.create ~width ~rng ~acc_params ~keys () in
+  let shipment = Owner.build owner records in
+  let cloud = Cloud.create ~acc_params ~tdp_public:keys.Keys.tdp_public () in
+  Cloud.install cloud shipment;
+  let user = User.create ~keys:(Keys.for_user keys) ~width (Owner.export_trapdoor_state owner) in
+  let ledger = Ledger.create ~validators:[ "validator-1"; "validator-2"; "validator-3" ] in
+  let owner_addr = Vm.address_of_name (seed ^ ":owner") in
+  let user_addr = Vm.address_of_name (seed ^ ":user") in
+  let cloud_addr = Vm.address_of_name (seed ^ ":cloud") in
+  Vm.fund (Ledger.state ledger) owner_addr 100_000_000;
+  Vm.fund (Ledger.state ledger) user_addr 100_000_000;
+  let contract, receipt =
+    Slicer_contract.deploy ledger ~owner:owner_addr ~modulus:acc_params.Rsa_acc.modulus
+      ~generator:acc_params.Rsa_acc.generator ~initial_ac:shipment.Owner.sh_ac
+  in
+  (match receipt.Vm.r_output with
+   | Ok _ -> ()
+   | Error e -> failwith ("Protocol.setup: contract deployment failed: " ^ e));
+  Log.info (fun m ->
+      m "setup: %d records, width %d, %d index entries, %d keywords, deploy gas %d"
+        (List.length records) width
+        (Cloud.index_entries cloud) (Owner.keyword_count owner) receipt.Vm.r_gas_used);
+  { p_owner = owner;
+    p_cloud = cloud;
+    p_user = user;
+    p_ledger = ledger;
+    p_contract = contract;
+    p_owner_addr = owner_addr;
+    p_user_addr = user_addr;
+    p_cloud_addr = cloud_addr;
+    p_rng = rng;
+    p_payment = payment;
+    p_request_counter = 0 }
+
+let insert t records =
+  let shipment = Owner.insert t.p_owner records in
+  Cloud.install t.p_cloud shipment;
+  User.update_state t.p_user (Owner.export_trapdoor_state t.p_owner);
+  let receipt =
+    Slicer_contract.update_ac t.p_ledger ~owner:t.p_owner_addr ~contract:t.p_contract
+      shipment.Owner.sh_ac
+  in
+  match receipt.Vm.r_output with
+  | Ok _ ->
+    Log.info (fun m ->
+        m "insert: %d records, %d new index entries, %d new primes, updateAc gas %d"
+          (List.length records)
+          (List.length shipment.Owner.sh_entries)
+          (List.length shipment.Owner.sh_primes)
+          receipt.Vm.r_gas_used)
+  | Error e -> failwith ("Protocol.insert: on-chain Ac update failed: " ^ e)
+
+let claim_sizes claims =
+  List.fold_left
+    (fun (rb, vb) (c : Slicer_contract.claim) ->
+      ( rb + List.fold_left (fun n r -> n + String.length r) 0 c.Slicer_contract.results,
+        vb + String.length (Bigint.to_bytes_be c.Slicer_contract.witness) ))
+    (0, 0) claims
+
+(* Factor of [search] and [search_batched]: request on chain, let the
+   cloud answer, settle with the given submission function. *)
+let search_with t query ~submit =
+  let tokens = User.gen_tokens ~rng:t.p_rng t.p_user query in
+  t.p_request_counter <- t.p_request_counter + 1;
+  let request_id = Printf.sprintf "req-%d" t.p_request_counter in
+  let rr =
+    Slicer_contract.request_search t.p_ledger ~user:t.p_user_addr ~contract:t.p_contract
+      ~request_id
+      ~tokens:(List.map Slicer_types.token_bytes tokens)
+      ~payment:t.p_payment
+  in
+  (match rr.Vm.r_output with
+   | Ok _ -> ()
+   | Error e -> failwith ("Protocol.search: request failed: " ^ e));
+  (* The cloud retrieves the tokens from the chain's event log (it never
+     talks to the user directly) and reconstructs their structure. *)
+  let onchain_tokens =
+    match Slicer_contract.stored_tokens t.p_ledger ~contract:t.p_contract ~request_id with
+    | Some blobs -> List.filter_map Slicer_types.token_of_bytes blobs
+    | None -> []
+  in
+  assert (List.length onchain_tokens = List.length tokens);
+  Log.debug (fun m ->
+      m "search %s: value %d cond %s, %d tokens posted" request_id query.Slicer_types.q_value
+        (Format.asprintf "%a" Slicer_types.pp_condition query.Slicer_types.q_cond)
+        (List.length tokens));
+  submit ~request_id onchain_tokens
+
+let outcome_of_claims t claims ~vo_bytes ~receipt:(sr : Vm.receipt) ~token_count =
+  let verified = match sr.Vm.r_output with Ok [ "paid" ] -> true | Ok _ | Error _ -> false in
+  let ids =
+    List.filter_map
+      (fun er ->
+        match User.decrypt_results t.p_user [ er ] with
+        | [ id ] -> Some id
+        | _ | (exception Invalid_argument _) -> None)
+      (List.concat_map (fun (c : Slicer_contract.claim) -> c.Slicer_contract.results) claims)
+  in
+  let result_bytes, _ = claim_sizes claims in
+  { so_ids = ids;
+    so_verified = verified;
+    so_token_count = token_count;
+    so_result_bytes = result_bytes;
+    so_vo_bytes = vo_bytes;
+    so_gas_used = sr.Vm.r_gas_used }
+
+let search_batched t query =
+  search_with t query ~submit:(fun ~request_id tokens ->
+      let claims, witness = Cloud.search_batched t.p_cloud tokens in
+      let sr =
+        Slicer_contract.submit_result_batched t.p_ledger ~cloud:t.p_cloud_addr
+          ~contract:t.p_contract ~request_id claims ~witness
+      in
+      outcome_of_claims t claims
+        ~vo_bytes:(String.length (Bigint.to_bytes_be witness))
+        ~receipt:sr ~token_count:(List.length tokens))
+
+let search t query =
+  search_with t query ~submit:(fun ~request_id tokens ->
+      let claims = Cloud.search t.p_cloud tokens in
+      let sr =
+        Slicer_contract.submit_result t.p_ledger ~cloud:t.p_cloud_addr ~contract:t.p_contract
+          ~request_id claims
+      in
+      let _, vo_bytes = claim_sizes claims in
+      outcome_of_claims t claims ~vo_bytes ~receipt:sr ~token_count:(List.length tokens))
+
+let search_between t ?(attr = "") ~lo ~hi () =
+  let above = search t (Slicer_types.query ~attr lo Slicer_types.Lt) in
+  let below = search t (Slicer_types.query ~attr hi Slicer_types.Gt) in
+  let in_below = Hashtbl.create 64 in
+  List.iter (fun id -> Hashtbl.replace in_below id ()) below.so_ids;
+  { so_ids = List.filter (Hashtbl.mem in_below) above.so_ids;
+    so_verified = above.so_verified && below.so_verified;
+    so_token_count = above.so_token_count + below.so_token_count;
+    so_result_bytes = above.so_result_bytes + below.so_result_bytes;
+    so_vo_bytes = above.so_vo_bytes + below.so_vo_bytes;
+    so_gas_used = above.so_gas_used + below.so_gas_used }
+
+
+let search_conj t queries =
+  if queries = [] then invalid_arg "Protocol.search_conj: empty conjunction";
+  let outcomes = List.map (search t) queries in
+  let combine a b =
+    let keep = Hashtbl.create 64 in
+    List.iter (fun id -> Hashtbl.replace keep id ()) b.so_ids;
+    { so_ids = List.filter (Hashtbl.mem keep) a.so_ids;
+      so_verified = a.so_verified && b.so_verified;
+      so_token_count = a.so_token_count + b.so_token_count;
+      so_result_bytes = a.so_result_bytes + b.so_result_bytes;
+      so_vo_bytes = a.so_vo_bytes + b.so_vo_bytes;
+      so_gas_used = a.so_gas_used + b.so_gas_used }
+  in
+  (match outcomes with o :: rest -> List.fold_left combine o rest | [] -> assert false)
+
+let search_offchain t query =
+  let tokens = User.gen_tokens ~rng:t.p_rng t.p_user query in
+  let claims = Cloud.search t.p_cloud tokens in
+  let ok =
+    Verifier.verify_claims (Owner.acc_params t.p_owner) ~ac:(Owner.current_ac t.p_owner) claims
+  in
+  (claims, ok)
+
+let set_cloud_behavior t m = Cloud.set_behavior t.p_cloud m
+
+let owner t = t.p_owner
+let cloud t = t.p_cloud
+let user t = t.p_user
+let ledger t = t.p_ledger
+let contract_address t = t.p_contract
+let user_address t = t.p_user_addr
+let cloud_address t = t.p_cloud_addr
+let user_balance t = Vm.balance (Ledger.state t.p_ledger) t.p_user_addr
+let cloud_balance t = Vm.balance (Ledger.state t.p_ledger) t.p_cloud_addr
+let onchain_ac t = Slicer_contract.stored_ac t.p_ledger ~contract:t.p_contract
+let rng t = t.p_rng

@@ -1,0 +1,41 @@
+type record = { id : string; fields : (string * int) list }
+
+let record_of_value id v = { id; fields = [ ("", v) ] }
+
+let check_record ~width r =
+  if String.length r.id > 15 then invalid_arg "Slicer_types: record id exceeds 15 bytes";
+  if r.fields = [] then invalid_arg "Slicer_types: record has no fields";
+  List.iter (fun (_, v) -> Bitvec.check_value ~width v) r.fields
+
+type matching_condition = Eq | Gt | Lt
+
+let pp_condition fmt c =
+  Format.pp_print_string fmt (match c with Eq -> "=" | Gt -> ">" | Lt -> "<")
+
+type query = { q_attr : string; q_value : int; q_cond : matching_condition }
+
+let query ?(attr = "") v cond = { q_attr = attr; q_value = v; q_cond = cond }
+
+type search_token = { st_trapdoor : string; st_updates : int; st_g1 : string; st_g2 : string }
+
+let token_bytes st =
+  Bytesutil.concat [ st.st_trapdoor; string_of_int st.st_updates; st.st_g1; st.st_g2 ]
+
+let token_of_bytes s =
+  match Bytesutil.split s with
+  | Some [ st_trapdoor; j; st_g1; st_g2 ] ->
+    (match int_of_string_opt j with
+     | Some st_updates when st_updates >= 0 -> Some { st_trapdoor; st_updates; st_g1; st_g2 }
+     | Some _ | None -> None)
+  | Some _ | None -> None
+
+let matches q v =
+  match q.q_cond with Eq -> q.q_value = v | Gt -> q.q_value > v | Lt -> q.q_value < v
+
+let reference_search records q =
+  List.filter_map
+    (fun r ->
+      match List.assoc_opt q.q_attr r.fields with
+      | Some v when matches q v -> Some r.id
+      | Some _ | None -> None)
+    records

@@ -1,0 +1,42 @@
+(** Shared protocol types for the Slicer verifiable SSE scheme. *)
+
+type record = { id : string; fields : (string * int) list }
+(** A database record: a unique ID (at most 15 bytes, so it encrypts
+    into one AES block) and named numerical attributes. The paper's
+    single-value records are the special case of one field named [""]
+    (see {!record_of_value}). *)
+
+val record_of_value : string -> int -> record
+(** [(R, v)] as a record with the anonymous attribute. *)
+
+val check_record : width:int -> record -> unit
+(** @raise Invalid_argument on over-long IDs or out-of-range values. *)
+
+type matching_condition = Eq | Gt | Lt
+(** The query conditions "=", ">" and "<". *)
+
+val pp_condition : Format.formatter -> matching_condition -> unit
+
+type query = { q_attr : string; q_value : int; q_cond : matching_condition }
+
+val query : ?attr:string -> int -> matching_condition -> query
+
+type search_token = {
+  st_trapdoor : string; (** the newest trapdoor [t_j] *)
+  st_updates : int;     (** the generation counter [j] *)
+  st_g1 : string;       (** index-position PRF key [G1] *)
+  st_g2 : string;       (** payload-mask PRF key [G2] *)
+}
+(** One entry of the [sts] list of Algorithm 3. *)
+
+val token_bytes : search_token -> string
+(** Canonical [t_j ‖ j ‖ G1 ‖ G2] serialization — the string both the
+    cloud and the contract feed into the prime representative. *)
+
+val token_of_bytes : string -> search_token option
+(** Inverse of {!token_bytes} — how the cloud reconstructs tokens it
+    retrieved from the chain's event log. *)
+
+val reference_search : record list -> query -> string list
+(** Plaintext reference semantics: IDs of records matching the query,
+    in insertion order. The oracle tests compare against this. *)

@@ -1,0 +1,8 @@
+let verify_claim params ~ac (c : Slicer_contract.claim) =
+  let h = Mset_hash.of_list c.Slicer_contract.results in
+  let x =
+    Prime_rep.to_prime (Bytesutil.concat [ c.Slicer_contract.token_bytes; Mset_hash.to_bytes h ])
+  in
+  Rsa_acc.verify_mem params ~ac ~x ~witness:c.Slicer_contract.witness
+
+let verify_claims params ~ac claims = List.for_all (verify_claim params ~ac) claims

@@ -1,0 +1,13 @@
+(** Local (off-chain) result verification — the pure Algorithm 5 logic.
+
+    The production settlement path runs on chain through
+    {!Slicer_contract}; this module exposes the same checks as a pure
+    function, used by benches that measure verification cost without
+    chain overhead, and by tests that assert the two implementations
+    agree claim-for-claim. *)
+
+val verify_claim : Rsa_acc.params -> ac:Bigint.t -> Slicer_contract.claim -> bool
+(** [h ← H(er); x ← H_prime(token ‖ h); VerifyMem(x, vo)]. *)
+
+val verify_claims : Rsa_acc.params -> ac:Bigint.t -> Slicer_contract.claim list -> bool
+(** Conjunction over all claims (empty list verifies). *)

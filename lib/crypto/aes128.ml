@@ -1,0 +1,203 @@
+(* FIPS 197 AES-128. The S-box and GF(2^8) tables are derived at module
+   initialisation from the field generator, which avoids transcription
+   errors in 256-entry literals; the FIPS-197 known-answer tests pin the
+   result. *)
+
+(* --- GF(2^8) arithmetic, modulus x^8+x^4+x^3+x+1 -------------------- *)
+
+let gf_mul a b =
+  let rec go a b acc =
+    if b = 0 then acc
+    else begin
+      let acc = if b land 1 = 1 then acc lxor a else acc in
+      let a = a lsl 1 in
+      let a = if a land 0x100 <> 0 then a lxor 0x11b else a in
+      go a (b lsr 1) acc
+    end
+  in
+  go a b 0
+
+(* Multiplicative inverse via log tables on generator 3. *)
+let log_table = Array.make 256 0
+let exp_table = Array.make 256 0
+
+let () =
+  let x = ref 1 in
+  for i = 0 to 254 do
+    exp_table.(i) <- !x;
+    log_table.(!x) <- i;
+    x := gf_mul !x 3
+  done;
+  exp_table.(255) <- 1
+
+let gf_inv a = if a = 0 then 0 else exp_table.(255 - log_table.(a))
+
+let sbox = Array.make 256 0
+let inv_sbox = Array.make 256 0
+
+let () =
+  let rotl8 x n = ((x lsl n) lor (x lsr (8 - n))) land 0xff in
+  for i = 0 to 255 do
+    let q = gf_inv i in
+    let s = q lxor rotl8 q 1 lxor rotl8 q 2 lxor rotl8 q 3 lxor rotl8 q 4 lxor 0x63 in
+    sbox.(i) <- s;
+    inv_sbox.(s) <- i
+  done
+
+(* --- key schedule ---------------------------------------------------- *)
+
+type key = { rk : int array (* 44 words, 11 round keys *) }
+
+let rcon = [| 0x01; 0x02; 0x04; 0x08; 0x10; 0x20; 0x40; 0x80; 0x1b; 0x36 |]
+
+let expand key_bytes =
+  if String.length key_bytes <> 16 then invalid_arg "Aes128.expand: key must be 16 bytes";
+  let rk = Array.make 44 0 in
+  for i = 0 to 3 do
+    rk.(i) <-
+      (Char.code key_bytes.[4 * i] lsl 24)
+      lor (Char.code key_bytes.[(4 * i) + 1] lsl 16)
+      lor (Char.code key_bytes.[(4 * i) + 2] lsl 8)
+      lor Char.code key_bytes.[(4 * i) + 3]
+  done;
+  for i = 4 to 43 do
+    let temp = rk.(i - 1) in
+    let temp =
+      if i mod 4 = 0 then begin
+        let rot = ((temp lsl 8) lor (temp lsr 24)) land 0xffffffff in
+        let sub =
+          (sbox.((rot lsr 24) land 0xff) lsl 24)
+          lor (sbox.((rot lsr 16) land 0xff) lsl 16)
+          lor (sbox.((rot lsr 8) land 0xff) lsl 8)
+          lor sbox.(rot land 0xff)
+        in
+        sub lxor (rcon.((i / 4) - 1) lsl 24)
+      end
+      else temp
+    in
+    rk.(i) <- rk.(i - 4) lxor temp
+  done;
+  { rk }
+
+(* --- round functions on a 16-byte state (column-major, FIPS order) --- *)
+
+let add_round_key st rk round =
+  for c = 0 to 3 do
+    let w = rk.((round * 4) + c) in
+    st.((4 * c) + 0) <- st.((4 * c) + 0) lxor ((w lsr 24) land 0xff);
+    st.((4 * c) + 1) <- st.((4 * c) + 1) lxor ((w lsr 16) land 0xff);
+    st.((4 * c) + 2) <- st.((4 * c) + 2) lxor ((w lsr 8) land 0xff);
+    st.((4 * c) + 3) <- st.((4 * c) + 3) lxor (w land 0xff)
+  done
+
+let sub_bytes st box = for i = 0 to 15 do st.(i) <- box.(st.(i)) done
+
+(* State layout: st.(4*c + r) is row r, column c. *)
+let shift_rows st =
+  for r = 1 to 3 do
+    let row = Array.init 4 (fun c -> st.((4 * c) + r)) in
+    for c = 0 to 3 do
+      st.((4 * c) + r) <- row.((c + r) mod 4)
+    done
+  done
+
+let inv_shift_rows st =
+  for r = 1 to 3 do
+    let row = Array.init 4 (fun c -> st.((4 * c) + r)) in
+    for c = 0 to 3 do
+      st.((4 * c) + r) <- row.(((c - r) + 4) mod 4)
+    done
+  done
+
+let mix_columns st =
+  for c = 0 to 3 do
+    let a0 = st.(4 * c) and a1 = st.((4 * c) + 1) and a2 = st.((4 * c) + 2) and a3 = st.((4 * c) + 3) in
+    st.(4 * c) <- gf_mul a0 2 lxor gf_mul a1 3 lxor a2 lxor a3;
+    st.((4 * c) + 1) <- a0 lxor gf_mul a1 2 lxor gf_mul a2 3 lxor a3;
+    st.((4 * c) + 2) <- a0 lxor a1 lxor gf_mul a2 2 lxor gf_mul a3 3;
+    st.((4 * c) + 3) <- gf_mul a0 3 lxor a1 lxor a2 lxor gf_mul a3 2
+  done
+
+let inv_mix_columns st =
+  for c = 0 to 3 do
+    let a0 = st.(4 * c) and a1 = st.((4 * c) + 1) and a2 = st.((4 * c) + 2) and a3 = st.((4 * c) + 3) in
+    st.(4 * c) <- gf_mul a0 14 lxor gf_mul a1 11 lxor gf_mul a2 13 lxor gf_mul a3 9;
+    st.((4 * c) + 1) <- gf_mul a0 9 lxor gf_mul a1 14 lxor gf_mul a2 11 lxor gf_mul a3 13;
+    st.((4 * c) + 2) <- gf_mul a0 13 lxor gf_mul a1 9 lxor gf_mul a2 14 lxor gf_mul a3 11;
+    st.((4 * c) + 3) <- gf_mul a0 11 lxor gf_mul a1 13 lxor gf_mul a2 9 lxor gf_mul a3 14
+  done
+
+let state_of_string s = Array.init 16 (fun i -> Char.code s.[i])
+let string_of_state st = String.init 16 (fun i -> Char.chr st.(i))
+
+let encrypt_block { rk } block =
+  if String.length block <> 16 then invalid_arg "Aes128.encrypt_block: block must be 16 bytes";
+  let st = state_of_string block in
+  add_round_key st rk 0;
+  for round = 1 to 9 do
+    sub_bytes st sbox;
+    shift_rows st;
+    mix_columns st;
+    add_round_key st rk round
+  done;
+  sub_bytes st sbox;
+  shift_rows st;
+  add_round_key st rk 10;
+  string_of_state st
+
+let decrypt_block { rk } block =
+  if String.length block <> 16 then invalid_arg "Aes128.decrypt_block: block must be 16 bytes";
+  let st = state_of_string block in
+  add_round_key st rk 10;
+  for round = 9 downto 1 do
+    inv_shift_rows st;
+    sub_bytes st inv_sbox;
+    add_round_key st rk round;
+    inv_mix_columns st
+  done;
+  inv_shift_rows st;
+  sub_bytes st inv_sbox;
+  add_round_key st rk 0;
+  string_of_state st
+
+let encrypt_string key s =
+  if String.length s > 15 then invalid_arg "Aes128.encrypt_string: at most 15 bytes";
+  let padded = s ^ "\x80" ^ String.make (15 - String.length s) '\000' in
+  encrypt_block key padded
+
+let decrypt_string key block =
+  let padded = decrypt_block key block in
+  let rec find i =
+    if i < 0 then invalid_arg "Aes128.decrypt_string: bad padding"
+    else if padded.[i] = '\x80' then i
+    else if padded.[i] = '\000' then find (i - 1)
+    else invalid_arg "Aes128.decrypt_string: bad padding"
+  in
+  String.sub padded 0 (find 15)
+
+let ctr_encrypt key ~nonce msg =
+  if String.length nonce <> 16 then invalid_arg "Aes128.ctr_encrypt: nonce must be 16 bytes";
+  let len = String.length msg in
+  let out = Bytes.create len in
+  let counter = Bytes.of_string nonce in
+  let incr_counter () =
+    let rec go i =
+      if i >= 0 then begin
+        let v = (Char.code (Bytes.get counter i) + 1) land 0xff in
+        Bytes.set counter i (Char.chr v);
+        if v = 0 then go (i - 1)
+      end
+    in
+    go 15
+  in
+  let pos = ref 0 in
+  while !pos < len do
+    let ks = encrypt_block key (Bytes.to_string counter) in
+    let n = Stdlib.min 16 (len - !pos) in
+    for i = 0 to n - 1 do
+      Bytes.set out (!pos + i) (Char.chr (Char.code msg.[!pos + i] lxor Char.code ks.[i]))
+    done;
+    incr_counter ();
+    pos := !pos + 16
+  done;
+  Bytes.to_string out

@@ -1,0 +1,29 @@
+(** AES-128 (FIPS 197) block cipher with ECB single-block and CTR modes.
+
+    The Slicer index stores [d = F(G2, t‖c) ⊕ Enc(K_R, R)], which requires
+    [Enc(K_R, R)] to be exactly one 16-byte block; {!encrypt_block} /
+    {!decrypt_block} provide that deterministic encryption of (padded)
+    record IDs. {!ctr_encrypt} serves general variable-length payloads. *)
+
+type key
+(** Expanded key schedule. *)
+
+val expand : string -> key
+(** Expands a 16-byte key. @raise Invalid_argument on wrong length. *)
+
+val encrypt_block : key -> string -> string
+(** Encrypts one 16-byte block. @raise Invalid_argument on wrong length. *)
+
+val decrypt_block : key -> string -> string
+(** Inverts {!encrypt_block}. *)
+
+val encrypt_string : key -> string -> string
+(** Deterministically encrypts a string of at most 15 bytes into one
+    block using ISO/IEC 7816-4 padding (0x80 then zeros).
+    @raise Invalid_argument when the input exceeds 15 bytes. *)
+
+val decrypt_string : key -> string -> string
+(** Inverts {!encrypt_string}. @raise Invalid_argument on bad padding. *)
+
+val ctr_encrypt : key -> nonce:string -> string -> string
+(** CTR-mode keystream XOR with a 16-byte IV/nonce; its own inverse. *)

@@ -1,0 +1,59 @@
+let to_hex s =
+  let buf = Buffer.create (String.length s * 2) in
+  String.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c))) s;
+  Buffer.contents buf
+
+let of_hex s =
+  let len = String.length s in
+  if len mod 2 <> 0 then invalid_arg "Bytesutil.of_hex: odd length";
+  let digit c =
+    match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+    | _ -> invalid_arg "Bytesutil.of_hex: bad digit"
+  in
+  String.init (len / 2) (fun i -> Char.chr ((digit s.[2 * i] lsl 4) lor digit s.[(2 * i) + 1]))
+
+let xor a b =
+  if String.length a <> String.length b then invalid_arg "Bytesutil.xor: length mismatch";
+  String.init (String.length a) (fun i -> Char.chr (Char.code a.[i] lxor Char.code b.[i]))
+
+let const_equal a b =
+  if String.length a <> String.length b then false
+  else begin
+    let acc = ref 0 in
+    String.iteri (fun i c -> acc := !acc lor (Char.code c lxor Char.code b.[i])) a;
+    !acc = 0
+  end
+
+let be32 n =
+  String.init 4 (fun i -> Char.chr ((n lsr ((3 - i) * 8)) land 0xff))
+
+let be64 n =
+  String.init 8 (fun i -> Char.chr ((n lsr ((7 - i) * 8)) land 0xff))
+
+let concat pieces =
+  let buf = Buffer.create 64 in
+  List.iter
+    (fun p ->
+      Buffer.add_string buf (be32 (String.length p));
+      Buffer.add_string buf p)
+    pieces;
+  Buffer.contents buf
+
+let split s =
+  let len = String.length s in
+  let read32 i =
+    (Char.code s.[i] lsl 24) lor (Char.code s.[i + 1] lsl 16) lor (Char.code s.[i + 2] lsl 8)
+    lor Char.code s.[i + 3]
+  in
+  let rec go i acc =
+    if i = len then Some (List.rev acc)
+    else if i + 4 > len then None
+    else begin
+      let n = read32 i in
+      if i + 4 + n > len then None else go (i + 4 + n) (String.sub s (i + 4) n :: acc)
+    end
+  in
+  go 0 []

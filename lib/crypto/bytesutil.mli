@@ -1,0 +1,29 @@
+(** Byte-string helpers shared by the crypto substrate. *)
+
+val to_hex : string -> string
+(** Lowercase hexadecimal rendering of a byte string. *)
+
+val of_hex : string -> string
+(** Inverse of {!to_hex}. @raise Invalid_argument on malformed input. *)
+
+val xor : string -> string -> string
+(** Bytewise XOR. @raise Invalid_argument on length mismatch. *)
+
+val const_equal : string -> string -> bool
+(** Constant-time equality for equal-length strings (also compares
+    lengths, returning [false] on mismatch without early exit). *)
+
+val be32 : int -> string
+(** 4-byte big-endian encoding of the low 32 bits. *)
+
+val be64 : int -> string
+(** 8-byte big-endian encoding. *)
+
+val concat : string list -> string
+(** Length-prefixed concatenation: each piece is preceded by its 4-byte
+    big-endian length, so distinct piece lists never collide. Used for
+    every [a||b] concatenation in the protocol. *)
+
+val split : string -> string list option
+(** Inverse of {!concat}; [None] when the input is not a valid
+    encoding. *)

@@ -1,0 +1,12 @@
+let block_size = 64
+
+let sha256 ~key msg =
+  let key = if String.length key > block_size then Sha256.digest key else key in
+  let key = key ^ String.make (block_size - String.length key) '\000' in
+  let ipad = String.map (fun c -> Char.chr (Char.code c lxor 0x36)) key in
+  let opad = String.map (fun c -> Char.chr (Char.code c lxor 0x5c)) key in
+  Sha256.digest (opad ^ Sha256.digest (ipad ^ msg))
+
+let sha256_hex ~key msg = Bytesutil.to_hex (sha256 ~key msg)
+
+let prf128 ~key msg = String.sub (sha256 ~key msg) 0 16

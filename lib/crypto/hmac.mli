@@ -1,0 +1,11 @@
+(** HMAC-SHA256 (RFC 2104) and the truncated-to-128-bit variant the paper
+    calls "HMAC-128", used as the secure PRFs [F] and [G]. *)
+
+val sha256 : key:string -> string -> string
+(** 32-byte HMAC-SHA256 tag. *)
+
+val sha256_hex : key:string -> string -> string
+
+val prf128 : key:string -> string -> string
+(** HMAC-SHA256 truncated to 16 bytes — the PRF
+    [F : {0,1}^λ × {0,1}^* → {0,1}^128] of the paper. *)

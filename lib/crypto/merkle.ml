@@ -1,0 +1,64 @@
+type t = { levels : string array array (* levels.(0) = leaf digests *) }
+
+type proof = { index : int; path : (string * [ `Left | `Right ]) list }
+
+let hash_leaf payload = Sha256.digest ("\x00" ^ payload)
+let hash_node l r = Sha256.digest ("\x01" ^ l ^ r)
+let empty_root = Sha256.digest "\x02merkle-empty"
+
+let build leaves =
+  match leaves with
+  | [] -> { levels = [||] }
+  | _ ->
+    let level0 = Array.of_list (List.map hash_leaf leaves) in
+    let rec up acc level =
+      if Array.length level = 1 then List.rev (level :: acc)
+      else begin
+        let n = Array.length level in
+        let parent =
+          Array.init ((n + 1) / 2) (fun i ->
+              let l = level.(2 * i) in
+              (* Odd tail: promote by pairing the node with itself. *)
+              let r = if (2 * i) + 1 < n then level.((2 * i) + 1) else level.(2 * i) in
+              hash_node l r)
+        in
+        up (level :: acc) parent
+      end
+    in
+    { levels = Array.of_list (up [] level0) }
+
+let leaf_count t = if Array.length t.levels = 0 then 0 else Array.length t.levels.(0)
+
+let root t =
+  if Array.length t.levels = 0 then empty_root
+  else t.levels.(Array.length t.levels - 1).(0)
+
+let prove t index =
+  let n = leaf_count t in
+  if index < 0 || index >= n then invalid_arg "Merkle.prove: index out of bounds";
+  let rec go level i acc =
+    if level >= Array.length t.levels - 1 then List.rev acc
+    else begin
+      let nodes = t.levels.(level) in
+      let sibling_index = if i land 1 = 0 then i + 1 else i - 1 in
+      let sibling =
+        if sibling_index < Array.length nodes then nodes.(sibling_index) else nodes.(i)
+      in
+      let side = if i land 1 = 0 then `Right else `Left in
+      go (level + 1) (i / 2) ((sibling, side) :: acc)
+    end
+  in
+  { index; path = go 0 index [] }
+
+let verify ~root:expected ~leaf proof =
+  let digest =
+    List.fold_left
+      (fun acc (sibling, side) ->
+        match side with
+        | `Left -> hash_node sibling acc
+        | `Right -> hash_node acc sibling)
+      (hash_leaf leaf) proof.path
+  in
+  Bytesutil.const_equal digest expected
+
+let proof_size_bytes proof = (List.length proof.path * 33) + 4

@@ -1,0 +1,35 @@
+(** Binary Merkle hash tree over SHA-256.
+
+    Two roles in this repository: the transaction tree inside blockchain
+    blocks, and the ablation baseline against the RSA accumulator (the
+    paper argues RSA witnesses are constant-size where Merkle proofs are
+    logarithmic and position-revealing — the benches quantify that). *)
+
+type t
+(** A Merkle tree built over a fixed list of leaf payloads. *)
+
+type proof = { index : int; path : (string * [ `Left | `Right ]) list }
+(** An inclusion proof: sibling digests from leaf to root, each tagged
+    with the side on which the sibling sits. *)
+
+val build : string list -> t
+(** Builds a tree over the given leaves. Leaves are hashed with a
+    domain-separated prefix, as are interior nodes (no second-preimage
+    ambiguity between leaf and node layers). The empty list yields a
+    well-defined sentinel root. *)
+
+val root : t -> string
+(** 32-byte root digest. *)
+
+val leaf_count : t -> int
+
+val prove : t -> int -> proof
+(** Inclusion proof for the leaf at the given index.
+    @raise Invalid_argument when out of bounds. *)
+
+val verify : root:string -> leaf:string -> proof -> bool
+(** Checks an inclusion proof against a root and the claimed payload. *)
+
+val proof_size_bytes : proof -> int
+(** Serialized size of a proof (32 bytes per level plus one side bit
+    packed into a byte), for the ablation bench. *)

@@ -1,0 +1,18 @@
+(** SHA-256 (FIPS 180-4), implemented from scratch on 32-bit words held
+    in native ints. Used for HMAC, the multiset hash base map, prime
+    representatives and the blockchain's hashing. *)
+
+type ctx
+(** Streaming hash context (mutable). *)
+
+val init : unit -> ctx
+val update : ctx -> string -> unit
+
+val finalize : ctx -> string
+(** Returns the 32-byte digest. The context must not be reused. *)
+
+val digest : string -> string
+(** One-shot 32-byte digest. *)
+
+val digest_hex : string -> string
+(** One-shot digest rendered as 64 lowercase hex characters. *)

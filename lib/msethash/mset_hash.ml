@@ -1,0 +1,37 @@
+(* MSet-Mu-Hash over GF(q)* with q the secp256k1 base-field prime. *)
+
+let field_order =
+  Bigint.of_hex "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f"
+
+type t = Bigint.t
+
+let empty = Bigint.one
+
+(* Map an element into GF(q)*: hash with a counter until the value lands
+   in [1, q-1]. SHA-256 output is below 2^256 and q is extremely close to
+   2^256, so the first draw almost always succeeds. *)
+let to_field b =
+  let rec go ctr =
+    let digest = Sha256.digest (Bytesutil.concat [ "mset-mu-hash"; string_of_int ctr; b ]) in
+    let v = Bigint.of_bytes_be digest in
+    if Bigint.compare v field_order < 0 && not (Bigint.is_zero v) then v else go (ctr + 1)
+  in
+  go 0
+
+let add h b = Bigint.mod_mul h (to_field b) field_order
+
+let remove h b =
+  match Bigint.mod_inv (to_field b) field_order with
+  | Some inv -> Bigint.mod_mul h inv field_order
+  | None -> assert false (* q prime and to_field never returns 0 *)
+
+let of_list bs = List.fold_left add empty bs
+let combine = fun a b -> Bigint.mod_mul a b field_order
+let equal = Bigint.equal
+let to_bytes h = Bigint.to_bytes_be ~len:32 h
+
+let of_bytes s =
+  if String.length s <> 32 then invalid_arg "Mset_hash.of_bytes: need 32 bytes";
+  let v = Bigint.of_bytes_be s in
+  if Bigint.compare v field_order >= 0 then invalid_arg "Mset_hash.of_bytes: out of field";
+  v

@@ -1,0 +1,43 @@
+(** Incremental multiset hash — the MSet-Mu-Hash construction of Clarke
+    et al. (ASIACRYPT 2003) used by the paper:
+
+    [H(M) = Π_{b ∈ B} H(b)^{M_b}] over the multiplicative group of
+    [GF(q)], where [M_b] is the multiplicity of element [b]. Multiset
+    collision resistance reduces to discrete log in [GF(q)].
+
+    Key properties (tested):
+    - order-independence: hashing a multiset in any order agrees;
+    - homomorphism: [H(M ∪ N) = H(M) +_H H(N)] ({!combine});
+    - incrementality: elements can be folded in one at a time ({!add}). *)
+
+type t
+(** A multiset hash value (an element of [GF(q)*]). *)
+
+val empty : t
+(** Hash of the empty multiset (the group identity). *)
+
+val add : t -> string -> t
+(** [add h b] is [h +_H H({b})]: folds one more element occurrence in. *)
+
+val remove : t -> string -> t
+(** [remove h b] cancels one occurrence of [b] (multiplies by
+    [H(b)^-1]); supports the deletion extension's bookkeeping. *)
+
+val of_list : string list -> t
+(** Hash of the multiset given as a list. *)
+
+val combine : t -> t -> t
+(** The [+_H] operation: hash of the multiset union. *)
+
+val equal : t -> t -> bool
+(** The [≡_H] comparison. *)
+
+val to_bytes : t -> string
+(** Canonical 32-byte encoding (for inclusion in prime representatives). *)
+
+val of_bytes : string -> t
+(** Inverse of {!to_bytes}. @raise Invalid_argument if not a valid
+    encoding. *)
+
+val field_order : Bigint.t
+(** The prime [q] (the secp256k1 base-field prime). *)

@@ -1,0 +1,62 @@
+let mr_rounds = 16
+
+(* Decompose n-1 = 2^s * d with d odd. *)
+let decompose n_minus_1 =
+  let rec go d s = if Bigint.is_even d then go (Bigint.shift_right d 1) (s + 1) else (d, s) in
+  go n_minus_1 0
+
+let miller_rabin_base n ~base =
+  let n_minus_1 = Bigint.pred n in
+  let d, s = decompose n_minus_1 in
+  let x = Bigint.mod_pow base d n in
+  if Bigint.equal x Bigint.one || Bigint.equal x n_minus_1 then true
+  else begin
+    let rec squares x i =
+      if i >= s - 1 then false
+      else begin
+        let x = Bigint.mod_mul x x n in
+        if Bigint.equal x n_minus_1 then true else squares x (i + 1)
+      end
+    in
+    squares x 0
+  end
+
+let trial_division n =
+  (* Returns [Some verdict] when trial division is conclusive. *)
+  let len = Array.length Sieve.small_primes in
+  let rec go i =
+    if i >= len then None
+    else begin
+      let p = Sieve.small_primes.(i) in
+      match Bigint.to_int_opt n with
+      | Some v when v = p -> Some true
+      | _ ->
+        let _, r = Bigint.divmod_int n p in
+        if r = 0 then Some false else go (i + 1)
+    end
+  in
+  go 0
+
+let is_probable_prime ?(rounds = mr_rounds) ~rng n =
+  if Bigint.compare n Bigint.two < 0 then false
+  else if Bigint.equal n Bigint.two then true
+  else if Bigint.is_even n then false
+  else begin
+    match trial_division n with
+    | Some verdict -> verdict
+    | None ->
+      (* Composite inputs are overwhelmingly killed by the base-2 round,
+         so run it first, then random bases. *)
+      miller_rabin_base n ~base:Bigint.two
+      && begin
+        let n_minus_3 = Bigint.sub n (Bigint.of_int 3) in
+        let rec go i =
+          if i >= rounds then true
+          else begin
+            let base = Bigint.add Bigint.two (Drbg.uniform_bigint rng n_minus_3) in
+            miller_rabin_base n ~base && go (i + 1)
+          end
+        in
+        go 0
+      end
+  end

@@ -1,0 +1,14 @@
+(** Miller-Rabin probabilistic primality testing. *)
+
+val mr_rounds : int
+(** Default number of witness rounds (16): error probability below
+    4^-16 per composite, ample for prime representatives. *)
+
+val is_probable_prime : ?rounds:int -> rng:Drbg.t -> Bigint.t -> bool
+(** Trial division by the small-prime table followed by [rounds]
+    Miller-Rabin rounds with bases drawn from [rng]. Exact for inputs
+    below the small-prime table bound. *)
+
+val miller_rabin_base : Bigint.t -> base:Bigint.t -> bool
+(** One Miller-Rabin round with an explicit base; [true] means
+    "probably prime with respect to this base". Exposed for tests. *)

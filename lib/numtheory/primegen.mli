@@ -1,0 +1,38 @@
+(** Prime generation: random primes, deterministic next-prime search and
+    RSA modulus generation for the accumulator and trapdoor permutation. *)
+
+val is_prime_det : Bigint.t -> bool
+(** Deterministic Miller-Rabin with the first 13 prime bases. Proven
+    exact below 3.3e24; used where all parties must agree on a verdict
+    (prime representatives), where negligible heuristic error above the
+    proven bound is acceptable. *)
+
+val miller_rabin_det : Bigint.t -> bool
+(** The Miller-Rabin rounds of {!is_prime_det} alone, without the
+    small-prime trial division. For callers (prime representatives)
+    that already sieved their candidates incrementally. The input must
+    be odd and coprime to the small-prime table for the verdict to be
+    meaningful. *)
+
+val next_prime : Bigint.t -> Bigint.t
+(** Smallest prime [>= n] (by {!is_prime_det}), via an odd-candidate walk
+    with small-prime trial division. *)
+
+val random_prime : rng:Drbg.t -> bits:int -> Bigint.t
+(** Uniform [bits]-bit probable prime (top bit set). Requires
+    [bits >= 2]. *)
+
+val random_safe_prime : rng:Drbg.t -> bits:int -> Bigint.t
+(** Prime [p] with [(p-1)/2] also prime. Noticeably slower; provided for
+    faithfulness to the paper's accumulator setup. *)
+
+type rsa_modulus = {
+  n : Bigint.t;   (** [p * q] *)
+  p : Bigint.t;
+  q : Bigint.t;
+  phi : Bigint.t; (** [(p-1) * (q-1)] *)
+}
+
+val random_rsa_modulus : ?safe:bool -> rng:Drbg.t -> bits:int -> unit -> rsa_modulus
+(** Generates a [bits]-bit RSA modulus from two random primes of
+    [bits/2] bits each. [~safe:true] uses safe primes (slow). *)

@@ -1,0 +1,26 @@
+let bound = 8192
+
+let sieve n =
+  let composite = Array.make n false in
+  let primes = ref [] in
+  for i = 2 to n - 1 do
+    if not composite.(i) then begin
+      primes := i :: !primes;
+      let j = ref (i * i) in
+      while !j < n do
+        composite.(!j) <- true;
+        j := !j + i
+      done
+    end
+  done;
+  (List.rev !primes, composite)
+
+let primes_below n =
+  if n <= 2 then [] else fst (sieve n)
+
+let table = sieve bound
+let small_primes = Array.of_list (fst table)
+
+let is_small_prime n =
+  if n < 0 || n >= bound then invalid_arg "Sieve.is_small_prime: out of range";
+  n >= 2 && not (snd table).(n)

@@ -1,0 +1,12 @@
+(** Small primes for trial division during primality testing and prime
+    search. *)
+
+val primes_below : int -> int list
+(** Primes [< n] by Eratosthenes. *)
+
+val small_primes : int array
+(** All primes below 8192, precomputed once. *)
+
+val is_small_prime : int -> bool
+(** Membership test for [n] below the table bound (8192).
+    @raise Invalid_argument above the bound. *)

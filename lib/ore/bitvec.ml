@@ -1,0 +1,41 @@
+type order = Gt | Lt
+
+let order_to_string = function Gt -> ">" | Lt -> "<"
+let pp_order fmt oc = Format.pp_print_string fmt (order_to_string oc)
+
+let max_width = 30
+
+let check_value ~width v =
+  if width < 1 || width > max_width then invalid_arg "Bitvec: width out of range";
+  if v < 0 || v >= 1 lsl width then invalid_arg "Bitvec: value out of range"
+
+let bit ~width v i =
+  if i < 1 || i > width then invalid_arg "Bitvec.bit: index out of range";
+  (v lsr (width - i)) land 1
+
+let prefix ~width v i =
+  if i < 0 || i > width then invalid_arg "Bitvec.prefix: index out of range";
+  String.init i (fun k -> if bit ~width v (k + 1) = 1 then '1' else '0')
+
+let encode ~attr ~pfx ~b ~oc =
+  Bytesutil.concat [ attr; pfx; string_of_int b; order_to_string oc ]
+
+let token_tuple ?(attr = "") ~width v oc i =
+  check_value ~width v;
+  encode ~attr ~pfx:(prefix ~width v (i - 1)) ~b:(bit ~width v i) ~oc
+
+let cipher_tuple ?(attr = "") ~width v i =
+  check_value ~width v;
+  let vi = bit ~width v i in
+  let flipped = 1 - vi in
+  (* cmp(¬v_i, v_i): ¬v_i = 1 > v_i = 0 gives ">", otherwise "<". *)
+  let oc = if flipped > vi then Gt else Lt in
+  encode ~attr ~pfx:(prefix ~width v (i - 1)) ~b:flipped ~oc
+
+let token_tuples ?attr ~width v oc = List.init width (fun k -> token_tuple ?attr ~width v oc (k + 1))
+
+let cipher_tuples ?attr ~width v = List.init width (fun k -> cipher_tuple ?attr ~width v (k + 1))
+
+let equality_keyword ?(attr = "") ~width v =
+  check_value ~width v;
+  Bytesutil.concat [ "eq"; attr; string_of_int width; string_of_int v ]

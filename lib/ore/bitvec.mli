@@ -1,0 +1,46 @@
+(** Bit-level codec for SORE tuples.
+
+    The paper indexes bits of a [b]-bit value from 1 (most significant)
+    to [b] (least significant); [v_(i-1)] is the prefix of bits
+    [1..i-1]. A tuple is the triple (prefix, bit, order condition),
+    optionally prefixed by an attribute name for multi-attribute data. *)
+
+type order = Gt | Lt
+(** The order conditions ">" and "<". *)
+
+val order_to_string : order -> string
+val pp_order : Format.formatter -> order -> unit
+
+val max_width : int
+(** Largest supported value width in bits (30, so native ints hold every
+    value comfortably; the paper evaluates 8/16/24). *)
+
+val check_value : width:int -> int -> unit
+(** @raise Invalid_argument unless [0 <= v < 2^width] and
+    [1 <= width <= max_width]. *)
+
+val bit : width:int -> int -> int -> int
+(** [bit ~width v i] is bit [i] of [v] in the paper's 1-based MSB-first
+    numbering, as 0 or 1. *)
+
+val prefix : width:int -> int -> int -> string
+(** [prefix ~width v i] is [v_(i)]: the first [i] bits as a string of
+    ['0']/['1'] characters ([i = 0] gives [""]). *)
+
+val token_tuple : ?attr:string -> width:int -> int -> order -> int -> string
+(** [token_tuple ~attr ~width v oc i] is the i-th query tuple
+    [a ‖ v_(i-1) ‖ v_i ‖ oc], encoded unambiguously. *)
+
+val cipher_tuple : ?attr:string -> width:int -> int -> int -> string
+(** [cipher_tuple ~attr ~width v i] is the i-th ciphertext tuple
+    [a ‖ v_(i-1) ‖ ¬v_i ‖ cmp(¬v_i, v_i)]. *)
+
+val token_tuples : ?attr:string -> width:int -> int -> order -> string list
+(** All [b] query tuples for a value, in bit order (callers shuffle). *)
+
+val cipher_tuples : ?attr:string -> width:int -> int -> string list
+(** All [b] ciphertext tuples for a value, in bit order. *)
+
+val equality_keyword : ?attr:string -> width:int -> int -> string
+(** The keyword under which the value itself is indexed for equality
+    search (the [w = v] case of the Build protocol). *)

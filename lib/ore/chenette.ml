@@ -1,0 +1,47 @@
+(* Baseline: the practical ORE of Chenette, Lewi, Weis & Wu (FSE 2016).
+
+   Each bit i contributes u_i = F(k, i ‖ prefix) + v_i (mod 3). Comparing
+   two ciphertexts scans for the first differing position m; there the
+   prefixes agree, so u_m(x) - u_m(y) = x_m - y_m (mod 3) reveals the
+   order. Leaks the index of the first differing bit — strictly more than
+   SORE inside the SSE protocol, and the comparison is positional rather
+   than a keyword match, which is why the paper could not use it
+   directly. *)
+
+type key = string
+
+let keygen ~rng = Drbg.generate rng 16
+
+type ciphertext = { u : int array; width : int }
+
+let encrypt key ~width v =
+  Bitvec.check_value ~width v;
+  let u =
+    Array.init width (fun k ->
+        let i = k + 1 in
+        let pfx = Bitvec.prefix ~width v (i - 1) in
+        let f = Hmac.prf128 ~key (Bytesutil.concat [ "clww"; string_of_int i; pfx ]) in
+        let r = Char.code f.[0] mod 3 in
+        (r + Bitvec.bit ~width v i) mod 3)
+  in
+  { u; width }
+
+(* Returns -1, 0 or 1 for x < y, x = y, x > y. *)
+let compare_ct x y =
+  if x.width <> y.width then invalid_arg "Chenette: width mismatch";
+  let rec scan i =
+    if i >= x.width then 0
+    else if x.u.(i) = y.u.(i) then scan (i + 1)
+    else if (x.u.(i) - y.u.(i) + 3) mod 3 = 1 then 1
+    else -1
+  in
+  scan 0
+
+let ciphertext_bytes ct =
+  (* Two bits per mod-3 symbol, packed: ceil(width / 4) bytes. *)
+  (ct.width + 3) / 4
+
+let first_diff_index x y =
+  (* The scheme's characteristic leakage, exposed for tests/benches. *)
+  let rec scan i = if i >= x.width then None else if x.u.(i) <> y.u.(i) then Some (i + 1) else scan (i + 1) in
+  scan 0

@@ -1,0 +1,20 @@
+(** Baseline ORE: Chenette-Lewi-Weis-Wu (FSE 2016) bitwise scheme.
+    Ciphertexts are [width] symbols of Z_3; comparison scans for the
+    first differing symbol (that index is the scheme's leakage). *)
+
+type key
+
+val keygen : rng:Drbg.t -> key
+
+type ciphertext
+
+val encrypt : key -> width:int -> int -> ciphertext
+
+val compare_ct : ciphertext -> ciphertext -> int
+(** [-1], [0] or [1] for [x < y], [x = y], [x > y]. *)
+
+val ciphertext_bytes : ciphertext -> int
+
+val first_diff_index : ciphertext -> ciphertext -> int option
+(** 1-based index of the first differing symbol — the characteristic
+    leakage of the scheme, exposed for tests and benches. *)

@@ -1,0 +1,22 @@
+(** Baseline ORE: Lewi-Wu (CCS 2016) small-domain left/right scheme,
+    one block over the whole domain. Ablation comparator for SORE:
+    constant-time comparison but O(2^width) right-ciphertexts. *)
+
+type key
+
+val max_width : int
+(** Hard cap (12 bits) — the right ciphertext is domain-sized. *)
+
+val keygen : rng:Drbg.t -> key
+
+type left
+type right
+
+val encrypt_left : key -> width:int -> int -> left
+val encrypt_right : rng:Drbg.t -> key -> width:int -> int -> right
+
+val compare_ct : left -> right -> int
+(** [-1], [0] or [1] for [x < y], [x = y], [x > y]. *)
+
+val left_bytes : left -> int
+val right_bytes : right -> int

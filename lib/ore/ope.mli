@@ -1,0 +1,22 @@
+(** Baseline: a simplified Boldyreva-style order-preserving encryption.
+
+    Deterministic, stateless, range-splitting OPE: the ciphertext space
+    is [2^(width + expansion)] wide and a keyed PRF recursively picks the
+    split point. Strictly weaker security than any ORE (ciphertexts are
+    directly comparable numbers, exposing order and approximate
+    magnitude to everyone) — it is the "what CryptDB did" baseline in
+    the ablation bench. *)
+
+type key
+
+val keygen : rng:Drbg.t -> key
+
+val expansion : int
+(** Extra ciphertext bits beyond the plaintext width (16). *)
+
+val encrypt : key -> width:int -> int -> int
+(** Deterministic order-preserving ciphertext in
+    [\[0, 2^(width+expansion))]. *)
+
+val compare_ct : int -> int -> int
+(** Plain integer comparison of ciphertexts. *)

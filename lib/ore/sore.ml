@@ -1,0 +1,40 @@
+type key = string
+
+let keygen ~rng = Drbg.generate rng 16
+
+let key_of_bytes s =
+  if String.length s <> 16 then invalid_arg "Sore.key_of_bytes: need 16 bytes";
+  s
+
+type ciphertext = { ct_slices : string list; ct_width : int }
+type token = { tk_slices : string list; tk_width : int }
+
+let shuffle ~rng xs =
+  let arr = Array.of_list xs in
+  for i = Array.length arr - 1 downto 1 do
+    let j = Drbg.uniform_int rng (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done;
+  Array.to_list arr
+
+let prf key tuple = Hmac.prf128 ~key tuple
+
+let encrypt ?attr ~rng key ~width v =
+  let slices = List.map (prf key) (Bitvec.cipher_tuples ?attr ~width v) in
+  { ct_slices = shuffle ~rng slices; ct_width = width }
+
+let token ?attr ~rng key ~width v oc =
+  let slices = List.map (prf key) (Bitvec.token_tuples ?attr ~width v oc) in
+  { tk_slices = shuffle ~rng slices; tk_width = width }
+
+let common_slices ct tk =
+  if ct.ct_width <> tk.tk_width then invalid_arg "Sore: width mismatch";
+  let set = Hashtbl.create 16 in
+  List.iter (fun s -> Hashtbl.replace set s ()) ct.ct_slices;
+  List.fold_left (fun n s -> if Hashtbl.mem set s then n + 1 else n) 0 tk.tk_slices
+
+let compare_ct ct tk = common_slices ct tk = 1
+
+let ciphertext_bytes ct = List.fold_left (fun n s -> n + String.length s) 0 ct.ct_slices

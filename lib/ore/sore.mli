@@ -1,0 +1,45 @@
+(** SORE — the paper's Succinct Order-Revealing Encryption (Section V-B).
+
+    A [b]-bit value is encrypted into exactly [b] PRF values ("slices"),
+    one per bit; a query [(v, oc)] likewise produces [b] slices. Theorem 1:
+    [x oc y] holds iff the token slices of [(x, oc)] and the ciphertext
+    slices of [y] share {e exactly one} element. Order comparison thus
+    reduces to set intersection — and, inside the SSE protocol, to exact
+    keyword match.
+
+    Slices are shuffled so a single comparison does not reveal {e which}
+    bit index matched. *)
+
+type key
+(** Secret PRF key. *)
+
+val keygen : rng:Drbg.t -> key
+(** Fresh 16-byte PRF key. *)
+
+val key_of_bytes : string -> key
+(** Wraps an existing 16-byte secret. @raise Invalid_argument on wrong
+    length. *)
+
+type ciphertext = private { ct_slices : string list; ct_width : int }
+type token = private { tk_slices : string list; tk_width : int }
+
+val encrypt : ?attr:string -> rng:Drbg.t -> key -> width:int -> int -> ciphertext
+(** [SORE.Encrypt(k, v)]: [b] shuffled PRF slices. *)
+
+val token : ?attr:string -> rng:Drbg.t -> key -> width:int -> int -> Bitvec.order -> token
+(** [SORE.Token(k, v, oc)]: [b] shuffled PRF query slices. *)
+
+val compare_ct : ciphertext -> token -> bool
+(** [SORE.Compare(ct, tk)]: true iff exactly one slice is shared.
+    @raise Invalid_argument on width mismatch. *)
+
+val common_slices : ciphertext -> token -> int
+(** Number of shared slices — 0 or 1 for honestly generated inputs
+    (tested as an invariant); exposed for the leakage analysis. *)
+
+val ciphertext_bytes : ciphertext -> int
+(** Serialized ciphertext size, for the succinctness ablation. *)
+
+val shuffle : rng:Drbg.t -> 'a list -> 'a list
+(** Fisher-Yates shuffle driven by the DRBG (shared with the protocol
+    layer, which shuffles search tokens the same way). *)

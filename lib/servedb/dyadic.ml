@@ -1,0 +1,31 @@
+type segment = { seg_lo : int; seg_level : int }
+
+let check_width width =
+  if width < 1 || width > Bitvec.max_width then invalid_arg "Dyadic: width out of range"
+
+let size ~width seg = 1 lsl (width - seg.seg_level)
+
+let segments_of_value ~width v =
+  Bitvec.check_value ~width v;
+  List.init (width + 1) (fun level -> { seg_lo = v land lnot ((1 lsl (width - level)) - 1); seg_level = level })
+
+let cover ~width ~lo ~hi =
+  check_width width;
+  if lo < 0 || hi >= 1 lsl width || lo > hi then invalid_arg "Dyadic.cover: invalid range";
+  (* Greedy canonical cover: at each step take the largest aligned
+     power-of-two block that starts at [lo] and fits within [hi]. *)
+  let rec go lo acc =
+    if lo > hi then List.rev acc
+    else begin
+      let align = if lo = 0 then 1 lsl width else lo land -lo in
+      let rec fit s = if lo + s - 1 <= hi then s else fit (s / 2) in
+      let s = fit (Stdlib.min align (1 lsl width)) in
+      let level = width - (let rec log2 n = if n = 1 then 0 else 1 + log2 (n / 2) in log2 s) in
+      go (lo + s) ({ seg_lo = lo; seg_level = level } :: acc)
+    end
+  in
+  go lo []
+
+let label ~width seg = Bitvec.prefix ~width seg.seg_lo seg.seg_level
+
+let mem ~width seg v = v land lnot (size ~width seg - 1) = seg.seg_lo

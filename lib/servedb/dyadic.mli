@@ -1,0 +1,23 @@
+(** Dyadic (segment-tree) decomposition of ranges — the 1-D analogue of
+    ServeDB's hierarchical cube encoding. A [width]-bit domain is cut
+    into levels of aligned power-of-two segments; every value sits in
+    one segment per level, and any range splits into O(2·width)
+    canonical segments. *)
+
+type segment = { seg_lo : int; seg_level : int }
+(** The segment [seg_lo, seg_lo + 2^(width - seg_level))]; [seg_level]
+    is the prefix length, so level 0 is the whole domain and level
+    [width] a single value. [seg_lo] is aligned to the segment size. *)
+
+val segments_of_value : width:int -> int -> segment list
+(** The [width + 1] segments containing a value, level 0 first. *)
+
+val cover : width:int -> lo:int -> hi:int -> segment list
+(** Canonical disjoint cover of the inclusive range [lo, hi], in
+    ascending order. @raise Invalid_argument on an invalid range. *)
+
+val label : width:int -> segment -> string
+(** Stable label (the bit-prefix string) for keying an index. *)
+
+val mem : width:int -> segment -> int -> bool
+(** Is a value inside the segment? *)

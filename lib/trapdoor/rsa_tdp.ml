@@ -1,0 +1,32 @@
+type public = { pn : Bigint.t; e : Bigint.t }
+type secret = { sn : Bigint.t; d : Bigint.t }
+
+let public_exponent = Bigint.of_int 65537
+
+let keygen ?(bits = 1024) ~rng () =
+  let rec gen () =
+    let m = Primegen.random_rsa_modulus ~rng ~bits () in
+    match Bigint.mod_inv public_exponent m.Primegen.phi with
+    | Some d -> ({ pn = m.Primegen.n; e = public_exponent }, { sn = m.Primegen.n; d })
+    | None -> gen () (* gcd(e, phi) <> 1: rare, redraw *)
+  in
+  gen ()
+
+let forward pk x = Bigint.mod_pow x pk.e pk.pn
+let inverse sk x = Bigint.mod_pow x sk.d sk.sn
+
+let element_bytes pk = (Bigint.num_bits pk.pn + 7) / 8
+
+let decode pk s =
+  if String.length s <> element_bytes pk then invalid_arg "Rsa_tdp: bad element length";
+  let x = Bigint.of_bytes_be s in
+  if Bigint.compare x pk.pn >= 0 then invalid_arg "Rsa_tdp: element out of domain";
+  x
+
+let encode pk x = Bigint.to_bytes_be ~len:(element_bytes pk) x
+
+let random_element ~rng pk = encode pk (Drbg.uniform_bigint rng pk.pn)
+
+let forward_bytes pk s = encode pk (forward pk (decode pk s))
+
+let inverse_bytes sk pk s = encode pk (inverse sk (decode pk s))

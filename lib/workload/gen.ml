@@ -1,0 +1,47 @@
+let uniform_value ~rng ~width = Drbg.uniform_int rng (1 lsl width)
+
+let uniform_records ~rng ~width n =
+  List.init n (fun i ->
+      Slicer_types.record_of_value (Printf.sprintf "R%d" i) (uniform_value ~rng ~width))
+
+(* Zipf via the classical inverse-CDF over precomputed harmonic weights.
+   The value space is capped at 2^16 ranks for table size; wider widths
+   still produce valid (small) values. *)
+let zipf_records ~rng ~width ?(exponent = 1.0) n =
+  let ranks = Stdlib.min (1 lsl width) 65536 in
+  let cdf = Array.make ranks 0.0 in
+  let total = ref 0.0 in
+  for r = 0 to ranks - 1 do
+    total := !total +. (1.0 /. Float.pow (float_of_int (r + 1)) exponent);
+    cdf.(r) <- !total
+  done;
+  let draw () =
+    let u = float_of_int (Drbg.uniform_int rng 1_000_000) /. 1_000_000.0 *. !total in
+    (* Binary search for the first rank whose cumulative weight covers u. *)
+    let rec bsearch lo hi = if lo >= hi then lo else begin
+        let mid = (lo + hi) / 2 in
+        if cdf.(mid) < u then bsearch (mid + 1) hi else bsearch lo mid
+      end
+    in
+    bsearch 0 (ranks - 1)
+  in
+  List.init n (fun i -> Slicer_types.record_of_value (Printf.sprintf "R%d" i) (draw ()))
+
+let multiattr_records ~rng ~width ~attrs n =
+  if attrs = [] then invalid_arg "Gen.multiattr_records: need at least one attribute";
+  List.init n (fun i ->
+      { Slicer_types.id = Printf.sprintf "R%d" i;
+        fields = List.map (fun a -> (a, uniform_value ~rng ~width)) attrs })
+
+let random_equality_query ~rng ~width ?(attr = "") () =
+  Slicer_types.query ~attr (uniform_value ~rng ~width) Slicer_types.Eq
+
+let random_order_query ~rng ~width ?(attr = "") () =
+  let cond = if Drbg.uniform_int rng 2 = 0 then Slicer_types.Gt else Slicer_types.Lt in
+  Slicer_types.query ~attr (uniform_value ~rng ~width) cond
+
+let random_query ~rng ~width ?(attr = "") () =
+  match Drbg.uniform_int rng 3 with
+  | 0 -> random_equality_query ~rng ~width ~attr ()
+  | 1 -> Slicer_types.query ~attr (uniform_value ~rng ~width) Slicer_types.Gt
+  | _ -> Slicer_types.query ~attr (uniform_value ~rng ~width) Slicer_types.Lt

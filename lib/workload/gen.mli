@@ -1,0 +1,24 @@
+(** Workload generation for tests, examples and the figure benches.
+
+    The paper evaluates "randomly simulated key-value records, where the
+    value has 8, 16 and 24 bit settings" — {!uniform_records} is that
+    generator. Zipf and multi-attribute variants cover the motivating
+    scenarios (medical records, business transactions). *)
+
+val uniform_records : rng:Drbg.t -> width:int -> int -> Slicer_types.record list
+(** [n] records with IDs ["R<i>"] and values uniform in [\[0, 2^width)]. *)
+
+val zipf_records : rng:Drbg.t -> width:int -> ?exponent:float -> int -> Slicer_types.record list
+(** Values drawn Zipf-distributed over the value space (rank 1 = value
+    0), exponent default 1.0 — skewed workloads stress the equality-
+    search path where many records share one value. *)
+
+val multiattr_records :
+  rng:Drbg.t -> width:int -> attrs:string list -> int -> Slicer_types.record list
+(** Records with one uniform value per named attribute. *)
+
+val random_query : rng:Drbg.t -> width:int -> ?attr:string -> unit -> Slicer_types.query
+(** Uniform value and uniformly chosen condition. *)
+
+val random_order_query : rng:Drbg.t -> width:int -> ?attr:string -> unit -> Slicer_types.query
+val random_equality_query : rng:Drbg.t -> width:int -> ?attr:string -> unit -> Slicer_types.query

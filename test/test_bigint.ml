@@ -1,0 +1,287 @@
+(* Unit and property tests for the arbitrary-precision integer substrate.
+   Properties cross-check against native [int] arithmetic on small values
+   and against algebraic identities on cryptographic-size values. *)
+
+let bi = Bigint.of_int
+
+let check_eq msg expected actual =
+  Alcotest.(check string) msg (Bigint.to_string expected) (Bigint.to_string actual)
+
+(* --- generators ---------------------------------------------------- *)
+
+let gen_small = QCheck2.Gen.int_range (-1_000_000_000) 1_000_000_000
+
+(* Random integer of up to [bits] bits, either sign. *)
+let gen_big ?(bits = 512) () =
+  let open QCheck2.Gen in
+  let* nbytes = int_range 1 (bits / 8) in
+  let* bytes_list = list_size (return nbytes) (int_range 0 255) in
+  let* negative = bool in
+  let s = String.init (List.length bytes_list) (fun i -> Char.chr (List.nth bytes_list i)) in
+  let v = Bigint.of_bytes_be s in
+  return (if negative then Bigint.neg v else v)
+
+let gen_big_pos ?(bits = 512) () = QCheck2.Gen.map Bigint.abs (gen_big ~bits ())
+
+let gen_big_pos_nonzero ?(bits = 512) () =
+  QCheck2.Gen.map (fun x -> Bigint.add (Bigint.abs x) Bigint.one) (gen_big ~bits ())
+
+let prop name ?(count = 300) gen p =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen p)
+
+(* --- unit tests ----------------------------------------------------- *)
+
+let test_of_to_int () =
+  List.iter
+    (fun n -> Alcotest.(check (option int)) "roundtrip" (Some n) (Bigint.to_int_opt (bi n)))
+    [ 0; 1; -1; 42; -42; max_int; 1 lsl 40; -(1 lsl 40) ];
+  Alcotest.(check string) "min_int" (string_of_int min_int) (Bigint.to_string (bi min_int))
+
+let test_string_roundtrip () =
+  List.iter
+    (fun s -> Alcotest.(check string) s s (Bigint.to_string (Bigint.of_string s)))
+    [ "0"; "1"; "-1"; "123456789012345678901234567890";
+      "-99999999999999999999999999999999999999";
+      "340282366920938463463374607431768211456" (* 2^128 *) ]
+
+let test_hex () =
+  Alcotest.(check string) "ff" "ff" (Bigint.to_hex (bi 255));
+  Alcotest.(check string) "deadbeef" "deadbeef" (Bigint.to_hex (Bigint.of_hex "deadbeef"));
+  Alcotest.(check string) "big"
+    "123456789abcdef0123456789abcdef"
+    (Bigint.to_hex (Bigint.of_hex "0123456789abcdef0123456789abcdef"));
+  check_eq "hex value" (bi 255) (Bigint.of_hex "FF")
+
+let test_bytes () =
+  let x = Bigint.of_hex "0102030405060708090a" in
+  Alcotest.(check string) "to_bytes" "\x01\x02\x03\x04\x05\x06\x07\x08\x09\x0a" (Bigint.to_bytes_be x);
+  check_eq "roundtrip" x (Bigint.of_bytes_be (Bigint.to_bytes_be x));
+  Alcotest.(check string) "padded" "\x00\x00\xff" (Bigint.to_bytes_be ~len:3 (bi 255));
+  Alcotest.(check string) "zero" "\x00" (Bigint.to_bytes_be Bigint.zero)
+
+let test_arith_basics () =
+  check_eq "add" (bi 579) (Bigint.add (bi 123) (bi 456));
+  check_eq "sub neg" (bi (-333)) (Bigint.sub (bi 123) (bi 456));
+  check_eq "mul" (bi 56088) (Bigint.mul (bi 123) (bi 456));
+  check_eq "mul neg" (bi (-56088)) (Bigint.mul (bi (-123)) (bi 456));
+  let big = Bigint.of_string "123456789012345678901234567890" in
+  check_eq "square"
+    (Bigint.of_string "15241578753238836750495351562536198787501905199875019052100")
+    (Bigint.mul big big)
+
+let test_divmod () =
+  let q, r = Bigint.divmod (bi 17) (bi 5) in
+  check_eq "q" (bi 3) q;
+  check_eq "r" (bi 2) r;
+  let q, r = Bigint.divmod (bi (-17)) (bi 5) in
+  check_eq "negative dividend: q" (bi (-4)) q;
+  check_eq "negative dividend: r" (bi 3) r;
+  let q, r = Bigint.divmod (bi 17) (bi (-5)) in
+  check_eq "negative divisor: q" (bi (-3)) q;
+  check_eq "negative divisor: r" (bi 2) r;
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () ->
+      ignore (Bigint.divmod Bigint.one Bigint.zero))
+
+let test_divmod_large () =
+  (* Exercise the Knuth-D path, including the rare add-back branch via
+     divisors with a high top limb. *)
+  let a = Bigint.of_string "340282366920938463463374607431768211455" in
+  let b = Bigint.of_string "18446744073709551616" in
+  let q, r = Bigint.divmod a b in
+  check_eq "q" (Bigint.of_string "18446744073709551615") q;
+  check_eq "r" (Bigint.of_string "18446744073709551615") r
+
+let test_shift () =
+  check_eq "shl" (bi 1024) (Bigint.shift_left Bigint.one 10);
+  check_eq "shr" (bi 1) (Bigint.shift_right (bi 1024) 10);
+  check_eq "shr to zero" Bigint.zero (Bigint.shift_right (bi 1024) 11);
+  check_eq "cross-limb" (Bigint.of_string "4835703278458516698824704") (Bigint.shift_left Bigint.one 82)
+
+let test_bits () =
+  Alcotest.(check int) "num_bits 0" 0 (Bigint.num_bits Bigint.zero);
+  Alcotest.(check int) "num_bits 1" 1 (Bigint.num_bits Bigint.one);
+  Alcotest.(check int) "num_bits 255" 8 (Bigint.num_bits (bi 255));
+  Alcotest.(check int) "num_bits 256" 9 (Bigint.num_bits (bi 256));
+  Alcotest.(check bool) "testbit" true (Bigint.testbit (bi 5) 2);
+  Alcotest.(check bool) "testbit" false (Bigint.testbit (bi 5) 1);
+  Alcotest.(check bool) "even" true (Bigint.is_even (bi 4));
+  Alcotest.(check bool) "odd" true (Bigint.is_odd (bi 5))
+
+let test_pow () =
+  check_eq "2^10" (bi 1024) (Bigint.pow Bigint.two 10);
+  check_eq "x^0" Bigint.one (Bigint.pow (bi 7) 0);
+  check_eq "3^40" (Bigint.of_string "12157665459056928801") (Bigint.pow (bi 3) 40)
+
+let test_mod_pow () =
+  check_eq "small" (bi 445) (Bigint.mod_pow (bi 4) (bi 13) (bi 497));
+  (* Fermat: a^(p-1) = 1 mod p for prime p. *)
+  let p = Bigint.of_string "162259276829213363391578010288127" (* 2^107-1, prime *) in
+  check_eq "fermat" Bigint.one (Bigint.mod_pow (bi 3) (Bigint.pred p) p);
+  (* Even modulus path. *)
+  check_eq "even modulus" (bi 4) (Bigint.mod_pow (bi 2) (bi 10) (bi 60));
+  check_eq "zero exponent" Bigint.one (Bigint.mod_pow (bi 12345) Bigint.zero (bi 997))
+
+let test_mod_inv () =
+  (match Bigint.mod_inv (bi 3) (bi 11) with
+   | Some inv -> check_eq "3^-1 mod 11" (bi 4) inv
+   | None -> Alcotest.fail "inverse must exist");
+  Alcotest.(check bool) "no inverse" true (Bigint.mod_inv (bi 6) (bi 9) = None)
+
+let test_knuth_add_back () =
+  (* Dividends engineered around q*v with v's top limb at the base
+     boundary exercise the rare add-back branch of Algorithm D. *)
+  let v = Bigint.pred (Bigint.shift_left Bigint.one 93) (* 3 limbs of all-ones *) in
+  List.iter
+    (fun (qs, rs) ->
+      let q = Bigint.of_string qs and r = Bigint.of_string rs in
+      let a = Bigint.add (Bigint.mul q v) r in
+      let q', r' = Bigint.divmod a v in
+      check_eq "quotient" q q';
+      check_eq "remainder" r r')
+    [ ("1", "0"); ("2147483647", "1"); ("9903520314283042199192993791", "9903520314283042199192993790");
+      ("123456789123456789", "0") ]
+
+let test_error_paths () =
+  Alcotest.check_raises "negative pow" (Invalid_argument "Bigint.pow: negative exponent") (fun () ->
+      ignore (Bigint.pow Bigint.two (-1)));
+  Alcotest.check_raises "negative mod_pow exponent"
+    (Invalid_argument "Bigint.mod_pow: negative exponent") (fun () ->
+      ignore (Bigint.mod_pow Bigint.two Bigint.minus_one (bi 7)));
+  Alcotest.check_raises "mod_pow modulus 1" (Invalid_argument "Bigint.mod_pow: modulus <= 1")
+    (fun () -> ignore (Bigint.mod_pow Bigint.two Bigint.two Bigint.one));
+  Alcotest.check_raises "to_bytes too small"
+    (Invalid_argument "Bigint.to_bytes_be: value too large for len") (fun () ->
+      ignore (Bigint.to_bytes_be ~len:1 (bi 65536)));
+  Alcotest.check_raises "divmod_int zero" (Invalid_argument "Bigint.divmod_int: divisor out of range")
+    (fun () -> ignore (Bigint.divmod_int Bigint.one 0));
+  Alcotest.check_raises "negative shift" (Invalid_argument "Bigint.shift_left") (fun () ->
+      ignore (Bigint.shift_left Bigint.one (-3)));
+  (match Bigint.of_string "12x3" with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "bad digit accepted")
+
+let test_mod_pow_zero_base () =
+  check_eq "0^e mod m" Bigint.zero (Bigint.mod_pow Bigint.zero (bi 5) (bi 97));
+  check_eq "b = m" Bigint.zero (Bigint.mod_pow (bi 97) (bi 3) (bi 97));
+  check_eq "b > m reduced" (bi 16) (Bigint.mod_pow (bi 100) (bi 2) (bi 96))
+
+let test_gcd () =
+  check_eq "gcd" (bi 6) (Bigint.gcd (bi 54) (bi 24));
+  check_eq "gcd neg" (bi 6) (Bigint.gcd (bi (-54)) (bi 24));
+  check_eq "gcd zero" (bi 7) (Bigint.gcd (bi 7) Bigint.zero)
+
+(* --- properties ----------------------------------------------------- *)
+
+let pair g1 g2 = QCheck2.Gen.pair g1 g2
+let triple g1 g2 g3 = QCheck2.Gen.triple g1 g2 g3
+
+let props =
+  [ prop "int add matches" (pair gen_small gen_small) (fun (a, b) ->
+        Bigint.equal (Bigint.add (bi a) (bi b)) (bi (a + b)));
+    prop "int mul matches" (pair gen_small gen_small) (fun (a, b) ->
+        Bigint.equal (Bigint.mul (bi a) (bi b)) (bi (a * b)));
+    prop "string roundtrip" (gen_big ~bits:1024 ()) (fun x ->
+        Bigint.equal x (Bigint.of_string (Bigint.to_string x)));
+    prop "hex roundtrip (abs)" (gen_big_pos ~bits:1024 ()) (fun x ->
+        Bigint.equal x (Bigint.of_hex (Bigint.to_hex x)));
+    prop "bytes roundtrip (abs)" (gen_big_pos ~bits:1024 ()) (fun x ->
+        Bigint.equal x (Bigint.of_bytes_be (Bigint.to_bytes_be x)));
+    prop "add commutes" (pair (gen_big ()) (gen_big ())) (fun (a, b) ->
+        Bigint.equal (Bigint.add a b) (Bigint.add b a));
+    prop "add associates" (triple (gen_big ()) (gen_big ()) (gen_big ())) (fun (a, b, c) ->
+        Bigint.equal (Bigint.add (Bigint.add a b) c) (Bigint.add a (Bigint.add b c)));
+    prop "sub inverts add" (pair (gen_big ()) (gen_big ())) (fun (a, b) ->
+        Bigint.equal a (Bigint.sub (Bigint.add a b) b));
+    prop "mul commutes" (pair (gen_big ()) (gen_big ())) (fun (a, b) ->
+        Bigint.equal (Bigint.mul a b) (Bigint.mul b a));
+    prop "mul distributes" (triple (gen_big ()) (gen_big ()) (gen_big ())) (fun (a, b, c) ->
+        Bigint.equal (Bigint.mul a (Bigint.add b c)) (Bigint.add (Bigint.mul a b) (Bigint.mul a c)));
+    prop "divmod invariant" ~count:500
+      (pair (gen_big ~bits:768 ()) (gen_big_pos_nonzero ~bits:384 ()))
+      (fun (a, b) ->
+        let q, r = Bigint.divmod a b in
+        Bigint.equal a (Bigint.add (Bigint.mul q b) r)
+        && Bigint.sign r >= 0
+        && Bigint.compare r b < 0);
+    prop "divmod_int matches divmod" (pair (gen_big ()) (QCheck2.Gen.int_range 1 1_000_000_000))
+      (fun (a, d) ->
+        let q1, r1 = Bigint.divmod_int a d in
+        let q2, r2 = Bigint.divmod a (bi d) in
+        Bigint.equal q1 q2 && Bigint.equal (bi r1) r2);
+    prop "shift_left is mul by 2^k" (pair (gen_big ()) (QCheck2.Gen.int_range 0 200)) (fun (a, k) ->
+        Bigint.equal (Bigint.shift_left a k) (Bigint.mul a (Bigint.pow Bigint.two k)));
+    prop "shift_right is div of abs" (pair (gen_big_pos ()) (QCheck2.Gen.int_range 0 200)) (fun (a, k) ->
+        Bigint.equal (Bigint.shift_right a k) (Bigint.div a (Bigint.pow Bigint.two k)));
+    prop "mod_pow matches naive" ~count:100
+      (triple (gen_big_pos ~bits:128 ()) (QCheck2.Gen.int_range 0 64) (gen_big_pos_nonzero ~bits:128 ()))
+      (fun (b, e, m) ->
+        let m = if Bigint.equal m Bigint.one then Bigint.two else m in
+        let naive = Bigint.erem (Bigint.pow b e) m in
+        Bigint.equal naive (Bigint.mod_pow b (bi e) m));
+    prop "montgomery matches division-based ladder" ~count:60
+      (triple (gen_big_pos ~bits:256 ()) (gen_big_pos ~bits:96 ()) (gen_big_pos ~bits:256 ()))
+      (fun (b, e, m0) ->
+        (* Reference ladder built on erem (Knuth division), fully
+           independent of the Montgomery code path. *)
+        let m = Bigint.add (Bigint.mul_int m0 2) (Bigint.of_int 3) in
+        let reference =
+          let bits = Bigint.num_bits e in
+          let acc = ref Bigint.one in
+          for i = bits - 1 downto 0 do
+            acc := Bigint.mod_mul !acc !acc m;
+            if Bigint.testbit e i then acc := Bigint.mod_mul !acc b m
+          done;
+          !acc
+        in
+        Bigint.equal reference (Bigint.mod_pow b e m));
+    prop "mod_pow odd modulus homomorphism" ~count:60
+      (triple (gen_big_pos ~bits:256 ()) (pair (gen_big_pos ~bits:64 ()) (gen_big_pos ~bits:64 ())) (gen_big_pos ~bits:256 ()))
+      (fun (b, (e1, e2), m0) ->
+        (* Force an odd modulus > 1 to pin the Montgomery path. *)
+        let m = Bigint.add (Bigint.mul_int m0 2) (Bigint.of_int 3) in
+        let lhs = Bigint.mod_pow b (Bigint.add e1 e2) m in
+        let rhs = Bigint.mod_mul (Bigint.mod_pow b e1 m) (Bigint.mod_pow b e2 m) m in
+        Bigint.equal lhs rhs);
+    prop "mod_inv correct" ~count:200
+      (pair (gen_big ~bits:256 ()) (gen_big_pos_nonzero ~bits:256 ()))
+      (fun (a, m) ->
+        let m = Bigint.add m Bigint.two in
+        match Bigint.mod_inv a m with
+        | None -> not (Bigint.equal (Bigint.gcd a m) Bigint.one)
+        | Some inv -> Bigint.equal (Bigint.mod_mul a inv m) Bigint.one);
+    prop "egcd bezout" (pair (gen_big ()) (gen_big ())) (fun (a, b) ->
+        let g, x, y = Bigint.egcd a b in
+        Bigint.equal g (Bigint.add (Bigint.mul a x) (Bigint.mul b y))
+        && Bigint.equal g (Bigint.gcd a b));
+    prop "compare antisymmetric" (pair (gen_big ()) (gen_big ())) (fun (a, b) ->
+        Bigint.compare a b = -Bigint.compare b a);
+    prop "num_bits bound" (gen_big_pos_nonzero ()) (fun x ->
+        let n = Bigint.num_bits x in
+        Bigint.compare x (Bigint.pow Bigint.two n) < 0
+        && Bigint.compare x (Bigint.pow Bigint.two (n - 1)) >= 0);
+    prop "erem in range" (pair (gen_big ()) (gen_big_pos_nonzero ())) (fun (a, m) ->
+        let r = Bigint.erem a m in
+        Bigint.sign r >= 0 && Bigint.compare r m < 0
+        && Bigint.is_zero (Bigint.erem (Bigint.sub a r) m))
+  ]
+
+let () =
+  Alcotest.run "bigint"
+    [ ( "unit",
+        [ Alcotest.test_case "of/to int" `Quick test_of_to_int;
+          Alcotest.test_case "string roundtrip" `Quick test_string_roundtrip;
+          Alcotest.test_case "hex" `Quick test_hex;
+          Alcotest.test_case "bytes" `Quick test_bytes;
+          Alcotest.test_case "arith basics" `Quick test_arith_basics;
+          Alcotest.test_case "divmod" `Quick test_divmod;
+          Alcotest.test_case "divmod large" `Quick test_divmod_large;
+          Alcotest.test_case "shift" `Quick test_shift;
+          Alcotest.test_case "bits" `Quick test_bits;
+          Alcotest.test_case "pow" `Quick test_pow;
+          Alcotest.test_case "mod_pow" `Quick test_mod_pow;
+          Alcotest.test_case "mod_inv" `Quick test_mod_inv;
+          Alcotest.test_case "knuth add-back" `Quick test_knuth_add_back;
+          Alcotest.test_case "error paths" `Quick test_error_paths;
+          Alcotest.test_case "mod_pow edge bases" `Quick test_mod_pow_zero_base;
+          Alcotest.test_case "gcd" `Quick test_gcd ] );
+      ("properties", props) ]

@@ -1,0 +1,222 @@
+(* Tests for the ORE layer: SORE (Theorem 1 correctness, the
+   at-most-one-common-slice invariant, the paper's Fig. 2 worked
+   example) and the three ablation baselines. *)
+
+let rng () = Drbg.create ~seed:"ore-tests"
+
+let prop name ?(count = 300) gen p =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen p)
+
+let sore_key = Sore.key_of_bytes "0123456789abcdef"
+
+(* --- Bitvec -------------------------------------------------------------- *)
+
+let test_bits () =
+  (* 5 = 0101 at width 4: bits (MSB-first) are 0,1,0,1. *)
+  Alcotest.(check (list int)) "bits of 5" [ 0; 1; 0; 1 ] (List.init 4 (fun i -> Bitvec.bit ~width:4 5 (i + 1)));
+  Alcotest.(check string) "prefix 0" "" (Bitvec.prefix ~width:4 5 0);
+  Alcotest.(check string) "prefix 3" "010" (Bitvec.prefix ~width:4 5 3);
+  Alcotest.(check string) "full prefix" "0101" (Bitvec.prefix ~width:4 5 4)
+
+let test_bitvec_bounds () =
+  Alcotest.check_raises "value too large" (Invalid_argument "Bitvec: value out of range") (fun () ->
+      Bitvec.check_value ~width:4 16);
+  Alcotest.check_raises "negative" (Invalid_argument "Bitvec: value out of range") (fun () ->
+      Bitvec.check_value ~width:4 (-1));
+  Alcotest.check_raises "width" (Invalid_argument "Bitvec: width out of range") (fun () ->
+      Bitvec.check_value ~width:31 0)
+
+let test_tuple_distinctness () =
+  (* All tuples of all values at width 4 under both conditions: token
+     tuples of (v, oc) must match cipher tuples of y iff v oc y. *)
+  let all_cipher v = Bitvec.cipher_tuples ~width:4 v in
+  let all_token v oc = Bitvec.token_tuples ~width:4 v oc in
+  let common a b = List.length (List.filter (fun x -> List.mem x b) a) in
+  for x = 0 to 15 do
+    for y = 0 to 15 do
+      let c_gt = common (all_token x Bitvec.Gt) (all_cipher y) in
+      let c_lt = common (all_token x Bitvec.Lt) (all_cipher y) in
+      Alcotest.(check int) (Printf.sprintf "gt %d vs %d" x y) (if x > y then 1 else 0) c_gt;
+      Alcotest.(check int) (Printf.sprintf "lt %d vs %d" x y) (if x < y then 1 else 0) c_lt
+    done
+  done
+
+let test_attr_separates () =
+  let a = Bitvec.cipher_tuples ~attr:"age" ~width:8 42 in
+  let b = Bitvec.cipher_tuples ~attr:"salary" ~width:8 42 in
+  Alcotest.(check bool) "attributes disjoint" true (List.for_all (fun t -> not (List.mem t b)) a)
+
+let test_equality_keyword () =
+  Alcotest.(check bool) "same value same keyword" true
+    (String.equal (Bitvec.equality_keyword ~width:8 7) (Bitvec.equality_keyword ~width:8 7));
+  Alcotest.(check bool) "different values differ" false
+    (String.equal (Bitvec.equality_keyword ~width:8 7) (Bitvec.equality_keyword ~width:8 8));
+  Alcotest.(check bool) "attr separates" false
+    (String.equal (Bitvec.equality_keyword ~attr:"a" ~width:8 7) (Bitvec.equality_keyword ~attr:"b" ~width:8 7))
+
+(* --- SORE ----------------------------------------------------------------- *)
+
+(* The paper's Fig. 2 example: plaintexts 5 and 8, queries (6, oc) and
+   (4, oc) at width 4. *)
+let test_fig2_example () =
+  let r = rng () in
+  let ct5 = Sore.encrypt ~rng:r sore_key ~width:4 5 in
+  let ct8 = Sore.encrypt ~rng:r sore_key ~width:4 8 in
+  let tk6_gt = Sore.token ~rng:r sore_key ~width:4 6 Bitvec.Gt in
+  let tk6_lt = Sore.token ~rng:r sore_key ~width:4 6 Bitvec.Lt in
+  let tk4_gt = Sore.token ~rng:r sore_key ~width:4 4 Bitvec.Gt in
+  let tk4_lt = Sore.token ~rng:r sore_key ~width:4 4 Bitvec.Lt in
+  Alcotest.(check bool) "6 > 5" true (Sore.compare_ct ct5 tk6_gt);
+  Alcotest.(check bool) "6 < 5 false" false (Sore.compare_ct ct5 tk6_lt);
+  Alcotest.(check bool) "6 < 8" true (Sore.compare_ct ct8 tk6_lt);
+  Alcotest.(check bool) "6 > 8 false" false (Sore.compare_ct ct8 tk6_gt);
+  Alcotest.(check bool) "4 < 5" true (Sore.compare_ct ct5 tk4_lt);
+  Alcotest.(check bool) "4 > 5 false" false (Sore.compare_ct ct5 tk4_gt)
+
+let test_sore_exhaustive_width4 () =
+  let r = rng () in
+  for x = 0 to 15 do
+    let tk_gt = Sore.token ~rng:r sore_key ~width:4 x Bitvec.Gt in
+    let tk_lt = Sore.token ~rng:r sore_key ~width:4 x Bitvec.Lt in
+    for y = 0 to 15 do
+      let ct = Sore.encrypt ~rng:r sore_key ~width:4 y in
+      if Sore.compare_ct ct tk_gt <> (x > y) then Alcotest.failf "gt mismatch at %d,%d" x y;
+      if Sore.compare_ct ct tk_lt <> (x < y) then Alcotest.failf "lt mismatch at %d,%d" x y
+    done
+  done
+
+let test_sore_slice_count () =
+  let r = rng () in
+  let ct = Sore.encrypt ~rng:r sore_key ~width:16 12345 in
+  Alcotest.(check int) "b slices" 16 (List.length ct.Sore.ct_slices);
+  Alcotest.(check int) "16 bytes each" 16 (String.length (List.hd ct.Sore.ct_slices));
+  Alcotest.(check int) "ciphertext bytes" 256 (Sore.ciphertext_bytes ct)
+
+let test_sore_key_separation () =
+  let r = rng () in
+  let other_key = Sore.key_of_bytes "fedcba9876543210" in
+  let ct = Sore.encrypt ~rng:r sore_key ~width:8 10 in
+  let tk = Sore.token ~rng:r other_key ~width:8 20 Bitvec.Gt in
+  Alcotest.(check bool) "cross-key never matches" false (Sore.compare_ct ct tk)
+
+let test_sore_width_mismatch () =
+  let r = rng () in
+  let ct = Sore.encrypt ~rng:r sore_key ~width:8 10 in
+  let tk = Sore.token ~rng:r sore_key ~width:16 20 Bitvec.Gt in
+  Alcotest.check_raises "width mismatch" (Invalid_argument "Sore: width mismatch") (fun () ->
+      ignore (Sore.compare_ct ct tk))
+
+let test_sore_slices_distinct () =
+  (* The b slices of one ciphertext are pairwise distinct (distinct
+     tuples through an injective-whp PRF). *)
+  let r = rng () in
+  for v = 0 to 40 do
+    let ct = Sore.encrypt ~rng:r sore_key ~width:16 (v * 1601 land 0xffff) in
+    let sorted = List.sort_uniq compare ct.Sore.ct_slices in
+    if List.length sorted <> 16 then Alcotest.failf "duplicate slice for %d" v
+  done
+
+let test_lewi_wu_width_cap () =
+  let key = Lewi_wu.keygen ~rng:(rng ()) in
+  Alcotest.check_raises "width cap" (Invalid_argument "Lewi_wu: width must be in [1, 12]")
+    (fun () -> ignore (Lewi_wu.encrypt_left key ~width:13 0))
+
+let test_ope_monotone_sweep () =
+  (* Exhaustive monotonicity on a full small domain. *)
+  let key = Ope.keygen ~rng:(rng ()) in
+  let prev = ref (-1) in
+  for v = 0 to 63 do
+    let c = Ope.encrypt key ~width:6 v in
+    if c <= !prev then Alcotest.failf "not strictly increasing at %d" v;
+    prev := c
+  done
+
+let test_shuffle_preserves_elements () =
+  let r = rng () in
+  let xs = List.init 50 string_of_int in
+  let shuffled = Sore.shuffle ~rng:r xs in
+  Alcotest.(check (list string)) "same multiset" (List.sort compare xs) (List.sort compare shuffled)
+
+(* --- properties ------------------------------------------------------------ *)
+
+let gen_pair_width =
+  let open QCheck2.Gen in
+  let* width = int_range 2 24 in
+  let* x = int_range 0 ((1 lsl width) - 1) in
+  let* y = int_range 0 ((1 lsl width) - 1) in
+  return (width, x, y)
+
+let gen_pair_small =
+  let open QCheck2.Gen in
+  let* width = int_range 2 10 in
+  let* x = int_range 0 ((1 lsl width) - 1) in
+  let* y = int_range 0 ((1 lsl width) - 1) in
+  return (width, x, y)
+
+let sore_props =
+  [ prop "theorem 1: compare = order (gt)" gen_pair_width (fun (width, x, y) ->
+        let r = Drbg.create ~seed:(Printf.sprintf "t1-%d-%d-%d" width x y) in
+        let ct = Sore.encrypt ~rng:r sore_key ~width y in
+        let tk = Sore.token ~rng:r sore_key ~width x Bitvec.Gt in
+        Sore.compare_ct ct tk = (x > y));
+    prop "theorem 1: compare = order (lt)" gen_pair_width (fun (width, x, y) ->
+        let r = Drbg.create ~seed:(Printf.sprintf "t2-%d-%d-%d" width x y) in
+        let ct = Sore.encrypt ~rng:r sore_key ~width y in
+        let tk = Sore.token ~rng:r sore_key ~width x Bitvec.Lt in
+        Sore.compare_ct ct tk = (x < y));
+    prop "at most one common slice" gen_pair_width (fun (width, x, y) ->
+        let r = Drbg.create ~seed:(Printf.sprintf "t3-%d-%d-%d" width x y) in
+        let ct = Sore.encrypt ~rng:r sore_key ~width y in
+        let tk = Sore.token ~rng:r sore_key ~width x Bitvec.Gt in
+        Sore.common_slices ct tk <= 1);
+    prop "equality matches neither direction" (QCheck2.Gen.int_range 0 65535) (fun v ->
+        let r = Drbg.create ~seed:(Printf.sprintf "t4-%d" v) in
+        let ct = Sore.encrypt ~rng:r sore_key ~width:16 v in
+        (not (Sore.compare_ct ct (Sore.token ~rng:r sore_key ~width:16 v Bitvec.Gt)))
+        && not (Sore.compare_ct ct (Sore.token ~rng:r sore_key ~width:16 v Bitvec.Lt)))
+  ]
+
+let baseline_props =
+  [ prop "chenette agrees with integer compare" gen_pair_width (fun (width, x, y) ->
+        let key = Chenette.keygen ~rng:(Drbg.create ~seed:"ck") in
+        Chenette.compare_ct (Chenette.encrypt key ~width x) (Chenette.encrypt key ~width y) = compare x y);
+    prop "chenette leaks first differing bit" gen_pair_width (fun (width, x, y) ->
+        let key = Chenette.keygen ~rng:(Drbg.create ~seed:"ck") in
+        let leak = Chenette.first_diff_index (Chenette.encrypt key ~width x) (Chenette.encrypt key ~width y) in
+        let rec first_diff i = if i > width then None else if Bitvec.bit ~width x i <> Bitvec.bit ~width y i then Some i else first_diff (i + 1) in
+        leak = first_diff 1);
+    prop "lewi-wu agrees with integer compare" ~count:100 gen_pair_small (fun (width, x, y) ->
+        let r = Drbg.create ~seed:"lw" in
+        let key = Lewi_wu.keygen ~rng:r in
+        let l = Lewi_wu.encrypt_left key ~width x in
+        let rt = Lewi_wu.encrypt_right ~rng:r key ~width y in
+        Lewi_wu.compare_ct l rt = compare x y);
+    prop "ope preserves order" gen_pair_width (fun (width, x, y) ->
+        let key = Ope.keygen ~rng:(Drbg.create ~seed:"ope") in
+        let cx = Ope.encrypt key ~width x and cy = Ope.encrypt key ~width y in
+        Ope.compare_ct cx cy = compare x y);
+    prop "ope deterministic" gen_pair_width (fun (width, x, _) ->
+        let key = Ope.keygen ~rng:(Drbg.create ~seed:"ope") in
+        Ope.encrypt key ~width x = Ope.encrypt key ~width x)
+  ]
+
+let () =
+  Alcotest.run "ore"
+    [ ( "bitvec",
+        [ Alcotest.test_case "bits and prefixes" `Quick test_bits;
+          Alcotest.test_case "bounds" `Quick test_bitvec_bounds;
+          Alcotest.test_case "tuple match = order (exhaustive w4)" `Quick test_tuple_distinctness;
+          Alcotest.test_case "attributes separate" `Quick test_attr_separates;
+          Alcotest.test_case "equality keyword" `Quick test_equality_keyword ] );
+      ( "sore",
+        [ Alcotest.test_case "paper Fig. 2 example" `Quick test_fig2_example;
+          Alcotest.test_case "exhaustive width 4" `Quick test_sore_exhaustive_width4;
+          Alcotest.test_case "slice count and size" `Quick test_sore_slice_count;
+          Alcotest.test_case "key separation" `Quick test_sore_key_separation;
+          Alcotest.test_case "width mismatch" `Quick test_sore_width_mismatch;
+          Alcotest.test_case "slices distinct" `Quick test_sore_slices_distinct;
+          Alcotest.test_case "lewi-wu width cap" `Quick test_lewi_wu_width_cap;
+          Alcotest.test_case "ope monotone sweep" `Quick test_ope_monotone_sweep;
+          Alcotest.test_case "shuffle preserves elements" `Quick test_shuffle_preserves_elements ] );
+      ("sore properties", sore_props);
+      ("baseline properties", baseline_props) ]

@@ -1,0 +1,164 @@
+(* Tests for the ServeDB-style baseline: dyadic decomposition
+   correctness, end-to-end verified range search against a plaintext
+   oracle, tamper detection, and completeness via absence proofs. *)
+
+let prop name ?(count = 200) gen p =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen p)
+
+let key = Servedb.keygen ~rng:(Drbg.create ~seed:"servedb-key")
+
+(* --- dyadic ------------------------------------------------------------- *)
+
+let test_cover_basics () =
+  let width = 4 in
+  (* Full domain: one level-0 segment. *)
+  (match Dyadic.cover ~width ~lo:0 ~hi:15 with
+   | [ seg ] -> Alcotest.(check int) "level 0" 0 seg.Dyadic.seg_level
+   | _ -> Alcotest.fail "full domain should be one segment");
+  (* Single value: one level-width segment. *)
+  (match Dyadic.cover ~width ~lo:7 ~hi:7 with
+   | [ seg ] ->
+     Alcotest.(check int) "leaf level" width seg.Dyadic.seg_level;
+     Alcotest.(check int) "leaf lo" 7 seg.Dyadic.seg_lo
+   | _ -> Alcotest.fail "single value should be one segment");
+  Alcotest.check_raises "bad range" (Invalid_argument "Dyadic.cover: invalid range") (fun () ->
+      ignore (Dyadic.cover ~width ~lo:5 ~hi:4))
+
+let test_segments_of_value () =
+  let segs = Dyadic.segments_of_value ~width:4 5 in
+  Alcotest.(check int) "width+1 levels" 5 (List.length segs);
+  List.iter
+    (fun seg -> Alcotest.(check bool) "contains value" true (Dyadic.mem ~width:4 seg 5))
+    segs
+
+let dyadic_props =
+  [ prop "cover is exact and disjoint"
+      QCheck2.Gen.(
+        let* width = int_range 2 12 in
+        let* a = int_range 0 ((1 lsl width) - 1) in
+        let* b = int_range 0 ((1 lsl width) - 1) in
+        return (width, Stdlib.min a b, Stdlib.max a b))
+      (fun (width, lo, hi) ->
+        let segs = Dyadic.cover ~width ~lo ~hi in
+        (* Exactness: v covered iff lo <= v <= hi; disjointness: never
+           covered twice. *)
+        let ok = ref true in
+        for v = 0 to (1 lsl width) - 1 do
+          let hits = List.length (List.filter (fun s -> Dyadic.mem ~width s v) segs) in
+          let expected = if v >= lo && v <= hi then 1 else 0 in
+          if hits <> expected then ok := false
+        done;
+        !ok && List.length segs <= (2 * width) + 1);
+    prop "value segments match labels"
+      QCheck2.Gen.(
+        let* width = int_range 2 12 in
+        let* v = int_range 0 ((1 lsl width) - 1) in
+        return (width, v))
+      (fun (width, v) ->
+        List.for_all
+          (fun seg -> String.equal (Dyadic.label ~width seg) (Bitvec.prefix ~width v seg.Dyadic.seg_level))
+          (Dyadic.segments_of_value ~width v))
+  ]
+
+(* --- servedb end-to-end --------------------------------------------------- *)
+
+let width = 6
+
+let db =
+  let rng = Drbg.create ~seed:"servedb-db" in
+  List.init 40 (fun i -> (Printf.sprintf "R%d" i, Drbg.uniform_int rng (1 lsl width)))
+
+let server = Servedb.build key ~width db
+
+let oracle lo hi = List.filter_map (fun (id, v) -> if v >= lo && v <= hi then Some id else None) db
+
+let run_range lo hi =
+  let rsp = Servedb.search key server ~width ~lo ~hi in
+  Servedb.verify_and_decrypt key ~root:(Servedb.root server) ~width ~lo ~hi rsp
+
+let test_range_oracle () =
+  List.iter
+    (fun (lo, hi) ->
+      match run_range lo hi with
+      | None -> Alcotest.failf "verification failed for [%d,%d]" lo hi
+      | Some ids ->
+        Alcotest.(check (list string))
+          (Printf.sprintf "[%d,%d]" lo hi)
+          (List.sort compare (oracle lo hi))
+          (List.sort compare ids))
+    [ (0, 63); (0, 0); (63, 63); (10, 20); (31, 32); (5, 58); (42, 42) ]
+
+let test_empty_range_absence () =
+  (* A range with no matching records must still verify (completeness
+     via absence proofs) and return nothing. *)
+  let empty =
+    let rec find lo = if oracle lo lo = [] then lo else find (lo + 1) in
+    find 0
+  in
+  match run_range empty empty with
+  | Some [] -> ()
+  | Some _ -> Alcotest.fail "expected no results"
+  | None -> Alcotest.fail "absence proofs must verify"
+
+let test_tamper_detected () =
+  let lo, hi = (10, 50) in
+  let rsp = Servedb.search key server ~width ~lo ~hi in
+  (* Drop one present leaf entirely: the missing cover tag has neither
+     inclusion nor absence evidence. *)
+  (match rsp.Servedb.rsp_present with
+   | _ :: rest ->
+     let tampered = { rsp with Servedb.rsp_present = rest } in
+     (match Servedb.verify_and_decrypt key ~root:(Servedb.root server) ~width ~lo ~hi tampered with
+      | None -> ()
+      | Some _ -> Alcotest.fail "dropped leaf must be detected")
+   | [] -> Alcotest.fail "expected at least one present leaf");
+  (* Tamper with the IDs inside a leaf: the Merkle proof breaks. *)
+  (match rsp.Servedb.rsp_present with
+   | ev :: rest ->
+     let forged = { ev with Servedb.ev_ids = List.tl ev.Servedb.ev_ids } in
+     let tampered = { rsp with Servedb.rsp_present = forged :: rest } in
+     (match Servedb.verify_and_decrypt key ~root:(Servedb.root server) ~width ~lo ~hi tampered with
+      | None -> ()
+      | Some _ -> Alcotest.fail "forged leaf must be detected")
+   | [] -> ())
+
+let test_wrong_root_rejected () =
+  let lo, hi = (0, 63) in
+  let rsp = Servedb.search key server ~width ~lo ~hi in
+  let other = Servedb.build key ~width [ ("X", 1) ] in
+  match Servedb.verify_and_decrypt key ~root:(Servedb.root other) ~width ~lo ~hi rsp with
+  | None -> ()
+  | Some _ -> Alcotest.fail "stale root must be rejected"
+
+let test_insert_rebuilds () =
+  let server' = Servedb.insert key server ~width [ ("fresh", 33) ] in
+  Alcotest.(check bool) "root changed" false (String.equal (Servedb.root server) (Servedb.root server'));
+  let rsp = Servedb.search key server' ~width ~lo:33 ~hi:33 in
+  match Servedb.verify_and_decrypt key ~root:(Servedb.root server') ~width ~lo:33 ~hi:33 rsp with
+  | Some ids -> Alcotest.(check bool) "fresh found" true (List.mem "fresh" ids)
+  | None -> Alcotest.fail "post-insert verification failed"
+
+let servedb_props =
+  [ prop "random ranges match oracle" ~count:60
+      QCheck2.Gen.(
+        let* a = int_range 0 ((1 lsl width) - 1) in
+        let* b = int_range 0 ((1 lsl width) - 1) in
+        return (Stdlib.min a b, Stdlib.max a b))
+      (fun (lo, hi) ->
+        match run_range lo hi with
+        | None -> false
+        | Some ids -> List.sort compare ids = List.sort compare (oracle lo hi)) ]
+
+let () =
+  Alcotest.run "servedb"
+    [ ( "dyadic",
+        [ Alcotest.test_case "cover basics" `Quick test_cover_basics;
+          Alcotest.test_case "segments of value" `Quick test_segments_of_value ] );
+      ("dyadic properties", dyadic_props);
+      ( "servedb",
+        [ Alcotest.test_case "range oracle" `Quick test_range_oracle;
+          Alcotest.test_case "empty range absence" `Quick test_empty_range_absence;
+          Alcotest.test_case "tamper detected" `Quick test_tamper_detected;
+          Alcotest.test_case "wrong root rejected" `Quick test_wrong_root_rejected;
+          Alcotest.test_case "insert rebuilds" `Quick test_insert_rebuilds ] );
+      ("servedb properties", servedb_props) ]

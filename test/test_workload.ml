@@ -1,0 +1,105 @@
+(* Tests for the workload generators and a randomized end-to-end oracle
+   property over the whole protocol stack. *)
+
+let rng () = Drbg.create ~seed:"workload-tests"
+
+let prop name ?(count = 50) gen p =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen p)
+
+(* --- generators ---------------------------------------------------------- *)
+
+let test_uniform_records () =
+  let records = Gen.uniform_records ~rng:(rng ()) ~width:8 100 in
+  Alcotest.(check int) "count" 100 (List.length records);
+  List.iter
+    (fun r ->
+      Slicer_types.check_record ~width:8 r;
+      match r.Slicer_types.fields with
+      | [ ("", v) ] -> if v < 0 || v > 255 then Alcotest.fail "value out of range"
+      | _ -> Alcotest.fail "single anonymous field expected")
+    records;
+  let ids = List.map (fun r -> r.Slicer_types.id) records in
+  Alcotest.(check int) "unique ids" 100 (List.length (List.sort_uniq compare ids))
+
+let test_zipf_skew () =
+  let records = Gen.zipf_records ~rng:(rng ()) ~width:8 2000 in
+  let counts = Hashtbl.create 64 in
+  List.iter
+    (fun r ->
+      let v = List.assoc "" r.Slicer_types.fields in
+      if v < 0 || v > 255 then Alcotest.fail "zipf value out of range";
+      Hashtbl.replace counts v (1 + Option.value ~default:0 (Hashtbl.find_opt counts v)))
+    records;
+  let count v = Option.value ~default:0 (Hashtbl.find_opt counts v) in
+  (* Rank 1 (value 0) must dominate a deep-tail value decisively. *)
+  Alcotest.(check bool) "head beats tail" true (count 0 > 10 * Stdlib.max 1 (count 200));
+  Alcotest.(check bool) "head is heavy" true (count 0 > 100)
+
+let test_multiattr_shape () =
+  let records = Gen.multiattr_records ~rng:(rng ()) ~width:10 ~attrs:[ "a"; "b"; "c" ] 20 in
+  List.iter
+    (fun r ->
+      Alcotest.(check (list string)) "attrs" [ "a"; "b"; "c" ]
+        (List.map fst r.Slicer_types.fields))
+    records;
+  Alcotest.check_raises "no attrs" (Invalid_argument "Gen.multiattr_records: need at least one attribute")
+    (fun () -> ignore (Gen.multiattr_records ~rng:(rng ()) ~width:8 ~attrs:[] 5))
+
+let test_query_generators () =
+  let r = rng () in
+  for _ = 1 to 100 do
+    let q = Gen.random_query ~rng:r ~width:8 () in
+    if q.Slicer_types.q_value < 0 || q.Slicer_types.q_value > 255 then
+      Alcotest.fail "query value out of range"
+  done;
+  let eq = Gen.random_equality_query ~rng:r ~width:8 () in
+  Alcotest.(check bool) "eq cond" true (eq.Slicer_types.q_cond = Slicer_types.Eq);
+  let ord = Gen.random_order_query ~rng:r ~width:8 () in
+  Alcotest.(check bool) "order cond" true
+    (ord.Slicer_types.q_cond = Slicer_types.Gt || ord.Slicer_types.q_cond = Slicer_types.Lt)
+
+(* --- randomized end-to-end oracle ---------------------------------------- *)
+
+(* One shared system; queries randomized by qcheck. The off-chain path
+   keeps the property fast while still exercising owner, cloud, SORE,
+   ADS and local verification. *)
+let oracle_width = 6
+
+let oracle_db = Gen.uniform_records ~rng:(Drbg.create ~seed:"oracle-db") ~width:oracle_width 30
+
+let oracle_system =
+  lazy
+    (let s = Protocol.setup ~width:oracle_width ~seed:"oracle" oracle_db in
+     Cloud.precompute_witnesses (Protocol.cloud s);
+     s)
+
+let gen_query =
+  let open QCheck2.Gen in
+  let* v = int_range 0 ((1 lsl oracle_width) - 1) in
+  let* cond = oneofl [ Slicer_types.Eq; Slicer_types.Gt; Slicer_types.Lt ] in
+  return (Slicer_types.query v cond)
+
+let oracle_props =
+  [ prop "random queries match plaintext oracle" ~count:60 gen_query (fun q ->
+        let s = Lazy.force oracle_system in
+        let claims, verified = Protocol.search_offchain s q in
+        let ids =
+          List.concat_map (fun (c : Slicer_contract.claim) -> c.Slicer_contract.results) claims
+          |> User.decrypt_results (Protocol.user s)
+          |> List.sort compare
+        in
+        verified && ids = List.sort compare (Slicer_types.reference_search oracle_db q));
+    prop "verification object count = token count" ~count:30 gen_query (fun q ->
+        let s = Lazy.force oracle_system in
+        let claims, _ = Protocol.search_offchain s q in
+        let tokens = User.gen_tokens ~rng:(Protocol.rng s) (Protocol.user s) q in
+        List.length claims = List.length tokens) ]
+
+let () =
+  Alcotest.run "workload"
+    [ ( "generators",
+        [ Alcotest.test_case "uniform records" `Quick test_uniform_records;
+          Alcotest.test_case "zipf skew" `Quick test_zipf_skew;
+          Alcotest.test_case "multi-attribute shape" `Quick test_multiattr_shape;
+          Alcotest.test_case "query generators" `Quick test_query_generators ] );
+      ("end-to-end oracle", oracle_props) ]
