@@ -31,6 +31,68 @@ let full_scale =
     insert_batches = [ 250; 500; 1000; 2000 ];
     queries_per_point = 3 }
 
+(* Seconds-scale points so `dune runtest` can exercise the whole harness
+   (including the --json emitter) inside the tier-1 budget. *)
+let smoke_scale =
+  { label = "smoke (tiny; exercised by dune runtest)";
+    widths = [ 8 ];
+    sizes = [ 50; 100 ];
+    order_sizes = [ 50 ];
+    insert_preload = 50;
+    insert_batches = [ 10; 20 ];
+    queries_per_point = 1 }
+
+let scale_of_label = function
+  | "smoke" -> Some smoke_scale
+  | "default" -> Some default_scale
+  | "full" -> Some full_scale
+  | _ -> None
+
+(* --- machine-readable output (--json FILE) ------------------------------ *)
+
+(* Figure modules call [json_row] for every measured point; [write_json]
+   dumps the accumulated rows as a JSON array. Hand-rolled writer: the
+   value space is figure/series labels, ints and floats only. *)
+
+let json_rows : string list ref = ref []
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+type json_value = J_str of string | J_int of int | J_float of float
+
+let json_row ~figure ~series fields =
+  let field (k, v) =
+    let value =
+      match v with
+      | J_str s -> Printf.sprintf "\"%s\"" (json_escape s)
+      | J_int i -> string_of_int i
+      | J_float f ->
+        if Float.is_finite f then Printf.sprintf "%.6f" f else "null"
+    in
+    Printf.sprintf "\"%s\": %s" (json_escape k) value
+  in
+  let all = ("figure", J_str figure) :: ("series", J_str series) :: fields in
+  json_rows := Printf.sprintf "{%s}" (String.concat ", " (List.map field all)) :: !json_rows
+
+let write_json path =
+  let oc = open_out path in
+  output_string oc "[\n";
+  output_string oc (String.concat ",\n" (List.rev !json_rows));
+  output_string oc "\n]\n";
+  close_out oc;
+  Printf.printf "\nwrote %d benchmark rows to %s\n" (List.length !json_rows) path
+
 let time f =
   let t0 = Unix.gettimeofday () in
   let r = f () in

@@ -19,6 +19,14 @@ let run (scale : Bench_common.scale) =
         (fun size ->
           let sys = Bench_common.build_system ~width ~size in
           let t = Owner.last_timings sys.Bench_common.bs_owner in
+          Bench_common.json_row ~figure:"fig3-4" ~series:"build"
+            [ ("records", Bench_common.J_int size);
+              ("bits", Bench_common.J_int width);
+              ("index_seconds", Bench_common.J_float t.Owner.index_seconds);
+              ("ads_seconds", Bench_common.J_float t.Owner.ads_seconds);
+              ("index_bytes", Bench_common.J_int (Cloud.index_bytes sys.Bench_common.bs_cloud));
+              ("ads_bytes", Bench_common.J_int (Cloud.ads_bytes sys.Bench_common.bs_cloud));
+              ("keywords", Bench_common.J_int (Owner.keyword_count sys.Bench_common.bs_owner)) ];
           Bench_common.row (string_of_int size)
             [ Bench_common.seconds t.Owner.index_seconds;
               Bench_common.seconds t.Owner.ads_seconds;

@@ -24,6 +24,12 @@ let run (scale : Bench_common.scale) =
           in
           let shipment = Owner.insert sys.Bench_common.bs_owner records in
           let t = Owner.last_timings sys.Bench_common.bs_owner in
+          Bench_common.json_row ~figure:"fig7" ~series:"insert"
+            [ ("records", Bench_common.J_int batch);
+              ("bits", Bench_common.J_int width);
+              ("index_seconds", Bench_common.J_float t.Owner.index_seconds);
+              ("ads_seconds", Bench_common.J_float t.Owner.ads_seconds);
+              ("new_primes", Bench_common.J_int (List.length shipment.Owner.sh_primes)) ];
           Bench_common.row (string_of_int batch)
             [ Bench_common.seconds t.Owner.index_seconds;
               Bench_common.seconds t.Owner.ads_seconds;

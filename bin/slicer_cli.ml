@@ -70,12 +70,27 @@ let verbose_arg =
   let doc = "Enable protocol debug logging." in
   Arg.(value & flag & info [ "verbose" ] ~doc)
 
+let domains_arg =
+  let doc =
+    "Worker domains for ADS construction and VO generation (default 1 = \
+     sequential; results are bit-identical at any setting)."
+  in
+  Arg.(value & opt int 1 & info [ "domains"; "j" ] ~docv:"N" ~doc)
+
+let setup_domains d =
+  if d < 1 then begin
+    prerr_endline "slicer: --domains must be >= 1";
+    exit 1
+  end;
+  Parallel.set_domains d
+
 let setup_logs verbose =
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.Src.set_level Protocol.log_src (Some (if verbose then Logs.Debug else Logs.Info))
 
-let run_demo width seed records behavior value cond verbose =
+let run_demo width seed records behavior value cond verbose domains =
   setup_logs verbose;
+  setup_domains domains;
   if width < 1 || width > Bitvec.max_width then `Error (false, "width out of range")
   else begin
     Printf.printf "Building a %d-record system (width %d, seed %S)...\n" records width seed;
@@ -105,7 +120,7 @@ let demo_cmd =
     Term.(
       ret
         (const run_demo $ width_arg $ seed_arg $ records_arg $ behavior_arg $ value_arg
-       $ cond_arg $ verbose_arg))
+       $ cond_arg $ verbose_arg $ domains_arg))
 
 (* --- sore ------------------------------------------------------------- *)
 

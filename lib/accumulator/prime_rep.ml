@@ -2,8 +2,24 @@ let counter_bits = 16
 
 (* H_prime is a pure function each party (owner, cloud, contract)
    evaluates on the same inputs; a process-wide memo table removes the
-   repeated prime walks. *)
+   repeated prime walks. The table is mutex-guarded so batched
+   generation can fan the (pure) prime walks out across domains, and
+   bounded so a long-lived server cannot grow it without limit. *)
+let cache_limit = 1_000_000
 let cache : (string, Bigint.t) Hashtbl.t = Hashtbl.create 4096
+let cache_lock = Mutex.create ()
+let hits = ref 0
+let misses = ref 0
+
+type cache_stats = { cs_entries : int; cs_hits : int; cs_misses : int; cs_limit : int }
+
+let cache_stats () =
+  Mutex.lock cache_lock;
+  let s =
+    { cs_entries = Hashtbl.length cache; cs_hits = !hits; cs_misses = !misses; cs_limit = cache_limit }
+  in
+  Mutex.unlock cache_lock;
+  s
 
 (* The candidate walk sieves incrementally: the residue of [base] modulo
    each small prime is computed once with bigint division, after which
@@ -37,12 +53,55 @@ let to_prime_uncached s =
   in
   walk 1 (* odd offsets only *)
 
+let lookup s =
+  Mutex.lock cache_lock;
+  let r = Hashtbl.find_opt cache s in
+  (match r with Some _ -> incr hits | None -> incr misses);
+  Mutex.unlock cache_lock;
+  r
+
+let store s x =
+  Mutex.lock cache_lock;
+  if Hashtbl.length cache < cache_limit then Hashtbl.replace cache s x;
+  Mutex.unlock cache_lock
+
 let to_prime s =
-  match Hashtbl.find_opt cache s with
+  match lookup s with
   | Some x -> x
   | None ->
     let x = to_prime_uncached s in
-    if Hashtbl.length cache < 1_000_000 then Hashtbl.replace cache s x;
+    store s x;
     x
+
+let to_primes ss =
+  (* One pass partitions hits from misses; the misses (deduplicated, so
+     a repeated token costs one walk) fan out across the pool. The prime
+     walk is a pure function of the input string, so parallel order
+     cannot change any representative. *)
+  let cached = List.map (fun s -> (s, lookup s)) ss in
+  let fresh = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun (s, r) ->
+      if r = None && not (Hashtbl.mem fresh s) then begin
+        Hashtbl.replace fresh s None;
+        order := s :: !order
+      end)
+    cached;
+  let todo = Array.of_list (List.rev !order) in
+  if Array.length todo > 0 then begin
+    let found = Parallel.Pool.map (Parallel.pool ()) to_prime_uncached todo in
+    Array.iteri
+      (fun i s ->
+        Hashtbl.replace fresh s (Some found.(i));
+        store s found.(i))
+      todo
+  end;
+  List.map
+    (fun (s, r) ->
+      match r with
+      | Some x -> x
+      | None -> ( match Hashtbl.find fresh s with Some x -> x | None -> assert false ))
+    cached
 
 let is_representative_of x s = Bigint.equal x (to_prime s)

@@ -13,9 +13,26 @@ val counter_bits : int
 val to_prime : string -> Bigint.t
 (** [to_prime s] is the deterministic 272-bit prime representative of
     [s]. All honest parties (owner, cloud, contract) compute the same
-    prime for the same token-and-hash string.
+    prime for the same token-and-hash string. Results are memoized in a
+    bounded, mutex-guarded process-wide table, so Build/Insert/Search/
+    Verify evaluating the same [token‖hash] pay the Miller-Rabin walk
+    once.
     @raise Failure in the cryptographically negligible event that no
     prime lies in the candidate interval. *)
+
+val to_primes : string list -> Bigint.t list
+(** Batch {!to_prime}, preserving order. Uncached inputs are
+    deduplicated and their prime walks fanned out across the shared
+    domain pool ({!Parallel.pool}) — the walk is a pure function of its
+    input, so every returned representative is identical to the
+    sequential [List.map to_prime]. This is the owner's per-keyword ADS
+    hot path during Build/Insert. *)
+
+type cache_stats = { cs_entries : int; cs_hits : int; cs_misses : int; cs_limit : int }
+
+val cache_stats : unit -> cache_stats
+(** Occupancy and hit counters of the memo table (the table stops
+    inserting, but stays correct, at [cs_limit] entries). *)
 
 val is_representative_of : Bigint.t -> string -> bool
 (** Checks that a claimed prime is exactly [to_prime s]. *)

@@ -19,42 +19,145 @@ let default_params =
   in
   fun () -> Lazy.force memo
 
+(* --- the batched/parallel substrate ------------------------------------ *)
+
+(* Every chunked exponentiation fans out on the process-wide pool;
+   sequential (domains=1) is the default, so the fan-out degenerates to
+   an in-order loop and results are identical either way. *)
+let run_chunks thunks = Parallel.Pool.run_all (Parallel.pool ()) thunks
+
+(* Π xs by a balanced product tree (Pool.reduce): with Karatsuba
+   multiplication underneath this is O(M(B) log n) for B total exponent
+   bits, versus O(B²/n) for the naive left fold. *)
+let product xs = Parallel.Pool.reduce (Parallel.pool ()) Bigint.mul Bigint.one (Array.of_list xs)
+
+(* Fixed-base anchor chains for (modulus, generator), shared process-wide
+   so every accumulate/witness over the same public parameters reuses the
+   same precomputed squarings. *)
+let fixed_lock = Mutex.create ()
+let fixed_cache : (string, Bigint.Fixed_base.powers) Hashtbl.t = Hashtbl.create 4
+
+let fixed_of params =
+  let key = Bigint.to_hex params.modulus ^ "|" ^ Bigint.to_hex params.generator in
+  Mutex.lock fixed_lock;
+  let fb =
+    match Hashtbl.find_opt fixed_cache key with
+    | Some fb -> fb
+    | None ->
+      let fb = Bigint.Fixed_base.create ~modulus:params.modulus params.generator in
+      Hashtbl.replace fixed_cache key fb;
+      fb
+  in
+  Mutex.unlock fixed_lock;
+  fb
+
+(* The anchor chain costs one squaring per bit of coverage — a full
+   direct exponentiation — so one-shot callers ([accumulate],
+   [non_mem_witness]) only use it when it is already built or a parallel
+   pool can recoup the investment; otherwise they take the plain
+   sliding-window ladder. Reuse-heavy callers ([ctx_*], [all_witnesses])
+   call [g_pow_cached], which always invests: every subsequent witness
+   then costs ~bits/8 multiplies instead of [bits] squarings. The value
+   is identical on every path. *)
+let g_pow_cached params e = Bigint.Fixed_base.pow ~run:run_chunks (fixed_of params) e
+
+let g_pow params e =
+  let fb = fixed_of params in
+  if Parallel.Pool.size (Parallel.pool ()) > 1 || Bigint.Fixed_base.ready fb e then
+    Bigint.Fixed_base.pow ~run:run_chunks fb e
+  else Bigint.mod_pow params.generator e params.modulus
+
+(* --- accumulation ------------------------------------------------------ *)
+
 let accumulate params xs =
-  List.fold_left (fun ac x -> Bigint.mod_pow ac x params.modulus) params.generator xs
+  match xs with
+  | [] -> params.generator
+  | [ x ] -> Bigint.mod_pow params.generator x params.modulus
+  | _ -> g_pow params (product xs)
 
 let add params ac x = Bigint.mod_pow ac x params.modulus
 
+let add_batch params ac xs =
+  match xs with
+  | [] -> ac
+  | [ x ] -> add params ac x
+  | _ -> Bigint.mod_pow ac (product xs) params.modulus
+
+(* --- membership witnesses ---------------------------------------------- *)
+
 let mem_witness params xs x =
-  let rec drop_one seen = function
-    | [] -> invalid_arg "Rsa_acc.mem_witness: element not in set"
-    | y :: rest -> if Bigint.equal y x then List.rev_append seen rest else drop_one (y :: seen) rest
+  if not (List.exists (fun y -> Bigint.equal y x) xs) then
+    invalid_arg "Rsa_acc.mem_witness: element not in set";
+  (* One occurrence divides out of the product exactly. *)
+  g_pow params (Bigint.div (product xs) x)
+
+(* Product segment tree: each node carries Π of its range so the witness
+   descent raises a node's base by the sibling product in one
+   exponentiation (instead of one mod_pow per prime). *)
+type ptree =
+  | Pleaf of Bigint.t * int
+  | Pnode of Bigint.t * ptree * ptree
+
+let tree_product = function Pleaf (x, _) -> x | Pnode (p, _, _) -> p
+
+let spawn_depth pool =
+  let rec log2up n = if n <= 1 then 0 else 1 + log2up ((n + 1) / 2) in
+  log2up (Parallel.Pool.size pool) + 2
+
+let build_tree pool arr =
+  let rec go lo hi depth =
+    if hi - lo = 1 then Pleaf (arr.(lo), lo)
+    else begin
+      let mid = (lo + hi) / 2 in
+      let l, r =
+        if depth > 0 then
+          Parallel.Pool.both pool (fun () -> go lo mid (depth - 1)) (fun () -> go mid hi (depth - 1))
+        else (go lo mid 0, go mid hi 0)
+      in
+      Pnode (Bigint.mul (tree_product l) (tree_product r), l, r)
+    end
   in
-  accumulate params (drop_one [] xs)
+  go 0 (Array.length arr) (spawn_depth pool)
 
 let all_witnesses params xs =
-  (* Root splitting: witness(x in xs) = g^(Π xs \ x). Recursively raise
-     the running base to the product of the *other* half's primes. *)
   let arr = Array.of_list xs in
   let n = Array.length arr in
   if n = 0 then []
   else begin
+    let pool = Parallel.pool () in
     let out = Array.make n Bigint.zero in
-    let rec go base lo hi =
-      if hi - lo = 1 then out.(lo) <- base
-      else begin
-        let mid = (lo + hi) / 2 in
-        let raise_range b l h =
-          let acc = ref b in
-          for i = l to h - 1 do
-            acc := Bigint.mod_pow !acc arr.(i) params.modulus
-          done;
-          !acc
-        in
-        go (raise_range base mid hi) lo mid;
-        go (raise_range base lo mid) mid hi
-      end
+    (* Root splitting: witness(x) = g^(Π xs \ x). Each node's base is g
+       raised to everything outside its range; descending multiplies in
+       the sibling's product. The two halves are independent, so they
+       run on separate domains down to the spawn cutoff. *)
+    let rec descend base tree depth =
+      match tree with
+      | Pleaf (_, i) -> out.(i) <- base
+      | Pnode (_, l, r) ->
+        let bl () = Bigint.mod_pow base (tree_product r) params.modulus in
+        let br () = Bigint.mod_pow base (tree_product l) params.modulus in
+        if depth > 0 then
+          ignore
+            (Parallel.Pool.both pool
+               (fun () -> descend (bl ()) l (depth - 1))
+               (fun () -> descend (br ()) r (depth - 1)))
+        else begin
+          descend (bl ()) l 0;
+          descend (br ()) r 0
+        end
     in
-    go params.generator 0 n;
+    (match build_tree pool arr with
+     | Pleaf (_, i) -> out.(i) <- params.generator
+     | Pnode (_, l, r) ->
+       (* The root's two bases come off the fixed-base chain of g, whose
+          digit segments are themselves pool-parallel. *)
+       let bl = g_pow_cached params (tree_product r) in
+       let br = g_pow_cached params (tree_product l) in
+       let depth = spawn_depth pool in
+       ignore
+         (Parallel.Pool.both pool
+            (fun () -> descend bl l (depth - 1))
+            (fun () -> descend br r (depth - 1))));
     Array.to_list (Array.mapi (fun i w -> (arr.(i), w)) out)
   end
 
@@ -64,28 +167,64 @@ let verify_mem params ~ac ~x ~witness =
 (* --- batched membership ------------------------------------------------ *)
 
 let batch_witness params xs subset =
+  (* Dividing one subset occurrence at a time out of Π xs mirrors the
+     multiset semantics: a non-member (or an over-counted duplicate)
+     leaves a non-zero remainder at its own step. *)
   let remaining =
     List.fold_left
-      (fun remaining x ->
-        let rec drop_one seen = function
-          | [] -> invalid_arg "Rsa_acc.batch_witness: element not in set"
-          | y :: rest -> if Bigint.equal y x then List.rev_append seen rest else drop_one (y :: seen) rest
-        in
-        drop_one [] remaining)
-      xs subset
+      (fun p x ->
+        let q, r = Bigint.divmod p x in
+        if not (Bigint.is_zero r) then invalid_arg "Rsa_acc.batch_witness: element not in set";
+        q)
+      (product xs) subset
   in
-  accumulate params remaining
+  g_pow params remaining
 
 let verify_mem_batch params ~ac ~xs ~witness =
   let lifted = List.fold_left (fun w x -> Bigint.mod_pow w x params.modulus) witness xs in
   Bigint.equal lifted ac
+
+(* --- shared-product context (the cloud's per-query hot path) ----------- *)
+
+type ctx = { ctx_params : params; ctx_product : Bigint.t; ctx_count : int }
+
+let context params xs =
+  { ctx_params = params; ctx_product = product xs; ctx_count = List.length xs }
+
+(* A ctx is a repeat customer: more queries over the same set are
+   coming, so it always invests in the fixed-base chain. Batched chain
+   extension costs barely more than one ladder even cold, and every
+   witness after it is ~bits/8 multiplies instead of [bits] squarings. *)
+let ctx_pow c e = g_pow_cached c.ctx_params e
+
+let ctx_params c = c.ctx_params
+let ctx_count c = c.ctx_count
+
+let ctx_ac c =
+  if c.ctx_count = 0 then c.ctx_params.generator else ctx_pow c c.ctx_product
+
+let ctx_witness c x =
+  let q, r = Bigint.divmod c.ctx_product x in
+  if not (Bigint.is_zero r) then invalid_arg "Rsa_acc.ctx_witness: element not in set";
+  ctx_pow c q
+
+let ctx_batch_witness c subset =
+  let remaining =
+    List.fold_left
+      (fun p x ->
+        let q, r = Bigint.divmod p x in
+        if not (Bigint.is_zero r) then invalid_arg "Rsa_acc.batch_witness: element not in set";
+        q)
+      c.ctx_product subset
+  in
+  ctx_pow c remaining
 
 (* --- non-membership (universal accumulator, LLX '07) ------------------- *)
 
 type non_mem_witness = { nw_a : Bigint.t; nw_d : Bigint.t }
 
 let non_mem_witness params xs x =
-  let u = List.fold_left Bigint.mul Bigint.one xs in
+  let u = product xs in
   let g, a, b = Bigint.egcd u x in
   if not (Bigint.equal g Bigint.one) then
     invalid_arg "Rsa_acc.non_mem_witness: element is (a factor of) the set product";
@@ -99,7 +238,7 @@ let non_mem_witness params xs x =
   let a' = Bigint.add a (Bigint.mul k x) in
   let b' = Bigint.sub b (Bigint.mul k u) in
   assert (Bigint.sign a' > 0);
-  { nw_a = a'; nw_d = Bigint.mod_pow params.generator (Bigint.neg b') params.modulus }
+  { nw_a = a'; nw_d = g_pow params (Bigint.neg b') }
 
 let verify_non_mem params ~ac ~x ~witness =
   (* Ac^a = g^(a'u) = g^(1 - b'x) = g * d^x. *)

@@ -4,7 +4,39 @@
     [Ac = g^(Π_{x∈X} x) mod n]; the membership witness for [x] is
     [mw = g^(Π X \ {x}) mod n] and verification checks
     [mw^x = Ac (mod n)]. Witnesses are constant-size (one group
-    element), which is what makes on-chain verification cheap. *)
+    element), which is what makes on-chain verification cheap.
+
+    {2 Cost model}
+
+    Let [n] be the set size, [b] the prime-representative bit width
+    (272) and [B = n·b] the total exponent bits. All generation-side
+    operations are batched: prime exponents are combined by a balanced
+    {e product tree} (Karatsuba multiplication underneath) and the
+    single resulting exponent is applied in one exponentiation. When the
+    process-wide pool is parallel ([--domains N] > 1), it goes through
+    the {e fixed-base} anchor chain of [g] ({!Bigint.Fixed_base}), whose
+    chunked exponentiations fan out across the domains; sequentially it
+    takes the sliding-window ladder directly (the anchor chain costs a
+    full exponentiation to build, which only concurrency recoups). The
+    value is identical on both paths.
+
+    - {!accumulate}: one product tree + one [B]-bit fixed-base
+      exponentiation — [B] modular squarings total, spread over the
+      pool, instead of [n] separate [mod_pow] calls.
+    - {!mem_witness}: one exact division of the cached-able product plus
+      a [(B - b)]-bit fixed-base exponentiation — {e not} [n-1]
+      exponentiations. Via {!context} the product is computed once and
+      shared across every witness for the same set.
+    - {!all_witnesses}: root splitting over the product tree —
+      [O(B log n)] squaring work, with the two halves of every split
+      running on separate domains.
+    - Verification ({!verify_mem}, {!verify_mem_batch},
+      {!verify_non_mem}) is untouched: the contract-side shape and cost
+      are part of the protocol being reproduced.
+
+    Results are bit-identical at every pool size: batching only
+    regroups exponent arithmetic ([g^x^y = g^(xy)]), and the pool's
+    combinators fix their bracketing from the input size alone. *)
 
 type params = {
   modulus : Bigint.t;   (** RSA modulus [n = p*q]; factors are discarded. *)
@@ -29,16 +61,26 @@ val add : params -> Bigint.t -> Bigint.t -> Bigint.t
 (** [add params ac x] is the incremental update [ac^x mod n] — used by
     Insert so the owner need not re-accumulate from scratch. *)
 
+val add_batch : params -> Bigint.t -> Bigint.t list -> Bigint.t
+(** [add_batch params ac xs] folds a whole shipment in as {e one}
+    exponentiation [ac^(Π xs) mod n] — identical to iterating {!add}
+    ([g^x^y = g^(xy)]), minus [|xs| - 1] Montgomery setups and ladders. *)
+
 val mem_witness : params -> Bigint.t list -> Bigint.t -> Bigint.t
 (** [mem_witness params xs x] is the witness for [x] against
     [accumulate params xs]. [x] must occur in [xs]; exactly one
-    occurrence is excluded.
+    occurrence is excluded (computed as the exact division [Π xs / x] of
+    the product tree followed by one fixed-base exponentiation — see the
+    cost model above). For a set queried repeatedly, build a {!context}
+    once instead.
     @raise Invalid_argument when [x] does not occur. *)
 
 val all_witnesses : params -> Bigint.t list -> (Bigint.t * Bigint.t) list
-(** Witnesses for every element by divide-and-conquer root splitting —
-    [O(n log n)] exponentiations instead of the naive [O(n^2)]. Returns
-    [(x, witness)] pairs in input order. *)
+(** Witnesses for every element by divide-and-conquer root splitting
+    over the product tree — [O(B log n)] squarings ([B] = total exponent
+    bits) with one exponentiation per tree node instead of one per
+    prime per node, and the two halves of every split on separate
+    domains. Returns [(x, witness)] pairs in input order. *)
 
 val verify_mem : params -> ac:Bigint.t -> x:Bigint.t -> witness:Bigint.t -> bool
 (** The contract-side check [witness^x mod n = ac]. *)
@@ -59,6 +101,43 @@ val verify_mem_batch : params -> ac:Bigint.t -> xs:Bigint.t list -> witness:Bigi
 (** [witness^(Π xs) = Ac], computed as iterated exponentiation (the
     same shape the metered contract charges). The empty list verifies
     iff [witness = ac]. *)
+
+(** {1 Shared-product context}
+
+    The cloud answers many queries against one prime set: a [ctx]
+    computes the product tree once, after which each witness is an
+    exact division plus one exponentiation. This is what turns
+    per-query VO generation from [O(n)] exponentiations into
+    effectively one. Each ctx exponentiation goes through the shared
+    fixed-base anchor chain: extension (batched Montgomery squarings)
+    costs barely more than one plain ladder even when cold, and every
+    later witness over the same parameters drops to ~[bits/8]
+    multiplies. Values are identical on every path. Invalidate
+    (rebuild) the context whenever the prime set changes. Elements are assumed to be
+    {!Prime_rep} primes, for which divisibility of the product is
+    exactly multiset membership. *)
+
+type ctx
+
+val context : params -> Bigint.t list -> ctx
+(** Builds the shared product ([O(M(B) log n)] bigint work, no
+    exponentiations). *)
+
+val ctx_params : ctx -> params
+val ctx_count : ctx -> int
+
+val ctx_ac : ctx -> Bigint.t
+(** [accumulate] of the context's set. *)
+
+val ctx_witness : ctx -> Bigint.t -> Bigint.t
+(** As {!mem_witness} against the context's set.
+    @raise Invalid_argument when the element does not divide the
+    product (i.e. is not a member). *)
+
+val ctx_batch_witness : ctx -> Bigint.t list -> Bigint.t
+(** As {!batch_witness} against the context's set.
+    @raise Invalid_argument when some element does not occur (with its
+    multiplicity). *)
 
 (** {1 Non-membership (universal accumulator)}
 

@@ -67,7 +67,7 @@ let nat_sub a b =
   assert (!borrow = 0);
   nat_normalize r
 
-let nat_mul a b =
+let nat_mul_school a b =
   let la = Array.length a and lb = Array.length b in
   if la = 0 || lb = 0 then [||]
   else begin
@@ -86,6 +86,35 @@ let nat_mul a b =
       end
     done;
     nat_normalize r
+  end
+
+(* Karatsuba above this limb count: the accumulator's product trees
+   multiply multi-megabit prime products, where schoolbook O(n²) costs
+   more than the modular exponentiation it feeds. *)
+let karatsuba_threshold = 32
+
+let nat_low a k = nat_normalize (Array.sub a 0 (Stdlib.min k (Array.length a)))
+
+let nat_high a k =
+  let la = Array.length a in
+  if la <= k then [||] else Array.sub a k (la - k)
+
+let nat_shift_limbs a k = if nat_is_zero a then a else Array.append (Array.make k 0) a
+
+let rec nat_mul a b =
+  let la = Array.length a and lb = Array.length b in
+  if la < karatsuba_threshold || lb < karatsuba_threshold then nat_mul_school a b
+  else begin
+    (* z1 = (a0+a1)(b0+b1) - z0 - z2 = a0*b1 + a1*b0 >= 0, so the two
+       nat_subs never borrow past zero. *)
+    let m = (Stdlib.max la lb + 1) / 2 in
+    let a0 = nat_low a m and a1 = nat_high a m in
+    let b0 = nat_low b m and b1 = nat_high b m in
+    let z0 = nat_mul a0 b0 in
+    let z2 = nat_mul a1 b1 in
+    let t = nat_mul (nat_add a0 a1) (nat_add b0 b1) in
+    let z1 = nat_sub (nat_sub t z0) z2 in
+    nat_add (nat_add (nat_shift_limbs z2 (2 * m)) (nat_shift_limbs z1 m)) z0
   end
 
 (* m must satisfy 0 <= m < base. *)
@@ -488,12 +517,27 @@ let to_bytes_be ?len x =
       l
   in
   let b = Bytes.make nbytes '\000' in
-  let v = ref (abs x) in
-  let i = ref (nbytes - 1) in
-  while not (is_zero !v) do
-    let q, r = divmod_int !v 256 in
-    Bytes.set b !i (Char.chr r);
-    v := q;
+  (* Stream bits out of the 31-bit limbs directly (O(n)); dividing by
+     256 per byte would be quadratic in the operand size. *)
+  let acc = ref 0 and accbits = ref 0 and i = ref (nbytes - 1) in
+  let flush () =
+    while !accbits >= 8 && !i >= 0 do
+      Bytes.set b !i (Char.unsafe_chr (!acc land 0xff));
+      acc := !acc lsr 8;
+      accbits := !accbits - 8;
+      decr i
+    done
+  in
+  Array.iter
+    (fun limb ->
+      acc := !acc lor (limb lsl !accbits);
+      accbits := !accbits + limb_bits;
+      flush ())
+    x.mag;
+  while !accbits > 0 && !i >= 0 do
+    Bytes.set b !i (Char.chr (!acc land 0xff));
+    acc := !acc lsr 8;
+    accbits := !accbits - 8;
     decr i
   done;
   Bytes.to_string b
@@ -641,18 +685,57 @@ let mod_pow b e m =
     if nat_is_zero b_mont then zero
     else begin
       let acc = ref (to_buf r_mod_m) and tmp = ref (Array.make (k + 1) 0) in
-      let bm = to_buf b_mont in
       let bits = num_bits e in
-      for i = bits - 1 downto 0 do
-        mont_mul_into !tmp !acc !acc;
+      (* Sliding-window: precompute the odd powers b^1, b^3, …,
+         b^(2^w - 1) in Montgomery form, then consume the exponent in
+         windows that end on a set bit — bits/(w+1) multiplies instead
+         of bits/2, with the squaring count unchanged. *)
+      let w =
+        if bits <= 32 then 1
+        else if bits <= 160 then 3
+        else if bits <= 768 then 4
+        else if bits <= 3072 then 5
+        else if bits <= 12288 then 6
+        else 7
+      in
+      let tbl = Array.make (1 lsl (w - 1)) [||] in
+      tbl.(0) <- to_buf b_mont;
+      if w > 1 then begin
+        let bsq = Array.make (k + 1) 0 in
+        mont_mul_into bsq tbl.(0) tbl.(0);
+        for i = 1 to Array.length tbl - 1 do
+          let d = Array.make (k + 1) 0 in
+          mont_mul_into d tbl.(i - 1) bsq;
+          tbl.(i) <- d
+        done
+      end;
+      let advance src =
+        mont_mul_into !tmp !acc src;
         let swap = !acc in
         acc := !tmp;
-        tmp := swap;
-        if testbit e i then begin
-          mont_mul_into !tmp !acc bm;
-          let swap = !acc in
-          acc := !tmp;
-          tmp := swap
+        tmp := swap
+      in
+      let i = ref (bits - 1) in
+      while !i >= 0 do
+        if not (testbit e !i) then begin
+          advance !acc;
+          decr i
+        end
+        else begin
+          (* Largest window [j, i] of width <= w whose low bit is set. *)
+          let j = ref (Stdlib.max 0 (!i - w + 1)) in
+          while not (testbit e !j) do
+            incr j
+          done;
+          for _ = 1 to !i - !j + 1 do
+            advance !acc
+          done;
+          let v = ref 0 in
+          for bi = !i downto !j do
+            v := (!v lsl 1) lor (if testbit e bi then 1 else 0)
+          done;
+          advance tbl.(!v lsr 1);
+          i := !j - 1
         end
       done;
       (* Convert out of Montgomery form: REDC(acc * 1). *)
@@ -662,3 +745,245 @@ let mod_pow b e m =
       make 1 (nat_normalize (Array.copy !tmp))
     end
   end
+
+(* Repeated squaring for anchor-chain extension: for odd [m], returns
+   [| x^(2^w); x^(2^(2w)); ...; x^(2^(count*w)) |] mod m with ONE
+   Montgomery setup for the whole batch. Calling [mod_pow] per step
+   would pay the setup division and the two domain conversions every
+   [w] bits, roughly doubling the per-bit cost of the chain. *)
+let mont_square_chain x w count m =
+  let mmag = (abs m).mag in
+  let k = Array.length mmag in
+  let m0' = (base - limb_inv mmag.(0)) land mask in
+  let t = Array.make ((2 * k) + 2) 0 in
+  let redc_into dst =
+    for i = 0 to k - 1 do
+      let u = (t.(i) * m0') land mask in
+      if u <> 0 then begin
+        let carry = ref 0 in
+        for j = 0 to k - 1 do
+          let p = (u * mmag.(j)) + t.(i + j) + !carry in
+          t.(i + j) <- p land mask;
+          carry := p lsr limb_bits
+        done;
+        let j = ref (i + k) in
+        while !carry <> 0 do
+          let s2 = t.(!j) + !carry in
+          t.(!j) <- s2 land mask;
+          carry := s2 lsr limb_bits;
+          incr j
+        done
+      end
+    done;
+    Array.blit t k dst 0 (k + 1);
+    let ge =
+      dst.(k) <> 0
+      ||
+      let rec cmp i = if i < 0 then true else if dst.(i) <> mmag.(i) then dst.(i) > mmag.(i) else cmp (i - 1) in
+      cmp (k - 1)
+    in
+    if ge then begin
+      let borrow = ref 0 in
+      for i = 0 to k - 1 do
+        let d = dst.(i) - mmag.(i) - !borrow in
+        if d < 0 then begin
+          dst.(i) <- d + base;
+          borrow := 1
+        end
+        else begin
+          dst.(i) <- d;
+          borrow := 0
+        end
+      done;
+      dst.(k) <- dst.(k) - !borrow
+    end
+  in
+  let mont_mul_into dst a bm =
+    Array.fill t 0 ((2 * k) + 2) 0;
+    for i = 0 to k do
+      let ai = a.(i) in
+      if ai <> 0 then begin
+        let carry = ref 0 in
+        for j = 0 to k do
+          let p = (ai * bm.(j)) + t.(i + j) + !carry in
+          t.(i + j) <- p land mask;
+          carry := p lsr limb_bits
+        done;
+        if !carry <> 0 then t.(i + k + 1) <- t.(i + k + 1) + !carry
+      end
+    done;
+    redc_into dst
+  in
+  let xm = (erem (shift_left (erem x m) (k * limb_bits)) m).mag in
+  let to_buf mag =
+    let buf = Array.make (k + 1) 0 in
+    Array.blit mag 0 buf 0 (Array.length mag);
+    buf
+  in
+  let acc = ref (to_buf xm) and tmp = ref (Array.make (k + 1) 0) in
+  let conv = Array.make (k + 1) 0 in
+  let out = Array.make count zero in
+  for i = 0 to count - 1 do
+    for _ = 1 to w do
+      mont_mul_into !tmp !acc !acc;
+      let s = !acc in
+      acc := !tmp;
+      tmp := s
+    done;
+    (* Out of Montgomery form: REDC(acc · 1) — one half-pass, the only
+       per-anchor overhead beyond the [w] squarings themselves. *)
+    Array.fill t 0 ((2 * k) + 2) 0;
+    Array.blit !acc 0 t 0 (k + 1);
+    redc_into conv;
+    out.(i) <- make 1 (nat_normalize (Array.copy conv))
+  done;
+  out
+
+(* ------------------------------------------------------------------ *)
+(* Fixed-base exponentiation.                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Fixed_base = struct
+  (* Fixed-base windowed exponentiation (Brickell-Gordon-McCurley-Wilson
+     with 8-bit windows). anchors.(i) = base^(2^(8*i)) mod modulus, so an
+     exponent's byte digits select anchors directly:
+
+       base^e = Π_i anchors.(i)^(digit_i e)
+              = Π_{d=255..1} (Π_{i : digit_i = d} anchors.(i))^d
+
+     The bucket products cost one multiply per nonzero digit, and the
+     outer Π c_d^d telescopes with a running product — ~B/8 + 510
+     multiplies for a B-bit exponent, versus B squarings for a ladder.
+     The anchor chain (B squarings) is computed once per base and
+     amortized over every later call.
+
+     Digits are processed in fixed-size segments of [chunk_bits]; each
+     segment's partial product is an independent task a domain pool can
+     run in parallel, and the combine order (ascending segment) is fixed
+     by the exponent size alone, so results never depend on scheduling. *)
+
+  let window = 8 (* bits per anchor: digits are exponent bytes *)
+
+  type powers = {
+    fb_modulus : t;
+    fb_base : t;
+    fb_chunk : int; (* segment granularity in exponent bits *)
+    fb_seg_digits : int; (* = fb_chunk / window *)
+    fb_lock : Mutex.t;
+    mutable fb_anchors : t array;
+    mutable fb_count : int;
+  }
+
+  let create ?(chunk_bits = 32768) ~modulus base =
+    if chunk_bits < window then invalid_arg "Bigint.Fixed_base.create: chunk_bits < 8";
+    if compare modulus two < 0 then invalid_arg "Bigint.Fixed_base.create: modulus <= 1";
+    let b0 = erem base modulus in
+    { fb_modulus = modulus;
+      fb_base = b0;
+      fb_chunk = chunk_bits;
+      fb_seg_digits = Stdlib.max 1 (chunk_bits / window);
+      fb_lock = Mutex.create ();
+      fb_anchors = Array.make 8 b0;
+      fb_count = 1 }
+
+  let base fb = fb.fb_base
+  let modulus fb = fb.fb_modulus
+  let chunk_bits fb = fb.fb_chunk
+
+  (* Growing the chain costs one squaring per bit of coverage — as much
+     as a whole direct exponentiation — so callers without reuse or
+     parallelism to recoup the investment check [ready] first. *)
+  let ready fb e =
+    let digits = (num_bits e + window - 1) / window in
+    Mutex.lock fb.fb_lock;
+    let n = fb.fb_count in
+    Mutex.unlock fb.fb_lock;
+    digits <= n
+
+  (* Extend the anchor chain through index k and return an immutable
+     snapshot, so concurrent [pow] calls never observe a resize. *)
+  let anchors_through fb k =
+    Mutex.lock fb.fb_lock;
+    let snapshot =
+      try
+        if k >= fb.fb_count then begin
+          if k >= Array.length fb.fb_anchors then begin
+            let bigger = Array.make (Stdlib.max (k + 1) (2 * Array.length fb.fb_anchors)) zero in
+            Array.blit fb.fb_anchors 0 bigger 0 fb.fb_count;
+            fb.fb_anchors <- bigger
+          end;
+          let need = k + 1 - fb.fb_count in
+          if is_odd fb.fb_modulus then begin
+            let sq = mont_square_chain fb.fb_anchors.(fb.fb_count - 1) window need fb.fb_modulus in
+            Array.blit sq 0 fb.fb_anchors fb.fb_count need
+          end
+          else begin
+            let step = shift_left one window in
+            for j = fb.fb_count to k do
+              fb.fb_anchors.(j) <- mod_pow fb.fb_anchors.(j - 1) step fb.fb_modulus
+            done
+          end;
+          fb.fb_count <- k + 1
+        end;
+        Array.sub fb.fb_anchors 0 (k + 1)
+      with e ->
+        Mutex.unlock fb.fb_lock;
+        raise e
+    in
+    Mutex.unlock fb.fb_lock;
+    snapshot
+
+  (* BGMW aggregation of one digit segment [lo, hi): bucket the anchors
+     by digit value, then Π_{d} c_d^d via the telescoping double fold. *)
+  let segment fb (digits : string) anchors lo hi =
+    let m = fb.fb_modulus in
+    let buckets = Array.make 256 None in
+    for i = lo to hi - 1 do
+      let d = Char.code digits.[i] in
+      if d > 0 then
+        buckets.(d) <-
+          (match buckets.(d) with
+           | None -> Some anchors.(i)
+           | Some c -> Some (mod_mul c anchors.(i) m))
+    done;
+    let acc = ref None and running = ref None in
+    for d = 255 downto 1 do
+      (match buckets.(d) with
+       | None -> ()
+       | Some c ->
+         running := Some (match !running with None -> c | Some r -> mod_mul r c m));
+      match !running with
+      | None -> ()
+      | Some r -> acc := Some (match !acc with None -> r | Some a -> mod_mul a r m)
+    done;
+    !acc
+
+  let pow ?run fb e =
+    if sign e < 0 then invalid_arg "Bigint.Fixed_base.pow: negative exponent";
+    let one_m = erem one fb.fb_modulus in
+    if is_zero e then one_m
+    else begin
+      (* Little-endian byte digits of the exponent. *)
+      let be = to_bytes_be e in
+      let nd = String.length be in
+      let digits = String.init nd (fun i -> be.[nd - 1 - i]) in
+      let anchors = anchors_through fb (nd - 1) in
+      let nseg = (nd + fb.fb_seg_digits - 1) / fb.fb_seg_digits in
+      let thunks =
+        Array.init nseg (fun s ->
+            fun () ->
+              let lo = s * fb.fb_seg_digits in
+              let hi = Stdlib.min nd (lo + fb.fb_seg_digits) in
+              match segment fb digits anchors lo hi with
+              | Some v -> v
+              | None -> one)
+      in
+      let parts =
+        match run with
+        | Some run -> run thunks
+        | None -> Array.map (fun f -> f ()) thunks
+      in
+      (* Deterministic combine order: ascending segment index. *)
+      Array.fold_left (fun acc p -> mod_mul acc p fb.fb_modulus) one_m parts
+    end
+end

@@ -18,6 +18,10 @@ type t = {
   mutable last_shipment : (string, unit) Hashtbl.t;
   mutable prev_primes : Bigint.t list;
   mutable witness_cache : (string, Bigint.t) Hashtbl.t option;
+  (* Shared product tree over [primes]: built lazily on first witness,
+     after which every VO is one exact division + one fixed-base
+     exponentiation instead of an O(n) re-accumulation. *)
+  mutable acc_ctx : Rsa_acc.ctx option;
 }
 
 let create ~acc_params ~tdp_public () =
@@ -29,7 +33,8 @@ let create ~acc_params ~tdp_public () =
     mode = Honest;
     last_shipment = Hashtbl.create 1;
     prev_primes = [];
-    witness_cache = None }
+    witness_cache = None;
+    acc_ctx = None }
 
 let install t (sh : Owner.shipment) =
   t.prev_primes <- t.primes;
@@ -41,7 +46,8 @@ let install t (sh : Owner.shipment) =
     sh.Owner.sh_entries;
   t.primes <- t.primes @ sh.Owner.sh_primes;
   t.ac <- sh.Owner.sh_ac;
-  t.witness_cache <- None
+  t.witness_cache <- None;
+  t.acc_ctx <- None
 
 let set_behavior t m = t.mode <- m
 let behavior t = t.mode
@@ -53,6 +59,14 @@ let precompute_witnesses t =
     (Rsa_acc.all_witnesses t.c_params t.primes);
   t.witness_cache <- Some cache
 
+let ctx_of t =
+  match t.acc_ctx with
+  | Some c -> c
+  | None ->
+    let c = Rsa_acc.context t.c_params t.primes in
+    t.acc_ctx <- Some c;
+    c
+
 let witness_for t ~primes x =
   let cached =
     match t.witness_cache with
@@ -61,7 +75,13 @@ let witness_for t ~primes x =
   in
   match cached with
   | Some w -> w
-  | None -> ( try Rsa_acc.mem_witness t.c_params primes x with Invalid_argument _ -> Bigint.one )
+  | None ->
+    if primes == t.primes then
+      ( try Rsa_acc.ctx_witness (ctx_of t) x with Invalid_argument _ -> Bigint.one )
+    else
+      (* Snapshot prime lists (Stale_results) don't get a context: the
+         misbehaving path need not be fast. *)
+      ( try Rsa_acc.mem_witness t.c_params primes x with Invalid_argument _ -> Bigint.one )
 
 (* Algorithm 4 traversal: walk generations j..0, scanning counters under
    each trapdoor until the first miss. *)
@@ -123,9 +143,11 @@ let search_batched t sts =
       sts
   in
   let xs = List.map (fun (_, _, x) -> x) partial in
-  let primes = if t.mode = Stale_results then t.prev_primes else t.primes in
   let witness =
-    try Rsa_acc.batch_witness t.c_params primes xs with Invalid_argument _ -> Bigint.one
+    if t.mode = Stale_results then
+      try Rsa_acc.batch_witness t.c_params t.prev_primes xs with Invalid_argument _ -> Bigint.one
+    else
+      try Rsa_acc.ctx_batch_witness (ctx_of t) xs with Invalid_argument _ -> Bigint.one
   in
   let witness = if t.mode = Forge_witness then Bigint.succ witness else witness in
   let claims =

@@ -88,7 +88,7 @@ let add_records t records =
             keyword_order := w :: !keyword_order)
         (keywords_of t r))
     records;
-  let entries = ref [] and new_primes = ref [] in
+  let entries = ref [] and prime_inputs = ref [] in
   let k = t.o_keys.Keys.k and k_r = t.o_keys.Keys.k_r in
   List.iter
     (fun w ->
@@ -121,13 +121,19 @@ let add_records t records =
         ids;
       let tk = token_key ~trapdoor ~j ~g1 ~g2 in
       Hashtbl.replace t.set_hashes tk !h;
-      let x = timed_ads (fun () -> Prime_rep.to_prime (Bytesutil.concat [ tk; Mset_hash.to_bytes !h ])) in
-      new_primes := x :: !new_primes)
+      prime_inputs := Bytesutil.concat [ tk; Mset_hash.to_bytes !h ] :: !prime_inputs)
     (List.rev !keyword_order);
-  let new_primes = List.rev !new_primes in
+  (* The prime walks dominate ADS build; one batched call fans them out
+     across the domain pool. A single product-tree exponentiation then
+     folds the whole batch into Ac (equal to the per-prime fold, since
+     g^x^y = g^(xy)). *)
+  let new_primes = timed_ads (fun () -> Prime_rep.to_primes (List.rev !prime_inputs)) in
+  let fresh = t.primes = [] in
   t.primes <- List.rev_append new_primes t.primes;
   timed_ads (fun () ->
-      t.ac <- List.fold_left (fun ac x -> Rsa_acc.add t.o_params ac x) t.ac new_primes);
+      t.ac <-
+        (if fresh then Rsa_acc.accumulate t.o_params new_primes
+         else Rsa_acc.add_batch t.o_params t.ac new_primes));
   t.t_ads <- !ads_time;
   t.t_index <- Unix.gettimeofday () -. started -. !ads_time;
   { sh_entries = List.rev !entries; sh_primes = new_primes; sh_ac = t.ac }

@@ -262,7 +262,31 @@ let props =
     prop "erem in range" (pair (gen_big ()) (gen_big_pos_nonzero ())) (fun (a, m) ->
         let r = Bigint.erem a m in
         Bigint.sign r >= 0 && Bigint.compare r m < 0
-        && Bigint.is_zero (Bigint.erem (Bigint.sub a r) m))
+        && Bigint.is_zero (Bigint.erem (Bigint.sub a r) m));
+    (* Operand sizes well past the Karatsuba threshold (32 limbs ≈ 1000
+       bits): division is an independent code path, so quotient/remainder
+       recovery cross-checks the split-and-recombine multiply. *)
+    prop "karatsuba mul inverts by divmod" ~count:30
+      (pair (gen_big ~bits:40_000 ()) (gen_big_pos_nonzero ~bits:20_000 ()))
+      (fun (a, b) ->
+        (* a*b is an exact multiple of b, so floor division recovers a
+           and a zero remainder for either sign of a. *)
+        let q, r = Bigint.divmod (Bigint.mul a b) b in
+        Bigint.equal q a && Bigint.is_zero r);
+    prop "karatsuba distributes at large sizes" ~count:20
+      (triple (gen_big ~bits:30_000 ()) (gen_big ~bits:30_000 ()) (gen_big ~bits:30_000 ()))
+      (fun (a, b, c) ->
+        Bigint.equal (Bigint.mul a (Bigint.add b c)) (Bigint.add (Bigint.mul a b) (Bigint.mul a c)));
+    prop "fixed_base pow matches mod_pow" ~count:30
+      (triple (gen_big_pos ~bits:256 ()) (gen_big_pos ~bits:2048 ()) (gen_big_pos ~bits:256 ()))
+      (fun (b, e, m0) ->
+        (* Odd modulus > 1; a small chunk makes the exponent span many
+           anchors so the split/recombine is actually exercised. *)
+        let m = Bigint.add (Bigint.mul_int m0 2) (Bigint.of_int 3) in
+        let fb = Bigint.Fixed_base.create ~chunk_bits:96 ~modulus:m b in
+        Bigint.equal (Bigint.Fixed_base.pow fb e) (Bigint.mod_pow b e m)
+        && Bigint.equal (Bigint.Fixed_base.pow fb Bigint.zero) (Bigint.erem Bigint.one m)
+        && Bigint.equal (Bigint.Fixed_base.pow fb Bigint.one) (Bigint.erem b m))
   ]
 
 let () =

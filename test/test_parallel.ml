@@ -1,0 +1,217 @@
+(* The domain pool and every parallel consumer must be invisible to
+   observers: the same bytes come out at every pool size. Unit tests
+   cover the pool combinators (including nesting and exceptions);
+   properties pin parallel == sequential for the accumulator and
+   prime-representative hot paths across domains 1, 2 and 4. *)
+
+let with_domains d f =
+  Parallel.set_domains d;
+  Fun.protect ~finally:(fun () -> Parallel.set_domains 1) f
+
+let domain_counts = [ 1; 2; 4 ]
+
+(* --- pool combinators ------------------------------------------------- *)
+
+let test_map () =
+  List.iter
+    (fun d ->
+      let pool = Parallel.Pool.create ~domains:d () in
+      Fun.protect ~finally:(fun () -> Parallel.Pool.shutdown pool) @@ fun () ->
+      let arr = Array.init 37 (fun i -> i) in
+      Alcotest.(check (array int))
+        (Printf.sprintf "map squares, %d domains" d)
+        (Array.map (fun x -> x * x) arr)
+        (Parallel.Pool.map pool (fun x -> x * x) arr);
+      Alcotest.(check (array int)) "map empty" [||] (Parallel.Pool.map pool (fun x -> x) [||]);
+      Alcotest.(check (list int)) "map_list" [ 2; 4; 6 ]
+        (Parallel.Pool.map_list pool (fun x -> 2 * x) [ 1; 2; 3 ]))
+    domain_counts
+
+let test_reduce () =
+  List.iter
+    (fun d ->
+      let pool = Parallel.Pool.create ~domains:d () in
+      Fun.protect ~finally:(fun () -> Parallel.Pool.shutdown pool) @@ fun () ->
+      let arr = Array.init 100 (fun i -> i + 1) in
+      Alcotest.(check int)
+        (Printf.sprintf "reduce sum, %d domains" d)
+        5050
+        (Parallel.Pool.reduce pool ( + ) 0 arr);
+      (* Associative but not commutative: the fixed bracketing must keep
+         operands in input order at every pool size. *)
+      let words = Array.init 26 (fun i -> String.make 1 (Char.chr (Char.code 'a' + i))) in
+      Alcotest.(check string)
+        (Printf.sprintf "reduce concat in order, %d domains" d)
+        "abcdefghijklmnopqrstuvwxyz"
+        (Parallel.Pool.reduce pool ( ^ ) "" words);
+      Alcotest.(check int) "reduce empty = id" 42 (Parallel.Pool.reduce pool ( + ) 42 [||]))
+    domain_counts
+
+let test_both_and_nesting () =
+  List.iter
+    (fun d ->
+      let pool = Parallel.Pool.create ~domains:d () in
+      Fun.protect ~finally:(fun () -> Parallel.Pool.shutdown pool) @@ fun () ->
+      let a, b = Parallel.Pool.both pool (fun () -> 1 + 1) (fun () -> "x" ^ "y") in
+      Alcotest.(check int) "both left" 2 a;
+      Alcotest.(check string) "both right" "xy" b;
+      (* Nested fork-join: every task itself fans out on the same pool.
+         Work-helping must keep this deadlock-free. *)
+      let thunks =
+        Array.init 16 (fun i () ->
+            Array.fold_left ( + ) 0 (Parallel.Pool.map pool (fun x -> x * i) (Array.init 20 Fun.id)))
+      in
+      let got = Parallel.Pool.run_all pool thunks in
+      Alcotest.(check (array int))
+        (Printf.sprintf "nested run_all, %d domains" d)
+        (Array.init 16 (fun i -> 190 * i))
+        got)
+    domain_counts
+
+let test_exceptions () =
+  List.iter
+    (fun d ->
+      let pool = Parallel.Pool.create ~domains:d () in
+      Fun.protect ~finally:(fun () -> Parallel.Pool.shutdown pool) @@ fun () ->
+      Alcotest.check_raises
+        (Printf.sprintf "map propagates, %d domains" d)
+        (Failure "boom")
+        (fun () ->
+          ignore (Parallel.Pool.map pool (fun x -> if x = 13 then failwith "boom" else x) (Array.init 32 Fun.id)));
+      Alcotest.check_raises "both propagates right" (Failure "right") (fun () ->
+          ignore (Parallel.Pool.both pool (fun () -> 1) (fun () -> failwith "right")));
+      (* The pool must stay usable after an exception. *)
+      Alcotest.(check int) "pool alive after raise" 10
+        (Parallel.Pool.reduce pool ( + ) 0 (Array.init 5 Fun.id)))
+    domain_counts
+
+let test_global_pool () =
+  Alcotest.(check int) "default sequential" 1 (Parallel.domains ());
+  with_domains 3 (fun () ->
+      Alcotest.(check int) "configured" 3 (Parallel.domains ());
+      Alcotest.(check int) "pool size follows" 3 (Parallel.Pool.size (Parallel.pool ())));
+  Alcotest.(check int) "restored" 1 (Parallel.domains ());
+  Alcotest.(check int) "pool recreated" 1 (Parallel.Pool.size (Parallel.pool ()))
+
+(* --- parallel == sequential for the ADS hot paths ---------------------- *)
+
+let params =
+  lazy (Rsa_acc.setup ~rng:(Drbg.create ~seed:"test-parallel-acc") ~bits:512 ())
+
+(* A fixed pool of genuine prime representatives; lists drawn from it
+   contain duplicates, exercising the multiset semantics. *)
+let prime_pool =
+  lazy (Array.of_list (Prime_rep.to_primes (List.init 12 (Printf.sprintf "test-parallel-p%d"))))
+
+let gen_prime_list =
+  let open QCheck2.Gen in
+  list_size (int_range 0 10) (int_range 0 11)
+  |> map (fun idxs ->
+         let pool = Lazy.force prime_pool in
+         List.map (fun i -> pool.(i)) idxs)
+
+let prop name ?(count = 20) gen p =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen p)
+
+let across_domains compute check =
+  let reference = compute () in
+  List.for_all
+    (fun d -> with_domains d (fun () -> check reference (compute ())))
+    domain_counts
+
+let acc_props =
+  [ prop "accumulate == sequential add fold" gen_prime_list (fun xs ->
+        let params = Lazy.force params in
+        (* Independent reference: the one-at-a-time fold the owner used
+           before batching. *)
+        let naive =
+          List.fold_left (fun ac x -> Rsa_acc.add params ac x) params.Rsa_acc.generator xs
+        in
+        across_domains
+          (fun () -> Rsa_acc.accumulate params xs)
+          (fun a b -> Bigint.equal a b && Bigint.equal a naive));
+    prop "all_witnesses == naive per-element witnesses" gen_prime_list (fun xs ->
+        let params = Lazy.force params in
+        let remove_one x xs =
+          let rec go = function
+            | [] -> []
+            | y :: rest -> if Bigint.equal y x then rest else y :: go rest
+          in
+          go xs
+        in
+        let naive =
+          List.map
+            (fun x ->
+              ( x,
+                List.fold_left
+                  (fun ac y -> Rsa_acc.add params ac y)
+                  params.Rsa_acc.generator (remove_one x xs) ))
+            xs
+        in
+        across_domains
+          (fun () -> Rsa_acc.all_witnesses params xs)
+          (fun a b ->
+            let eq l1 l2 =
+              List.length l1 = List.length l2
+              && List.for_all2
+                   (fun (x1, w1) (x2, w2) -> Bigint.equal x1 x2 && Bigint.equal w1 w2)
+                   l1 l2
+            in
+            eq a b && eq a naive));
+    prop "ctx witnesses == mem/batch witnesses" gen_prime_list (fun xs ->
+        let params = Lazy.force params in
+        match xs with
+        | [] -> true
+        | x :: _ ->
+          across_domains
+            (fun () ->
+              let ctx = Rsa_acc.context params xs in
+              (Rsa_acc.ctx_ac ctx, Rsa_acc.ctx_witness ctx x, Rsa_acc.ctx_batch_witness ctx [ x ]))
+            (fun (ac, w, bw) (ac', w', bw') ->
+              Bigint.equal ac ac' && Bigint.equal w w' && Bigint.equal bw bw'
+              && Bigint.equal ac (Rsa_acc.accumulate params xs)
+              && Bigint.equal w (Rsa_acc.mem_witness params xs x)
+              && Bigint.equal w bw
+              && Rsa_acc.verify_mem params ~ac ~x ~witness:w));
+    prop "to_primes == map to_prime (with duplicates)" ~count:15
+      QCheck2.Gen.(list_size (int_range 0 8) (int_range 0 1_000_000))
+      (fun seeds ->
+        (* Fresh-ish strings so some walks actually run; duplicates are
+           injected by doubling the list. *)
+        let ss = List.map (Printf.sprintf "tp-batch-%d") (seeds @ seeds) in
+        let reference = List.map Prime_rep.to_prime ss in
+        List.for_all
+          (fun d ->
+            with_domains d (fun () ->
+                List.for_all2 Bigint.equal reference (Prime_rep.to_primes ss)))
+          domain_counts)
+  ]
+
+(* --- prime-rep cache consistency --------------------------------------- *)
+
+let test_cache_consistency () =
+  let s = "cache-consistency-probe" in
+  let first = Prime_rep.to_prime s in
+  (* Repeats, batched lookups and parallel batches must all return the
+     exact first representative: a cache can never change an answer. *)
+  Alcotest.(check bool) "repeat hit equal" true (Bigint.equal first (Prime_rep.to_prime s));
+  with_domains 4 (fun () ->
+      List.iter
+        (fun x -> Alcotest.(check bool) "batched equal" true (Bigint.equal first x))
+        (Prime_rep.to_primes [ s; s; s ]));
+  Alcotest.(check bool) "is_representative_of" true (Prime_rep.is_representative_of first s);
+  let stats = Prime_rep.cache_stats () in
+  Alcotest.(check bool) "cache populated" true (stats.Prime_rep.cs_entries > 0);
+  Alcotest.(check bool) "hits recorded" true (stats.Prime_rep.cs_hits > 0);
+  Alcotest.(check bool) "bounded" true (stats.Prime_rep.cs_entries <= stats.Prime_rep.cs_limit)
+
+let () =
+  Alcotest.run "parallel"
+    [ ( "pool",
+        [ Alcotest.test_case "map" `Quick test_map;
+          Alcotest.test_case "reduce" `Quick test_reduce;
+          Alcotest.test_case "both and nesting" `Quick test_both_and_nesting;
+          Alcotest.test_case "exceptions" `Quick test_exceptions;
+          Alcotest.test_case "global pool" `Quick test_global_pool ] );
+      ("determinism", acc_props);
+      ("prime-rep cache", [ Alcotest.test_case "cache consistency" `Quick test_cache_consistency ]) ]
