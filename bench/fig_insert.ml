@@ -24,11 +24,16 @@ let run (scale : Bench_common.scale) =
           in
           let shipment = Owner.insert sys.Bench_common.bs_owner records in
           let t = Owner.last_timings sys.Bench_common.bs_owner in
+          (* Ship to the cloud so the reported index bytes cover
+             preload + batch — the storage row paired with the times. *)
+          Cloud.install sys.Bench_common.bs_cloud shipment;
           Bench_common.json_row ~figure:"fig7" ~series:"insert"
             [ ("records", Bench_common.J_int batch);
               ("bits", Bench_common.J_int width);
               ("index_seconds", Bench_common.J_float t.Owner.index_seconds);
               ("ads_seconds", Bench_common.J_float t.Owner.ads_seconds);
+              ("index_bytes", Bench_common.J_int (Cloud.index_bytes sys.Bench_common.bs_cloud));
+              ("index_entries", Bench_common.J_int (Cloud.index_entries sys.Bench_common.bs_cloud));
               ("new_primes", Bench_common.J_int (List.length shipment.Owner.sh_primes)) ];
           Bench_common.row (string_of_int batch)
             [ Bench_common.seconds t.Owner.index_seconds;

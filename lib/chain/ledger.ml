@@ -1,4 +1,9 @@
-type validator = { v_name : string; v_addr : Vm.address; v_secret : string }
+type validator = {
+  v_name : string;
+  v_addr : Vm.address;
+  v_secret : string;
+  v_prf : Hmac.keyed; (* sealing PRF context, keyed once per validator *)
+}
 
 type t = {
   vm_state : Vm.state;
@@ -11,11 +16,13 @@ type t = {
 let genesis_parent = Sha256.digest "slicer-genesis"
 
 let make_validator name =
+  let secret = Sha256.digest ("validator-secret:" ^ name) in
   { v_name = name;
     v_addr = Vm.address_of_name name;
-    v_secret = Sha256.digest ("validator-secret:" ^ name) }
+    v_secret = secret;
+    v_prf = Hmac.create ~key:secret }
 
-let seal_with v preimage = Hmac.sha256 ~key:v.v_secret preimage
+let seal_with v preimage = Hmac.sha256_keyed v.v_prf preimage
 
 let create ~validators =
   if validators = [] then invalid_arg "Ledger.create: need at least one validator";

@@ -92,13 +92,17 @@ let collect_results t (st : Slicer_types.search_token) =
   in
   let results = ref [] in
   let trapdoor = ref st.Slicer_types.st_trapdoor in
+  (* Keyed PRF contexts amortize the G1/G2 key blocks across the whole
+     counter scan of every generation. *)
+  let g1k = Keys.prf_of_key st.Slicer_types.st_g1 in
+  let g2k = Keys.prf_of_key st.Slicer_types.st_g2 in
   for i = st.Slicer_types.st_updates downto 0 do
     let rec scan c =
-      let l = Keys.f ~key:st.Slicer_types.st_g1 ~trapdoor:!trapdoor ~counter:c in
+      let l = Keys.f_keyed g1k ~trapdoor:!trapdoor ~counter:c in
       match find l with
       | None -> ()
       | Some d ->
-        let r = Bytesutil.xor (Keys.f ~key:st.Slicer_types.st_g2 ~trapdoor:!trapdoor ~counter:c) d in
+        let r = Bytesutil.xor (Keys.f_keyed g2k ~trapdoor:!trapdoor ~counter:c) d in
         results := r :: !results;
         scan (c + 1)
     in

@@ -1,13 +1,102 @@
-type t = (string, string) Hashtbl.t
+(* Open-addressing hash table specialised to the index's fixed shape:
+   16-byte PRF positions mapped to 16-byte masked payloads. Entries live
+   inline in one contiguous arena (32 bytes per slot, label then
+   payload) with a one-byte-per-slot occupancy vector — no per-entry
+   boxing, no string headers, and the slot hash is just the label's own
+   leading bytes (positions are PRF outputs, already uniform). *)
 
-let create () = Hashtbl.create 1024
+let label_len = 16
+let payload_len = 16
+let slot_len = label_len + payload_len
+
+type t = {
+  mutable slots : Bytes.t; (* capacity * slot_len arena *)
+  mutable used : Bytes.t;  (* capacity occupancy bytes: '\000' free *)
+  mutable mask : int;      (* capacity - 1; capacity is a power of two *)
+  mutable count : int;
+}
+
+let initial_capacity = 1024
+
+let create () =
+  { slots = Bytes.create (initial_capacity * slot_len);
+    used = Bytes.make initial_capacity '\000';
+    mask = initial_capacity - 1;
+    count = 0 }
+
+(* 56 bits of the (uniform) label — enough for any realistic capacity. *)
+let slot_hash l =
+  let b i = Char.code (String.unsafe_get l i) in
+  (b 0 lsl 48) lor (b 1 lsl 40) lor (b 2 lsl 32) lor (b 3 lsl 24)
+  lor (b 4 lsl 16) lor (b 5 lsl 8) lor b 6
+
+let label_matches t slot l =
+  let base = slot * slot_len in
+  let rec go i =
+    i = label_len
+    || (Char.equal (Bytes.unsafe_get t.slots (base + i)) (String.unsafe_get l i) && go (i + 1))
+  in
+  go 0
+
+(* First slot in l's probe sequence that is free or already holds l. *)
+let probe t l =
+  let rec go i =
+    if Bytes.unsafe_get t.used i = '\000' || label_matches t i l then i
+    else go ((i + 1) land t.mask)
+  in
+  go (slot_hash l land t.mask)
+
+let set_slot t slot ~l ~d =
+  let base = slot * slot_len in
+  Bytes.blit_string l 0 t.slots base label_len;
+  Bytes.blit_string d 0 t.slots (base + label_len) payload_len;
+  Bytes.unsafe_set t.used slot '\001'
+
+let grow t =
+  let old_slots = t.slots and old_used = t.used and old_cap = t.mask + 1 in
+  let cap = old_cap * 2 in
+  t.slots <- Bytes.create (cap * slot_len);
+  t.used <- Bytes.make cap '\000';
+  t.mask <- cap - 1;
+  for i = 0 to old_cap - 1 do
+    if Bytes.unsafe_get old_used i = '\001' then begin
+      let base = i * slot_len in
+      let l = Bytes.sub_string old_slots base label_len in
+      let d = Bytes.sub_string old_slots (base + label_len) payload_len in
+      set_slot t (probe t l) ~l ~d
+    end
+  done
 
 let put t ~l ~d =
-  if Hashtbl.mem t l then invalid_arg "Enc_index.put: position already occupied";
-  Hashtbl.replace t l d
+  if String.length l <> label_len then invalid_arg "Enc_index.put: position must be 16 bytes";
+  if String.length d <> payload_len then invalid_arg "Enc_index.put: payload must be 16 bytes";
+  (* Keep load factor under 3/4 so probe chains stay short. *)
+  if 4 * (t.count + 1) > 3 * (t.mask + 1) then grow t;
+  let slot = probe t l in
+  if Bytes.unsafe_get t.used slot <> '\000' then
+    invalid_arg "Enc_index.put: position already occupied";
+  set_slot t slot ~l ~d;
+  t.count <- t.count + 1
 
-let find t l = Hashtbl.find_opt t l
+let find t l =
+  if String.length l <> label_len then None
+  else begin
+    let slot = probe t l in
+    if Bytes.unsafe_get t.used slot = '\000' then None
+    else Some (Bytes.sub_string t.slots ((slot * slot_len) + label_len) payload_len)
+  end
 
-let entry_count = Hashtbl.length
+let entry_count t = t.count
 
-let size_bytes t = 32 * Hashtbl.length t
+let size_bytes t = t.count * slot_len
+
+let capacity_bytes t = Bytes.length t.slots + Bytes.length t.used
+
+let iter f t =
+  for i = 0 to t.mask do
+    if Bytes.unsafe_get t.used i = '\001' then begin
+      let base = i * slot_len in
+      f (Bytes.sub_string t.slots base label_len)
+        (Bytes.sub_string t.slots (base + label_len) payload_len)
+    end
+  done

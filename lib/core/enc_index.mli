@@ -1,7 +1,12 @@
 (** The encrypted index [I]: a history-independent dictionary from
     16-byte positions [l] to 16-byte masked payloads [d]. The cloud
     stores and queries it; nothing about keyword grouping or insertion
-    order is recoverable from it (positions are PRF outputs). *)
+    order is recoverable from it (positions are PRF outputs).
+
+    Entries are stored inline in a contiguous open-addressing arena —
+    32 bytes per entry, no per-entry boxing — and the slot hash reuses
+    the label's own leading bytes, so lookups cost one probe chain over
+    flat memory. *)
 
 type t
 
@@ -9,12 +14,21 @@ val create : unit -> t
 
 val put : t -> l:string -> d:string -> unit
 (** @raise Invalid_argument if the position is already occupied — PRF
-    collisions at 128 bits indicate a protocol bug, not bad luck. *)
+    collisions at 128 bits indicate a protocol bug, not bad luck — or
+    if [l] or [d] is not exactly 16 bytes. *)
 
 val find : t -> string -> string option
 
 val entry_count : t -> int
 
 val size_bytes : t -> int
-(** Storage footprint: 32 bytes per entry (16-byte key + 16-byte
-    payload) — the Fig. 4a metric. *)
+(** Exact stored label+payload bytes (32 per entry under the fixed
+    16+16 layout) — the Fig. 4a metric. *)
+
+val capacity_bytes : t -> int
+(** Allocated arena footprint (slots plus occupancy vector), including
+    the open-addressing slack. *)
+
+val iter : (string -> string -> unit) -> t -> unit
+(** [iter f t] applies [f l d] to every entry, in arena (i.e. hash)
+    order — history-independent by construction. *)

@@ -13,11 +13,25 @@ let generate ?(tdp_bits = 512) ~rng () =
 
 let for_user m = { u_k = m.k; u_k_r = m.k_r; u_tdp_public = m.tdp_public }
 
-let g1 ~k w = Hmac.prf128 ~key:k (Bytesutil.concat [ w; "1" ])
-let g2 ~k w = Hmac.prf128 ~key:k (Bytesutil.concat [ w; "2" ])
+type prf = Hmac.keyed
 
-let f ~key ~trapdoor ~counter =
-  Hmac.prf128 ~key (Bytesutil.concat [ trapdoor; string_of_int counter ])
+let prf_of_key key = Hmac.create ~key
+
+let g1_keyed kp w = Hmac.prf128_keyed kp (Bytesutil.concat [ w; "1" ])
+let g2_keyed kp w = Hmac.prf128_keyed kp (Bytesutil.concat [ w; "2" ])
+
+let f_keyed kp ~trapdoor ~counter =
+  Hmac.prf128_keyed kp (Bytesutil.concat [ trapdoor; string_of_int counter ])
+
+(* Position and mask share the [t ‖ c] message encoding; build it once. *)
+let f_pair kp1 kp2 ~trapdoor ~counter =
+  let msg = Bytesutil.concat [ trapdoor; string_of_int counter ] in
+  (Hmac.prf128_keyed kp1 msg, Hmac.prf128_keyed kp2 msg)
+
+let g1 ~k w = g1_keyed (Hmac.create ~key:k) w
+let g2 ~k w = g2_keyed (Hmac.create ~key:k) w
+
+let f ~key ~trapdoor ~counter = f_keyed (Hmac.create ~key) ~trapdoor ~counter
 
 (* AES key schedules are cached: record encryption happens once per
    index entry and the expansion would otherwise dominate. *)

@@ -28,6 +28,28 @@ val for_user : master -> user_keys
 (** What the owner hands to an authorized data user (no trapdoor secret:
     users cannot forge future insertions). *)
 
+type prf
+(** A keyed PRF context ({!Hmac.keyed} under the hood): the ipad/opad
+    key blocks are compressed once at construction, halving the SHA-256
+    work of every subsequent evaluation. Immutable — safe to share
+    across the domain pool. *)
+
+val prf_of_key : string -> prf
+
+val g1_keyed : prf -> string -> string
+(** [G(K, w ‖ 1)] under a prepared context for [K]. *)
+
+val g2_keyed : prf -> string -> string
+(** [G(K, w ‖ 2)] under a prepared context for [K]. *)
+
+val f_keyed : prf -> trapdoor:string -> counter:int -> string
+(** The PRF [F] applied to [t ‖ c] under a prepared context. *)
+
+val f_pair : prf -> prf -> trapdoor:string -> counter:int -> string * string
+(** [f_pair g1 g2 ~trapdoor ~counter] evaluates [F] under both
+    per-keyword contexts on a single shared [t ‖ c] encoding — the
+    position/mask pair of one index entry. *)
+
 val g1 : k:string -> string -> string
 (** [G(K, w ‖ 1)] — the per-keyword index PRF key. *)
 

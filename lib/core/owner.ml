@@ -5,6 +5,7 @@ type t = {
   o_rng : Drbg.t;
   o_params : Rsa_acc.params;
   o_keys : Keys.master;
+  o_kprf : Keys.prf; (* keyed context for K, shared by every G1/G2 derivation *)
   trapdoors : trapdoor_state;                   (* T *)
   set_hashes : (string, Mset_hash.t) Hashtbl.t; (* S, keyed by token bytes *)
   seen_ids : (string, unit) Hashtbl.t;
@@ -28,6 +29,7 @@ let create ?(width = 16) ~rng ~acc_params ~keys () =
     o_rng = rng;
     o_params = acc_params;
     o_keys = keys;
+    o_kprf = Keys.prf_of_key keys.Keys.k;
     trapdoors = Hashtbl.create 256;
     set_hashes = Hashtbl.create 256;
     seen_ids = Hashtbl.create 256;
@@ -56,8 +58,46 @@ let token_key ~trapdoor ~j ~g1 ~g2 =
   Slicer_types.token_bytes
     { Slicer_types.st_trapdoor = trapdoor; st_updates = j; st_g1 = g1; st_g2 = g2 }
 
+(* One keyword's slice of an update, after the sequential trapdoor
+   bookkeeping: everything needed to derive its index entries and
+   set-hash without touching shared state. *)
+type keyword_job = {
+  kj_trapdoor : string;
+  kj_j : int;
+  kj_h0 : Mset_hash.t;
+  kj_g1 : string;
+  kj_g2 : string;
+  kj_enc_ids : string array; (* Enc(K_R, id), in record order *)
+}
+
+(* Entry derivation for one keyword: the trapdoor chain of counters is
+   inherently sequential within the keyword, so keywords are the
+   parallel shards. Pure — safe on any domain. *)
+let run_job job =
+  let g1k = Keys.prf_of_key job.kj_g1 and g2k = Keys.prf_of_key job.kj_g2 in
+  let h = ref job.kj_h0 in
+  let entries =
+    Array.mapi
+      (fun c enc_id ->
+        let l, mask = Keys.f_pair g1k g2k ~trapdoor:job.kj_trapdoor ~counter:c in
+        h := Mset_hash.add !h enc_id;
+        (l, Bytesutil.xor mask enc_id))
+      job.kj_enc_ids
+  in
+  let tk = token_key ~trapdoor:job.kj_trapdoor ~j:job.kj_j ~g1:job.kj_g1 ~g2:job.kj_g2 in
+  (entries, !h, tk, Bytesutil.concat [ tk; Mset_hash.to_bytes !h ])
+
 (* Core of Algorithms 1 and 2: fold a batch of records into the state,
-   returning the shipment for the cloud and chain. *)
+   returning the shipment for the cloud and chain.
+
+   Pipeline: (1) slice records into keywords across the domain pool;
+   (2) sequentially group by keyword, encrypt each record id once, and
+   advance trapdoor chains in first-seen keyword order (the only RNG
+   consumer, so the draw order is pool-size independent); (3) fan the
+   per-keyword entry/set-hash derivation across the pool; (4) batch the
+   prime walks and the Ac fold (pool-parallel inside the accumulator).
+   Every phase either preserves input order or is keyed by it, so the
+   shipment is byte-identical at every pool size. *)
 let add_records t records =
   let started = Unix.gettimeofday () in
   let ads_time = ref 0. in
@@ -74,55 +114,75 @@ let add_records t records =
         invalid_arg (Printf.sprintf "Owner: duplicate record id %S" r.Slicer_types.id);
       Hashtbl.replace t.seen_ids r.Slicer_types.id ())
     records;
-  (* Group record IDs by keyword, preserving record order. *)
+  let pool = Parallel.pool () in
+  let record_arr = Array.of_list records in
+  (* Phase 1: record -> keyword/tuple slicing, fanned across the pool. *)
+  let keyword_slices = Parallel.Pool.map pool (keywords_of t) record_arr in
+  (* Each record id is encrypted exactly once, not once per keyword.
+     Sequential: it warms the AES schedule cache, which must not be
+     mutated concurrently. *)
+  let enc_ids = Array.map (fun r -> Keys.encrypt_record_id ~k_r:t.o_keys.Keys.k_r r.Slicer_types.id) record_arr in
+  (* Phase 2: group encrypted ids by keyword, preserving record order. *)
   let by_keyword : (string, string list ref) Hashtbl.t = Hashtbl.create 1024 in
   let keyword_order = ref [] in
-  List.iter
-    (fun r ->
+  Array.iteri
+    (fun i ws ->
+      let enc_id = enc_ids.(i) in
       List.iter
         (fun w ->
           match Hashtbl.find_opt by_keyword w with
-          | Some ids -> ids := r.Slicer_types.id :: !ids
+          | Some ids -> ids := enc_id :: !ids
           | None ->
-            Hashtbl.replace by_keyword w (ref [ r.Slicer_types.id ]);
+            Hashtbl.replace by_keyword w (ref [ enc_id ]);
             keyword_order := w :: !keyword_order)
-        (keywords_of t r))
-    records;
+        ws)
+    keyword_slices;
+  let keywords = Array.of_list (List.rev !keyword_order) in
+  (* Per-keyword G1/G2 derivation is independent of the trapdoor state:
+     fan it out too. *)
+  let gpairs =
+    Parallel.Pool.map pool (fun w -> (Keys.g1_keyed t.o_kprf w, Keys.g2_keyed t.o_kprf w)) keywords
+  in
+  (* Trapdoor bookkeeping: fresh chain for a new keyword, or advance the
+     chain with the inverse permutation (forward security). Sequential
+     in first-seen order — this is where the RNG is consumed. *)
+  let jobs =
+    Array.mapi
+      (fun i w ->
+        let g1, g2 = gpairs.(i) in
+        let trapdoor, j, h0 =
+          match Hashtbl.find_opt t.trapdoors w with
+          | None -> (Rsa_tdp.random_element ~rng:t.o_rng t.o_keys.Keys.tdp_public, 0, Mset_hash.empty)
+          | Some (told, jold) ->
+            let old_tk = token_key ~trapdoor:told ~j:jold ~g1 ~g2 in
+            let h0 =
+              match Hashtbl.find_opt t.set_hashes old_tk with
+              | Some h ->
+                Hashtbl.remove t.set_hashes old_tk;
+                h
+              | None -> Mset_hash.empty
+            in
+            (Rsa_tdp.inverse_bytes t.o_keys.Keys.tdp_secret t.o_keys.Keys.tdp_public told, jold + 1, h0)
+        in
+        Hashtbl.replace t.trapdoors w (trapdoor, j);
+        { kj_trapdoor = trapdoor;
+          kj_j = j;
+          kj_h0 = h0;
+          kj_g1 = g1;
+          kj_g2 = g2;
+          kj_enc_ids = Array.of_list (List.rev !(Hashtbl.find by_keyword w)) })
+      keywords
+  in
+  (* Phase 3: per-entry (l, d) derivation and set-hash folds, sharded by
+     keyword across the pool. *)
+  let results = Parallel.Pool.map pool run_job jobs in
   let entries = ref [] and prime_inputs = ref [] in
-  let k = t.o_keys.Keys.k and k_r = t.o_keys.Keys.k_r in
-  List.iter
-    (fun w ->
-      let ids = List.rev !(Hashtbl.find by_keyword w) in
-      let g1 = Keys.g1 ~k w and g2 = Keys.g2 ~k w in
-      (* Trapdoor bookkeeping: fresh chain for a new keyword, or advance
-         the chain with the inverse permutation (forward security). *)
-      let trapdoor, j, h0 =
-        match Hashtbl.find_opt t.trapdoors w with
-        | None -> (Rsa_tdp.random_element ~rng:t.o_rng t.o_keys.Keys.tdp_public, 0, Mset_hash.empty)
-        | Some (told, jold) ->
-          let h0 =
-            match Hashtbl.find_opt t.set_hashes (token_key ~trapdoor:told ~j:jold ~g1 ~g2) with
-            | Some h ->
-              Hashtbl.remove t.set_hashes (token_key ~trapdoor:told ~j:jold ~g1 ~g2);
-              h
-            | None -> Mset_hash.empty
-          in
-          (Rsa_tdp.inverse_bytes t.o_keys.Keys.tdp_secret t.o_keys.Keys.tdp_public told, jold + 1, h0)
-      in
-      Hashtbl.replace t.trapdoors w (trapdoor, j);
-      let h = ref h0 in
-      List.iteri
-        (fun c id ->
-          let l = Keys.f ~key:g1 ~trapdoor ~counter:c in
-          let enc_id = Keys.encrypt_record_id ~k_r id in
-          let d = Bytesutil.xor (Keys.f ~key:g2 ~trapdoor ~counter:c) enc_id in
-          entries := (l, d) :: !entries;
-          h := Mset_hash.add !h enc_id)
-        ids;
-      let tk = token_key ~trapdoor ~j ~g1 ~g2 in
-      Hashtbl.replace t.set_hashes tk !h;
-      prime_inputs := Bytesutil.concat [ tk; Mset_hash.to_bytes !h ] :: !prime_inputs)
-    (List.rev !keyword_order);
+  Array.iter
+    (fun (job_entries, h, tk, prime_input) ->
+      Array.iter (fun e -> entries := e :: !entries) job_entries;
+      Hashtbl.replace t.set_hashes tk h;
+      prime_inputs := prime_input :: !prime_inputs)
+    results;
   (* The prime walks dominate ADS build; one batched call fans them out
      across the domain pool. A single product-tree exponentiation then
      folds the whole batch into Ac (equal to the per-prime fold, since

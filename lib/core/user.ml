@@ -1,10 +1,12 @@
 type t = {
   u_keys : Keys.user_keys;
+  u_kprf : Keys.prf; (* keyed context for K: one key block per user, not per token *)
   u_width : int;
   mutable trapdoors : Owner.trapdoor_state;
 }
 
-let create ~keys ~width state = { u_keys = keys; u_width = width; trapdoors = state }
+let create ~keys ~width state =
+  { u_keys = keys; u_kprf = Keys.prf_of_key keys.Keys.u_k; u_width = width; trapdoors = state }
 
 let update_state t state = t.trapdoors <- state
 
@@ -28,8 +30,8 @@ let gen_tokens ~rng t q =
         Some
           { Slicer_types.st_trapdoor = trapdoor;
             st_updates = j;
-            st_g1 = Keys.g1 ~k:t.u_keys.Keys.u_k w;
-            st_g2 = Keys.g2 ~k:t.u_keys.Keys.u_k w })
+            st_g1 = Keys.g1_keyed t.u_kprf w;
+            st_g2 = Keys.g2_keyed t.u_kprf w })
     keywords
 
 let decrypt_results t ers =

@@ -1,16 +1,24 @@
-type t = { mutable k : string; mutable v : string }
+type t = { mutable k : string; mutable v : string; mutable kd : Hmac.keyed }
+
+(* Every HMAC in the generator runs under the current K; the keyed
+   context is rebuilt only when K rotates (twice per update), so the
+   per-block cost of [generate] is two compressions, not four. *)
+let set_key t k =
+  t.k <- k;
+  t.kd <- Hmac.create ~key:k
 
 (* HMAC-DRBG update step (SP 800-90A §10.1.2.2). *)
 let update t provided =
-  t.k <- Hmac.sha256 ~key:t.k (t.v ^ "\x00" ^ provided);
-  t.v <- Hmac.sha256 ~key:t.k t.v;
+  set_key t (Hmac.sha256_keyed t.kd (t.v ^ "\x00" ^ provided));
+  t.v <- Hmac.sha256_keyed t.kd t.v;
   if provided <> "" then begin
-    t.k <- Hmac.sha256 ~key:t.k (t.v ^ "\x01" ^ provided);
-    t.v <- Hmac.sha256 ~key:t.k t.v
+    set_key t (Hmac.sha256_keyed t.kd (t.v ^ "\x01" ^ provided));
+    t.v <- Hmac.sha256_keyed t.kd t.v
   end
 
 let create ~seed =
-  let t = { k = String.make 32 '\000'; v = String.make 32 '\x01' } in
+  let k0 = String.make 32 '\000' in
+  let t = { k = k0; v = String.make 32 '\x01'; kd = Hmac.create ~key:k0 } in
   update t seed;
   t
 
@@ -30,7 +38,7 @@ let create_system () =
 let generate t n =
   let buf = Buffer.create n in
   while Buffer.length buf < n do
-    t.v <- Hmac.sha256 ~key:t.k t.v;
+    t.v <- Hmac.sha256_keyed t.kd t.v;
     Buffer.add_string buf t.v
   done;
   update t "";

@@ -1,4 +1,11 @@
-(* FIPS 180-4 SHA-256. Words are kept in native ints masked to 32 bits. *)
+(* FIPS 180-4 SHA-256. Words are kept in native ints masked to 32 bits.
+
+   The compress kernel comes in two flavours: one consuming whole blocks
+   straight out of the input string (no per-block blit through the
+   context buffer) and one reading the context's own partial-block
+   buffer (used for stream boundaries and the padded final block).
+   Contexts are cheap to [copy], which the HMAC keyed contexts exploit
+   to amortize the ipad/opad key-block compressions across messages. *)
 
 let word_mask = 0xffffffff
 
@@ -14,10 +21,10 @@ let k =
 
 type ctx = {
   h : int array; (* 8 working-state words *)
-  buf : Bytes.t; (* 64-byte block buffer *)
+  buf : Bytes.t; (* 64-byte partial-block buffer *)
   mutable buf_len : int;
   mutable total : int; (* total message bytes so far *)
-  w : int array; (* message schedule scratch *)
+  w : int array; (* message schedule scratch; never shared across contexts *)
 }
 
 let init () =
@@ -27,22 +34,24 @@ let init () =
     total = 0;
     w = Array.make 64 0 }
 
+let copy ctx =
+  { h = Array.copy ctx.h;
+    buf = Bytes.copy ctx.buf;
+    buf_len = ctx.buf_len;
+    total = ctx.total;
+    w = Array.make 64 0 }
+
 let rotr x n = ((x lsr n) lor (x lsl (32 - n))) land word_mask
 
-let compress ctx block off =
+(* 64 rounds over the schedule already loaded into ctx.w.(0..15). *)
+let rounds ctx =
   let w = ctx.w in
-  for t = 0 to 15 do
-    let i = off + (t * 4) in
-    w.(t) <-
-      (Char.code (Bytes.get block i) lsl 24)
-      lor (Char.code (Bytes.get block (i + 1)) lsl 16)
-      lor (Char.code (Bytes.get block (i + 2)) lsl 8)
-      lor Char.code (Bytes.get block (i + 3))
-  done;
   for t = 16 to 63 do
-    let s0 = rotr w.(t - 15) 7 lxor rotr w.(t - 15) 18 lxor (w.(t - 15) lsr 3) in
-    let s1 = rotr w.(t - 2) 17 lxor rotr w.(t - 2) 19 lxor (w.(t - 2) lsr 10) in
-    w.(t) <- (w.(t - 16) + s0 + w.(t - 7) + s1) land word_mask
+    let w15 = Array.unsafe_get w (t - 15) and w2 = Array.unsafe_get w (t - 2) in
+    let s0 = rotr w15 7 lxor rotr w15 18 lxor (w15 lsr 3) in
+    let s1 = rotr w2 17 lxor rotr w2 19 lxor (w2 lsr 10) in
+    Array.unsafe_set w t
+      ((Array.unsafe_get w (t - 16) + s0 + Array.unsafe_get w (t - 7) + s1) land word_mask)
   done;
   let h = ctx.h in
   let a = ref h.(0) and b = ref h.(1) and c = ref h.(2) and d = ref h.(3) in
@@ -50,7 +59,7 @@ let compress ctx block off =
   for t = 0 to 63 do
     let s1 = rotr !e 6 lxor rotr !e 11 lxor rotr !e 25 in
     let ch = (!e land !f) lxor (lnot !e land !g) in
-    let t1 = (!hh + s1 + ch + k.(t) + w.(t)) land word_mask in
+    let t1 = (!hh + s1 + ch + Array.unsafe_get k t + Array.unsafe_get w t) land word_mask in
     let s0 = rotr !a 2 lxor rotr !a 13 lxor rotr !a 22 in
     let maj = (!a land !b) lxor (!a land !c) lxor (!b land !c) in
     let t2 = (s0 + maj) land word_mask in
@@ -72,6 +81,31 @@ let compress ctx block off =
   h.(6) <- (h.(6) + !g) land word_mask;
   h.(7) <- (h.(7) + !hh) land word_mask
 
+(* Bounds are checked by the callers: [off + 64 <= length s]. *)
+let compress_string ctx s off =
+  let w = ctx.w in
+  for t = 0 to 15 do
+    let i = off + (t * 4) in
+    Array.unsafe_set w t
+      ((Char.code (String.unsafe_get s i) lsl 24)
+       lor (Char.code (String.unsafe_get s (i + 1)) lsl 16)
+       lor (Char.code (String.unsafe_get s (i + 2)) lsl 8)
+       lor Char.code (String.unsafe_get s (i + 3)));
+  done;
+  rounds ctx
+
+let compress_buf ctx =
+  let w = ctx.w and b = ctx.buf in
+  for t = 0 to 15 do
+    let i = t * 4 in
+    Array.unsafe_set w t
+      ((Char.code (Bytes.unsafe_get b i) lsl 24)
+       lor (Char.code (Bytes.unsafe_get b (i + 1)) lsl 16)
+       lor (Char.code (Bytes.unsafe_get b (i + 2)) lsl 8)
+       lor Char.code (Bytes.unsafe_get b (i + 3)));
+  done;
+  rounds ctx
+
 let update ctx s =
   let len = String.length s in
   ctx.total <- ctx.total + len;
@@ -83,14 +117,13 @@ let update ctx s =
     ctx.buf_len <- ctx.buf_len + take;
     pos := take;
     if ctx.buf_len = 64 then begin
-      compress ctx ctx.buf 0;
+      compress_buf ctx;
       ctx.buf_len <- 0
     end
   end;
   (* Whole blocks straight from the input. *)
   while len - !pos >= 64 do
-    Bytes.blit_string s !pos ctx.buf 0 64;
-    compress ctx ctx.buf 0;
+    compress_string ctx s !pos;
     pos := !pos + 64
   done;
   if !pos < len then begin
@@ -98,23 +131,35 @@ let update ctx s =
     ctx.buf_len <- len - !pos
   end
 
-let finalize ctx =
+(* Padding and the final one or two blocks are assembled in place in
+   ctx.buf — no intermediate string allocations. *)
+let finalize_rounds ctx =
   let bit_len = ctx.total * 8 in
-  (* Padding: 0x80, zeros, then the 64-bit big-endian bit length. *)
-  update ctx "\x80";
-  let zeros = ((56 - ctx.buf_len) + 64) mod 64 in
-  update ctx (String.make zeros '\000');
-  ctx.total <- ctx.total - 1 - zeros; (* keep [total] honest; unused after *)
-  (* Write length block directly: update would re-count it. *)
-  let lenb = Bytes.create 8 in
+  let n = ctx.buf_len in
+  Bytes.unsafe_set ctx.buf n '\x80';
+  if n + 1 > 56 then begin
+    Bytes.fill ctx.buf (n + 1) (63 - n) '\000';
+    compress_buf ctx;
+    Bytes.fill ctx.buf 0 56 '\000'
+  end
+  else Bytes.fill ctx.buf (n + 1) (55 - n) '\000';
   for i = 0 to 7 do
-    Bytes.set lenb i (Char.chr ((bit_len lsr ((7 - i) * 8)) land 0xff))
+    Bytes.unsafe_set ctx.buf (56 + i) (Char.unsafe_chr ((bit_len lsr ((7 - i) * 8)) land 0xff))
   done;
-  Bytes.blit lenb 0 ctx.buf ctx.buf_len 8;
-  compress ctx ctx.buf 0;
-  String.init 32 (fun i ->
-      let word = ctx.h.(i / 4) in
-      Char.chr ((word lsr ((3 - (i mod 4)) * 8)) land 0xff))
+  compress_buf ctx;
+  ctx.buf_len <- 0
+
+let finalize_trunc ctx n =
+  if n < 1 || n > 32 then invalid_arg "Sha256.finalize_trunc: need 1 <= n <= 32";
+  finalize_rounds ctx;
+  let out = Bytes.create n in
+  for i = 0 to n - 1 do
+    let word = Array.unsafe_get ctx.h (i / 4) in
+    Bytes.unsafe_set out i (Char.unsafe_chr ((word lsr ((3 - (i mod 4)) * 8)) land 0xff))
+  done;
+  Bytes.unsafe_to_string out
+
+let finalize ctx = finalize_trunc ctx 32
 
 let digest s =
   let ctx = init () in

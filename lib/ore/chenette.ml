@@ -16,11 +16,12 @@ type ciphertext = { u : int array; width : int }
 
 let encrypt key ~width v =
   Bitvec.check_value ~width v;
+  let kd = Hmac.create ~key in
   let u =
     Array.init width (fun k ->
         let i = k + 1 in
         let pfx = Bitvec.prefix ~width v (i - 1) in
-        let f = Hmac.prf128 ~key (Bytesutil.concat [ "clww"; string_of_int i; pfx ]) in
+        let f = Hmac.prf128_keyed kd (Bytesutil.concat [ "clww"; string_of_int i; pfx ]) in
         let r = Char.code f.[0] mod 3 in
         (r + Bitvec.bit ~width v i) mod 3)
   in

@@ -8,11 +8,21 @@
    the succinctness gap the SORE ablation bench quantifies. Practical
    only for small widths (the constructors enforce width <= 12). *)
 
-type key = { prf_key : string; perm_key : string }
+type key = {
+  prf_key : string;
+  perm_key : string;
+  prf_kd : Hmac.keyed;  (* keyed contexts: every slot evaluation shares them *)
+  perm_kd : Hmac.keyed;
+}
 
 let max_width = 12
 
-let keygen ~rng = { prf_key = Drbg.generate rng 16; perm_key = Drbg.generate rng 16 }
+let keygen ~rng =
+  let prf_key = Drbg.generate rng 16 and perm_key = Drbg.generate rng 16 in
+  { prf_key;
+    perm_key;
+    prf_kd = Hmac.create ~key:prf_key;
+    perm_kd = Hmac.create ~key:perm_key }
 
 type left = { lx : string; lpos : int; lwidth : int }
 type right = { nonce : string; slots : int array; rwidth : int }
@@ -31,7 +41,7 @@ let permutation key ~width =
     let domain = 1 lsl width in
     let ranked =
       Array.init domain (fun v ->
-          (Hmac.prf128 ~key:key.perm_key (Bytesutil.concat [ "pos"; string_of_int v ]), v))
+          (Hmac.prf128_keyed key.perm_kd (Bytesutil.concat [ "pos"; string_of_int v ]), v))
     in
     Array.sort compare ranked;
     (* p.(v) = permuted position of domain element v. *)
@@ -45,7 +55,7 @@ let hash_cmp fk nonce = Char.code (Hmac.prf128 ~key:fk nonce).[0] mod 3
 let encrypt_left key ~width x =
   check_width width;
   Bitvec.check_value ~width x;
-  { lx = Hmac.prf128 ~key:key.prf_key (Bytesutil.concat [ "lw"; string_of_int x ]);
+  { lx = Hmac.prf128_keyed key.prf_kd (Bytesutil.concat [ "lw"; string_of_int x ]);
     lpos = (permutation key ~width).(x);
     lwidth = width }
 
@@ -59,7 +69,7 @@ let encrypt_right ~rng key ~width y =
   let slots = Array.make domain 0 in
   for x' = 0 to domain - 1 do
     let cmp = if x' = y then 0 else if x' > y then 1 else 2 in
-    let fk = Hmac.prf128 ~key:key.prf_key (Bytesutil.concat [ "lw"; string_of_int x' ]) in
+    let fk = Hmac.prf128_keyed key.prf_kd (Bytesutil.concat [ "lw"; string_of_int x' ]) in
     slots.(perm.(x')) <- (cmp + hash_cmp fk nonce) mod 3
   done;
   { nonce; slots; rwidth = width }

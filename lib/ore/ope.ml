@@ -6,28 +6,30 @@ let expansion = 16
 
 (* PRF-driven split point: uniform in [lo, hi] derived from the current
    domain interval, so both encryptor and any other key holder agree. *)
-let split key ~dlo ~dhi ~lo ~hi =
+let split kd ~dlo ~dhi ~lo ~hi =
   let tag = Bytesutil.concat [ "ope"; string_of_int dlo; string_of_int dhi ] in
-  let f = Hmac.prf128 ~key tag in
+  let f = Hmac.prf128_keyed kd tag in
   let raw = String.fold_left (fun acc c -> ((acc lsl 8) lor Char.code c) land max_int) 0 (String.sub f 0 7) in
   lo + (raw mod (hi - lo + 1))
 
 let encrypt key ~width v =
   Bitvec.check_value ~width v;
+  (* One keyed context serves the whole recursion (width splits + leaf). *)
+  let kd = Hmac.create ~key in
   (* Invariant: the domain slice [dlo, dhi) maps into the range slice
      [rlo, rhi) with rhi - rlo >= dhi - dlo, preserving order across
      recursive splits. *)
   let rec go dlo dhi rlo rhi =
     if dhi - dlo = 1 then begin
       let tag = Bytesutil.concat [ "leaf"; string_of_int dlo ] in
-      let f = Hmac.prf128 ~key tag in
+      let f = Hmac.prf128_keyed kd tag in
       let raw = String.fold_left (fun acc c -> ((acc lsl 8) lor Char.code c) land max_int) 0 (String.sub f 0 7) in
       rlo + (raw mod (rhi - rlo))
     end
     else begin
       let dmid = (dlo + dhi) / 2 in
       (* Each side keeps at least as many range points as domain points. *)
-      let rmid = split key ~dlo ~dhi ~lo:(rlo + (dmid - dlo)) ~hi:(rhi - (dhi - dmid)) in
+      let rmid = split kd ~dlo ~dhi ~lo:(rlo + (dmid - dlo)) ~hi:(rhi - (dhi - dmid)) in
       if v < dmid then go dlo dmid rlo rmid else go dmid dhi rmid rhi
     end
   in

@@ -19,14 +19,16 @@ let shuffle ~rng xs =
   done;
   Array.to_list arr
 
-let prf key tuple = Hmac.prf128 ~key tuple
-
+(* All b slices of one ciphertext/token share the key: one keyed context
+   per call halves the per-slice hashing. *)
 let encrypt ?attr ~rng key ~width v =
-  let slices = List.map (prf key) (Bitvec.cipher_tuples ?attr ~width v) in
+  let kd = Hmac.create ~key in
+  let slices = List.map (Hmac.prf128_keyed kd) (Bitvec.cipher_tuples ?attr ~width v) in
   { ct_slices = shuffle ~rng slices; ct_width = width }
 
 let token ?attr ~rng key ~width v oc =
-  let slices = List.map (prf key) (Bitvec.token_tuples ?attr ~width v oc) in
+  let kd = Hmac.create ~key in
+  let slices = List.map (Hmac.prf128_keyed kd) (Bitvec.token_tuples ?attr ~width v oc) in
   { tk_slices = shuffle ~rng slices; tk_width = width }
 
 let common_slices ct tk =

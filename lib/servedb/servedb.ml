@@ -1,7 +1,10 @@
-type key = { sk_label : string; sk_enc : Aes128.key }
+type key = { sk_label : string; sk_label_kd : Hmac.keyed; sk_enc : Aes128.key }
 
 let keygen ~rng =
-  { sk_label = Drbg.generate rng 16; sk_enc = Aes128.expand (Drbg.generate rng 16) }
+  let sk_label = Drbg.generate rng 16 in
+  { sk_label;
+    sk_label_kd = Hmac.create ~key:sk_label;
+    sk_enc = Aes128.expand (Drbg.generate rng 16) }
 
 (* A leaf is (tag, encrypted IDs); leaves are sorted by tag so absence
    is provable by adjacency. *)
@@ -18,7 +21,7 @@ type response = {
   rsp_absent : (string * leaf_evidence option * leaf_evidence option) list;
 }
 
-let tag key ~width seg = Hmac.prf128 ~key:key.sk_label (Bytesutil.concat [ "sdb"; Dyadic.label ~width seg ])
+let tag key ~width seg = Hmac.prf128_keyed key.sk_label_kd (Bytesutil.concat [ "sdb"; Dyadic.label ~width seg ])
 
 let leaf_payload (t, ids) = Bytesutil.concat (t :: ids)
 

@@ -69,6 +69,36 @@ let test_sha256_streaming () =
   Alcotest.(check string) "streamed = one-shot" (Bytesutil.to_hex whole)
     (Bytesutil.to_hex (Sha256.finalize ctx))
 
+let test_sha256_copy () =
+  (* A copied context forks the stream: both sides must finalize to the
+     digest of their own full input, independently. *)
+  let ctx = Sha256.init () in
+  Sha256.update ctx "common prefix|";
+  let fork = Sha256.copy ctx in
+  Sha256.update ctx "left";
+  Sha256.update fork "right branch that is much longer than one block ";
+  Sha256.update fork (String.make 100 'r');
+  check_hex "left" (Bytesutil.to_hex (Sha256.digest "common prefix|left")) (Sha256.finalize ctx);
+  check_hex "right"
+    (Bytesutil.to_hex
+       (Sha256.digest
+          ("common prefix|right branch that is much longer than one block " ^ String.make 100 'r')))
+    (Sha256.finalize fork)
+
+let test_sha256_finalize_trunc () =
+  let full = Sha256.digest "truncate me" in
+  List.iter
+    (fun n ->
+      let ctx = Sha256.init () in
+      Sha256.update ctx "truncate me";
+      Alcotest.(check string)
+        (Printf.sprintf "trunc %d" n)
+        (Bytesutil.to_hex (String.sub full 0 n))
+        (Bytesutil.to_hex (Sha256.finalize_trunc ctx n)))
+    [ 1; 16; 31; 32 ];
+  Alcotest.check_raises "trunc 0" (Invalid_argument "Sha256.finalize_trunc: need 1 <= n <= 32")
+    (fun () -> ignore (Sha256.finalize_trunc (Sha256.init ()) 0))
+
 (* --- HMAC-SHA256 (RFC 4231) ----------------------------------------- *)
 
 let test_hmac_vectors () =
@@ -91,6 +121,35 @@ let test_hmac_vectors () =
     (Hmac.sha256 ~key:(String.make 131 '\xaa') "Test Using Larger Than Block-Size Key - Hash Key First");
   (* truncated PRF variant *)
   Alcotest.(check int) "prf128 length" 16 (String.length (Hmac.prf128 ~key:"k" "m"))
+
+(* The same RFC 4231 vectors through a reusable keyed context — and the
+   context must stay reusable: evaluating other messages in between must
+   not perturb later tags. *)
+let test_hmac_keyed_vectors () =
+  let cases =
+    [ ( String.make 20 '\x0b',
+        "Hi There",
+        "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7" );
+      ( "Jefe",
+        "what do ya want for nothing?",
+        "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843" );
+      ( String.make 20 '\xaa',
+        String.make 50 '\xdd',
+        "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe" );
+      ( String.make 131 '\xaa',
+        "Test Using Larger Than Block-Size Key - Hash Key First",
+        "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54" ) ]
+  in
+  List.iter
+    (fun (key, msg, expected) ->
+      let kd = Hmac.create ~key in
+      check_hex "keyed tc" expected (Hmac.sha256_keyed kd msg);
+      ignore (Hmac.sha256_keyed kd "interleaved message");
+      ignore (Hmac.prf128_keyed kd "another");
+      check_hex "keyed tc repeat" expected (Hmac.sha256_keyed kd msg);
+      check_hex "keyed prf128 = prefix" (Bytesutil.to_hex (String.sub (Bytesutil.of_hex expected) 0 16))
+        (Hmac.prf128_keyed kd msg))
+    cases
 
 (* --- AES-128 (FIPS 197 appendix + NIST SP 800-38A) ------------------ *)
 
@@ -182,6 +241,32 @@ let props =
         Sha256.update ctx (String.sub s 0 k);
         Sha256.update ctx (String.sub s k (String.length s - k));
         String.equal (Sha256.finalize ctx) (Sha256.digest s));
+    (* incremental (random 3-way split), one-shot, and copied-context
+       digests must all agree. *)
+    prop "sha256 incremental/one-shot/copy agree"
+      (QCheck2.Gen.triple (gen_bytes ~max_len:300 ()) (QCheck2.Gen.int_range 0 300) (QCheck2.Gen.int_range 0 300))
+      (fun (s, i, j) ->
+        let n = String.length s in
+        let i = Stdlib.min i n in
+        let j = Stdlib.min (Stdlib.max i j) n in
+        let ctx = Sha256.init () in
+        Sha256.update ctx (String.sub s 0 i);
+        let fork = Sha256.copy ctx in
+        Sha256.update ctx (String.sub s i (j - i));
+        Sha256.update ctx (String.sub s j (n - j));
+        Sha256.update fork (String.sub s i (n - i));
+        let d = Sha256.digest s in
+        String.equal (Sha256.finalize ctx) d && String.equal (Sha256.finalize fork) d);
+    prop "hmac keyed-context/one-shot/truncation agree"
+      (QCheck2.Gen.pair (gen_bytes ~max_len:200 ()) (gen_bytes ~max_len:200 ()))
+      (fun (key, msg) ->
+        let kd = Hmac.create ~key in
+        let tag = Hmac.sha256 ~key msg in
+        String.equal (Hmac.sha256_keyed kd msg) tag
+        && String.equal (Hmac.prf128_keyed kd msg) (String.sub tag 0 16)
+        && String.equal (Hmac.prf128 ~key msg) (String.sub tag 0 16)
+        (* a second evaluation under the same context is unperturbed *)
+        && String.equal (Hmac.sha256_keyed kd msg) tag);
     prop "aes block roundtrip" (gen_bytes ~max_len:64 ()) (fun seed ->
         let key = Aes128.expand (Sha256.digest seed |> fun d -> String.sub d 0 16) in
         let block = String.sub (Sha256.digest ("b" ^ seed)) 0 16 in
@@ -207,8 +292,12 @@ let () =
           Alcotest.test_case "concat injective" `Quick test_concat_injective ] );
       ( "sha256",
         [ Alcotest.test_case "FIPS vectors" `Quick test_sha256_vectors;
-          Alcotest.test_case "streaming" `Quick test_sha256_streaming ] );
-      ("hmac", [ Alcotest.test_case "RFC 4231" `Quick test_hmac_vectors ]);
+          Alcotest.test_case "streaming" `Quick test_sha256_streaming;
+          Alcotest.test_case "copy forks the stream" `Quick test_sha256_copy;
+          Alcotest.test_case "finalize_trunc" `Quick test_sha256_finalize_trunc ] );
+      ( "hmac",
+        [ Alcotest.test_case "RFC 4231" `Quick test_hmac_vectors;
+          Alcotest.test_case "RFC 4231 keyed contexts" `Quick test_hmac_keyed_vectors ] );
       ( "aes128",
         [ Alcotest.test_case "FIPS 197" `Quick test_aes_fips197;
           Alcotest.test_case "SP 800-38A ECB" `Quick test_aes_sp80038a_ecb;

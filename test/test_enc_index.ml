@@ -1,0 +1,89 @@
+(* The compact open-addressing encrypted index: exact lookup semantics,
+   collision-free insertion, growth across the load-factor boundary, and
+   honest size accounting. *)
+
+let label i = String.sub (Sha256.digest (Printf.sprintf "label-%d" i)) 0 16
+let payload i = String.sub (Sha256.digest (Printf.sprintf "payload-%d" i)) 0 16
+
+let test_put_find () =
+  let t = Enc_index.create () in
+  Alcotest.(check (option string)) "empty" None (Enc_index.find t (label 0));
+  Enc_index.put t ~l:(label 0) ~d:(payload 0);
+  Enc_index.put t ~l:(label 1) ~d:(payload 1);
+  Alcotest.(check (option string)) "hit 0" (Some (payload 0)) (Enc_index.find t (label 0));
+  Alcotest.(check (option string)) "hit 1" (Some (payload 1)) (Enc_index.find t (label 1));
+  Alcotest.(check (option string)) "miss" None (Enc_index.find t (label 2));
+  Alcotest.(check int) "count" 2 (Enc_index.entry_count t)
+
+let test_duplicate_raises () =
+  let t = Enc_index.create () in
+  Enc_index.put t ~l:(label 7) ~d:(payload 7);
+  Alcotest.check_raises "occupied" (Invalid_argument "Enc_index.put: position already occupied")
+    (fun () -> Enc_index.put t ~l:(label 7) ~d:(payload 8))
+
+let test_size_checks () =
+  let t = Enc_index.create () in
+  Alcotest.check_raises "short label" (Invalid_argument "Enc_index.put: position must be 16 bytes")
+    (fun () -> Enc_index.put t ~l:"short" ~d:(payload 0));
+  Alcotest.check_raises "long payload" (Invalid_argument "Enc_index.put: payload must be 16 bytes")
+    (fun () -> Enc_index.put t ~l:(label 0) ~d:(String.make 17 'x'));
+  Alcotest.(check (option string)) "odd-length find is a miss" None (Enc_index.find t "x")
+
+(* 5000 entries forces several doublings past the initial 1024-slot
+   arena; every key must survive each rehash. *)
+let test_growth () =
+  let t = Enc_index.create () in
+  let n = 5000 in
+  for i = 0 to n - 1 do
+    Enc_index.put t ~l:(label i) ~d:(payload i)
+  done;
+  Alcotest.(check int) "count" n (Enc_index.entry_count t);
+  for i = 0 to n - 1 do
+    match Enc_index.find t (label i) with
+    | Some d when String.equal d (payload i) -> ()
+    | Some _ -> Alcotest.fail (Printf.sprintf "wrong payload for %d" i)
+    | None -> Alcotest.fail (Printf.sprintf "lost entry %d after growth" i)
+  done;
+  Alcotest.(check (option string)) "still miss" None (Enc_index.find t (label n))
+
+let test_size_bytes () =
+  let t = Enc_index.create () in
+  Alcotest.(check int) "empty" 0 (Enc_index.size_bytes t);
+  for i = 0 to 99 do
+    Enc_index.put t ~l:(label i) ~d:(payload i)
+  done;
+  (* Exact stored bytes: 16-byte label + 16-byte payload per entry. *)
+  Alcotest.(check int) "stored" (100 * 32) (Enc_index.size_bytes t);
+  Alcotest.(check bool) "arena covers stored bytes" true
+    (Enc_index.capacity_bytes t >= Enc_index.size_bytes t)
+
+let test_iter () =
+  let t = Enc_index.create () in
+  let n = 300 in
+  for i = 0 to n - 1 do
+    Enc_index.put t ~l:(label i) ~d:(payload i)
+  done;
+  let seen = Hashtbl.create n in
+  Enc_index.iter
+    (fun l d ->
+      Alcotest.(check int) "label len" 16 (String.length l);
+      Alcotest.(check int) "payload len" 16 (String.length d);
+      if Hashtbl.mem seen l then Alcotest.fail "iter visited a label twice";
+      Hashtbl.replace seen l d)
+    t;
+  Alcotest.(check int) "iter visits every entry" n (Hashtbl.length seen);
+  for i = 0 to n - 1 do
+    match Hashtbl.find_opt seen (label i) with
+    | Some d when String.equal d (payload i) -> ()
+    | _ -> Alcotest.fail "iter payload mismatch"
+  done
+
+let () =
+  Alcotest.run "enc_index"
+    [ ( "enc_index",
+        [ Alcotest.test_case "put/find" `Quick test_put_find;
+          Alcotest.test_case "duplicate raises" `Quick test_duplicate_raises;
+          Alcotest.test_case "size checks" `Quick test_size_checks;
+          Alcotest.test_case "growth" `Quick test_growth;
+          Alcotest.test_case "size_bytes" `Quick test_size_bytes;
+          Alcotest.test_case "iter" `Quick test_iter ] ) ]

@@ -187,6 +187,51 @@ let acc_props =
           domain_counts)
   ]
 
+(* --- Build/Insert determinism across pool sizes ------------------------ *)
+
+(* The owner's fan-out (record slicing, G1/G2 derivation, per-keyword
+   entry jobs) must be invisible: index entries, prime representatives
+   and Ac come out bit-identical at every pool size. *)
+let build_and_insert () =
+  let rng = Drbg.create ~seed:"test-parallel-owner" in
+  let keys = Keys.generate ~tdp_bits:512 ~rng () in
+  let acc_params = Rsa_acc.setup ~rng ~bits:512 () in
+  let owner = Owner.create ~width:6 ~rng ~acc_params ~keys () in
+  let records = Gen.uniform_records ~rng ~width:6 40 in
+  let built = Owner.build owner records in
+  let inserts =
+    List.init 10 (fun i -> Slicer_types.record_of_value (Printf.sprintf "ins-%d" i) (i * 5 mod 64))
+  in
+  let inserted = Owner.insert owner inserts in
+  (built, inserted, Owner.current_ac owner)
+
+let shipment_eq (a : Owner.shipment) (b : Owner.shipment) =
+  List.length a.Owner.sh_entries = List.length b.Owner.sh_entries
+  && List.for_all2
+       (fun (l1, d1) (l2, d2) -> String.equal l1 l2 && String.equal d1 d2)
+       a.Owner.sh_entries b.Owner.sh_entries
+  && List.length a.Owner.sh_primes = List.length b.Owner.sh_primes
+  && List.for_all2 Bigint.equal a.Owner.sh_primes b.Owner.sh_primes
+  && Bigint.equal a.Owner.sh_ac b.Owner.sh_ac
+
+let test_owner_determinism () =
+  let ref_built, ref_inserted, ref_ac = build_and_insert () in
+  Alcotest.(check bool) "build produced entries" true (ref_built.Owner.sh_entries <> []);
+  List.iter
+    (fun d ->
+      with_domains d (fun () ->
+          let built, inserted, ac = build_and_insert () in
+          Alcotest.(check bool)
+            (Printf.sprintf "build shipment identical, %d domains" d)
+            true (shipment_eq ref_built built);
+          Alcotest.(check bool)
+            (Printf.sprintf "insert shipment identical, %d domains" d)
+            true (shipment_eq ref_inserted inserted);
+          Alcotest.(check bool)
+            (Printf.sprintf "Ac identical, %d domains" d)
+            true (Bigint.equal ref_ac ac)))
+    domain_counts
+
 (* --- prime-rep cache consistency --------------------------------------- *)
 
 let test_cache_consistency () =
@@ -214,4 +259,6 @@ let () =
           Alcotest.test_case "exceptions" `Quick test_exceptions;
           Alcotest.test_case "global pool" `Quick test_global_pool ] );
       ("determinism", acc_props);
+      ( "owner determinism",
+        [ Alcotest.test_case "Build/Insert across pool sizes" `Quick test_owner_determinism ] );
       ("prime-rep cache", [ Alcotest.test_case "cache consistency" `Quick test_cache_consistency ]) ]
