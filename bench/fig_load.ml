@@ -1,0 +1,179 @@
+(* Load driver for the networked service: K concurrent client
+   *processes* hammer one slicer server over loopback TCP and report
+   throughput and latency percentiles.
+
+   Fork discipline: children are forked while the domain pool is
+   drained to a single domain and before the server's accept thread
+   exists, so no child ever inherits a live thread. The listener is
+   pre-bound so children know the port before the server starts; their
+   first Hello simply waits in the backlog until the accept loop
+   spins up. *)
+
+open Bench_common
+
+let params scale =
+  (* clients, seconds of sustained load *)
+  if String.length scale.label >= 5 && String.sub scale.label 0 5 = "smoke" then (4, 2.0)
+  else if scale.label = "full" then (12, 10.0)
+  else (8, 5.0)
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let rec go off =
+    if off < Bytes.length b then
+      match Unix.write fd b off (Bytes.length b - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+(* The child process: provision, then fire random verified searches
+   until the deadline, streaming one result line per search. Exits via
+   [_exit] so the parent's duplicated stdio buffers are not reflushed. *)
+let run_child idx endpoint duration wr =
+  let buf = Buffer.create 4096 in
+  let cfg =
+    { Net.Client.default_config with request_timeout = 60.; max_attempts = 8 }
+  in
+  (match Net.Client.connect ~config:cfg ~name:(Printf.sprintf "load-%d" idx) endpoint with
+   | Error e ->
+     Buffer.add_string buf
+       (Printf.sprintf "fail %s\n" (Net.Client.error_to_string e))
+   | Ok c ->
+     let rng = Drbg.create ~seed:(Printf.sprintf "load-queries-%d" idx) in
+     let width = Net.Client.width c in
+     let top = (1 lsl width) - 1 in
+     let deadline = Unix.gettimeofday () +. duration in
+     let rec go () =
+       if Unix.gettimeofday () < deadline then begin
+         let v = 1 + Drbg.uniform_int rng (max 1 (top - 1)) in
+         let cond =
+           match Drbg.uniform_int rng 3 with
+           | 0 -> Slicer_types.Eq
+           | 1 -> Slicer_types.Gt
+           | _ -> Slicer_types.Lt
+         in
+         let t0 = Unix.gettimeofday () in
+         (match Net.Client.search c (Slicer_types.query v cond) with
+          | Ok out when out.Protocol.so_verified ->
+            Buffer.add_string buf
+              (Printf.sprintf "ok %.6f\n" (Unix.gettimeofday () -. t0))
+          | Ok _ -> Buffer.add_string buf "err verification failed\n"
+          | Error e ->
+            Buffer.add_string buf
+              (Printf.sprintf "err %s\n" (Net.Client.error_to_string e)));
+         go ()
+       end
+     in
+     go ();
+     Net.Client.close c);
+  write_all wr (Buffer.contents buf);
+  (try Unix.close wr with Unix.Unix_error _ -> ());
+  Unix._exit 0
+
+(* Drain every child pipe to EOF concurrently (a child blocked on a
+   full pipe buffer would deadlock a sequential reader). *)
+let read_pipes fds =
+  let bufs = List.map (fun fd -> (fd, Buffer.create 4096)) fds in
+  let live = ref fds in
+  let chunk = Bytes.create 8192 in
+  while !live <> [] do
+    let ready, _, _ = Unix.select !live [] [] 1.0 in
+    List.iter
+      (fun fd ->
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | 0 ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          live := List.filter (fun fd' -> fd' <> fd) !live
+        | n -> Buffer.add_subbytes (List.assoc fd bufs) chunk 0 n
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+      ready
+  done;
+  List.map (fun (_, b) -> Buffer.contents b) bufs
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then Float.nan
+  else sorted.(min (n - 1) (int_of_float (ceil (p /. 100. *. float_of_int n)) - 1))
+
+let run scale =
+  header "Service load (figure: load)";
+  let clients, duration = params scale in
+  let width = List.hd scale.widths in
+  let size = List.hd scale.order_sizes in
+  Printf.printf "%d client processes, %.0f s, server: %d records at width %d\n%!"
+    clients duration size width;
+  let rng = Drbg.create ~seed:"load-driver-data" in
+  let db = Gen.uniform_records ~rng ~width size in
+  let system = Protocol.setup ~width ~payment:1000 ~seed:"load-driver" db in
+  Cloud.precompute_witnesses (Protocol.cloud system);
+  let listener = Net.Server.bind_endpoint (Net.Server.Tcp ("127.0.0.1", 0)) in
+  let port = Net.Server.bound_port listener in
+  let endpoint = Net.Server.Tcp ("127.0.0.1", port) in
+  (* Quiesce domains and buffers; fork the fleet. *)
+  let prev_domains = Parallel.domains () in
+  Parallel.set_domains 1;
+  flush stdout;
+  flush stderr;
+  let children =
+    List.init clients (fun idx ->
+        let rd, wr = Unix.pipe () in
+        match Unix.fork () with
+        | 0 ->
+          (try Unix.close rd with Unix.Unix_error _ -> ());
+          (try Unix.close listener with Unix.Unix_error _ -> ());
+          run_child idx endpoint duration wr
+        | pid ->
+          (try Unix.close wr with Unix.Unix_error _ -> ());
+          (pid, rd))
+  in
+  Parallel.set_domains prev_domains;
+  let service = Net.Service.of_protocol system in
+  let server = Net.Server.start ~listener service in
+  let t0 = Unix.gettimeofday () in
+  let outputs = read_pipes (List.map snd children) in
+  let wall = Unix.gettimeofday () -. t0 in
+  List.iter (fun (pid, _) -> ignore (Unix.waitpid [] pid)) children;
+  Net.Server.stop server;
+  (* Aggregate. *)
+  let latencies = ref [] and errs = ref 0 and fails = ref 0 in
+  List.iter
+    (fun out ->
+      String.split_on_char '\n' out
+      |> List.iter (fun line ->
+             match String.split_on_char ' ' line with
+             | "ok" :: rest ->
+               (match float_of_string_opt (String.concat " " rest) with
+                | Some l -> latencies := l :: !latencies
+                | None -> incr errs)
+             | "err" :: _ -> incr errs
+             | "fail" :: rest ->
+               incr fails;
+               Printf.printf "  client never provisioned: %s\n" (String.concat " " rest)
+             | _ -> ()))
+    outputs;
+  let sorted = Array.of_list !latencies in
+  Array.sort compare sorted;
+  let searches = Array.length sorted in
+  let throughput = float_of_int searches /. wall in
+  let p50 = percentile sorted 50. and p95 = percentile sorted 95. and p99 = percentile sorted 99. in
+  row_header [ "searches"; "errors"; "ops/s"; "p50"; "p95"; "p99" ];
+  row "loopback"
+    [ string_of_int searches;
+      string_of_int (!errs + !fails);
+      Printf.sprintf "%.1f" throughput;
+      Printf.sprintf "%.1fms" (p50 *. 1000.);
+      Printf.sprintf "%.1fms" (p95 *. 1000.);
+      Printf.sprintf "%.1fms" (p99 *. 1000.) ];
+  json_row ~figure:"load" ~series:"loopback"
+    [ ("clients", J_int clients);
+      ("duration_s", J_float wall);
+      ("records", J_int size);
+      ("width", J_int width);
+      ("searches", J_int searches);
+      ("errors", J_int (!errs + !fails));
+      ("throughput_ops", J_float throughput);
+      ("p50_ms", J_float (p50 *. 1000.));
+      ("p95_ms", J_float (p95 *. 1000.));
+      ("p99_ms", J_float (p99 *. 1000.)) ];
+  if searches = 0 then failwith "load driver: no search completed"

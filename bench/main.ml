@@ -5,7 +5,7 @@
    micro-suite. Individual targets:
 
      dune exec bench/main.exe -- fig3 | fig4 | fig5 | fig6 | fig7
-     dune exec bench/main.exe -- table1 | table2 | ablation | micro
+     dune exec bench/main.exe -- table1 | table2 | ablation | micro | load
      dune exec bench/main.exe -- --scale smoke|default|full
      dune exec bench/main.exe -- --full            (alias: --scale full)
      dune exec bench/main.exe -- --domains 4       (ADS work on 4 domains)
@@ -17,7 +17,7 @@
 let usage () =
   print_endline
     "usage: main.exe [--scale smoke|default|full] [--full] [--domains N] [--json FILE]\n\
-    \       [fig3|fig4|fig5|fig6|fig7|table1|table2|ablation|micro|all]";
+    \       [fig3|fig4|fig5|fig6|fig7|table1|table2|ablation|micro|load|all]";
   exit 1
 
 let () =
@@ -65,12 +65,14 @@ let () =
     | "table2" -> Tables.table2 ()
     | "ablation" -> Ablation.run ()
     | "micro" -> Bechamel_suite.run ()
+    | "load" -> Fig_load.run scale
     | "all" ->
       Tables.table1 ();
       Tables.table2 ();
       Fig_build.run scale;
       Fig_search.run scale;
       Fig_insert.run scale;
+      Fig_load.run scale;
       Ablation.run ();
       Bechamel_suite.run ()
     | other ->

@@ -1,0 +1,147 @@
+(* The Slicer data-user client.
+
+     slicer-client --port 7070 ping
+     slicer-client --port 7070 search -v 77 -c '>'
+     slicer-client --port 7070 search -v 77 -c '=' --repeat 10
+
+   Connects, provisions itself via Hello (keys + trapdoor state +
+   funded chain address), then runs verified searches. Retries with
+   jittered exponential backoff survive server restarts; request ids
+   make retried searches settle escrow exactly once. *)
+
+open Cmdliner
+
+let host_arg =
+  let doc = "Server address." in
+  Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST" ~doc)
+
+let port_arg =
+  let doc = "Server TCP port." in
+  Arg.(value & opt int 7070 & info [ "port"; "p" ] ~docv:"PORT" ~doc)
+
+let socket_arg =
+  let doc = "Connect to a Unix-domain socket at $(docv) instead of TCP." in
+  Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let name_arg =
+  let doc = "Client identity (reusing a name reattaches to its funded address)." in
+  Arg.(value & opt (some string) None & info [ "name" ] ~docv:"NAME" ~doc)
+
+let timeout_arg =
+  let doc = "Per-request timeout in seconds." in
+  Arg.(value & opt float 30. & info [ "timeout" ] ~docv:"SECONDS" ~doc)
+
+let attempts_arg =
+  let doc = "Total attempts per request (retries reconnect with backoff)." in
+  Arg.(value & opt int 5 & info [ "attempts" ] ~docv:"N" ~doc)
+
+let endpoint_of host port socket =
+  match socket with
+  | Some path -> Net.Server.Unix_socket path
+  | None -> Net.Server.Tcp (host, port)
+
+let config_of timeout attempts =
+  { Net.Client.default_config with request_timeout = timeout; max_attempts = attempts }
+
+let connect ?provision host port socket name timeout attempts =
+  Net.Client.connect ~config:(config_of timeout attempts) ?name ?provision
+    (endpoint_of host port socket)
+
+(* --- ping -------------------------------------------------------------- *)
+
+let run_ping host port socket name timeout attempts =
+  match connect host port socket name timeout attempts with
+  | Error e -> `Error (false, Net.Client.error_to_string e)
+  | Ok c ->
+    (match Net.Client.ping c with
+     | Ok rtt ->
+       Printf.printf "pong from %s in %.2f ms (width %d, payment %d, generation %d)\n"
+         (match endpoint_of host port socket with
+          | Net.Server.Tcp (h, p) -> Printf.sprintf "%s:%d" h p
+          | Net.Server.Unix_socket p -> p)
+         (rtt *. 1000.) (Net.Client.width c) (Net.Client.payment c) (Net.Client.generation c);
+       Net.Client.close c;
+       `Ok ()
+     | Error e -> `Error (false, Net.Client.error_to_string e))
+
+let ping_cmd =
+  let info = Cmd.info "ping" ~doc:"Round-trip and provisioning check" in
+  Cmd.v info
+    Term.(
+      ret
+        (const run_ping $ host_arg $ port_arg $ socket_arg $ name_arg $ timeout_arg
+       $ attempts_arg))
+
+(* --- search ------------------------------------------------------------ *)
+
+let value_arg =
+  let doc = "Query value." in
+  Arg.(required & opt (some int) None & info [ "value"; "v" ] ~docv:"V" ~doc)
+
+let cond_conv =
+  let parse = function
+    | "eq" | "=" -> Ok Slicer_types.Eq
+    | "gt" | ">" -> Ok Slicer_types.Gt
+    | "lt" | "<" -> Ok Slicer_types.Lt
+    | s -> Error (`Msg (Printf.sprintf "unknown condition %S (use =, > or <)" s))
+  in
+  Arg.conv (parse, Slicer_types.pp_condition)
+
+let cond_arg =
+  let doc = "Matching condition: =, > or <." in
+  Arg.(value & opt cond_conv Slicer_types.Eq & info [ "cond"; "c" ] ~docv:"OC" ~doc)
+
+let attr_arg =
+  let doc = "Attribute name (default: the anonymous attribute)." in
+  Arg.(value & opt string "" & info [ "attr"; "a" ] ~docv:"ATTR" ~doc)
+
+let batched_arg =
+  let doc = "Settle through the batched-witness contract path." in
+  Arg.(value & flag & info [ "batched" ] ~doc)
+
+let repeat_arg =
+  let doc = "Run the search N times (distinct request ids)." in
+  Arg.(value & opt int 1 & info [ "repeat" ] ~docv:"N" ~doc)
+
+let run_search host port socket name timeout attempts value cond attr batched repeat =
+  match connect host port socket name timeout attempts with
+  | Error e -> `Error (false, Net.Client.error_to_string e)
+  | Ok c ->
+    let query = Slicer_types.query ~attr value cond in
+    let rec go i =
+      if i > repeat then `Ok ()
+      else begin
+        match Net.Client.search ~batched c query with
+        | Error e -> `Error (false, Net.Client.error_to_string e)
+        | Ok out ->
+          Printf.printf
+            "search %d/%d: %d tokens, %d results (%dB results, %dB VO), %s, gas %d\n"
+            i repeat out.Protocol.so_token_count
+            (List.length out.Protocol.so_ids)
+            out.Protocol.so_result_bytes out.Protocol.so_vo_bytes
+            (if out.Protocol.so_verified then "VERIFIED - cloud paid" else "REJECTED - refunded")
+            out.Protocol.so_gas_used;
+          if i = 1 then
+            Printf.printf "  matches: [%s]\n"
+              (String.concat "; " (List.sort compare out.Protocol.so_ids));
+          go (i + 1)
+      end
+    in
+    let r = go 1 in
+    Net.Client.close c;
+    r
+
+let search_cmd =
+  let info = Cmd.info "search" ~doc:"Run verified searches against a slicer-server" in
+  Cmd.v info
+    Term.(
+      ret
+        (const run_search $ host_arg $ port_arg $ socket_arg $ name_arg $ timeout_arg
+       $ attempts_arg $ value_arg $ cond_arg $ attr_arg $ batched_arg $ repeat_arg))
+
+let () =
+  let info =
+    Cmd.info "slicer-client" ~version:"1.0.0"
+      ~doc:"Fault-tolerant Slicer data-user client"
+  in
+  exit (Cmd.eval (Cmd.group info [ ping_cmd; search_cmd ]))

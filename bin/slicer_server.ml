@@ -1,0 +1,124 @@
+(* The Slicer cloud server.
+
+     slicer-server --records 200            self-seed and serve
+     slicer-server --records 0              empty: await an owner Build
+     slicer-server --socket /tmp/slicer.sock
+
+   Serves the framed-RPC protocol of lib/net: Hello provisioning,
+   Search settlement (idempotent by request id), owner Build/Insert
+   shipments. Runs until SIGINT/SIGTERM. *)
+
+open Cmdliner
+
+let host_arg =
+  let doc = "Address to listen on." in
+  Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST" ~doc)
+
+let port_arg =
+  let doc = "TCP port (0 picks an ephemeral port, printed at startup)." in
+  Arg.(value & opt int 7070 & info [ "port"; "p" ] ~docv:"PORT" ~doc)
+
+let socket_arg =
+  let doc = "Serve on a Unix-domain socket at $(docv) instead of TCP." in
+  Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let seed_arg =
+  let doc = "Deterministic seed for keys and self-seeded data." in
+  Arg.(value & opt string "slicer-server" & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let records_arg =
+  let doc = "Self-seed with N random records (0 = start empty and await \
+             an owner's Build shipment over the wire)." in
+  Arg.(value & opt int 200 & info [ "records"; "n" ] ~docv:"N" ~doc)
+
+let width_arg =
+  let doc = "Value width in bits for self-seeded data." in
+  Arg.(value & opt int 8 & info [ "width"; "w" ] ~docv:"BITS" ~doc)
+
+let payment_arg =
+  let doc = "Per-search fee escrowed on chain (wei)." in
+  Arg.(value & opt int 1000 & info [ "payment" ] ~docv:"WEI" ~doc)
+
+let domains_arg =
+  let doc = "Worker domains for the search/VO hot path." in
+  Arg.(value & opt int 1 & info [ "domains"; "j" ] ~docv:"N" ~doc)
+
+let read_timeout_arg =
+  let doc = "Per-connection read timeout in seconds." in
+  Arg.(value & opt float 30. & info [ "read-timeout" ] ~docv:"SECONDS" ~doc)
+
+let max_inflight_arg =
+  let doc = "Maximum concurrently processed requests; beyond this \
+             clients receive a busy refusal and back off." in
+  Arg.(value & opt int 64 & info [ "max-inflight" ] ~docv:"N" ~doc)
+
+let verbose_arg =
+  let doc = "Enable debug logging." in
+  Arg.(value & flag & info [ "verbose" ] ~doc)
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  let level = if verbose then Logs.Debug else Logs.Info in
+  List.iter
+    (fun src -> Logs.Src.set_level src (Some level))
+    [ Protocol.log_src; Net.Service.log_src; Net.Server.log_src ]
+
+let run host port socket seed records width payment domains read_timeout max_inflight verbose =
+  setup_logs verbose;
+  if domains < 1 then `Error (false, "--domains must be >= 1")
+  else if records < 0 then `Error (false, "--records must be >= 0")
+  else begin
+    Parallel.set_domains domains;
+    let service =
+      if records = 0 then begin
+        Printf.printf "starting empty: awaiting an owner Build shipment\n%!";
+        Net.Service.create ()
+      end
+      else begin
+        Printf.printf "self-seeding %d records (width %d, seed %S)...\n%!" records width seed;
+        let rng = Drbg.create ~seed:(seed ^ ":data") in
+        let db = Gen.uniform_records ~rng ~width records in
+        let system = Protocol.setup ~width ~payment ~seed db in
+        Cloud.precompute_witnesses (Protocol.cloud system);
+        Net.Service.of_protocol system
+      end
+    in
+    let endpoint =
+      match socket with
+      | Some path -> Net.Server.Unix_socket path
+      | None -> Net.Server.Tcp (host, port)
+    in
+    let config =
+      { Net.Server.default_config with
+        endpoint; read_timeout; max_inflight }
+    in
+    let server = Net.Server.start ~config service in
+    (match endpoint with
+     | Net.Server.Tcp (h, _) -> Printf.printf "listening on %s:%d\n%!" h (Net.Server.port server)
+     | Net.Server.Unix_socket p -> Printf.printf "listening on %s\n%!" p);
+    let stopping = ref false in
+    let stop_now _ = stopping := true in
+    Sys.set_signal Sys.sigint (Sys.Signal_handle stop_now);
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle stop_now);
+    while not !stopping do
+      Unix.sleepf 0.2
+    done;
+    Printf.printf "\nshutting down: %d connections, %d requests served\n%!"
+      (Net.Server.connections_served server)
+      (Net.Server.requests_served server);
+    Net.Server.stop server;
+    `Ok ()
+  end
+
+let cmd =
+  let info =
+    Cmd.info "slicer-server" ~version:"1.0.0"
+      ~doc:"Concurrent Slicer cloud server (framed RPC over TCP or Unix sockets)"
+  in
+  Cmd.v info
+    Term.(
+      ret
+        (const run $ host_arg $ port_arg $ socket_arg $ seed_arg $ records_arg $ width_arg
+       $ payment_arg $ domains_arg $ read_timeout_arg $ max_inflight_arg $ verbose_arg))
+
+let () = exit (Cmd.eval cmd)

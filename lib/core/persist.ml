@@ -86,6 +86,76 @@ let trapdoor_state_of_bytes s =
   in
   go pieces
 
+(* --- queries and search tokens --------------------------------------------- *)
+
+let condition_tag = function Slicer_types.Eq -> "=" | Slicer_types.Gt -> ">" | Slicer_types.Lt -> "<"
+
+let condition_of_tag = function
+  | "=" -> Some Slicer_types.Eq
+  | ">" -> Some Slicer_types.Gt
+  | "<" -> Some Slicer_types.Lt
+  | _ -> None
+
+let query_to_bytes (q : Slicer_types.query) =
+  Bytesutil.concat [ q.Slicer_types.q_attr; string_of_int q.Slicer_types.q_value; condition_tag q.Slicer_types.q_cond ]
+
+let query_of_bytes s =
+  let* pieces = Bytesutil.split s in
+  match pieces with
+  | [ q_attr; v; c ] ->
+    let* q_value = int_of_string_opt v in
+    let* q_cond = condition_of_tag c in
+    Some { Slicer_types.q_attr; q_value; q_cond }
+  | _ -> None
+
+let tokens_to_bytes ts = Bytesutil.concat (List.map Slicer_types.token_bytes ts)
+
+let tokens_of_bytes s =
+  let* pieces = Bytesutil.split s in
+  let rec go acc = function
+    | [] -> Some (List.rev acc)
+    | p :: rest ->
+      let* t = Slicer_types.token_of_bytes p in
+      go (t :: acc) rest
+  in
+  go [] pieces
+
+(* --- claims (encrypted results + VO) ---------------------------------------- *)
+
+(* The chain-side codec is the canonical one: the cloud → user payload
+   is byte-identical to what [submitResult] carries. *)
+let claims_to_bytes = Slicer_contract.encode_claims
+let claims_of_bytes = Slicer_contract.decode_claims
+
+(* --- settlement receipts ----------------------------------------------------- *)
+
+let receipt_to_bytes (r : Vm.receipt) =
+  let output =
+    match r.Vm.r_output with
+    | Ok words -> Bytesutil.concat ("ok" :: words)
+    | Error e -> Bytesutil.concat [ "error"; e ]
+  in
+  Bytesutil.concat
+    [ r.Vm.r_txn_hash; string_of_int r.Vm.r_gas_used; Bytesutil.concat r.Vm.r_events; output ]
+
+let receipt_of_bytes s =
+  let* pieces = Bytesutil.split s in
+  match pieces with
+  | [ r_txn_hash; gas; events_blob; output_blob ] ->
+    let* r_gas_used = int_of_string_opt gas in
+    if r_gas_used < 0 then None
+    else
+      let* r_events = Bytesutil.split events_blob in
+      let* output_pieces = Bytesutil.split output_blob in
+      let* r_output =
+        match output_pieces with
+        | "ok" :: words -> Some (Ok words)
+        | [ "error"; e ] -> Some (Error e)
+        | _ -> None
+      in
+      Some { Vm.r_txn_hash; r_gas_used; r_events; r_output }
+  | _ -> None
+
 (* --- files ------------------------------------------------------------------ *)
 
 let save ~path bytes =

@@ -4,13 +4,10 @@ module Log = (val Logs.src_log log_src : Logs.LOG)
 
 type t = {
   p_owner : Owner.t;
-  p_cloud : Cloud.t;
   p_user : User.t;
-  p_ledger : Ledger.t;
-  p_contract : Vm.address;
+  p_station : Station.t;
   p_owner_addr : Vm.address;
   p_user_addr : Vm.address;
-  p_cloud_addr : Vm.address;
   p_rng : Drbg.t;
   p_payment : int;
   mutable p_request_counter : int;
@@ -52,27 +49,19 @@ let setup ?(width = 16) ?(tdp_bits = 512) ?(acc_bits = 512) ?(payment = 1000) ~s
         (List.length records) width
         (Cloud.index_entries cloud) (Owner.keyword_count owner) receipt.Vm.r_gas_used);
   { p_owner = owner;
-    p_cloud = cloud;
     p_user = user;
-    p_ledger = ledger;
-    p_contract = contract;
+    p_station = Station.create ~cloud ~ledger ~contract ~cloud_addr;
     p_owner_addr = owner_addr;
     p_user_addr = user_addr;
-    p_cloud_addr = cloud_addr;
     p_rng = rng;
     p_payment = payment;
     p_request_counter = 0 }
 
 let insert t records =
   let shipment = Owner.insert t.p_owner records in
-  Cloud.install t.p_cloud shipment;
   User.update_state t.p_user (Owner.export_trapdoor_state t.p_owner);
-  let receipt =
-    Slicer_contract.update_ac t.p_ledger ~owner:t.p_owner_addr ~contract:t.p_contract
-      shipment.Owner.sh_ac
-  in
-  match receipt.Vm.r_output with
-  | Ok _ ->
+  match Station.install t.p_station ~owner:t.p_owner_addr shipment with
+  | Ok receipt ->
     Log.info (fun m ->
         m "insert: %d records, %d new index entries, %d new primes, updateAc gas %d"
           (List.length records)
@@ -88,34 +77,9 @@ let claim_sizes claims =
         vb + String.length (Bigint.to_bytes_be c.Slicer_contract.witness) ))
     (0, 0) claims
 
-(* Factor of [search] and [search_batched]: request on chain, let the
-   cloud answer, settle with the given submission function. *)
-let search_with t query ~submit =
-  let tokens = User.gen_tokens ~rng:t.p_rng t.p_user query in
+let fresh_request_id t =
   t.p_request_counter <- t.p_request_counter + 1;
-  let request_id = Printf.sprintf "req-%d" t.p_request_counter in
-  let rr =
-    Slicer_contract.request_search t.p_ledger ~user:t.p_user_addr ~contract:t.p_contract
-      ~request_id
-      ~tokens:(List.map Slicer_types.token_bytes tokens)
-      ~payment:t.p_payment
-  in
-  (match rr.Vm.r_output with
-   | Ok _ -> ()
-   | Error e -> failwith ("Protocol.search: request failed: " ^ e));
-  (* The cloud retrieves the tokens from the chain's event log (it never
-     talks to the user directly) and reconstructs their structure. *)
-  let onchain_tokens =
-    match Slicer_contract.stored_tokens t.p_ledger ~contract:t.p_contract ~request_id with
-    | Some blobs -> List.filter_map Slicer_types.token_of_bytes blobs
-    | None -> []
-  in
-  assert (List.length onchain_tokens = List.length tokens);
-  Log.debug (fun m ->
-      m "search %s: value %d cond %s, %d tokens posted" request_id query.Slicer_types.q_value
-        (Format.asprintf "%a" Slicer_types.pp_condition query.Slicer_types.q_cond)
-        (List.length tokens));
-  submit ~request_id onchain_tokens
+  Printf.sprintf "req-%d" t.p_request_counter
 
 let outcome_of_claims t claims ~vo_bytes ~receipt:(sr : Vm.receipt) ~token_count =
   let verified = match sr.Vm.r_output with Ok [ "paid" ] -> true | Ok _ | Error _ -> false in
@@ -135,26 +99,31 @@ let outcome_of_claims t claims ~vo_bytes ~receipt:(sr : Vm.receipt) ~token_count
     so_vo_bytes = vo_bytes;
     so_gas_used = sr.Vm.r_gas_used }
 
-let search_batched t query =
-  search_with t query ~submit:(fun ~request_id tokens ->
-      let claims, witness = Cloud.search_batched t.p_cloud tokens in
-      let sr =
-        Slicer_contract.submit_result_batched t.p_ledger ~cloud:t.p_cloud_addr
-          ~contract:t.p_contract ~request_id claims ~witness
-      in
-      outcome_of_claims t claims
-        ~vo_bytes:(String.length (Bigint.to_bytes_be witness))
-        ~receipt:sr ~token_count:(List.length tokens))
+(* Factor of [search] and [search_batched]: generate tokens, run the
+   station's request/settle round trip, fold the settlement into an
+   outcome. *)
+let search_with t query ~batched =
+  let tokens = User.gen_tokens ~rng:t.p_rng t.p_user query in
+  let request_id = fresh_request_id t in
+  Log.debug (fun m ->
+      m "search %s: value %d cond %s, %d tokens posted" request_id query.Slicer_types.q_value
+        (Format.asprintf "%a" Slicer_types.pp_condition query.Slicer_types.q_cond)
+        (List.length tokens));
+  match
+    Station.settle t.p_station ~user:t.p_user_addr ~request_id ~payment:t.p_payment
+      ~token_blobs:(List.map Slicer_types.token_bytes tokens) ~batched
+  with
+  | Error e -> failwith ("Protocol.search: request failed: " ^ e)
+  | Ok { Station.se_claims = claims; se_batch_witness; se_receipt } ->
+    let vo_bytes =
+      match se_batch_witness with
+      | Some w -> String.length (Bigint.to_bytes_be w)
+      | None -> snd (claim_sizes claims)
+    in
+    outcome_of_claims t claims ~vo_bytes ~receipt:se_receipt ~token_count:(List.length tokens)
 
-let search t query =
-  search_with t query ~submit:(fun ~request_id tokens ->
-      let claims = Cloud.search t.p_cloud tokens in
-      let sr =
-        Slicer_contract.submit_result t.p_ledger ~cloud:t.p_cloud_addr ~contract:t.p_contract
-          ~request_id claims
-      in
-      let _, vo_bytes = claim_sizes claims in
-      outcome_of_claims t claims ~vo_bytes ~receipt:sr ~token_count:(List.length tokens))
+let search t query = search_with t query ~batched:false
+let search_batched t query = search_with t query ~batched:true
 
 let search_between t ?(attr = "") ~lo ~hi () =
   let above = search t (Slicer_types.query ~attr lo Slicer_types.Lt) in
@@ -186,22 +155,25 @@ let search_conj t queries =
 
 let search_offchain t query =
   let tokens = User.gen_tokens ~rng:t.p_rng t.p_user query in
-  let claims = Cloud.search t.p_cloud tokens in
+  let claims = Cloud.search (Station.cloud t.p_station) tokens in
   let ok =
     Verifier.verify_claims (Owner.acc_params t.p_owner) ~ac:(Owner.current_ac t.p_owner) claims
   in
   (claims, ok)
 
-let set_cloud_behavior t m = Cloud.set_behavior t.p_cloud m
+let set_cloud_behavior t m = Cloud.set_behavior (Station.cloud t.p_station) m
 
 let owner t = t.p_owner
-let cloud t = t.p_cloud
+let cloud t = Station.cloud t.p_station
 let user t = t.p_user
-let ledger t = t.p_ledger
-let contract_address t = t.p_contract
+let ledger t = Station.ledger t.p_station
+let station t = t.p_station
+let payment t = t.p_payment
+let contract_address t = Station.contract t.p_station
+let owner_address t = t.p_owner_addr
 let user_address t = t.p_user_addr
-let cloud_address t = t.p_cloud_addr
-let user_balance t = Vm.balance (Ledger.state t.p_ledger) t.p_user_addr
-let cloud_balance t = Vm.balance (Ledger.state t.p_ledger) t.p_cloud_addr
-let onchain_ac t = Slicer_contract.stored_ac t.p_ledger ~contract:t.p_contract
+let cloud_address t = Station.cloud_addr t.p_station
+let user_balance t = Vm.balance (Ledger.state (ledger t)) t.p_user_addr
+let cloud_balance t = Vm.balance (Ledger.state (ledger t)) (cloud_address t)
+let onchain_ac t = Station.onchain_ac t.p_station
 let rng t = t.p_rng

@@ -64,12 +64,22 @@ val search_offchain : t -> Slicer_types.query -> Slicer_contract.claim list * bo
 val set_cloud_behavior : t -> Cloud.misbehavior -> unit
 (** Configure the threat-model misbehaviours for the next searches. *)
 
+val station : t -> Station.t
+(** The cloud+chain settlement endpoint this system drives. The
+    networked deployment ([Net.Service]) serves exactly this station
+    over framed RPC, so in-process and over-the-wire searches settle
+    through the same code path. *)
+
+val payment : t -> int
+(** The per-search fee locked in escrow. *)
+
 (** Accessors used by benches, examples and tests. *)
 
 val owner : t -> Owner.t
 val cloud : t -> Cloud.t
 val user : t -> User.t
 val ledger : t -> Ledger.t
+val owner_address : t -> Vm.address
 val contract_address : t -> Vm.address
 val user_address : t -> Vm.address
 val cloud_address : t -> Vm.address

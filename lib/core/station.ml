@@ -1,0 +1,62 @@
+type t = {
+  s_cloud : Cloud.t;
+  s_ledger : Ledger.t;
+  s_contract : Vm.address;
+  s_cloud_addr : Vm.address;
+}
+
+let create ~cloud ~ledger ~contract ~cloud_addr =
+  { s_cloud = cloud; s_ledger = ledger; s_contract = contract; s_cloud_addr = cloud_addr }
+
+let cloud t = t.s_cloud
+let ledger t = t.s_ledger
+let contract t = t.s_contract
+let cloud_addr t = t.s_cloud_addr
+
+type settlement = {
+  se_claims : Slicer_contract.claim list;
+  se_batch_witness : Bigint.t option;
+  se_receipt : Vm.receipt;
+}
+
+let settle t ~user ~request_id ~payment ~token_blobs ~batched =
+  let rr =
+    Slicer_contract.request_search t.s_ledger ~user ~contract:t.s_contract ~request_id
+      ~tokens:token_blobs ~payment
+  in
+  match rr.Vm.r_output with
+  | Error e -> Error e
+  | Ok _ ->
+    (* The cloud retrieves the tokens from the chain's event log (it
+       never talks to the user directly) and reconstructs their
+       structure. *)
+    let tokens =
+      match Slicer_contract.stored_tokens t.s_ledger ~contract:t.s_contract ~request_id with
+      | Some blobs -> List.filter_map Slicer_types.token_of_bytes blobs
+      | None -> []
+    in
+    if batched then begin
+      let claims, witness = Cloud.search_batched t.s_cloud tokens in
+      let sr =
+        Slicer_contract.submit_result_batched t.s_ledger ~cloud:t.s_cloud_addr
+          ~contract:t.s_contract ~request_id claims ~witness
+      in
+      Ok { se_claims = claims; se_batch_witness = Some witness; se_receipt = sr }
+    end
+    else begin
+      let claims = Cloud.search t.s_cloud tokens in
+      let sr =
+        Slicer_contract.submit_result t.s_ledger ~cloud:t.s_cloud_addr ~contract:t.s_contract
+          ~request_id claims
+      in
+      Ok { se_claims = claims; se_batch_witness = None; se_receipt = sr }
+    end
+
+let onchain_ac t = Slicer_contract.stored_ac t.s_ledger ~contract:t.s_contract
+
+let install t ~owner (sh : Owner.shipment) =
+  Cloud.install t.s_cloud sh;
+  let receipt =
+    Slicer_contract.update_ac t.s_ledger ~owner ~contract:t.s_contract sh.Owner.sh_ac
+  in
+  match receipt.Vm.r_output with Ok _ -> Ok receipt | Error e -> Error e

@@ -1,0 +1,49 @@
+(** The cloud-side service endpoint: the half of the search round trip
+    that runs {e at the cloud}, wired to the chain — receive a token
+    set for an escrowed request, answer it from the encrypted index,
+    and settle on chain.
+
+    This is the seam the networked deployment cuts along: {!Protocol}
+    drives a station in-process, while [Net.Service] drives the same
+    station behind a framed-RPC transport. Either way the settlement
+    logic (escrow, Algorithm 5 verification, payment/refund) is
+    identical because it {e is} the same code. *)
+
+type t
+
+val create :
+  cloud:Cloud.t -> ledger:Ledger.t -> contract:Vm.address -> cloud_addr:Vm.address -> t
+
+val cloud : t -> Cloud.t
+val ledger : t -> Ledger.t
+val contract : t -> Vm.address
+val cloud_addr : t -> Vm.address
+
+type settlement = {
+  se_claims : Slicer_contract.claim list;  (** encrypted results + per-claim VOs *)
+  se_batch_witness : Bigint.t option;      (** the one shared VO on the batched path *)
+  se_receipt : Vm.receipt;                 (** the settlement transaction's receipt *)
+}
+
+val settle :
+  t ->
+  user:Vm.address ->
+  request_id:string ->
+  payment:int ->
+  token_blobs:string list ->
+  batched:bool ->
+  (settlement, string) result
+(** The full cloud+chain half of one search: post the request with the
+    fee escrowed from [user], let the cloud retrieve the tokens from
+    the chain's event log and search, then submit results + witnesses
+    for on-chain verification. [Error] is returned when the request
+    transaction itself reverts (bad escrow, duplicate id …); a failed
+    {e verification} is not an error — it surfaces as the receipt's
+    ["refunded"] output. *)
+
+val onchain_ac : t -> Bigint.t option
+(** The accumulation value currently on chain (freshness anchor). *)
+
+val install : t -> owner:Vm.address -> Owner.shipment -> (Vm.receipt, string) result
+(** Apply a Build/Insert shipment at the cloud and refresh the on-chain
+    [Ac] (sender must be the contract owner). *)

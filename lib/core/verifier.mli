@@ -11,3 +11,9 @@ val verify_claim : Rsa_acc.params -> ac:Bigint.t -> Slicer_contract.claim -> boo
 
 val verify_claims : Rsa_acc.params -> ac:Bigint.t -> Slicer_contract.claim list -> bool
 (** Conjunction over all claims (empty list verifies). *)
+
+val verify_claims_batched :
+  Rsa_acc.params -> ac:Bigint.t -> Slicer_contract.claim list -> witness:Bigint.t -> bool
+(** The one-shared-witness variant ([Rsa_acc.verify_mem_batch]): the
+    claims' own [witness] fields are ignored, exactly as the batched
+    contract path ignores them. *)

@@ -1,0 +1,307 @@
+let log_src = Logs.Src.create "slicer.net.client" ~doc:"Slicer network client"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type config = {
+  connect_timeout : float;
+  request_timeout : float;
+  max_attempts : int;
+  backoff_base : float;
+  backoff_max : float;
+  jitter : float;
+  max_payload : int;
+}
+
+let default_config =
+  { connect_timeout = 5.;
+    request_timeout = 30.;
+    max_attempts = 5;
+    backoff_base = 0.05;
+    backoff_max = 2.;
+    jitter = 0.5;
+    max_payload = Frame.default_max_payload }
+
+let backoff_delay cfg ~rand ~attempt =
+  let attempt = max 1 attempt in
+  let base = cfg.backoff_base *. (2. ** float_of_int (attempt - 1)) in
+  let capped = Float.min cfg.backoff_max base in
+  let spread = 1. -. (cfg.jitter /. 2.) +. (cfg.jitter *. rand) in
+  capped *. spread
+
+type error =
+  | Transport of string
+  | Refused of Wire.err_code * string
+  | Bad_reply of string
+  | Exhausted of { attempts : int; last : string }
+
+let error_to_string = function
+  | Transport s -> "transport: " ^ s
+  | Refused (c, d) -> Printf.sprintf "refused (%s): %s" (Wire.err_code_to_string c) d
+  | Bad_reply s -> "bad reply: " ^ s
+  | Exhausted { attempts; last } ->
+    Printf.sprintf "gave up after %d attempts; last failure: %s" attempts last
+
+type provisioned = {
+  p_user : User.t;
+  p_width : int;
+  p_payment : int;
+  p_acc : Rsa_acc.params;
+  p_addr : Vm.address;
+}
+
+type t = {
+  cfg : config;
+  endpoint : Server.endpoint;
+  cname : string;
+  rng : Drbg.t;
+  mutable sock : Unix.file_descr option;
+  mutable prov : provisioned option;
+  mutable gen : int;
+  mutable counter : int;
+}
+
+let name t = t.cname
+
+let provisioned_exn t =
+  match t.prov with Some p -> p | None -> invalid_arg "Net.Client: not provisioned"
+
+let width t = (provisioned_exn t).p_width
+let payment t = (provisioned_exn t).p_payment
+let user_address t = (provisioned_exn t).p_addr
+let generation t = t.gen
+let requests_sent t = t.counter
+
+let close_sock t =
+  match t.sock with
+  | Some fd ->
+    t.sock <- None;
+    (try Unix.close fd with Unix.Unix_error _ -> ())
+  | None -> ()
+
+let close = close_sock
+
+(* Non-blocking connect with a deadline, then back to blocking mode
+   (frame reads implement their own timeouts with select). *)
+let connect_fd cfg endpoint =
+  let domain, addr =
+    match endpoint with
+    | Server.Tcp (host, port) ->
+      (Unix.PF_INET, Unix.ADDR_INET (Server.resolve_host host, port))
+    | Server.Unix_socket path -> (Unix.PF_UNIX, Unix.ADDR_UNIX path)
+  in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  try
+    Unix.set_nonblock fd;
+    (match Unix.connect fd addr with
+     | () -> ()
+     | exception Unix.Unix_error ((Unix.EINPROGRESS | Unix.EWOULDBLOCK), _, _) ->
+       (match Unix.select [] [ fd ] [] cfg.connect_timeout with
+        | _, [ _ ], _ ->
+          (match Unix.getsockopt_error fd with
+           | None -> ()
+           | Some err -> raise (Unix.Unix_error (err, "connect", "")))
+        | _ -> raise (Unix.Unix_error (Unix.ETIMEDOUT, "connect", ""))));
+    Unix.clear_nonblock fd;
+    Ok fd
+  with
+  | Unix.Unix_error (e, _, _) ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Error (Unix.error_message e)
+
+let ensure_sock t =
+  match t.sock with
+  | Some fd -> Ok fd
+  | None ->
+    (match connect_fd t.cfg t.endpoint with
+     | Ok fd ->
+       t.sock <- Some fd;
+       Ok fd
+     | Error e -> Error e)
+
+(* One attempt: send the request, await the response. Any transport or
+   framing failure invalidates the socket (the next attempt
+   reconnects). *)
+let exchange t payload =
+  match ensure_sock t with
+  | Error e -> Error (`Retry ("connect: " ^ e))
+  | Ok fd ->
+    (match Frame.write fd ~tag:Wire.request_tag payload with
+     | () ->
+       (match Frame.read ~max_payload:t.cfg.max_payload ~timeout:t.cfg.request_timeout fd with
+        | Ok { Frame.tag; payload } when tag = Wire.response_tag ->
+          (match Wire.decode_response payload with
+           | Some resp -> Ok resp
+           | None ->
+             close_sock t;
+             Error (`Fatal (Bad_reply "undecodable response payload")))
+        | Ok _ ->
+          close_sock t;
+          Error (`Retry "response with unexpected frame tag")
+        | Error e ->
+          close_sock t;
+          Error (`Retry (Frame.error_to_string e)))
+     | exception Unix.Unix_error (e, _, _) ->
+       close_sock t;
+       Error (`Retry ("send: " ^ Unix.error_message e)))
+
+(* Bounded retry with jittered exponential backoff. The request bytes
+   are identical across attempts — in particular the request id — so
+   re-sends are idempotent server-side. *)
+let rpc t req =
+  let payload = Wire.encode_request req in
+  let rec attempt n last =
+    if n > t.cfg.max_attempts then
+      Error (Exhausted { attempts = t.cfg.max_attempts; last })
+    else begin
+      (if n > 1 then begin
+         let rand = float_of_int (Drbg.uniform_int t.rng 1_000_000) /. 1_000_000. in
+         let delay = backoff_delay t.cfg ~rand ~attempt:(n - 1) in
+         Log.debug (fun m -> m "%s: attempt %d after %.0f ms (%s)" t.cname n (delay *. 1000.) last);
+         Unix.sleepf delay
+       end);
+      match exchange t payload with
+      | Ok resp when Wire.retryable resp ->
+        let detail = match resp with Wire.Refused { detail; _ } -> detail | _ -> "busy" in
+        attempt (n + 1) ("server busy: " ^ detail)
+      | Ok (Wire.Refused { code; detail }) -> Error (Refused (code, detail))
+      | Ok resp -> Ok resp
+      | Error (`Retry reason) -> attempt (n + 1) reason
+      | Error (`Fatal e) -> Error e
+    end
+  in
+  attempt 1 "first attempt"
+
+let apply_provision t (p : Wire.provision) =
+  t.prov <-
+    Some
+      { p_user = User.create ~keys:p.Wire.pv_user_keys ~width:p.Wire.pv_width p.Wire.pv_trapdoor;
+        p_width = p.Wire.pv_width;
+        p_payment = p.Wire.pv_payment;
+        p_acc = p.Wire.pv_acc;
+        p_addr = p.Wire.pv_user_addr };
+  t.gen <- p.Wire.pv_generation
+
+let hello t =
+  match rpc t (Wire.Hello { client = t.cname }) with
+  | Ok (Wire.Welcome p) ->
+    apply_provision t p;
+    Ok ()
+  | Ok _ -> Error (Bad_reply "expected a welcome")
+  | Error e -> Error e
+
+let connect ?(config = default_config) ?name ?(provision = true) endpoint =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let cname =
+    match name with Some n -> n | None -> Printf.sprintf "client-%d" (Unix.getpid ())
+  in
+  let t =
+    { cfg = config;
+      endpoint;
+      cname;
+      rng = Drbg.create ~seed:("slicer-net-client:" ^ cname);
+      sock = None;
+      prov = None;
+      gen = 0;
+      counter = 0 }
+  in
+  if not provision then Ok t
+  else
+    match hello t with
+    | Ok () -> Ok t
+    | Error e ->
+      close_sock t;
+      Error e
+
+let refresh t = hello t
+
+let ping t =
+  let t0 = Unix.gettimeofday () in
+  match rpc t Wire.Ping with
+  | Ok Wire.Pong -> Ok (Unix.gettimeofday () -. t0)
+  | Ok _ -> Error (Bad_reply "expected a pong")
+  | Error e -> Error e
+
+let fresh_request_id t =
+  t.counter <- t.counter + 1;
+  Printf.sprintf "%s#%d" t.cname t.counter
+
+let outcome_of_reply t prov ~token_count (r : Wire.search_reply) =
+  let claims = r.Wire.sr_claims in
+  let paid =
+    match r.Wire.sr_receipt.Vm.r_output with Ok [ "paid" ] -> true | Ok _ | Error _ -> false
+  in
+  (* Client-side Algorithm 5 against the on-chain Ac: the user need not
+     trust the server's word for the settlement. *)
+  let locally_ok =
+    match r.Wire.sr_batch_witness with
+    | Some witness ->
+      Verifier.verify_claims_batched prov.p_acc ~ac:r.Wire.sr_ac claims ~witness
+    | None -> Verifier.verify_claims prov.p_acc ~ac:r.Wire.sr_ac claims
+  in
+  let ids =
+    List.filter_map
+      (fun er ->
+        match User.decrypt_results prov.p_user [ er ] with
+        | [ id ] -> Some id
+        | _ | (exception Invalid_argument _) -> None)
+      (List.concat_map (fun (c : Slicer_contract.claim) -> c.Slicer_contract.results) claims)
+  in
+  let result_bytes =
+    List.fold_left
+      (fun n (c : Slicer_contract.claim) ->
+        List.fold_left (fun n r -> n + String.length r) n c.Slicer_contract.results)
+      0 claims
+  in
+  let vo_bytes =
+    match r.Wire.sr_batch_witness with
+    | Some w -> String.length (Bigint.to_bytes_be w)
+    | None ->
+      List.fold_left
+        (fun n (c : Slicer_contract.claim) ->
+          n + String.length (Bigint.to_bytes_be c.Slicer_contract.witness))
+        0 claims
+  in
+  t.gen <- r.Wire.sr_generation;
+  { Protocol.so_ids = ids;
+    so_verified = paid && locally_ok;
+    so_token_count = token_count;
+    so_result_bytes = result_bytes;
+    so_vo_bytes = vo_bytes;
+    so_gas_used = r.Wire.sr_receipt.Vm.r_gas_used }
+
+let search ?(batched = false) t query =
+  let prov = provisioned_exn t in
+  let tokens = User.gen_tokens ~rng:t.rng prov.p_user query in
+  let request_id = fresh_request_id t in
+  match
+    rpc t (Wire.Search { client = t.cname; request_id; batched; tokens })
+  with
+  | Ok (Wire.Found r) when r.Wire.sr_request_id = request_id ->
+    Ok (outcome_of_reply t prov ~token_count:(List.length tokens) r)
+  | Ok (Wire.Found r) ->
+    Error (Bad_reply (Printf.sprintf "reply for %S, expected %S" r.Wire.sr_request_id request_id))
+  | Ok _ -> Error (Bad_reply "expected a search result")
+  | Error e -> Error e
+
+let build t ~width ~payment ~acc ~tdp_public ~user_keys ~shipment ~trapdoor =
+  match
+    rpc t
+      (Wire.Build
+         { width; payment; acc;
+           tdp_n = tdp_public.Rsa_tdp.pn; tdp_e = tdp_public.Rsa_tdp.e;
+           user_k = user_keys.Keys.u_k; user_k_r = user_keys.Keys.u_k_r;
+           shipment; trapdoor })
+  with
+  | Ok (Wire.Accepted { generation }) ->
+    t.gen <- generation;
+    Ok generation
+  | Ok _ -> Error (Bad_reply "expected an accept")
+  | Error e -> Error e
+
+let insert t ~shipment ~trapdoor =
+  match rpc t (Wire.Insert { shipment; trapdoor }) with
+  | Ok (Wire.Accepted { generation }) ->
+    t.gen <- generation;
+    Ok generation
+  | Ok _ -> Error (Bad_reply "expected an accept")
+  | Error e -> Error e

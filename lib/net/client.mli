@@ -1,0 +1,93 @@
+(** The fault-tolerant data-user client.
+
+    A client connects, registers with [Hello] and receives its
+    provision (user keys, trapdoor state, funded chain address) — the
+    owner → user channel of the paper's Fig. 1. After that, {!search}
+    runs Algorithm 3 locally, ships the token set, and folds the
+    returned claims + settlement receipt into the same
+    {!Protocol.search_outcome} the in-process path produces, verifying
+    the claims against the on-chain [Ac] client-side as well (a lying
+    server cannot claim "paid" for tampered results).
+
+    Fault tolerance: every RPC runs under a request timeout and is
+    retried up to [max_attempts] times with jittered exponential
+    backoff, transparently reconnecting first. Retries re-send the
+    {e same} request id, and the server settles each id at most once —
+    so a retry after a lost reply (or a server restart) can never
+    double-spend the escrowed fee. *)
+
+type config = {
+  connect_timeout : float;   (** seconds per TCP connect attempt *)
+  request_timeout : float;   (** seconds awaiting each reply *)
+  max_attempts : int;        (** total tries per RPC (>= 1) *)
+  backoff_base : float;      (** first retry delay, seconds *)
+  backoff_max : float;       (** delay ceiling *)
+  jitter : float;            (** +/- fraction of the delay, in [0, 1] *)
+  max_payload : int;
+}
+
+val default_config : config
+(** 5 s connect / 30 s request timeouts, 5 attempts, 50 ms base delay
+    doubling to a 2 s cap, 50% jitter. *)
+
+val backoff_delay : config -> rand:float -> attempt:int -> float
+(** The jittered exponential schedule (pure, for tests):
+    [min backoff_max (backoff_base * 2^(attempt-1))] scaled by a factor
+    uniform in [1 - jitter/2, 1 + jitter/2] derived from
+    [rand] ∈ [0, 1). *)
+
+type error =
+  | Transport of string          (** could not reach the server at all *)
+  | Refused of Wire.err_code * string  (** structured server refusal *)
+  | Bad_reply of string          (** unparseable or mismatched response *)
+  | Exhausted of { attempts : int; last : string }
+      (** every retry failed; [last] is the final failure *)
+
+val error_to_string : error -> string
+
+type t
+
+val connect :
+  ?config:config -> ?name:string -> ?provision:bool -> Server.endpoint -> (t, error) result
+(** Connect and provision. [name] (default derived from the PID) is the
+    client's registered identity — reusing a name reattaches to the
+    same funded chain address. [~provision:false] skips the [Hello]
+    round trip (an owner bootstrapping an empty server has nothing to
+    be provisioned from yet). *)
+
+val name : t -> string
+val width : t -> int
+val payment : t -> int
+val generation : t -> int
+(** The database generation of the most recent provision/reply. *)
+
+val user_address : t -> Vm.address
+
+val refresh : t -> (unit, error) result
+(** Re-runs [Hello], picking up the trapdoor state of any Insert
+    shipments applied since provisioning. *)
+
+val ping : t -> (float, error) result
+(** Round-trip time in seconds. *)
+
+val search :
+  ?batched:bool -> t -> Slicer_types.query -> (Protocol.search_outcome, error) result
+(** One verified search round trip. [so_verified] requires {e both} the
+    chain's ["paid"] settlement and a successful client-side
+    verification of every claim against the on-chain [Ac]. *)
+
+val build :
+  t -> width:int -> payment:int -> acc:Rsa_acc.params -> tdp_public:Rsa_tdp.public ->
+  user_keys:Keys.user_keys -> shipment:Owner.shipment -> trapdoor:Owner.trapdoor_state ->
+  (int, error) result
+(** Owner-side: bootstrap an empty server with the Build shipment.
+    Returns the new generation. *)
+
+val insert :
+  t -> shipment:Owner.shipment -> trapdoor:Owner.trapdoor_state -> (int, error) result
+(** Owner-side: apply a forward-secure Insert shipment. *)
+
+val requests_sent : t -> int
+(** Distinct request ids issued (retries excluded). *)
+
+val close : t -> unit

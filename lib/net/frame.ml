@@ -1,0 +1,147 @@
+type msg = { tag : int; payload : string }
+
+type error =
+  | Closed
+  | Timeout
+  | Bad_magic
+  | Bad_version of int
+  | Oversized of int
+  | Truncated
+  | Bad_checksum
+
+let error_to_string = function
+  | Closed -> "connection closed"
+  | Timeout -> "read timeout"
+  | Bad_magic -> "bad frame magic"
+  | Bad_version v -> Printf.sprintf "unsupported frame version %d" v
+  | Oversized n -> Printf.sprintf "frame payload of %d bytes exceeds the limit" n
+  | Truncated -> "truncated frame"
+  | Bad_checksum -> "frame checksum mismatch"
+
+let magic = "SLNP"
+let version = 1
+let header_bytes = 18
+let checksum_bytes = 8
+let default_max_payload = 16 * 1024 * 1024
+
+(* Checksum input: every header field after the magic, then the payload,
+   so a bit flip anywhere in (version | tag | length | payload) — or in
+   the stored checksum itself — fails verification. *)
+let checksum ~ver ~tag ~len payload =
+  let hdr = Bytes.create 6 in
+  Bytes.set hdr 0 (Char.chr ver);
+  Bytes.set hdr 1 (Char.chr tag);
+  Bytes.blit_string (Bytesutil.be32 len) 0 hdr 2 4;
+  String.sub (Sha256.digest (Bytes.to_string hdr ^ payload)) 0 checksum_bytes
+
+let encode ~tag payload =
+  if tag < 0 || tag > 255 then invalid_arg "Frame.encode: tag out of range";
+  let len = String.length payload in
+  if len > default_max_payload then invalid_arg "Frame.encode: payload too large";
+  let buf = Buffer.create (header_bytes + len) in
+  Buffer.add_string buf magic;
+  Buffer.add_char buf (Char.chr version);
+  Buffer.add_char buf (Char.chr tag);
+  Buffer.add_string buf (Bytesutil.be32 len);
+  Buffer.add_string buf (checksum ~ver:version ~tag ~len payload);
+  Buffer.add_string buf payload;
+  Buffer.contents buf
+
+let be32_at s off =
+  let b i = Char.code s.[off + i] in
+  (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3
+
+let decode ?(max_payload = default_max_payload) ?(off = 0) s =
+  let avail = String.length s - off in
+  if avail < header_bytes then Error Truncated
+  else if String.sub s off 4 <> magic then Error Bad_magic
+  else begin
+    let ver = Char.code s.[off + 4] in
+    if ver <> version then Error (Bad_version ver)
+    else begin
+      let tag = Char.code s.[off + 5] in
+      let len = be32_at s (off + 6) in
+      if len > max_payload then Error (Oversized len)
+      else if avail < header_bytes + len then Error Truncated
+      else begin
+        let stored = String.sub s (off + 10) checksum_bytes in
+        let payload = String.sub s (off + header_bytes) len in
+        if not (Bytesutil.const_equal stored (checksum ~ver ~tag ~len payload)) then
+          Error Bad_checksum
+        else Ok ({ tag; payload }, off + header_bytes + len)
+      end
+    end
+  end
+
+let write fd ~tag payload =
+  let frame = Bytes.of_string (encode ~tag payload) in
+  let total = Bytes.length frame in
+  let rec go off =
+    if off < total then begin
+      let n = Unix.write fd frame off (total - off) in
+      go (off + n)
+    end
+  in
+  go 0
+
+(* Reads exactly [n] more bytes into [buf] at [off], respecting the
+   absolute [deadline] (None = block indefinitely). *)
+let read_exact fd buf off n deadline =
+  let rec go off n =
+    if n = 0 then Ok ()
+    else begin
+      let ready =
+        match deadline with
+        | None -> `Ready
+        | Some d ->
+          let remaining = d -. Unix.gettimeofday () in
+          if remaining <= 0. then `Expired
+          else (match Unix.select [ fd ] [] [] remaining with
+                | [ _ ], _, _ -> `Ready
+                | _ -> `Expired
+                | exception Unix.Unix_error (Unix.EINTR, _, _) -> `Retry
+                | exception Unix.Unix_error _ -> `Dead (* fd closed under us *))
+      in
+      match ready with
+      | `Expired -> Error Timeout
+      | `Dead -> Error Closed
+      | `Retry -> go off n
+      | `Ready ->
+        (match Unix.read fd buf off n with
+         | 0 -> Error (if off = 0 then Closed else Truncated)
+         | k -> go (off + k) (n - k)
+         | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off n
+         | exception Unix.Unix_error _ -> Error Closed)
+    end
+  in
+  go off n
+
+let read ?(max_payload = default_max_payload) ?timeout fd =
+  let deadline = Option.map (fun t -> Unix.gettimeofday () +. t) timeout in
+  let header = Bytes.create header_bytes in
+  match read_exact fd header 0 header_bytes deadline with
+  | Error e -> Error e
+  | Ok () ->
+    let h = Bytes.to_string header in
+    if String.sub h 0 4 <> magic then Error Bad_magic
+    else begin
+      let ver = Char.code h.[4] in
+      if ver <> version then Error (Bad_version ver)
+      else begin
+        let tag = Char.code h.[5] in
+        let len = be32_at h 6 in
+        if len > max_payload then Error (Oversized len)
+        else begin
+          let payload = Bytes.create len in
+          match read_exact fd payload 0 len deadline with
+          | Error Closed -> Error Truncated
+          | Error e -> Error e
+          | Ok () ->
+            let payload = Bytes.to_string payload in
+            let stored = String.sub h 10 checksum_bytes in
+            if not (Bytesutil.const_equal stored (checksum ~ver ~tag ~len payload)) then
+              Error Bad_checksum
+            else Ok { tag; payload }
+        end
+      end
+    end

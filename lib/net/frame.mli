@@ -1,0 +1,58 @@
+(** Length-prefixed, versioned, checksummed message framing — the
+    lowest layer of the Slicer wire protocol.
+
+    Layout (18-byte header, big-endian):
+    {v
+      0   4  magic "SLNP"
+      4   1  version (currently 1)
+      5   1  message tag
+      6   4  payload length
+      10  8  checksum: SHA-256 (version ‖ tag ‖ length ‖ payload), first 8 bytes
+      18  n  payload
+    v}
+
+    The checksum covers every header field after the magic plus the
+    whole payload, so {e any} single corrupted bit — in the tag, the
+    length, the checksum itself or the body — fails decoding; nothing
+    misparses. Truncated input is reported as [Truncated] (a socket
+    reader treats it as "need more bytes"), and a declared length above
+    the reader's limit is rejected as [Oversized] before any payload is
+    read, so a hostile peer cannot make the server buffer gigabytes. *)
+
+type msg = { tag : int; payload : string }
+
+type error =
+  | Closed            (** peer closed before a full frame arrived *)
+  | Timeout           (** read deadline expired *)
+  | Bad_magic
+  | Bad_version of int
+  | Oversized of int  (** declared payload length exceeds the limit *)
+  | Truncated         (** input ends inside the header or payload *)
+  | Bad_checksum
+
+val error_to_string : error -> string
+
+val header_bytes : int
+val default_max_payload : int
+(** 16 MiB — generous for every protocol message (the largest are
+    Build shipments). *)
+
+val encode : tag:int -> string -> string
+(** A complete frame. @raise Invalid_argument when the tag is outside
+    [0, 255] or the payload exceeds {!default_max_payload}. *)
+
+val decode : ?max_payload:int -> ?off:int -> string -> (msg * int, error) result
+(** Pure decoder: parses one frame starting at [off] (default 0) and
+    returns it with the offset just past it. Never raises on malformed
+    input. *)
+
+val write : Unix.file_descr -> tag:int -> string -> unit
+(** Writes a whole frame (handles short writes).
+    @raise Unix.Unix_error on transport failure. *)
+
+val read :
+  ?max_payload:int -> ?timeout:float -> Unix.file_descr -> (msg, error) result
+(** Reads exactly one frame. [timeout] (seconds, default none) bounds
+    the {e whole} frame, enforced with [select] before every chunk — a
+    peer trickling bytes cannot hold the connection open past the
+    deadline. Transport errors surface as [Closed]. *)

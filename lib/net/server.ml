@@ -1,0 +1,220 @@
+let log_src = Logs.Src.create "slicer.net.server" ~doc:"Slicer network server"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type endpoint = Tcp of string * int | Unix_socket of string
+
+type config = {
+  endpoint : endpoint;
+  read_timeout : float;
+  max_payload : int;
+  max_inflight : int;
+  backlog : int;
+}
+
+let default_config =
+  { endpoint = Tcp ("127.0.0.1", 0);
+    read_timeout = 30.;
+    max_payload = Frame.default_max_payload;
+    max_inflight = 64;
+    backlog = 64 }
+
+type t = {
+  config : config;
+  service : Service.t;
+  listener : Unix.file_descr;
+  lock : Mutex.t;
+  mutable running : bool;
+  mutable conns : (int * Unix.file_descr) list; (* id, fd *)
+  mutable threads : Thread.t list;
+  mutable next_conn : int;
+  mutable inflight : int;
+  mutable served_conns : int;
+  mutable served_reqs : int;
+  accept_thread : Thread.t option ref;
+}
+
+let resolve_host host =
+  try Unix.inet_addr_of_string host
+  with Failure _ ->
+    (match (Unix.gethostbyname host).Unix.h_addr_list with
+     | [||] -> failwith ("cannot resolve host " ^ host)
+     | addrs -> addrs.(0)
+     | exception Not_found -> failwith ("cannot resolve host " ^ host))
+
+let sockaddr_of_endpoint = function
+  | Tcp (host, port) -> Unix.ADDR_INET (resolve_host host, port)
+  | Unix_socket path -> Unix.ADDR_UNIX path
+
+let bind_endpoint ep =
+  let domain = match ep with Tcp _ -> Unix.PF_INET | Unix_socket _ -> Unix.PF_UNIX in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  (match ep with
+   | Tcp _ -> Unix.setsockopt fd Unix.SO_REUSEADDR true
+   | Unix_socket path -> (try Unix.unlink path with Unix.Unix_error _ -> ()));
+  (try
+     Unix.bind fd (sockaddr_of_endpoint ep);
+     Unix.listen fd default_config.backlog
+   with e -> Unix.close fd; raise e);
+  fd
+
+let bound_port fd =
+  match Unix.getsockname fd with Unix.ADDR_INET (_, p) -> p | Unix.ADDR_UNIX _ -> 0
+
+(* One request/response exchange. Returns [false] when the connection
+   should be dropped. *)
+let serve_request t fd (frame : Frame.msg) =
+  let respond resp = Frame.write fd ~tag:Wire.response_tag (Wire.encode_response resp) in
+  if frame.Frame.tag <> Wire.request_tag then begin
+    respond (Wire.Refused { code = Wire.Bad_request; detail = "unexpected frame tag" });
+    false
+  end
+  else
+    match Wire.decode_request frame.Frame.payload with
+    | None ->
+      (* The frame checksum passed, so this is a peer speaking a
+         different dialect, not line noise; refuse and keep the
+         connection (framing is still synchronized). *)
+      respond (Wire.Refused { code = Wire.Bad_request; detail = "unparseable request" });
+      true
+    | Some req ->
+      let admitted =
+        Mutex.lock t.lock;
+        let ok = t.inflight < t.config.max_inflight in
+        if ok then t.inflight <- t.inflight + 1;
+        Mutex.unlock t.lock;
+        ok
+      in
+      if not admitted then begin
+        respond
+          (Wire.Refused
+             { code = Wire.Busy;
+               detail = Printf.sprintf "over %d requests in flight" t.config.max_inflight });
+        true
+      end
+      else begin
+        let resp =
+          Fun.protect
+            ~finally:(fun () ->
+              Mutex.lock t.lock;
+              t.inflight <- t.inflight - 1;
+              t.served_reqs <- t.served_reqs + 1;
+              Mutex.unlock t.lock)
+            (fun () -> Service.handle t.service req)
+        in
+        respond resp;
+        true
+      end
+
+let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let connection_loop t conn_id fd =
+  let rec loop () =
+    if not t.running then ()
+    else
+      match Frame.read ~max_payload:t.config.max_payload ~timeout:t.config.read_timeout fd with
+      | Ok frame ->
+        let keep = try serve_request t fd frame with Unix.Unix_error _ -> false in
+        if keep then loop ()
+      | Error (Frame.Closed | Frame.Timeout) -> ()
+      | Error e ->
+        (* Malformed framing: answer with a structured error frame, then
+           close — after a checksum failure the stream cannot be
+           resynchronized safely. *)
+        Log.debug (fun m -> m "conn %d: %s" conn_id (Frame.error_to_string e));
+        (try
+           Frame.write fd ~tag:Wire.response_tag
+             (Wire.encode_response
+                (Wire.Refused { code = Wire.Bad_request; detail = Frame.error_to_string e }))
+         with Unix.Unix_error _ -> ())
+  in
+  (try loop ()
+   with exn -> Log.err (fun m -> m "conn %d crashed: %s" conn_id (Printexc.to_string exn)));
+  close_quietly fd;
+  Mutex.lock t.lock;
+  t.conns <- List.filter (fun (id, _) -> id <> conn_id) t.conns;
+  Mutex.unlock t.lock
+
+(* Poll with a short tick so [stop] can wake the loop just by clearing
+   [running] — closing a listener out from under a blocked [accept] is
+   not portable. The listener is non-blocking for the same reason. *)
+let accept_loop t =
+  while t.running do
+    match Unix.select [ t.listener ] [] [] 0.2 with
+    | [ _ ], _, _ when t.running ->
+      (match Unix.accept t.listener with
+       | fd, _ ->
+         Mutex.lock t.lock;
+         let id = t.next_conn in
+         t.next_conn <- id + 1;
+         t.served_conns <- t.served_conns + 1;
+         t.conns <- (id, fd) :: t.conns;
+         let th = Thread.create (fun () -> connection_loop t id fd) () in
+         t.threads <- th :: t.threads;
+         Mutex.unlock t.lock
+       | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+       | exception Unix.Unix_error (e, _, _) ->
+         if t.running then Log.err (fun m -> m "accept failed: %s" (Unix.error_message e)))
+    | _ -> ()
+    | exception Unix.Unix_error _ -> ()
+  done
+
+let start ?(config = default_config) ?listener service =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let listener = match listener with Some fd -> fd | None -> bind_endpoint config.endpoint in
+  Unix.set_nonblock listener;
+  let t =
+    { config;
+      service;
+      listener;
+      lock = Mutex.create ();
+      running = true;
+      conns = [];
+      threads = [];
+      next_conn = 0;
+      inflight = 0;
+      served_conns = 0;
+      served_reqs = 0;
+      accept_thread = ref None }
+  in
+  t.accept_thread := Some (Thread.create (fun () -> accept_loop t) ());
+  Log.info (fun m ->
+      m "listening (%s)"
+        (match config.endpoint with
+         | Tcp (h, _) -> Printf.sprintf "%s:%d" h (bound_port listener)
+         | Unix_socket p -> p));
+  t
+
+let port t = bound_port t.listener
+
+let endpoint t =
+  match t.config.endpoint with
+  | Tcp (h, _) -> Tcp (h, port t)
+  | Unix_socket p -> Unix_socket p
+
+let connections_served t = t.served_conns
+let requests_served t = t.served_reqs
+
+let stop t =
+  if t.running then begin
+    t.running <- false;
+    (* The accept loop notices [running] within one select tick; only
+       then is it safe to close the listener and tear down connections. *)
+    (match !(t.accept_thread) with Some th -> Thread.join th | None -> ());
+    close_quietly t.listener;
+    Mutex.lock t.lock;
+    let conns = t.conns in
+    let threads = t.threads in
+    t.conns <- [];
+    Mutex.unlock t.lock;
+    (* Shutdown (not close) wakes each blocked connection read with EOF;
+       every connection thread closes its own fd, avoiding any reuse
+       race with descriptors handed out after this point. *)
+    List.iter
+      (fun (_, fd) -> try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+      conns;
+    List.iter Thread.join threads;
+    (match t.config.endpoint with
+     | Unix_socket path -> (try Unix.unlink path with Unix.Unix_error _ -> ())
+     | Tcp _ -> ())
+  end

@@ -1,0 +1,58 @@
+(** The concurrent cloud server: accepts many clients over TCP or Unix
+    sockets, one lightweight thread per connection, and drives a
+    {!Service}.
+
+    Defensive posture:
+    - every frame read is bounded by [read_timeout] (slowloris peers
+      are disconnected) and by [max_payload] (oversized frames are
+      refused before buffering);
+    - at most [max_inflight] requests are processed at once — beyond
+      that, clients get a structured [busy] refusal and back off;
+    - malformed frames and payloads produce error frames (then, for
+      unsynchronizable streams, a clean close) — never a crash: a
+      connection thread's failure is contained to that connection.
+
+    {!stop} closes the listener and every live connection and joins all
+    threads, after which the same service can be re-served — the
+    crash/restart story the fault-tolerance tests exercise. *)
+
+val log_src : Logs.src
+
+type endpoint = Tcp of string * int | Unix_socket of string
+
+type config = {
+  endpoint : endpoint;     (** [Tcp (host, 0)] picks an ephemeral port *)
+  read_timeout : float;    (** seconds per frame read; idle kick *)
+  max_payload : int;
+  max_inflight : int;      (** concurrent requests being processed *)
+  backlog : int;
+}
+
+val default_config : config
+(** Loopback TCP on an ephemeral port, 30 s read timeout, 64 inflight. *)
+
+type t
+
+val resolve_host : string -> Unix.inet_addr
+(** Dotted-quad or DNS name. @raise Failure when unresolvable. *)
+
+val bind_endpoint : endpoint -> Unix.file_descr
+(** Create/bind/listen a socket without starting any thread — so a
+    process can learn the ephemeral port (or pre-bind) before forking
+    workers. Pass the result to {!start} via [?listener]. *)
+
+val bound_port : Unix.file_descr -> int
+(** The actual TCP port of a bound listener (0 for Unix sockets). *)
+
+val start : ?config:config -> ?listener:Unix.file_descr -> Service.t -> t
+(** Binds (unless [listener] is given) and spawns the accept thread. *)
+
+val port : t -> int
+val endpoint : t -> endpoint
+
+val connections_served : t -> int
+val requests_served : t -> int
+
+val stop : t -> unit
+(** Stop accepting, drop every connection, join all threads.
+    Idempotent. *)

@@ -1,0 +1,200 @@
+let log_src = Logs.Src.create "slicer.net.service" ~doc:"Slicer network service"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+(* State present once the owner's Build shipment has been applied. *)
+type built = {
+  b_station : Station.t;
+  b_acc : Rsa_acc.params;
+  b_user_keys : Keys.user_keys;
+  b_width : int;
+  b_payment : int;
+  b_owner_addr : Vm.address;
+  mutable b_trapdoor : Owner.trapdoor_state;
+  mutable b_generation : int;
+}
+
+type t = {
+  lock : Mutex.t;
+  mutable state : built option;
+  users : (string, Vm.address) Hashtbl.t;
+  (* Idempotency cache: request id -> the reply already settled for it.
+     Bounded FIFO so a hostile client cannot grow it without limit. *)
+  replies : (string, Wire.search_reply) Hashtbl.t;
+  reply_order : string Queue.t;
+  max_cached_replies : int;
+  faucet : int;
+  mutable settled : int;
+}
+
+let create ?(max_cached_replies = 8192) ?(faucet = 100_000_000) () =
+  { lock = Mutex.create ();
+    state = None;
+    users = Hashtbl.create 64;
+    replies = Hashtbl.create 256;
+    reply_order = Queue.create ();
+    max_cached_replies;
+    faucet;
+    settled = 0 }
+
+let of_protocol ?max_cached_replies ?faucet p =
+  let t = create ?max_cached_replies ?faucet () in
+  let owner = Protocol.owner p in
+  t.state <-
+    Some
+      { b_station = Protocol.station p;
+        b_acc = Owner.acc_params owner;
+        b_user_keys = Keys.for_user (Owner.keys owner);
+        b_width = Owner.width owner;
+        b_payment = Protocol.payment p;
+        b_owner_addr = Protocol.owner_address p;
+        b_trapdoor = Owner.export_trapdoor_state owner;
+        b_generation = 1 };
+  t
+
+let built t = t.state <> None
+
+let generation t = match t.state with None -> 0 | Some b -> b.b_generation
+
+let searches_settled t = t.settled
+
+let station t = Option.map (fun b -> b.b_station) t.state
+
+let refused code detail = Wire.Refused { code; detail }
+
+let cache_reply t request_id reply =
+  if not (Hashtbl.mem t.replies request_id) then begin
+    if Queue.length t.reply_order >= t.max_cached_replies then begin
+      let oldest = Queue.pop t.reply_order in
+      Hashtbl.remove t.replies oldest
+    end;
+    Queue.push request_id t.reply_order;
+    Hashtbl.replace t.replies request_id reply
+  end
+
+let user_address t b client =
+  match Hashtbl.find_opt t.users client with
+  | Some addr -> addr
+  | None ->
+    let addr = Vm.address_of_name ("slicer-net:user:" ^ client) in
+    Vm.fund (Ledger.state (Station.ledger b.b_station)) addr t.faucet;
+    Hashtbl.replace t.users client addr;
+    Log.info (fun m -> m "registered user %S (%a)" client Vm.pp_address addr);
+    addr
+
+let provision t b client =
+  let addr = user_address t b client in
+  let ac =
+    match Station.onchain_ac b.b_station with
+    | Some ac -> ac
+    | None -> b.b_acc.Rsa_acc.generator
+  in
+  Wire.Welcome
+    { Wire.pv_width = b.b_width;
+      pv_payment = b.b_payment;
+      pv_generation = b.b_generation;
+      pv_acc = b.b_acc;
+      pv_user_keys = b.b_user_keys;
+      pv_trapdoor = b.b_trapdoor;
+      pv_user_addr = addr;
+      pv_ac = ac }
+
+let do_search t b ~client ~request_id ~batched tokens =
+  match Hashtbl.find_opt t.replies request_id with
+  | Some cached ->
+    (* Idempotent re-send: the retry observes the original settlement;
+       escrow is not touched a second time. *)
+    Log.debug (fun m -> m "replaying cached settlement for %S" request_id);
+    Wire.Found cached
+  | None ->
+    (match Hashtbl.find_opt t.users client with
+     | None -> refused Wire.Unknown_user (Printf.sprintf "client %S must hello first" client)
+     | Some user ->
+       (match
+          Station.settle b.b_station ~user ~request_id ~payment:b.b_payment
+            ~token_blobs:(List.map Slicer_types.token_bytes tokens) ~batched
+        with
+        | Error e -> refused Wire.Bad_request ("request rejected on chain: " ^ e)
+        | Ok { Station.se_claims; se_batch_witness; se_receipt } ->
+          t.settled <- t.settled + 1;
+          let ac =
+            match Station.onchain_ac b.b_station with
+            | Some ac -> ac
+            | None -> b.b_acc.Rsa_acc.generator
+          in
+          let reply =
+            { Wire.sr_request_id = request_id;
+              sr_generation = b.b_generation;
+              sr_claims = se_claims;
+              sr_batch_witness = se_batch_witness;
+              sr_receipt = se_receipt;
+              sr_ac = ac }
+          in
+          cache_reply t request_id reply;
+          Wire.Found reply))
+
+let do_build t req =
+  match req with
+  | Wire.Build { width; payment; acc; tdp_n; tdp_e; user_k; user_k_r; shipment; trapdoor } ->
+    (match t.state with
+     | Some _ -> refused Wire.Already_built "the service already holds a database"
+     | None ->
+       let tdp_public = Rsa_tdp.public_of_parts ~n:tdp_n ~e:tdp_e in
+       let cloud = Cloud.create ~acc_params:acc ~tdp_public () in
+       Cloud.install cloud shipment;
+       let ledger = Ledger.create ~validators:[ "validator-1"; "validator-2"; "validator-3" ] in
+       let owner_addr = Vm.address_of_name "slicer-net:owner" in
+       let cloud_addr = Vm.address_of_name "slicer-net:cloud" in
+       Vm.fund (Ledger.state ledger) owner_addr t.faucet;
+       let contract, receipt =
+         Slicer_contract.deploy ledger ~owner:owner_addr ~modulus:acc.Rsa_acc.modulus
+           ~generator:acc.Rsa_acc.generator ~initial_ac:shipment.Owner.sh_ac
+       in
+       (match receipt.Vm.r_output with
+        | Error e -> refused Wire.Internal ("contract deployment failed: " ^ e)
+        | Ok _ ->
+          t.state <-
+            Some
+              { b_station = Station.create ~cloud ~ledger ~contract ~cloud_addr;
+                b_acc = acc;
+                b_user_keys =
+                  { Keys.u_k = user_k; u_k_r = user_k_r; u_tdp_public = tdp_public };
+                b_width = width;
+                b_payment = payment;
+                b_owner_addr = owner_addr;
+                b_trapdoor = trapdoor;
+                b_generation = 1 };
+          Log.info (fun m ->
+              m "built from wire shipment: %d index entries, deploy gas %d"
+                (List.length shipment.Owner.sh_entries) receipt.Vm.r_gas_used);
+          Wire.Accepted { generation = 1 }))
+  | _ -> assert false
+
+let handle_locked t req =
+  match (req, t.state) with
+  | (Wire.Ping, _) -> Wire.Pong
+  | (Wire.Build _, _) -> do_build t req
+  | (_, None) -> refused Wire.Not_ready "no database: awaiting the owner's Build shipment"
+  | (Wire.Hello { client }, Some b) -> provision t b client
+  | (Wire.Search { client; request_id; batched; tokens }, Some b) ->
+    do_search t b ~client ~request_id ~batched tokens
+  | (Wire.Insert { shipment; trapdoor }, Some b) ->
+    (match Station.install b.b_station ~owner:b.b_owner_addr shipment with
+     | Error e -> refused Wire.Internal ("on-chain Ac update failed: " ^ e)
+     | Ok receipt ->
+       b.b_trapdoor <- trapdoor;
+       b.b_generation <- b.b_generation + 1;
+       Log.info (fun m ->
+           m "insert shipment applied: %d entries, generation %d, gas %d"
+             (List.length shipment.Owner.sh_entries) b.b_generation receipt.Vm.r_gas_used);
+       Wire.Accepted { generation = b.b_generation })
+
+let handle t req =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      try handle_locked t req
+      with exn ->
+        Log.err (fun m -> m "handler raised: %s" (Printexc.to_string exn));
+        refused Wire.Internal (Printexc.to_string exn))

@@ -1,0 +1,38 @@
+(** The transport-independent Slicer service: a {!Station} (cloud +
+    chain) plus the provisioning state a multi-client deployment needs
+    — user registry and faucet, the owner → user key channel, and the
+    idempotency cache that makes retried searches settle escrow exactly
+    once.
+
+    {!handle} is a pure request → response dispatcher guarded by one
+    lock, so any transport (the socket server, a loopback test, a
+    pipe) can drive it concurrently. It never raises: failures come
+    back as [Wire.Refused] frames. *)
+
+val log_src : Logs.src
+
+type t
+
+val create : ?max_cached_replies:int -> ?faucet:int -> unit -> t
+(** An empty service awaiting a [Wire.Build] shipment from the data
+    owner. [faucet] is the balance granted to each newly registered
+    user (default 100,000,000 wei). *)
+
+val of_protocol : ?max_cached_replies:int -> ?faucet:int -> Protocol.t -> t
+(** Serve an in-process system (e.g. one the server built from
+    [--records N] at startup): the service drives the {e same} station,
+    so wire searches and [Protocol.search] settle identically. *)
+
+val handle : t -> Wire.request -> Wire.response
+(** Thread-safe dispatch of one request. *)
+
+val built : t -> bool
+val generation : t -> int
+(** 0 before Build, then 1 + the number of Inserts applied. *)
+
+val searches_settled : t -> int
+(** Searches that actually reached the chain (cache hits excluded). *)
+
+val station : t -> Station.t option
+(** The underlying settlement endpoint (for tests: e.g. configuring
+    cloud misbehaviour or inspecting balances). [None] before Build. *)

@@ -1,0 +1,199 @@
+let ( let* ) = Option.bind
+
+let request_tag = 0x01
+let response_tag = 0x02
+
+type request =
+  | Hello of { client : string }
+  | Search of { client : string; request_id : string; batched : bool;
+                tokens : Slicer_types.search_token list }
+  | Build of { width : int; payment : int; acc : Rsa_acc.params;
+               tdp_n : Bigint.t; tdp_e : Bigint.t;
+               user_k : string; user_k_r : string;
+               shipment : Owner.shipment; trapdoor : Owner.trapdoor_state }
+  | Insert of { shipment : Owner.shipment; trapdoor : Owner.trapdoor_state }
+  | Ping
+
+type provision = {
+  pv_width : int;
+  pv_payment : int;
+  pv_generation : int;
+  pv_acc : Rsa_acc.params;
+  pv_user_keys : Keys.user_keys;
+  pv_trapdoor : Owner.trapdoor_state;
+  pv_user_addr : Vm.address;
+  pv_ac : Bigint.t;
+}
+
+type search_reply = {
+  sr_request_id : string;
+  sr_generation : int;
+  sr_claims : Slicer_contract.claim list;
+  sr_batch_witness : Bigint.t option;
+  sr_receipt : Vm.receipt;
+  sr_ac : Bigint.t;
+}
+
+type err_code = Busy | Bad_request | Not_ready | Already_built | Unknown_user | Internal
+
+let err_code_to_string = function
+  | Busy -> "busy"
+  | Bad_request -> "bad_request"
+  | Not_ready -> "not_ready"
+  | Already_built -> "already_built"
+  | Unknown_user -> "unknown_user"
+  | Internal -> "internal"
+
+let err_code_of_string = function
+  | "busy" -> Some Busy
+  | "bad_request" -> Some Bad_request
+  | "not_ready" -> Some Not_ready
+  | "already_built" -> Some Already_built
+  | "unknown_user" -> Some Unknown_user
+  | "internal" -> Some Internal
+  | _ -> None
+
+type response =
+  | Welcome of provision
+  | Found of search_reply
+  | Accepted of { generation : int }
+  | Pong
+  | Refused of { code : err_code; detail : string }
+
+(* Small helpers: non-negative ints and option-of-bigint pieces. *)
+
+let nat_of_string s =
+  let* n = int_of_string_opt s in
+  if n < 0 then None else Some n
+
+let bool_tag b = if b then "1" else "0"
+
+let bool_of_tag = function "1" -> Some true | "0" -> Some false | _ -> None
+
+let opt_bigint_to_bytes = function
+  | None -> Bytesutil.concat [ "0" ]
+  | Some w -> Bytesutil.concat [ "1"; Bigint.to_bytes_be w ]
+
+let opt_bigint_of_bytes s =
+  let* pieces = Bytesutil.split s in
+  match pieces with
+  | [ "0" ] -> Some None
+  | [ "1"; w ] -> Some (Some (Bigint.of_bytes_be w))
+  | _ -> None
+
+(* --- requests --------------------------------------------------------- *)
+
+let encode_request = function
+  | Hello { client } -> Bytesutil.concat [ "hello"; client ]
+  | Search { client; request_id; batched; tokens } ->
+    Bytesutil.concat
+      [ "search"; client; request_id; bool_tag batched; Persist.tokens_to_bytes tokens ]
+  | Build { width; payment; acc; tdp_n; tdp_e; user_k; user_k_r; shipment; trapdoor } ->
+    Bytesutil.concat
+      [ "build"; string_of_int width; string_of_int payment;
+        Bigint.to_bytes_be acc.Rsa_acc.modulus; Bigint.to_bytes_be acc.Rsa_acc.generator;
+        Bigint.to_bytes_be tdp_n; Bigint.to_bytes_be tdp_e;
+        user_k; user_k_r;
+        Persist.shipment_to_bytes shipment; Persist.trapdoor_state_to_bytes trapdoor ]
+  | Insert { shipment; trapdoor } ->
+    Bytesutil.concat
+      [ "insert"; Persist.shipment_to_bytes shipment; Persist.trapdoor_state_to_bytes trapdoor ]
+  | Ping -> Bytesutil.concat [ "ping" ]
+
+let decode_request s =
+  let* pieces = Bytesutil.split s in
+  match pieces with
+  | [ "hello"; client ] -> Some (Hello { client })
+  | [ "search"; client; request_id; batched; tokens_blob ] ->
+    let* batched = bool_of_tag batched in
+    let* tokens = Persist.tokens_of_bytes tokens_blob in
+    Some (Search { client; request_id; batched; tokens })
+  | [ "build"; width; payment; modulus; generator; tdp_n; tdp_e; user_k; user_k_r;
+      shipment_blob; trapdoor_blob ] ->
+    let* width = nat_of_string width in
+    let* payment = nat_of_string payment in
+    let* shipment = Persist.shipment_of_bytes shipment_blob in
+    let* trapdoor = Persist.trapdoor_state_of_bytes trapdoor_blob in
+    Some
+      (Build
+         { width; payment;
+           acc = { Rsa_acc.modulus = Bigint.of_bytes_be modulus;
+                   generator = Bigint.of_bytes_be generator };
+           tdp_n = Bigint.of_bytes_be tdp_n; tdp_e = Bigint.of_bytes_be tdp_e;
+           user_k; user_k_r; shipment; trapdoor })
+  | [ "insert"; shipment_blob; trapdoor_blob ] ->
+    let* shipment = Persist.shipment_of_bytes shipment_blob in
+    let* trapdoor = Persist.trapdoor_state_of_bytes trapdoor_blob in
+    Some (Insert { shipment; trapdoor })
+  | [ "ping" ] -> Some Ping
+  | _ -> None
+
+(* --- responses -------------------------------------------------------- *)
+
+let encode_response = function
+  | Welcome p ->
+    Bytesutil.concat
+      [ "welcome"; string_of_int p.pv_width; string_of_int p.pv_payment;
+        string_of_int p.pv_generation;
+        Bigint.to_bytes_be p.pv_acc.Rsa_acc.modulus;
+        Bigint.to_bytes_be p.pv_acc.Rsa_acc.generator;
+        Bigint.to_bytes_be p.pv_user_keys.Keys.u_tdp_public.Rsa_tdp.pn;
+        Bigint.to_bytes_be p.pv_user_keys.Keys.u_tdp_public.Rsa_tdp.e;
+        p.pv_user_keys.Keys.u_k; p.pv_user_keys.Keys.u_k_r;
+        Persist.trapdoor_state_to_bytes p.pv_trapdoor;
+        p.pv_user_addr;
+        Bigint.to_bytes_be p.pv_ac ]
+  | Found r ->
+    Bytesutil.concat
+      [ "found"; r.sr_request_id; string_of_int r.sr_generation;
+        Persist.claims_to_bytes r.sr_claims;
+        opt_bigint_to_bytes r.sr_batch_witness;
+        Persist.receipt_to_bytes r.sr_receipt;
+        Bigint.to_bytes_be r.sr_ac ]
+  | Accepted { generation } -> Bytesutil.concat [ "accepted"; string_of_int generation ]
+  | Pong -> Bytesutil.concat [ "pong" ]
+  | Refused { code; detail } ->
+    Bytesutil.concat [ "refused"; err_code_to_string code; detail ]
+
+let decode_response s =
+  let* pieces = Bytesutil.split s in
+  match pieces with
+  | [ "welcome"; width; payment; generation; modulus; generator; tdp_n; tdp_e;
+      u_k; u_k_r; trapdoor_blob; user_addr; ac ] ->
+    let* pv_width = nat_of_string width in
+    let* pv_payment = nat_of_string payment in
+    let* pv_generation = nat_of_string generation in
+    let* pv_trapdoor = Persist.trapdoor_state_of_bytes trapdoor_blob in
+    let* u_tdp_public =
+      match
+        Rsa_tdp.public_of_parts ~n:(Bigint.of_bytes_be tdp_n) ~e:(Bigint.of_bytes_be tdp_e)
+      with
+      | pk -> Some pk
+      | exception Invalid_argument _ -> None
+    in
+    Some
+      (Welcome
+         { pv_width; pv_payment; pv_generation;
+           pv_acc = { Rsa_acc.modulus = Bigint.of_bytes_be modulus;
+                      generator = Bigint.of_bytes_be generator };
+           pv_user_keys = { Keys.u_k; u_k_r; u_tdp_public };
+           pv_trapdoor; pv_user_addr = user_addr; pv_ac = Bigint.of_bytes_be ac })
+  | [ "found"; sr_request_id; generation; claims_blob; witness_blob; receipt_blob; ac ] ->
+    let* sr_generation = nat_of_string generation in
+    let* sr_claims = Persist.claims_of_bytes claims_blob in
+    let* sr_batch_witness = opt_bigint_of_bytes witness_blob in
+    let* sr_receipt = Persist.receipt_of_bytes receipt_blob in
+    Some
+      (Found
+         { sr_request_id; sr_generation; sr_claims; sr_batch_witness; sr_receipt;
+           sr_ac = Bigint.of_bytes_be ac })
+  | [ "accepted"; generation ] ->
+    let* generation = nat_of_string generation in
+    Some (Accepted { generation })
+  | [ "pong" ] -> Some Pong
+  | [ "refused"; code; detail ] ->
+    let* code = err_code_of_string code in
+    Some (Refused { code; detail })
+  | _ -> None
+
+let retryable = function Refused { code = Busy; _ } -> true | _ -> false

@@ -1,0 +1,70 @@
+(** Typed request/response messages of the Slicer service, with
+    all-or-nothing byte codecs layered on {!Persist} and the core
+    serializers. One {!Frame.msg} carries exactly one message; the
+    frame tag distinguishes requests from responses so a stray reply
+    can never be parsed as a command. *)
+
+val request_tag : int
+val response_tag : int
+
+type request =
+  | Hello of { client : string }
+      (** Register and provision: the owner → user authorization channel
+          (keys, trapdoor state) plus a funded chain address. *)
+  | Search of { client : string; request_id : string; batched : bool;
+                tokens : Slicer_types.search_token list }
+      (** The user → cloud search message. [request_id] is the
+          idempotency key: a retry with the same id returns the cached
+          settlement instead of touching escrow again. *)
+  | Build of { width : int; payment : int; acc : Rsa_acc.params;
+               tdp_n : Bigint.t; tdp_e : Bigint.t;
+               user_k : string; user_k_r : string;
+               shipment : Owner.shipment; trapdoor : Owner.trapdoor_state }
+      (** The owner → cloud bootstrap shipment: public parameters, user
+          key material to provision with, and the Build artifacts. *)
+  | Insert of { shipment : Owner.shipment; trapdoor : Owner.trapdoor_state }
+      (** A forward-secure Insert shipment (owner → cloud). *)
+  | Ping
+
+type provision = {
+  pv_width : int;
+  pv_payment : int;
+  pv_generation : int;              (** bumped by every Insert *)
+  pv_acc : Rsa_acc.params;
+  pv_user_keys : Keys.user_keys;
+  pv_trapdoor : Owner.trapdoor_state;
+  pv_user_addr : Vm.address;
+  pv_ac : Bigint.t;                 (** on-chain accumulation value *)
+}
+
+type search_reply = {
+  sr_request_id : string;
+  sr_generation : int;
+  sr_claims : Slicer_contract.claim list;
+  sr_batch_witness : Bigint.t option;
+  sr_receipt : Vm.receipt;          (** the chain's settlement receipt *)
+  sr_ac : Bigint.t;                 (** on-chain [Ac] to verify against *)
+}
+
+type err_code = Busy | Bad_request | Not_ready | Already_built | Unknown_user | Internal
+
+val err_code_to_string : err_code -> string
+
+type response =
+  | Welcome of provision
+  | Found of search_reply
+  | Accepted of { generation : int }   (** Build/Insert acknowledged *)
+  | Pong
+  | Refused of { code : err_code; detail : string }
+      (** Structured error frame — the server's graceful degradation
+          path; it never answers bad input with silence or a crash. *)
+
+val encode_request : request -> string
+val decode_request : string -> request option
+
+val encode_response : response -> string
+val decode_response : string -> response option
+
+val retryable : response -> bool
+(** [true] only for [Refused {code = Busy; _}] — the one server error a
+    client should retry (with backoff) rather than surface. *)

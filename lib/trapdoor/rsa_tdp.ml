@@ -3,6 +3,11 @@ type secret = { sn : Bigint.t; d : Bigint.t }
 
 let public_exponent = Bigint.of_int 65537
 
+let public_of_parts ~n ~e =
+  if Bigint.compare n (Bigint.of_int 3) <= 0 then invalid_arg "Rsa_tdp.public_of_parts: modulus too small";
+  if Bigint.compare e Bigint.one <= 0 then invalid_arg "Rsa_tdp.public_of_parts: exponent too small";
+  { pn = n; e }
+
 let keygen ?(bits = 1024) ~rng () =
   let rec gen () =
     let m = Primegen.random_rsa_modulus ~rng ~bits () in

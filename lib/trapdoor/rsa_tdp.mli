@@ -13,6 +13,11 @@ type secret = private { sn : Bigint.t; d : Bigint.t }
 val keygen : ?bits:int -> rng:Drbg.t -> unit -> public * secret
 (** Fresh key pair; default 1024-bit modulus, [e = 65537]. *)
 
+val public_of_parts : n:Bigint.t -> e:Bigint.t -> public
+(** Reassembles a public key received over the wire (the owner → user
+    provisioning channel). @raise Invalid_argument on degenerate
+    parameters. *)
+
 val forward : public -> Bigint.t -> Bigint.t
 (** [π_pk(x) = x^e mod n]. *)
 

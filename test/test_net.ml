@@ -1,0 +1,765 @@
+(* The networked service, bottom-up: frame hygiene under corruption
+   (qcheck), the typed codecs, the backoff schedule, idempotent
+   settlement, and loopback end-to-end runs — concurrent clients against
+   one server, byte-identical to the in-process protocol, surviving a
+   server kill/restart mid-load and refusing a tampering cloud. *)
+
+module Wire = Net.Wire
+
+let prop name ?(count = 100) gen f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen f)
+
+let q = Slicer_types.query
+let sorted = List.sort String.compare
+
+let check_ids msg expected actual =
+  Alcotest.(check (list string)) msg (sorted expected) (sorted actual)
+
+let width = 6
+
+let db =
+  let rng = Drbg.create ~seed:"net-db" in
+  Gen.uniform_records ~rng ~width 40
+
+(* The served system and its in-process mirror: [Protocol.setup] is
+   deterministic per seed, so these are twins — same keys, same index,
+   same chain genesis. The mirror answers every query the way the
+   server must. *)
+let service_system =
+  lazy
+    (let s = Protocol.setup ~width ~seed:"net-twin" db in
+     Cloud.precompute_witnesses (Protocol.cloud s);
+     s)
+
+let mirror_system =
+  lazy
+    (let s = Protocol.setup ~width ~seed:"net-twin" db in
+     Cloud.precompute_witnesses (Protocol.cloud s);
+     s)
+
+let service = lazy (Net.Service.of_protocol (Lazy.force service_system))
+
+let server =
+  lazy
+    (let srv = Net.Server.start (Lazy.force service) in
+     at_exit (fun () -> Net.Server.stop srv);
+     srv)
+
+let endpoint () = Net.Server.endpoint (Lazy.force server)
+
+let client ?(attempts = 5) ?(backoff = 0.02) name =
+  let config =
+    { Net.Client.default_config with
+      max_attempts = attempts;
+      backoff_base = backoff;
+      request_timeout = 20. }
+  in
+  match Net.Client.connect ~config ~name (endpoint ()) with
+  | Ok c -> c
+  | Error e -> Alcotest.failf "connect %s: %s" name (Net.Client.error_to_string e)
+
+(* --- frame layer ----------------------------------------------------------- *)
+
+let test_frame_roundtrip () =
+  List.iter
+    (fun (tag, payload) ->
+      let frame = Net.Frame.encode ~tag payload in
+      match Net.Frame.decode frame with
+      | Ok (msg, consumed) ->
+        Alcotest.(check int) "tag" tag msg.Net.Frame.tag;
+        Alcotest.(check string) "payload" payload msg.Net.Frame.payload;
+        Alcotest.(check int) "consumed" (String.length frame) consumed
+      | Error e -> Alcotest.failf "decode: %s" (Net.Frame.error_to_string e))
+    [ (0, ""); (1, "x"); (255, String.make 1000 '\xff'); (7, "hello \x00 world") ]
+
+let test_frame_stream () =
+  let frames = [ (1, "first"); (2, ""); (3, "third message") ] in
+  let stream = String.concat "" (List.map (fun (tag, p) -> Net.Frame.encode ~tag p) frames) in
+  let rec go off acc =
+    if off >= String.length stream then List.rev acc
+    else
+      match Net.Frame.decode ~off stream with
+      | Ok (msg, off') -> go off' ((msg.Net.Frame.tag, msg.Net.Frame.payload) :: acc)
+      | Error e -> Alcotest.failf "stream decode at %d: %s" off (Net.Frame.error_to_string e)
+  in
+  Alcotest.(check (list (pair int string))) "all frames" frames (go 0 [])
+
+let test_frame_limits () =
+  Alcotest.(check bool) "tag range" true
+    (try ignore (Net.Frame.encode ~tag:256 "x"); false with Invalid_argument _ -> true);
+  (* A declared length beyond the reader's limit is refused before any
+     payload is buffered. *)
+  let frame = Net.Frame.encode ~tag:1 (String.make 4096 'a') in
+  (match Net.Frame.decode ~max_payload:64 frame with
+   | Error (Net.Frame.Oversized n) -> Alcotest.(check int) "declared length" 4096 n
+   | Ok _ -> Alcotest.fail "oversized frame accepted"
+   | Error e -> Alcotest.failf "expected Oversized, got %s" (Net.Frame.error_to_string e))
+
+let test_frame_length_lies () =
+  let frame = Bytes.of_string (Net.Frame.encode ~tag:1 "honest payload") in
+  (* Lie upward: the declared length runs past the available bytes. *)
+  Bytes.set frame 9 (Char.chr 0xff);
+  (match Net.Frame.decode (Bytes.to_string frame) with
+   | Error (Net.Frame.Truncated | Net.Frame.Bad_checksum | Net.Frame.Oversized _) -> ()
+   | Ok _ -> Alcotest.fail "length-lying frame parsed"
+   | Error e -> Alcotest.failf "unexpected: %s" (Net.Frame.error_to_string e));
+  (* Lie downward: the checksum (computed over the true length) fails. *)
+  let frame = Bytes.of_string (Net.Frame.encode ~tag:1 "honest payload") in
+  Bytes.set frame 9 '\x02';
+  (match Net.Frame.decode (Bytes.to_string frame) with
+   | Error Net.Frame.Bad_checksum -> ()
+   | Ok _ -> Alcotest.fail "short-length frame parsed"
+   | Error e -> Alcotest.failf "expected Bad_checksum, got %s" (Net.Frame.error_to_string e))
+
+let sample_payloads =
+  [ ""; "a"; "some payload bytes"; String.make 300 '\x17'; "trailing \x00\x01\x02" ]
+
+let flip_bit s bit =
+  let b = Bytes.of_string s in
+  let i = bit / 8 mod Bytes.length b in
+  Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl (bit mod 8))));
+  Bytes.to_string b
+
+let frame_corruption_props =
+  [ prop "any single bit flip is rejected" ~count:400
+      QCheck2.Gen.(pair (int_range 0 4) nat)
+      (fun (which, bit) ->
+        let frame = Net.Frame.encode ~tag:1 (List.nth sample_payloads which) in
+        match Net.Frame.decode (flip_bit frame bit) with
+        | Error _ -> true
+        | Ok (msg, _) ->
+          (* The flipped frame may only parse if the flip never landed
+             (impossible: we always flip one bit). *)
+          QCheck2.Test.fail_reportf "parsed tag %d, %d payload bytes" msg.Net.Frame.tag
+            (String.length msg.Net.Frame.payload));
+    prop "any strict prefix is rejected" ~count:200
+      QCheck2.Gen.(pair (int_range 0 4) nat)
+      (fun (which, cut) ->
+        let frame = Net.Frame.encode ~tag:1 (List.nth sample_payloads which) in
+        let cut = cut mod String.length frame in
+        match Net.Frame.decode (String.sub frame 0 cut) with
+        | Error (Net.Frame.Truncated | Net.Frame.Bad_magic) -> true
+        | Error e -> QCheck2.Test.fail_reportf "unexpected: %s" (Net.Frame.error_to_string e)
+        | Ok _ -> QCheck2.Test.fail_reportf "truncated frame parsed");
+    prop "garbage never parses, never raises" ~count:300
+      QCheck2.Gen.(string_size (int_range 0 64))
+      (fun s ->
+        match Net.Frame.decode s with
+        | Error _ -> true
+        | Ok _ -> String.length s >= Net.Frame.header_bytes && String.sub s 0 4 = "SLNP") ]
+
+(* --- wire codecs ------------------------------------------------------------ *)
+
+(* Real protocol artifacts to push through the codecs. *)
+let sample_tokens =
+  lazy
+    (let m = Lazy.force mirror_system in
+     User.gen_tokens ~rng:(Protocol.rng m) (Protocol.user m) (q 32 Slicer_types.Lt))
+
+let sample_requests =
+  lazy
+    (* A dedicated little owner, so building sample shipments never
+       perturbs the mirror system the e2e answers come from. *)
+    (let rng = Drbg.create ~seed:"wire-samples" in
+     let keys = Keys.generate ~tdp_bits:512 ~rng () in
+     let acc_params = Rsa_acc.setup ~rng ~bits:512 () in
+     let owner = Owner.create ~width ~rng ~acc_params ~keys () in
+     let shipment = Owner.build owner (Gen.uniform_records ~rng ~width 5) in
+     [ Wire.Hello { client = "alice" };
+       Wire.Search
+         { client = "alice"; request_id = "alice#7"; batched = true;
+           tokens = Lazy.force sample_tokens };
+       Wire.Build
+         { width;
+           payment = 1000;
+           acc = Owner.acc_params owner;
+           tdp_n = keys.Keys.tdp_public.Rsa_tdp.pn;
+           tdp_e = keys.Keys.tdp_public.Rsa_tdp.e;
+           user_k = (Keys.for_user keys).Keys.u_k;
+           user_k_r = (Keys.for_user keys).Keys.u_k_r;
+           shipment;
+           trapdoor = Owner.export_trapdoor_state owner };
+       Wire.Insert { shipment; trapdoor = Owner.export_trapdoor_state owner };
+       Wire.Ping ])
+
+let trapdoor_list (t : Owner.trapdoor_state) =
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t [])
+
+let token_blobs ts = List.map Slicer_types.token_bytes ts
+
+let check_request_roundtrip (req : Wire.request) =
+  match Wire.decode_request (Wire.encode_request req) with
+  | None -> Alcotest.fail "request did not round-trip"
+  | Some req' ->
+    (match (req, req') with
+     | Wire.Hello a, Wire.Hello b -> Alcotest.(check string) "client" a.client b.client
+     | Wire.Ping, Wire.Ping -> ()
+     | Wire.Search a, Wire.Search b ->
+       Alcotest.(check string) "client" a.client b.client;
+       Alcotest.(check string) "request id" a.request_id b.request_id;
+       Alcotest.(check bool) "batched" a.batched b.batched;
+       Alcotest.(check (list string)) "tokens" (token_blobs a.tokens) (token_blobs b.tokens)
+     | Wire.Build a, Wire.Build b ->
+       Alcotest.(check int) "width" a.width b.width;
+       Alcotest.(check int) "payment" a.payment b.payment;
+       Alcotest.(check bool) "acc modulus" true
+         (Bigint.equal a.acc.Rsa_acc.modulus b.acc.Rsa_acc.modulus);
+       Alcotest.(check bool) "tdp n" true (Bigint.equal a.tdp_n b.tdp_n);
+       Alcotest.(check string) "user k" a.user_k b.user_k;
+       Alcotest.(check bool) "shipment ac" true
+         (Bigint.equal a.shipment.Owner.sh_ac b.shipment.Owner.sh_ac);
+       Alcotest.(check int) "shipment entries" (List.length a.shipment.Owner.sh_entries)
+         (List.length b.shipment.Owner.sh_entries);
+       Alcotest.(check bool) "trapdoor state" true
+         (trapdoor_list a.trapdoor = trapdoor_list b.trapdoor)
+     | Wire.Insert a, Wire.Insert b ->
+       Alcotest.(check bool) "shipment ac" true
+         (Bigint.equal a.shipment.Owner.sh_ac b.shipment.Owner.sh_ac);
+       Alcotest.(check bool) "trapdoor state" true
+         (trapdoor_list a.trapdoor = trapdoor_list b.trapdoor)
+     | _ -> Alcotest.fail "request decoded to a different constructor")
+
+let test_request_roundtrips () = List.iter check_request_roundtrip (Lazy.force sample_requests)
+
+(* A genuine search reply, produced by the service itself. *)
+let sample_found =
+  lazy
+    (let svc = Lazy.force service in
+     match Net.Service.handle svc (Wire.Hello { client = "codec-probe" }) with
+     | Wire.Welcome _ ->
+       (match
+          Net.Service.handle svc
+            (Wire.Search
+               { client = "codec-probe"; request_id = "codec-probe#1"; batched = false;
+                 tokens = Lazy.force sample_tokens })
+        with
+        | Wire.Found _ as r -> r
+        | r -> Alcotest.failf "expected Found, got %s" (String.sub (Wire.encode_response r) 0 8))
+     | _ -> Alcotest.fail "hello refused")
+
+let test_response_roundtrips () =
+  (* Found: claims, receipt and Ac all survive; canonical bytes agree. *)
+  let found = Lazy.force sample_found in
+  let bytes = Wire.encode_response found in
+  (match Wire.decode_response bytes with
+   | Some (Wire.Found r) ->
+     Alcotest.(check string) "request id" "codec-probe#1" r.Wire.sr_request_id;
+     Alcotest.(check string) "re-encoding is canonical" bytes
+       (Wire.encode_response (Wire.Found r));
+     (match r.Wire.sr_receipt.Vm.r_output with
+      | Ok [ "paid" ] -> ()
+      | _ -> Alcotest.fail "settlement output lost in transit")
+   | _ -> Alcotest.fail "Found did not round-trip");
+  (* The simple constructors. *)
+  List.iter
+    (fun resp ->
+      match Wire.decode_response (Wire.encode_response resp) with
+      | Some resp' -> Alcotest.(check bool) "simple response" true (resp = resp')
+      | None -> Alcotest.fail "simple response did not round-trip")
+    [ Wire.Pong;
+      Wire.Accepted { generation = 3 };
+      Wire.Refused { code = Wire.Busy; detail = "over capacity" };
+      Wire.Refused { code = Wire.Bad_request; detail = "" };
+      Wire.Refused { code = Wire.Not_ready; detail = "no database" };
+      Wire.Refused { code = Wire.Already_built; detail = "x" };
+      Wire.Refused { code = Wire.Unknown_user; detail = "who" };
+      Wire.Refused { code = Wire.Internal; detail = "boom" } ]
+
+let codec_corruption_props =
+  (* Every codec's encoding rides inside a frame; flipping any bit of
+     that frame — or truncating it, or lying about its length — must
+     yield a decode error, never an exception and never a parse. *)
+  let framed =
+    lazy
+      (Wire.encode_response (Lazy.force sample_found)
+       :: List.map Wire.encode_request (Lazy.force sample_requests)
+       |> List.map (fun payload -> Net.Frame.encode ~tag:Wire.request_tag payload))
+  in
+  [ prop "framed messages: bit flips rejected" ~count:300
+      QCheck2.Gen.(pair (int_range 0 5) nat)
+      (fun (which, bit) ->
+        let frame = List.nth (Lazy.force framed) which in
+        Result.is_error (Net.Frame.decode (flip_bit frame bit)));
+    prop "framed messages: truncation rejected" ~count:150
+      QCheck2.Gen.(pair (int_range 0 5) nat)
+      (fun (which, cut) ->
+        let frame = List.nth (Lazy.force framed) which in
+        Result.is_error (Net.Frame.decode (String.sub frame 0 (cut mod String.length frame))));
+    prop "framed messages: length lies rejected" ~count:150
+      QCheck2.Gen.(pair (int_range 0 5) (int_range 6 9))
+      (fun (which, len_byte) ->
+        let frame = Bytes.of_string (List.nth (Lazy.force framed) which) in
+        Bytes.set frame len_byte
+          (Char.chr (Char.code (Bytes.get frame len_byte) lxor 0xff));
+        Result.is_error (Net.Frame.decode (Bytes.to_string frame)));
+    (* Below the frame (no checksum): decoders must never raise, on any
+       input, and mutations of valid encodings must decode all-or-nothing. *)
+    prop "bare codecs never raise" ~count:400
+      QCheck2.Gen.(pair (int_range 0 6) (pair nat (string_size (int_range 0 80))))
+      (fun (which, (bit, garbage)) ->
+        let reqs = Lazy.force sample_requests in
+        let subject =
+          if which < List.length reqs then
+            flip_bit (Wire.encode_request (List.nth reqs which)) bit
+          else if which = 5 then flip_bit (Wire.encode_response (Lazy.force sample_found)) bit
+          else garbage
+        in
+        ignore (Wire.decode_request subject);
+        ignore (Wire.decode_response subject);
+        ignore (Persist.tokens_of_bytes subject);
+        ignore (Persist.claims_of_bytes subject);
+        ignore (Persist.receipt_of_bytes subject);
+        ignore (Persist.query_of_bytes subject);
+        true) ]
+
+let test_persist_message_codecs () =
+  (* The satellite codecs on their own: query, tokens, claims, receipt. *)
+  List.iter
+    (fun query ->
+      match Persist.query_of_bytes (Persist.query_to_bytes query) with
+      | Some query' -> Alcotest.(check bool) "query" true (query = query')
+      | None -> Alcotest.fail "query did not round-trip")
+    [ q 0 Slicer_types.Eq; q 63 Slicer_types.Gt; q ~attr:"dose" 17 Slicer_types.Lt ];
+  let tokens = Lazy.force sample_tokens in
+  (match Persist.tokens_of_bytes (Persist.tokens_to_bytes tokens) with
+   | Some tokens' ->
+     Alcotest.(check (list string)) "tokens" (token_blobs tokens) (token_blobs tokens')
+   | None -> Alcotest.fail "tokens did not round-trip");
+  let m = Lazy.force mirror_system in
+  let claims = Cloud.search (Protocol.cloud m) tokens in
+  (match Persist.claims_of_bytes (Persist.claims_to_bytes claims) with
+   | Some claims' ->
+     Alcotest.(check string) "claims" (Slicer_contract.encode_claims claims)
+       (Slicer_contract.encode_claims claims')
+   | None -> Alcotest.fail "claims did not round-trip");
+  List.iter
+    (fun (output : (string list, string) result) ->
+      let receipt =
+        { Vm.r_txn_hash = "\x01\xffhash"; r_gas_used = 12345;
+          r_events = [ "Settled(paid)"; "" ]; r_output = output }
+      in
+      match Persist.receipt_of_bytes (Persist.receipt_to_bytes receipt) with
+      | Some r -> Alcotest.(check bool) "receipt" true (r = receipt)
+      | None -> Alcotest.fail "receipt did not round-trip")
+    [ Ok [ "paid" ]; Ok []; Error "no pending request" ]
+
+(* --- backoff schedule ------------------------------------------------------- *)
+
+let test_backoff_schedule () =
+  let cfg =
+    { Net.Client.default_config with backoff_base = 0.1; backoff_max = 1.0; jitter = 0.5 }
+  in
+  (* Midpoint of the jitter band doubles cleanly, then caps. *)
+  List.iter
+    (fun (attempt, expected) ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "attempt %d" attempt)
+        expected
+        (Net.Client.backoff_delay cfg ~rand:0.5 ~attempt))
+    [ (1, 0.1); (2, 0.2); (3, 0.4); (4, 0.8); (5, 1.0); (9, 1.0) ]
+
+let backoff_props =
+  [ prop "delay stays inside the jitter band" ~count:300
+      QCheck2.Gen.(pair (int_range 1 12) (float_bound_exclusive 1.0))
+      (fun (attempt, rand) ->
+        let cfg = Net.Client.default_config in
+        let d = Net.Client.backoff_delay cfg ~rand ~attempt in
+        let nominal =
+          Float.min cfg.Net.Client.backoff_max
+            (cfg.Net.Client.backoff_base *. (2. ** float_of_int (attempt - 1)))
+        in
+        d >= nominal *. 0.75 -. 1e-9 && d <= nominal *. 1.25 +. 1e-9) ]
+
+(* --- service semantics (transport-free) ------------------------------------- *)
+
+let test_idempotent_settlement () =
+  let svc = Lazy.force service in
+  let m = Lazy.force mirror_system in
+  (match Net.Service.handle svc (Wire.Hello { client = "idem" }) with
+   | Wire.Welcome _ -> ()
+   | _ -> Alcotest.fail "hello refused");
+  let tokens = User.gen_tokens ~rng:(Protocol.rng m) (Protocol.user m) (q 20 Slicer_types.Gt) in
+  let req =
+    Wire.Search { client = "idem"; request_id = "idem#1"; batched = false; tokens }
+  in
+  let settled_before = Net.Service.searches_settled svc in
+  let first = Net.Service.handle svc req in
+  let again = Net.Service.handle svc req in
+  (match first with
+   | Wire.Found r ->
+     Alcotest.(check string) "id echoed" "idem#1" r.Wire.sr_request_id;
+     (match r.Wire.sr_receipt.Vm.r_output with
+      | Ok [ "paid" ] -> ()
+      | _ -> Alcotest.fail "first settlement not paid")
+   | _ -> Alcotest.fail "search refused");
+  (* The retry replays the cached settlement: identical bytes, and the
+     escrow was only touched once. *)
+  Alcotest.(check string) "replayed reply is byte-identical"
+    (Wire.encode_response first) (Wire.encode_response again);
+  Alcotest.(check int) "settled exactly once" (settled_before + 1)
+    (Net.Service.searches_settled svc)
+
+let test_service_refusals () =
+  let empty = Net.Service.create () in
+  (match Net.Service.handle empty (Wire.Hello { client = "early" }) with
+   | Wire.Refused { code = Wire.Not_ready; _ } -> ()
+   | _ -> Alcotest.fail "hello before Build should be Not_ready");
+  let svc = Lazy.force service in
+  (match
+     Net.Service.handle svc
+       (Wire.Search
+          { client = "never-registered"; request_id = "n#1"; batched = false;
+            tokens = Lazy.force sample_tokens })
+   with
+   | Wire.Refused { code = Wire.Unknown_user; _ } -> ()
+   | _ -> Alcotest.fail "search without Hello should be Unknown_user")
+
+(* --- loopback end-to-end ----------------------------------------------------- *)
+
+let e2e_queries =
+  [ q 32 Slicer_types.Lt; q 10 Slicer_types.Gt; q 63 Slicer_types.Lt; q 5 Slicer_types.Eq ]
+
+let test_concurrent_clients_match_protocol () =
+  ignore (Lazy.force server);
+  let m = Lazy.force mirror_system in
+  (* The in-process answers, from the twin system. *)
+  let expected =
+    List.map
+      (fun query ->
+        let out = Protocol.search m query in
+        Alcotest.(check bool) "mirror verified" true out.Protocol.so_verified;
+        (query, sorted out.Protocol.so_ids))
+      e2e_queries
+  in
+  let results = Array.make 4 [] in
+  let errors = Array.make 4 None in
+  let worker i () =
+    let c = client (Printf.sprintf "e2e-%d" i) in
+    (try
+       results.(i) <-
+         List.map
+           (fun query ->
+             match Net.Client.search c query with
+             | Ok out ->
+               if not out.Protocol.so_verified then errors.(i) <- Some "unverified";
+               sorted out.Protocol.so_ids
+             | Error e ->
+               errors.(i) <- Some (Net.Client.error_to_string e);
+               [])
+           e2e_queries
+     with exn -> errors.(i) <- Some (Printexc.to_string exn));
+    Net.Client.close c
+  in
+  let threads = List.init 4 (fun i -> Thread.create (worker i) ()) in
+  List.iter Thread.join threads;
+  Array.iteri
+    (fun i err ->
+      match err with
+      | Some e -> Alcotest.failf "client %d: %s" i e
+      | None ->
+        List.iteri
+          (fun j ids ->
+            let query, expected_ids = List.nth expected j in
+            check_ids
+              (Format.asprintf "client %d: %a %d" i Slicer_types.pp_condition
+                 query.Slicer_types.q_cond query.Slicer_types.q_value)
+              expected_ids ids)
+          results.(i))
+    errors;
+  (* Batched settlement over the wire agrees too. *)
+  let c = client "e2e-batched" in
+  (match Net.Client.search ~batched:true c (q 32 Slicer_types.Lt) with
+   | Ok out ->
+     Alcotest.(check bool) "batched verified" true out.Protocol.so_verified;
+     check_ids "batched ids" (snd (List.hd expected)) out.Protocol.so_ids
+   | Error e -> Alcotest.failf "batched search: %s" (Net.Client.error_to_string e));
+  Net.Client.close c
+
+let station_exn () =
+  match Net.Service.station (Lazy.force service) with
+  | Some st -> st
+  | None -> Alcotest.fail "service has no station"
+
+let balance addr =
+  Vm.balance (Ledger.state (Station.ledger (station_exn ()))) addr
+
+let test_tampering_server_refused_payment () =
+  ignore (Lazy.force server);
+  let st = station_exn () in
+  let c = client "fair-1" in
+  let query = q 32 Slicer_types.Lt in
+  let payment = Net.Client.payment c in
+  (* Honest first: the fee moves from the user's escrow to the cloud. *)
+  let user_before = balance (Net.Client.user_address c) in
+  let cloud_before = balance (Station.cloud_addr st) in
+  (match Net.Client.search c query with
+   | Ok out -> Alcotest.(check bool) "honest verified" true out.Protocol.so_verified
+   | Error e -> Alcotest.failf "honest search: %s" (Net.Client.error_to_string e));
+  Alcotest.(check int) "user paid" (user_before - payment) (balance (Net.Client.user_address c));
+  Alcotest.(check int) "cloud earned" (cloud_before + payment) (balance (Station.cloud_addr st));
+  (* Now the server's cloud flips a result byte: the chain refuses
+     payment and the client surfaces the rejection. *)
+  Cloud.set_behavior (Station.cloud st) Cloud.Tamper_result;
+  Fun.protect
+    ~finally:(fun () -> Cloud.set_behavior (Station.cloud st) Cloud.Honest)
+    (fun () ->
+      let user_before = balance (Net.Client.user_address c) in
+      let cloud_before = balance (Station.cloud_addr st) in
+      match Net.Client.search c query with
+      | Ok out ->
+        Alcotest.(check bool) "tampered rejected" false out.Protocol.so_verified;
+        Alcotest.(check int) "user refunded" user_before (balance (Net.Client.user_address c));
+        Alcotest.(check int) "cloud unpaid" cloud_before (balance (Station.cloud_addr st))
+      | Error e -> Alcotest.failf "tampered search: %s" (Net.Client.error_to_string e));
+  Net.Client.close c
+
+let test_malformed_frames_get_structured_errors () =
+  ignore (Lazy.force server);
+  let ep = match endpoint () with
+    | Net.Server.Tcp (h, p) -> Unix.ADDR_INET (Net.Server.resolve_host h, p)
+    | Net.Server.Unix_socket p -> Unix.ADDR_UNIX p
+  in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd ep;
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      (* A valid frame with an unparseable payload: refused, but the
+         connection survives (framing is still synchronized)... *)
+      Net.Frame.write fd ~tag:Wire.request_tag "complete gibberish";
+      (match Net.Frame.read ~timeout:5. fd with
+       | Ok { Net.Frame.payload; _ } ->
+         (match Wire.decode_response payload with
+          | Some (Wire.Refused { code = Wire.Bad_request; _ }) -> ()
+          | _ -> Alcotest.fail "expected a Bad_request refusal")
+       | Error e -> Alcotest.failf "no reply to bad payload: %s" (Net.Frame.error_to_string e));
+      (* ...and the very same connection still answers a valid Ping. *)
+      Net.Frame.write fd ~tag:Wire.request_tag (Wire.encode_request Wire.Ping);
+      (match Net.Frame.read ~timeout:5. fd with
+       | Ok { Net.Frame.payload; _ } ->
+         (match Wire.decode_response payload with
+          | Some Wire.Pong -> ()
+          | _ -> Alcotest.fail "expected Pong after recovery")
+       | Error e -> Alcotest.failf "no pong: %s" (Net.Frame.error_to_string e));
+      (* Raw garbage that is not a frame at all: structured refusal,
+         then the server closes the unsyncable stream. *)
+      ignore (Unix.write_substring fd "this is not a frame at all...." 0 30);
+      (match Net.Frame.read ~timeout:5. fd with
+       | Ok { Net.Frame.payload; _ } ->
+         (match Wire.decode_response payload with
+          | Some (Wire.Refused { code = Wire.Bad_request; _ }) -> ()
+          | _ -> Alcotest.fail "expected a framing refusal")
+       | Error e -> Alcotest.failf "no framing refusal: %s" (Net.Frame.error_to_string e));
+      match Net.Frame.read ~timeout:5. fd with
+      | Error (Net.Frame.Closed | Net.Frame.Truncated) -> ()
+      | Ok _ -> Alcotest.fail "server kept an unsyncable stream open"
+      | Error e -> Alcotest.failf "expected close, got %s" (Net.Frame.error_to_string e))
+
+let test_busy_refusal_exhausts () =
+  (* A zero-capacity server refuses every request with Busy; the client
+     retries with backoff and finally reports exhaustion. *)
+  let config = { Net.Server.default_config with max_inflight = 0 } in
+  let srv = Net.Server.start ~config (Lazy.force service) in
+  Fun.protect
+    ~finally:(fun () -> Net.Server.stop srv)
+    (fun () ->
+      let ccfg =
+        { Net.Client.default_config with max_attempts = 3; backoff_base = 0.01 }
+      in
+      match Net.Client.connect ~config:ccfg ~name:"busy-probe" ~provision:false
+              (Net.Server.endpoint srv)
+      with
+      | Error e -> Alcotest.failf "connect: %s" (Net.Client.error_to_string e)
+      | Ok c ->
+        (match Net.Client.ping c with
+         | Error (Net.Client.Exhausted { attempts; _ }) ->
+           Alcotest.(check int) "used every attempt" 3 attempts
+         | Error e -> Alcotest.failf "expected exhaustion, got %s" (Net.Client.error_to_string e)
+         | Ok _ -> Alcotest.fail "zero-capacity server answered");
+        Net.Client.close c)
+
+let test_kill_restart_mid_load () =
+  (* Four clients under sustained load; the server dies mid-flight and
+     comes back on the same port with the same service state. Every
+     search must eventually succeed, verified, with oracle-correct ids. *)
+  let small_db = List.filteri (fun i _ -> i < 25) db in
+  let system = Protocol.setup ~width ~seed:"net-restart" small_db in
+  Cloud.precompute_witnesses (Protocol.cloud system);
+  let svc = Net.Service.of_protocol system in
+  let listener = Net.Server.bind_endpoint (Net.Server.Tcp ("127.0.0.1", 0)) in
+  let port = Net.Server.bound_port listener in
+  let config =
+    { Net.Server.default_config with endpoint = Net.Server.Tcp ("127.0.0.1", port) }
+  in
+  let srv = ref (Net.Server.start ~config ~listener svc) in
+  let queries = [ q 32 Slicer_types.Lt; q 10 Slicer_types.Gt; q 50 Slicer_types.Lt ] in
+  let expected = List.map (fun query -> Slicer_types.reference_search small_db query) queries in
+  let failures = Array.make 4 None in
+  let worker i () =
+    let ccfg =
+      { Net.Client.default_config with
+        max_attempts = 15; backoff_base = 0.05; backoff_max = 0.4; request_timeout = 20. }
+    in
+    match Net.Client.connect ~config:ccfg ~name:(Printf.sprintf "restart-%d" i)
+            (Net.Server.Tcp ("127.0.0.1", port))
+    with
+    | Error e -> failures.(i) <- Some ("connect: " ^ Net.Client.error_to_string e)
+    | Ok c ->
+      List.iteri
+        (fun round _ ->
+          List.iteri
+            (fun j query ->
+              match Net.Client.search c query with
+              | Ok out ->
+                if not out.Protocol.so_verified then
+                  failures.(i) <- Some (Printf.sprintf "round %d unverified" round)
+                else if sorted out.Protocol.so_ids <> sorted (List.nth expected j) then
+                  failures.(i) <- Some (Printf.sprintf "round %d wrong ids" round)
+              | Error e ->
+                failures.(i) <-
+                  Some (Printf.sprintf "round %d: %s" round (Net.Client.error_to_string e)))
+            queries)
+        [ (); (); () ];
+      Net.Client.close c
+  in
+  let threads = List.init 4 (fun i -> Thread.create (worker i) ()) in
+  (* Kill the server mid-load, hold it down briefly, then restart it on
+     the same port with the same (stateful) service. *)
+  Thread.delay 0.35;
+  Net.Server.stop !srv;
+  Thread.delay 0.25;
+  let rec rebind tries =
+    match Net.Server.bind_endpoint (Net.Server.Tcp ("127.0.0.1", port)) with
+    | l -> l
+    | exception Unix.Unix_error (Unix.EADDRINUSE, _, _) when tries > 0 ->
+      Thread.delay 0.2;
+      rebind (tries - 1)
+  in
+  let listener2 = rebind 20 in
+  srv := Net.Server.start ~config ~listener:listener2 svc;
+  List.iter Thread.join threads;
+  Net.Server.stop !srv;
+  Array.iteri
+    (fun i f -> match f with
+       | Some msg -> Alcotest.failf "client %d: %s" i msg
+       | None -> ())
+    failures;
+  Alcotest.(check bool) "service state survived the restart" true
+    (Net.Service.searches_settled svc >= 12)
+
+let test_build_and_insert_over_the_wire () =
+  (* An owner bootstraps an *empty* server entirely over the wire, then
+     a user provisions against it and searches. *)
+  let svc = Net.Service.create () in
+  let srv = Net.Server.start svc in
+  Fun.protect
+    ~finally:(fun () -> Net.Server.stop srv)
+    (fun () ->
+      let rng = Drbg.create ~seed:"wire-owner" in
+      let keys = Keys.generate ~tdp_bits:512 ~rng () in
+      let acc_params = Rsa_acc.setup ~rng ~bits:512 () in
+      let owner = Owner.create ~width ~rng ~acc_params ~keys () in
+      let records = Gen.uniform_records ~rng ~width 15 in
+      let shipment = Owner.build owner records in
+      let ep = Net.Server.endpoint srv in
+      (match Net.Client.connect ~name:"wire-owner" ~provision:false ep with
+       | Error e -> Alcotest.failf "owner connect: %s" (Net.Client.error_to_string e)
+       | Ok oc ->
+         (match
+            Net.Client.build oc ~width ~payment:500 ~acc:acc_params
+              ~tdp_public:keys.Keys.tdp_public ~user_keys:(Keys.for_user keys) ~shipment
+              ~trapdoor:(Owner.export_trapdoor_state owner)
+          with
+          | Ok generation -> Alcotest.(check int) "built at generation 1" 1 generation
+          | Error e -> Alcotest.failf "build: %s" (Net.Client.error_to_string e));
+         (* A second Build must be refused: the database exists now. *)
+         (match
+            Net.Client.build oc ~width ~payment:500 ~acc:acc_params
+              ~tdp_public:keys.Keys.tdp_public ~user_keys:(Keys.for_user keys) ~shipment
+              ~trapdoor:(Owner.export_trapdoor_state owner)
+          with
+          | Error (Net.Client.Refused (Wire.Already_built, _)) -> ()
+          | Ok _ -> Alcotest.fail "double Build accepted"
+          | Error e -> Alcotest.failf "double build: %s" (Net.Client.error_to_string e));
+         (* The user side: provision over the wire, search, verify. *)
+         (match Net.Client.connect ~name:"wire-user" ep with
+          | Error e -> Alcotest.failf "user connect: %s" (Net.Client.error_to_string e)
+          | Ok uc ->
+            let query = q 30 Slicer_types.Lt in
+            (match Net.Client.search uc query with
+             | Ok out ->
+               Alcotest.(check bool) "verified" true out.Protocol.so_verified;
+               check_ids "wire-built ids" (Slicer_types.reference_search records query)
+                 out.Protocol.so_ids
+             | Error e -> Alcotest.failf "search: %s" (Net.Client.error_to_string e));
+            (* Insert over the wire; a refreshed user sees the new record. *)
+            let fresh = Slicer_types.record_of_value "net-new" 3 in
+            let shipment2 = Owner.insert owner [ fresh ] in
+            (match
+               Net.Client.insert oc ~shipment:shipment2
+                 ~trapdoor:(Owner.export_trapdoor_state owner)
+             with
+             | Ok generation -> Alcotest.(check int) "generation bumped" 2 generation
+             | Error e -> Alcotest.failf "insert: %s" (Net.Client.error_to_string e));
+            (match Net.Client.refresh uc with
+             | Ok () -> ()
+             | Error e -> Alcotest.failf "refresh: %s" (Net.Client.error_to_string e));
+            Alcotest.(check int) "client saw the new generation" 2 (Net.Client.generation uc);
+            (match Net.Client.search uc (q 3 Slicer_types.Eq) with
+             | Ok out ->
+               Alcotest.(check bool) "verified after insert" true out.Protocol.so_verified;
+               Alcotest.(check bool) "insert visible over the wire" true
+                 (List.mem "net-new" out.Protocol.so_ids)
+             | Error e -> Alcotest.failf "post-insert search: %s" (Net.Client.error_to_string e));
+            Net.Client.close uc);
+         Net.Client.close oc))
+
+let test_read_timeout_kicks_idlers () =
+  let config = { Net.Server.default_config with read_timeout = 0.3 } in
+  let srv = Net.Server.start ~config (Lazy.force service) in
+  Fun.protect
+    ~finally:(fun () -> Net.Server.stop srv)
+    (fun () ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      (match Net.Server.endpoint srv with
+       | Net.Server.Tcp (h, p) -> Unix.connect fd (Unix.ADDR_INET (Net.Server.resolve_host h, p))
+       | Net.Server.Unix_socket p -> Unix.connect fd (Unix.ADDR_UNIX p));
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          (* Say nothing; the server must hang up on us. *)
+          match Net.Frame.read ~timeout:5. fd with
+          | Error Net.Frame.Closed -> ()
+          | Ok _ -> Alcotest.fail "idle connection answered?"
+          | Error e -> Alcotest.failf "expected server hangup, got %s" (Net.Frame.error_to_string e)))
+
+let () =
+  Alcotest.run "net"
+    [ ( "frame",
+        [ Alcotest.test_case "roundtrip" `Quick test_frame_roundtrip;
+          Alcotest.test_case "stream decoding" `Quick test_frame_stream;
+          Alcotest.test_case "limits" `Quick test_frame_limits;
+          Alcotest.test_case "length lies" `Quick test_frame_length_lies ]
+        @ frame_corruption_props );
+      ( "wire",
+        [ Alcotest.test_case "request roundtrips" `Quick test_request_roundtrips;
+          Alcotest.test_case "response roundtrips" `Quick test_response_roundtrips;
+          Alcotest.test_case "persist message codecs" `Quick test_persist_message_codecs ]
+        @ codec_corruption_props );
+      ( "backoff",
+        Alcotest.test_case "schedule" `Quick test_backoff_schedule :: backoff_props );
+      ( "service",
+        [ Alcotest.test_case "idempotent settlement" `Quick test_idempotent_settlement;
+          Alcotest.test_case "structured refusals" `Quick test_service_refusals ] );
+      ( "loopback",
+        [ Alcotest.test_case "concurrent clients match Protocol.search" `Quick
+            test_concurrent_clients_match_protocol;
+          Alcotest.test_case "tampering server refused payment" `Quick
+            test_tampering_server_refused_payment;
+          Alcotest.test_case "malformed frames get structured errors" `Quick
+            test_malformed_frames_get_structured_errors;
+          Alcotest.test_case "busy refusal exhausts retries" `Quick test_busy_refusal_exhausts;
+          Alcotest.test_case "kill and restart mid-load" `Quick test_kill_restart_mid_load;
+          Alcotest.test_case "build and insert over the wire" `Quick
+            test_build_and_insert_over_the_wire;
+          Alcotest.test_case "read timeout kicks idlers" `Quick test_read_timeout_kicks_idlers ] ) ]
