@@ -145,7 +145,8 @@ let exchange t payload =
        Error (`Retry ("send: " ^ Unix.error_message e)))
 
 (* Bounded retry with jittered exponential backoff. The request bytes
-   are identical across attempts — in particular the request id — so
+   are identical across attempts — in particular the request id, which
+   every effectful request (Search, Build, Insert) carries — so
    re-sends are idempotent server-side. *)
 let rpc t req =
   let payload = Wire.encode_request req in
@@ -284,10 +285,11 @@ let search ?(batched = false) t query =
   | Error e -> Error e
 
 let build t ~width ~payment ~acc ~tdp_public ~user_keys ~shipment ~trapdoor =
+  let request_id = fresh_request_id t in
   match
     rpc t
       (Wire.Build
-         { width; payment; acc;
+         { client = t.cname; request_id; width; payment; acc;
            tdp_n = tdp_public.Rsa_tdp.pn; tdp_e = tdp_public.Rsa_tdp.e;
            user_k = user_keys.Keys.u_k; user_k_r = user_keys.Keys.u_k_r;
            shipment; trapdoor })
@@ -299,7 +301,8 @@ let build t ~width ~payment ~acc ~tdp_public ~user_keys ~shipment ~trapdoor =
   | Error e -> Error e
 
 let insert t ~shipment ~trapdoor =
-  match rpc t (Wire.Insert { shipment; trapdoor }) with
+  let request_id = fresh_request_id t in
+  match rpc t (Wire.Insert { client = t.cname; request_id; shipment; trapdoor }) with
   | Ok (Wire.Accepted { generation }) ->
     t.gen <- generation;
     Ok generation

@@ -11,10 +11,12 @@
 
     Fault tolerance: every RPC runs under a request timeout and is
     retried up to [max_attempts] times with jittered exponential
-    backoff, transparently reconnecting first. Retries re-send the
-    {e same} request id, and the server settles each id at most once —
-    so a retry after a lost reply (or a server restart) can never
-    double-spend the escrowed fee. *)
+    backoff, transparently reconnecting first. Every effectful request
+    — Search, Build, Insert — carries a client-minted request id that
+    retries re-send verbatim, and the server applies each
+    [(client, id)] at most once — so a retry after a lost reply (or a
+    server restart) can never double-spend the escrowed fee, re-apply
+    a shipment, or double-bump the generation. *)
 
 type config = {
   connect_timeout : float;   (** seconds per TCP connect attempt *)

@@ -131,8 +131,14 @@ let connection_loop t conn_id fd =
   (try loop ()
    with exn -> Log.err (fun m -> m "conn %d crashed: %s" conn_id (Printexc.to_string exn)));
   close_quietly fd;
+  (* Drop both registrations, including our own thread handle — the
+     accept loop adds it under the same lock it holds while creating
+     us, so the entry is always present by the time we get the lock.
+     Without this the thread list grows for the server's lifetime. *)
+  let self = Thread.id (Thread.self ()) in
   Mutex.lock t.lock;
   t.conns <- List.filter (fun (id, _) -> id <> conn_id) t.conns;
+  t.threads <- List.filter (fun th -> Thread.id th <> self) t.threads;
   Mutex.unlock t.lock
 
 (* Poll with a short tick so [stop] can wake the loop just by clearing
@@ -206,6 +212,7 @@ let stop t =
     let conns = t.conns in
     let threads = t.threads in
     t.conns <- [];
+    t.threads <- [];
     Mutex.unlock t.lock;
     (* Shutdown (not close) wakes each blocked connection read with EOF;
        every connection thread closes its own fd, avoiding any reuse

@@ -18,9 +18,12 @@ type t = {
   lock : Mutex.t;
   mutable state : built option;
   users : (string, Vm.address) Hashtbl.t;
-  (* Idempotency cache: request id -> the reply already settled for it.
-     Bounded FIFO so a hostile client cannot grow it without limit. *)
-  replies : (string, Wire.search_reply) Hashtbl.t;
+  (* Idempotency cache: (client, request id) -> the reply already
+     settled/applied for it, covering Search, Build and Insert — every
+     request whose effect must happen at most once. Keyed by the pair so
+     one client cannot replay another's settlement; bounded FIFO so a
+     hostile client cannot grow it without limit. *)
+  replies : (string, Wire.response) Hashtbl.t;
   reply_order : string Queue.t;
   max_cached_replies : int;
   faucet : int;
@@ -62,15 +65,22 @@ let station t = Option.map (fun b -> b.b_station) t.state
 
 let refused code detail = Wire.Refused { code; detail }
 
-let cache_reply t request_id reply =
-  if not (Hashtbl.mem t.replies request_id) then begin
+(* Collision-free composite key: [concat] length-prefixes each piece,
+   so no (client, id) pair can alias another. *)
+let reply_key ~client ~request_id = Bytesutil.concat [ client; request_id ]
+
+let cache_reply t key reply =
+  if not (Hashtbl.mem t.replies key) then begin
     if Queue.length t.reply_order >= t.max_cached_replies then begin
       let oldest = Queue.pop t.reply_order in
       Hashtbl.remove t.replies oldest
     end;
-    Queue.push request_id t.reply_order;
-    Hashtbl.replace t.replies request_id reply
+    Queue.push key t.reply_order;
+    Hashtbl.replace t.replies key reply
   end
+
+let cached_reply t ~client ~request_id =
+  Hashtbl.find_opt t.replies (reply_key ~client ~request_id)
 
 let user_address t b client =
   match Hashtbl.find_opt t.users client with
@@ -100,18 +110,26 @@ let provision t b client =
       pv_ac = ac }
 
 let do_search t b ~client ~request_id ~batched tokens =
-  match Hashtbl.find_opt t.replies request_id with
-  | Some cached ->
-    (* Idempotent re-send: the retry observes the original settlement;
-       escrow is not touched a second time. *)
-    Log.debug (fun m -> m "replaying cached settlement for %S" request_id);
-    Wire.Found cached
-  | None ->
-    (match Hashtbl.find_opt t.users client with
-     | None -> refused Wire.Unknown_user (Printf.sprintf "client %S must hello first" client)
-     | Some user ->
+  (* Registration first: the cache must be unreachable to un-helloed
+     peers, or a stranger could replay someone else's settled reply. *)
+  match Hashtbl.find_opt t.users client with
+  | None -> refused Wire.Unknown_user (Printf.sprintf "client %S must hello first" client)
+  | Some user ->
+    (match cached_reply t ~client ~request_id with
+     | Some cached ->
+       (* Idempotent re-send: the retry observes the original settlement;
+          escrow is not touched a second time. Only the client that
+          settled can hit this — the key includes its name. *)
+       Log.debug (fun m -> m "replaying cached settlement for %S/%S" client request_id);
+       cached
+     | None ->
        (match
-          Station.settle b.b_station ~user ~request_id ~payment:b.b_payment
+          (* The on-chain request id is the same composite key: the
+             contract refuses duplicate ids globally, so namespacing by
+             client keeps one client's ids from colliding with (or
+             squatting on) another's. *)
+          Station.settle b.b_station ~user ~request_id:(reply_key ~client ~request_id)
+            ~payment:b.b_payment
             ~token_blobs:(List.map Slicer_types.token_bytes tokens) ~batched
         with
         | Error e -> refused Wire.Bad_request ("request rejected on chain: " ^ e)
@@ -123,20 +141,29 @@ let do_search t b ~client ~request_id ~batched tokens =
             | None -> b.b_acc.Rsa_acc.generator
           in
           let reply =
-            { Wire.sr_request_id = request_id;
-              sr_generation = b.b_generation;
-              sr_claims = se_claims;
-              sr_batch_witness = se_batch_witness;
-              sr_receipt = se_receipt;
-              sr_ac = ac }
+            Wire.Found
+              { Wire.sr_request_id = request_id;
+                sr_generation = b.b_generation;
+                sr_claims = se_claims;
+                sr_batch_witness = se_batch_witness;
+                sr_receipt = se_receipt;
+                sr_ac = ac }
           in
-          cache_reply t request_id reply;
-          Wire.Found reply))
+          cache_reply t (reply_key ~client ~request_id) reply;
+          reply))
 
 let do_build t req =
   match req with
-  | Wire.Build { width; payment; acc; tdp_n; tdp_e; user_k; user_k_r; shipment; trapdoor } ->
-    (match t.state with
+  | Wire.Build { client; request_id; width; payment; acc; tdp_n; tdp_e; user_k; user_k_r;
+                 shipment; trapdoor } ->
+    (match cached_reply t ~client ~request_id with
+     | Some cached ->
+       (* The build was applied but the response frame was lost: the
+          retry must see the original accept, not Already_built. *)
+       Log.debug (fun m -> m "replaying cached build accept for %S/%S" client request_id);
+       cached
+     | None ->
+     match t.state with
      | Some _ -> refused Wire.Already_built "the service already holds a database"
      | None ->
        let tdp_public = Rsa_tdp.public_of_parts ~n:tdp_n ~e:tdp_e in
@@ -167,7 +194,9 @@ let do_build t req =
           Log.info (fun m ->
               m "built from wire shipment: %d index entries, deploy gas %d"
                 (List.length shipment.Owner.sh_entries) receipt.Vm.r_gas_used);
-          Wire.Accepted { generation = 1 }))
+          let reply = Wire.Accepted { generation = 1 } in
+          cache_reply t (reply_key ~client ~request_id) reply;
+          reply))
   | _ -> assert false
 
 let handle_locked t req =
@@ -178,16 +207,27 @@ let handle_locked t req =
   | (Wire.Hello { client }, Some b) -> provision t b client
   | (Wire.Search { client; request_id; batched; tokens }, Some b) ->
     do_search t b ~client ~request_id ~batched tokens
-  | (Wire.Insert { shipment; trapdoor }, Some b) ->
-    (match Station.install b.b_station ~owner:b.b_owner_addr shipment with
-     | Error e -> refused Wire.Internal ("on-chain Ac update failed: " ^ e)
-     | Ok receipt ->
-       b.b_trapdoor <- trapdoor;
-       b.b_generation <- b.b_generation + 1;
-       Log.info (fun m ->
-           m "insert shipment applied: %d entries, generation %d, gas %d"
-             (List.length shipment.Owner.sh_entries) b.b_generation receipt.Vm.r_gas_used);
-       Wire.Accepted { generation = b.b_generation })
+  | (Wire.Insert { client; request_id; shipment; trapdoor }, Some b) ->
+    (match cached_reply t ~client ~request_id with
+     | Some cached ->
+       (* Applied already, response frame lost: replaying the accept is
+          mandatory — re-running [install] would append the shipment's
+          primes a second time and double-bump the generation, silently
+          desynchronizing the cloud from the on-chain [Ac]. *)
+       Log.debug (fun m -> m "replaying cached insert accept for %S/%S" client request_id);
+       cached
+     | None ->
+       (match Station.install b.b_station ~owner:b.b_owner_addr shipment with
+        | Error e -> refused Wire.Internal ("on-chain Ac update failed: " ^ e)
+        | Ok receipt ->
+          b.b_trapdoor <- trapdoor;
+          b.b_generation <- b.b_generation + 1;
+          Log.info (fun m ->
+              m "insert shipment applied: %d entries, generation %d, gas %d"
+                (List.length shipment.Owner.sh_entries) b.b_generation receipt.Vm.r_gas_used);
+          let reply = Wire.Accepted { generation = b.b_generation } in
+          cache_reply t (reply_key ~client ~request_id) reply;
+          reply))
 
 let handle t req =
   Mutex.lock t.lock;

@@ -1,8 +1,11 @@
 (** The transport-independent Slicer service: a {!Station} (cloud +
     chain) plus the provisioning state a multi-client deployment needs
     — user registry and faucet, the owner → user key channel, and the
-    idempotency cache that makes retried searches settle escrow exactly
-    once.
+    idempotency cache that makes every retried effectful request —
+    Search, Build, Insert — apply exactly once. The cache is keyed by
+    [(client, request_id)] and, for searches, consulted only after the
+    client's registration is checked, so a reply can only ever be
+    replayed to the client that originally settled it.
 
     {!handle} is a pure request → response dispatcher guarded by one
     lock, so any transport (the socket server, a loopback test, a

@@ -7,11 +7,13 @@ type request =
   | Hello of { client : string }
   | Search of { client : string; request_id : string; batched : bool;
                 tokens : Slicer_types.search_token list }
-  | Build of { width : int; payment : int; acc : Rsa_acc.params;
+  | Build of { client : string; request_id : string;
+               width : int; payment : int; acc : Rsa_acc.params;
                tdp_n : Bigint.t; tdp_e : Bigint.t;
                user_k : string; user_k_r : string;
                shipment : Owner.shipment; trapdoor : Owner.trapdoor_state }
-  | Insert of { shipment : Owner.shipment; trapdoor : Owner.trapdoor_state }
+  | Insert of { client : string; request_id : string;
+                shipment : Owner.shipment; trapdoor : Owner.trapdoor_state }
   | Ping
 
 type provision = {
@@ -88,16 +90,18 @@ let encode_request = function
   | Search { client; request_id; batched; tokens } ->
     Bytesutil.concat
       [ "search"; client; request_id; bool_tag batched; Persist.tokens_to_bytes tokens ]
-  | Build { width; payment; acc; tdp_n; tdp_e; user_k; user_k_r; shipment; trapdoor } ->
+  | Build { client; request_id; width; payment; acc; tdp_n; tdp_e; user_k; user_k_r;
+            shipment; trapdoor } ->
     Bytesutil.concat
-      [ "build"; string_of_int width; string_of_int payment;
+      [ "build"; client; request_id; string_of_int width; string_of_int payment;
         Bigint.to_bytes_be acc.Rsa_acc.modulus; Bigint.to_bytes_be acc.Rsa_acc.generator;
         Bigint.to_bytes_be tdp_n; Bigint.to_bytes_be tdp_e;
         user_k; user_k_r;
         Persist.shipment_to_bytes shipment; Persist.trapdoor_state_to_bytes trapdoor ]
-  | Insert { shipment; trapdoor } ->
+  | Insert { client; request_id; shipment; trapdoor } ->
     Bytesutil.concat
-      [ "insert"; Persist.shipment_to_bytes shipment; Persist.trapdoor_state_to_bytes trapdoor ]
+      [ "insert"; client; request_id;
+        Persist.shipment_to_bytes shipment; Persist.trapdoor_state_to_bytes trapdoor ]
   | Ping -> Bytesutil.concat [ "ping" ]
 
 let decode_request s =
@@ -108,23 +112,23 @@ let decode_request s =
     let* batched = bool_of_tag batched in
     let* tokens = Persist.tokens_of_bytes tokens_blob in
     Some (Search { client; request_id; batched; tokens })
-  | [ "build"; width; payment; modulus; generator; tdp_n; tdp_e; user_k; user_k_r;
-      shipment_blob; trapdoor_blob ] ->
+  | [ "build"; client; request_id; width; payment; modulus; generator; tdp_n; tdp_e;
+      user_k; user_k_r; shipment_blob; trapdoor_blob ] ->
     let* width = nat_of_string width in
     let* payment = nat_of_string payment in
     let* shipment = Persist.shipment_of_bytes shipment_blob in
     let* trapdoor = Persist.trapdoor_state_of_bytes trapdoor_blob in
     Some
       (Build
-         { width; payment;
+         { client; request_id; width; payment;
            acc = { Rsa_acc.modulus = Bigint.of_bytes_be modulus;
                    generator = Bigint.of_bytes_be generator };
            tdp_n = Bigint.of_bytes_be tdp_n; tdp_e = Bigint.of_bytes_be tdp_e;
            user_k; user_k_r; shipment; trapdoor })
-  | [ "insert"; shipment_blob; trapdoor_blob ] ->
+  | [ "insert"; client; request_id; shipment_blob; trapdoor_blob ] ->
     let* shipment = Persist.shipment_of_bytes shipment_blob in
     let* trapdoor = Persist.trapdoor_state_of_bytes trapdoor_blob in
-    Some (Insert { shipment; trapdoor })
+    Some (Insert { client; request_id; shipment; trapdoor })
   | [ "ping" ] -> Some Ping
   | _ -> None
 

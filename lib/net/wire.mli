@@ -13,17 +13,27 @@ type request =
           (keys, trapdoor state) plus a funded chain address. *)
   | Search of { client : string; request_id : string; batched : bool;
                 tokens : Slicer_types.search_token list }
-      (** The user → cloud search message. [request_id] is the
-          idempotency key: a retry with the same id returns the cached
-          settlement instead of touching escrow again. *)
-  | Build of { width : int; payment : int; acc : Rsa_acc.params;
+      (** The user → cloud search message. [(client, request_id)] is the
+          idempotency key: a retry with the same pair returns the cached
+          settlement instead of touching escrow again. The pair is only
+          honoured for the registered [client] that settled it — another
+          client re-using the id gets its own fresh settlement. *)
+  | Build of { client : string; request_id : string;
+               width : int; payment : int; acc : Rsa_acc.params;
                tdp_n : Bigint.t; tdp_e : Bigint.t;
                user_k : string; user_k_r : string;
                shipment : Owner.shipment; trapdoor : Owner.trapdoor_state }
       (** The owner → cloud bootstrap shipment: public parameters, user
-          key material to provision with, and the Build artifacts. *)
-  | Insert of { shipment : Owner.shipment; trapdoor : Owner.trapdoor_state }
-      (** A forward-secure Insert shipment (owner → cloud). *)
+          key material to provision with, and the Build artifacts.
+          [(client, request_id)] is the idempotency key — a retry after a
+          lost reply replays the original accept instead of refusing
+          [Already_built]. *)
+  | Insert of { client : string; request_id : string;
+                shipment : Owner.shipment; trapdoor : Owner.trapdoor_state }
+      (** A forward-secure Insert shipment (owner → cloud).
+          [(client, request_id)] is the idempotency key — a retry after a
+          lost reply must {e not} re-append the shipment's primes or bump
+          the generation a second time. *)
   | Ping
 
 type provision = {

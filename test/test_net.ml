@@ -170,7 +170,8 @@ let sample_requests =
          { client = "alice"; request_id = "alice#7"; batched = true;
            tokens = Lazy.force sample_tokens };
        Wire.Build
-         { width;
+         { client = "owner"; request_id = "owner#1";
+           width;
            payment = 1000;
            acc = Owner.acc_params owner;
            tdp_n = keys.Keys.tdp_public.Rsa_tdp.pn;
@@ -179,7 +180,9 @@ let sample_requests =
            user_k_r = (Keys.for_user keys).Keys.u_k_r;
            shipment;
            trapdoor = Owner.export_trapdoor_state owner };
-       Wire.Insert { shipment; trapdoor = Owner.export_trapdoor_state owner };
+       Wire.Insert
+         { client = "owner"; request_id = "owner#2";
+           shipment; trapdoor = Owner.export_trapdoor_state owner };
        Wire.Ping ])
 
 let trapdoor_list (t : Owner.trapdoor_state) =
@@ -200,6 +203,8 @@ let check_request_roundtrip (req : Wire.request) =
        Alcotest.(check bool) "batched" a.batched b.batched;
        Alcotest.(check (list string)) "tokens" (token_blobs a.tokens) (token_blobs b.tokens)
      | Wire.Build a, Wire.Build b ->
+       Alcotest.(check string) "client" a.client b.client;
+       Alcotest.(check string) "request id" a.request_id b.request_id;
        Alcotest.(check int) "width" a.width b.width;
        Alcotest.(check int) "payment" a.payment b.payment;
        Alcotest.(check bool) "acc modulus" true
@@ -213,6 +218,8 @@ let check_request_roundtrip (req : Wire.request) =
        Alcotest.(check bool) "trapdoor state" true
          (trapdoor_list a.trapdoor = trapdoor_list b.trapdoor)
      | Wire.Insert a, Wire.Insert b ->
+       Alcotest.(check string) "client" a.client b.client;
+       Alcotest.(check string) "request id" a.request_id b.request_id;
        Alcotest.(check bool) "shipment ac" true
          (Bigint.equal a.shipment.Owner.sh_ac b.shipment.Owner.sh_ac);
        Alcotest.(check bool) "trapdoor state" true
@@ -398,6 +405,103 @@ let test_idempotent_settlement () =
     (Wire.encode_response first) (Wire.encode_response again);
   Alcotest.(check int) "settled exactly once" (settled_before + 1)
     (Net.Service.searches_settled svc)
+
+let test_replay_confined_to_client () =
+  let svc = Lazy.force service in
+  let m = Lazy.force mirror_system in
+  (match Net.Service.handle svc (Wire.Hello { client = "replay-a" }) with
+   | Wire.Welcome _ -> ()
+   | _ -> Alcotest.fail "hello refused");
+  let tokens =
+    User.gen_tokens ~rng:(Protocol.rng m) (Protocol.user m) (q 40 Slicer_types.Lt)
+  in
+  let search client request_id =
+    Net.Service.handle svc (Wire.Search { client; request_id; batched = false; tokens })
+  in
+  (match search "replay-a" "shared#1" with
+   | Wire.Found _ -> ()
+   | _ -> Alcotest.fail "victim search refused");
+  (* An un-helloed stranger replaying the victim's predictable request
+     id is turned away before the cache is even consulted. *)
+  (match search "replay-mallory" "shared#1" with
+   | Wire.Refused { code = Wire.Unknown_user; _ } -> ()
+   | Wire.Found _ -> Alcotest.fail "stranger was handed a cached settlement"
+   | _ -> Alcotest.fail "unexpected reply to the stranger");
+  (* A registered *other* client re-using the id gets its own fresh
+     settlement (the cache key includes the client), not the replay. *)
+  (match Net.Service.handle svc (Wire.Hello { client = "replay-b" }) with
+   | Wire.Welcome _ -> ()
+   | _ -> Alcotest.fail "hello refused");
+  let settled_before = Net.Service.searches_settled svc in
+  (match search "replay-b" "shared#1" with
+   | Wire.Found _ -> ()
+   | _ -> Alcotest.fail "other client's search refused");
+  Alcotest.(check int) "fresh settlement, not a replay" (settled_before + 1)
+    (Net.Service.searches_settled svc)
+
+let test_idempotent_build_and_insert () =
+  (* A private service bootstrapped over the wire messages alone, so the
+     retries here cannot perturb the shared loopback fixtures. *)
+  let svc = Net.Service.create () in
+  let rng = Drbg.create ~seed:"idem-owner" in
+  let keys = Keys.generate ~tdp_bits:512 ~rng () in
+  let acc_params = Rsa_acc.setup ~rng ~bits:512 () in
+  let owner = Owner.create ~width ~rng ~acc_params ~keys () in
+  let records = Gen.uniform_records ~rng ~width 12 in
+  let shipment = Owner.build owner records in
+  let build_req request_id =
+    Wire.Build
+      { client = "idem-owner"; request_id; width; payment = 500; acc = acc_params;
+        tdp_n = keys.Keys.tdp_public.Rsa_tdp.pn; tdp_e = keys.Keys.tdp_public.Rsa_tdp.e;
+        user_k = (Keys.for_user keys).Keys.u_k; user_k_r = (Keys.for_user keys).Keys.u_k_r;
+        shipment; trapdoor = Owner.export_trapdoor_state owner }
+  in
+  (match Net.Service.handle svc (build_req "o#1") with
+   | Wire.Accepted { generation } -> Alcotest.(check int) "built" 1 generation
+   | _ -> Alcotest.fail "build refused");
+  (* Lost-reply retry: the same id replays the accept, not Already_built. *)
+  (match Net.Service.handle svc (build_req "o#1") with
+   | Wire.Accepted { generation } -> Alcotest.(check int) "retry replayed the accept" 1 generation
+   | Wire.Refused { code = Wire.Already_built; _ } -> Alcotest.fail "retried Build refused"
+   | _ -> Alcotest.fail "unexpected reply to the retried Build");
+  (* A genuinely new Build is still refused. *)
+  (match Net.Service.handle svc (build_req "o#2") with
+   | Wire.Refused { code = Wire.Already_built; _ } -> ()
+   | _ -> Alcotest.fail "a second distinct Build was not refused");
+  (* Insert applies once; the retry must not re-append the shipment's
+     primes or double-bump the generation. *)
+  let shipment2 = Owner.insert owner [ Slicer_types.record_of_value "idem-new" 3 ] in
+  let insert_req =
+    Wire.Insert
+      { client = "idem-owner"; request_id = "o#3"; shipment = shipment2;
+        trapdoor = Owner.export_trapdoor_state owner }
+  in
+  (match Net.Service.handle svc insert_req with
+   | Wire.Accepted { generation } -> Alcotest.(check int) "insert applied" 2 generation
+   | _ -> Alcotest.fail "insert refused");
+  (match Net.Service.handle svc insert_req with
+   | Wire.Accepted { generation } -> Alcotest.(check int) "retry did not re-apply" 2 generation
+   | _ -> Alcotest.fail "retried insert refused");
+  Alcotest.(check int) "generation bumped exactly once" 2 (Net.Service.generation svc);
+  (* Decisive: the cloud's prime multiset still matches the on-chain Ac.
+     Had the retry re-applied the shipment, this settlement would be
+     refused payment on chain. *)
+  match Net.Service.handle svc (Wire.Hello { client = "idem-user" }) with
+  | Wire.Welcome p ->
+    let user =
+      User.create ~keys:p.Wire.pv_user_keys ~width:p.Wire.pv_width p.Wire.pv_trapdoor
+    in
+    let tokens = User.gen_tokens ~rng user (q 3 Slicer_types.Eq) in
+    (match
+       Net.Service.handle svc
+         (Wire.Search { client = "idem-user"; request_id = "u#1"; batched = false; tokens })
+     with
+     | Wire.Found r ->
+       (match r.Wire.sr_receipt.Vm.r_output with
+        | Ok [ "paid" ] -> ()
+        | _ -> Alcotest.fail "post-retry search was not paid: primes corrupted?")
+     | _ -> Alcotest.fail "post-retry search refused")
+  | _ -> Alcotest.fail "hello refused"
 
 let test_service_refusals () =
   let empty = Net.Service.create () in
@@ -750,6 +854,10 @@ let () =
         Alcotest.test_case "schedule" `Quick test_backoff_schedule :: backoff_props );
       ( "service",
         [ Alcotest.test_case "idempotent settlement" `Quick test_idempotent_settlement;
+          Alcotest.test_case "replay confined to the settling client" `Quick
+            test_replay_confined_to_client;
+          Alcotest.test_case "idempotent build and insert" `Quick
+            test_idempotent_build_and_insert;
           Alcotest.test_case "structured refusals" `Quick test_service_refusals ] );
       ( "loopback",
         [ Alcotest.test_case "concurrent clients match Protocol.search" `Quick
