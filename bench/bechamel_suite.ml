@@ -48,7 +48,24 @@ let make_tests () =
       (Staged.stage (fun () -> ignore (Rsa_acc.verify_mem params ~ac ~x ~witness)));
     Test.make ~name:"table2/mset-hash-64"
       (Staged.stage
-         (fun () -> ignore (Mset_hash.of_list (List.init 64 (fun i -> string_of_int i))))) ]
+         (fun () -> ignore (Mset_hash.of_list (List.init 64 (fun i -> string_of_int i)))));
+    (* Observability overhead: the acceptance budget is < 1us per span
+       (it is really ~2 clock reads + 1 histogram record). *)
+    Test.make ~name:"obs/counter-add"
+      (Staged.stage
+         (let c = Obs.counter "slicer_bench_obs_counter_total" in
+          fun () -> Obs.Counter.incr c));
+    Test.make ~name:"obs/histogram-record"
+      (Staged.stage
+         (let h = Obs.histogram ~units:Obs.Histogram.Raw "slicer_bench_obs_hist" in
+          fun () -> Obs.Histogram.record h 4242));
+    Test.make ~name:"obs/span"
+      (Staged.stage (fun () -> Obs.span "bench.noop" (fun () -> ())));
+    Test.make ~name:"obs/span-disabled"
+      (Staged.stage (fun () ->
+           Obs.set_enabled false;
+           Obs.span "bench.noop-off" (fun () -> ());
+           Obs.set_enabled true)) ]
 
 let run () =
   Bench_common.header "Bechamel micro-benchmarks (ns/op, OLS on monotonic clock)";
@@ -66,13 +83,23 @@ let run () =
     (fun (name, result) ->
       let est =
         match Analyze.OLS.estimates result with
-        | Some [ e ] -> Printf.sprintf "%.0f" e
-        | Some _ | None -> "-"
+        | Some [ e ] -> Some e
+        | Some _ | None -> None
       in
-      let r2 =
-        match Analyze.OLS.r_square result with
-        | Some r -> Printf.sprintf "%.4f" r
-        | None -> "-"
-      in
-      Printf.printf "%-28s %12s  %8s\n" name est r2)
+      let r2 = Analyze.OLS.r_square result in
+      Printf.printf "%-28s %12s  %8s\n" name
+        (match est with Some e -> Printf.sprintf "%.0f" e | None -> "-")
+        (match r2 with Some r -> Printf.sprintf "%.4f" r | None -> "-");
+      (match est with
+       | Some e ->
+         Bench_common.json_row ~figure:"micro" ~series:name
+           [ ("ns_per_op", Bench_common.J_float e);
+             ("r_square", Bench_common.J_float (Option.value ~default:Float.nan r2)) ]
+       | None -> ());
+      (* The instrumentation-overhead budget: a span must stay under
+         1 us or the hot-path record claim in DESIGN.md is void. *)
+      match est with
+      | Some e when name = "slicer/obs/span" && e > 1000. ->
+        failwith (Printf.sprintf "obs span overhead %.0f ns exceeds the 1 us budget" e)
+      | _ -> ())
     rows

@@ -86,6 +86,7 @@ let json_row ~figure ~series fields =
   json_rows := Printf.sprintf "{%s}" (String.concat ", " (List.map field all)) :: !json_rows
 
 let write_json path =
+  Obs.Export.ensure_parent path;
   let oc = open_out path in
   output_string oc "[\n";
   output_string oc (String.concat ",\n" (List.rev !json_rows));

@@ -91,10 +91,50 @@ let read_pipes fds =
   done;
   List.map (fun (_, b) -> Buffer.contents b) bufs
 
-let percentile sorted p =
-  let n = Array.length sorted in
-  if n = 0 then Float.nan
-  else sorted.(min (n - 1) (int_of_float (ceil (p /. 100. *. float_of_int n)) - 1))
+let percentile = Obs.Summary.percentile
+
+(* Pull a metric's value out of a Prometheus-text snapshot: the line
+   "name value" (histograms and labelled series never match, which is
+   what we want for the plain counters asserted below). *)
+let prom_value text name =
+  String.split_on_char '\n' text
+  |> List.find_map (fun line ->
+         match String.split_on_char ' ' line with
+         | [ n; v ] when n = name -> float_of_string_opt v
+         | _ -> None)
+  |> Option.value ~default:Float.nan
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* Scrape the live server's Obs snapshot over the wire and sanity-check
+   it: the smoke alias relies on this to prove the whole observability
+   path (record -> registry -> Wire.Stats -> exposition) end to end. *)
+let check_stats endpoint ~searches =
+  match Net.Client.connect ~name:"load-stats" ~provision:false endpoint with
+  | Error e -> failwith ("load driver: stats scrape failed: " ^ Net.Client.error_to_string e)
+  | Ok c ->
+    let r = Net.Client.stats c in
+    Net.Client.close c;
+    (match r with
+     | Error e -> failwith ("load driver: Stats rpc failed: " ^ Net.Client.error_to_string e)
+     | Ok (st_json, st_text) ->
+       let settled = prom_value st_text "slicer_net_searches_settled_total" in
+       let bytes_in = prom_value st_text "slicer_net_bytes_in_total" in
+       let bytes_out = prom_value st_text "slicer_net_bytes_out_total" in
+       Printf.printf "  server stats: %.0f settled, %.0fKB in, %.0fKB out\n"
+         settled (bytes_in /. 1024.) (bytes_out /. 1024.);
+       if not (settled >= float_of_int searches) then
+         failwith "load driver: stats snapshot lost settled searches";
+       if not (bytes_in > 0. && bytes_out > 0.) then
+         failwith "load driver: stats snapshot has no frame traffic";
+       if String.length st_json = 0 || st_json.[0] <> '{' || not (contains st_json "\"histograms\"")
+       then failwith "load driver: stats JSON snapshot malformed";
+       if not (contains st_text "slicer_cloud_search_seconds_bucket") then
+         failwith "load driver: stats snapshot missing search latency histogram";
+       (settled, bytes_in, bytes_out))
 
 let run scale =
   header "Service load (figure: load)";
@@ -134,7 +174,6 @@ let run scale =
   let outputs = read_pipes (List.map snd children) in
   let wall = Unix.gettimeofday () -. t0 in
   List.iter (fun (pid, _) -> ignore (Unix.waitpid [] pid)) children;
-  Net.Server.stop server;
   (* Aggregate. *)
   let latencies = ref [] and errs = ref 0 and fails = ref 0 in
   List.iter
@@ -155,6 +194,8 @@ let run scale =
   let sorted = Array.of_list !latencies in
   Array.sort compare sorted;
   let searches = Array.length sorted in
+  let settled, bytes_in, bytes_out = check_stats endpoint ~searches in
+  Net.Server.stop server;
   let throughput = float_of_int searches /. wall in
   let p50 = percentile sorted 50. and p95 = percentile sorted 95. and p99 = percentile sorted 99. in
   row_header [ "searches"; "errors"; "ops/s"; "p50"; "p95"; "p99" ];
@@ -175,5 +216,8 @@ let run scale =
       ("throughput_ops", J_float throughput);
       ("p50_ms", J_float (p50 *. 1000.));
       ("p95_ms", J_float (p95 *. 1000.));
-      ("p99_ms", J_float (p99 *. 1000.)) ];
+      ("p99_ms", J_float (p99 *. 1000.));
+      ("settled", J_int (int_of_float settled));
+      ("bytes_in", J_int (int_of_float bytes_in));
+      ("bytes_out", J_int (int_of_float bytes_out)) ];
   if searches = 0 then failwith "load driver: no search completed"

@@ -42,6 +42,7 @@ let () =
       parse rest
     | "--json" :: path :: rest ->
       (* Fail on an unwritable path now, not after an hour of measuring. *)
+      Obs.Export.ensure_parent path;
       (match open_out path with
        | oc -> close_out oc
        | exception Sys_error msg -> Printf.printf "--json: %s\n" msg; usage ());

@@ -4,6 +4,7 @@
      slicer sore     - SORE encrypt/compare playground
      slicer features - Table I feature matrix
      slicer gas      - live gas costs on the simulated chain
+     slicer stats    - scrape a running slicer-server's metrics
 
    Every run is deterministic given --seed. *)
 
@@ -66,9 +67,29 @@ let cond_arg =
   let doc = "Matching condition: =, > or < (the query (v, oc) matches records a with v oc a)." in
   Arg.(value & opt cond_conv Slicer_types.Gt & info [ "cond"; "c" ] ~docv:"OC" ~doc)
 
+(* No [-v] short form: the demo/search commands spend it on --value. *)
 let verbose_arg =
-  let doc = "Enable protocol debug logging." in
+  let doc = "Enable protocol debug logging (same as --log-level debug)." in
   Arg.(value & flag & info [ "verbose" ] ~doc)
+
+let log_level_conv =
+  let parse = function
+    | "debug" -> Ok (Some Logs.Debug)
+    | "info" -> Ok (Some Logs.Info)
+    | "warning" -> Ok (Some Logs.Warning)
+    | "error" -> Ok (Some Logs.Error)
+    | "quiet" -> Ok None
+    | s -> Error (`Msg (Printf.sprintf "unknown log level %S" s))
+  in
+  let print ppf = function
+    | None -> Format.pp_print_string ppf "quiet"
+    | Some l -> Format.pp_print_string ppf (Logs.level_to_string (Some l))
+  in
+  Arg.conv (parse, print)
+
+let log_level_arg =
+  let doc = "Log verbosity: debug, info, warning, error or quiet." in
+  Arg.(value & opt log_level_conv (Some Logs.Info) & info [ "log-level" ] ~docv:"LEVEL" ~doc)
 
 let domains_arg =
   let doc =
@@ -84,12 +105,13 @@ let setup_domains d =
   end;
   Parallel.set_domains d
 
-let setup_logs verbose =
+let setup_logs level verbose =
+  Fmt_tty.setup_std_outputs ();
   Logs.set_reporter (Logs_fmt.reporter ());
-  Logs.Src.set_level Protocol.log_src (Some (if verbose then Logs.Debug else Logs.Info))
+  Logs.set_level (if verbose then Some Logs.Debug else level)
 
-let run_demo width seed records behavior value cond verbose domains =
-  setup_logs verbose;
+let run_demo width seed records behavior value cond verbose log_level domains =
+  setup_logs log_level verbose;
   setup_domains domains;
   if width < 1 || width > Bitvec.max_width then `Error (false, "width out of range")
   else begin
@@ -120,7 +142,7 @@ let demo_cmd =
     Term.(
       ret
         (const run_demo $ width_arg $ seed_arg $ records_arg $ behavior_arg $ value_arg
-       $ cond_arg $ verbose_arg $ domains_arg))
+       $ cond_arg $ verbose_arg $ log_level_arg $ domains_arg))
 
 (* --- sore ------------------------------------------------------------- *)
 
@@ -170,6 +192,54 @@ let gas_cmd =
   let info = Cmd.info "gas" ~doc:"Measure smart-contract gas costs on the simulated chain" in
   Cmd.v info Term.(const run_gas $ seed_arg)
 
+(* --- stats ------------------------------------------------------------- *)
+
+let host_arg =
+  let doc = "Server address." in
+  Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST" ~doc)
+
+let port_arg =
+  let doc = "Server TCP port." in
+  Arg.(value & opt int 7070 & info [ "port"; "p" ] ~docv:"PORT" ~doc)
+
+let socket_arg =
+  let doc = "Connect to a Unix-domain socket at $(docv) instead of TCP." in
+  Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let json_arg =
+  let doc = "Print the JSON snapshot instead of Prometheus text." in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
+let run_stats host port socket json verbose log_level =
+  setup_logs log_level verbose;
+  let endpoint =
+    match socket with
+    | Some path -> Net.Server.Unix_socket path
+    | None -> Net.Server.Tcp (host, port)
+  in
+  (* ~provision:false — the admin path needs no keys, and works against
+     an empty (pre-Build) server too. *)
+  match Net.Client.connect ~name:"slicer-cli-stats" ~provision:false endpoint with
+  | Error e -> `Error (false, Net.Client.error_to_string e)
+  | Ok c ->
+    let r = Net.Client.stats c in
+    Net.Client.close c;
+    (match r with
+     | Ok (st_json, st_text) ->
+       print_string (if json then st_json else st_text);
+       `Ok ()
+     | Error e -> `Error (false, Net.Client.error_to_string e))
+
+let stats_cmd =
+  let info =
+    Cmd.info "stats"
+      ~doc:"Scrape a running slicer-server's live metrics (Prometheus text or JSON)"
+  in
+  Cmd.v info
+    Term.(
+      ret (const run_stats $ host_arg $ port_arg $ socket_arg $ json_arg $ verbose_arg
+         $ log_level_arg))
+
 let () =
   let info = Cmd.info "slicer" ~version:"1.0.0" ~doc:"Verifiable encrypted numerical search (ICDCS'22 reproduction)" in
-  exit (Cmd.eval (Cmd.group info [ demo_cmd; sore_cmd; features_cmd; gas_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ demo_cmd; sore_cmd; features_cmd; gas_cmd; stats_cmd ]))

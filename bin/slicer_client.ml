@@ -35,6 +35,36 @@ let attempts_arg =
   let doc = "Total attempts per request (retries reconnect with backoff)." in
   Arg.(value & opt int 5 & info [ "attempts" ] ~docv:"N" ~doc)
 
+(* No [-v] short form: search spends it on --value. *)
+let verbose_arg =
+  let doc = "Enable debug logging (same as --log-level debug)." in
+  Arg.(value & flag & info [ "verbose" ] ~doc)
+
+let log_level_conv =
+  let parse = function
+    | "debug" -> Ok (Some Logs.Debug)
+    | "info" -> Ok (Some Logs.Info)
+    | "warning" -> Ok (Some Logs.Warning)
+    | "error" -> Ok (Some Logs.Error)
+    | "quiet" -> Ok None
+    | s -> Error (`Msg (Printf.sprintf "unknown log level %S" s))
+  in
+  let print ppf = function
+    | None -> Format.pp_print_string ppf "quiet"
+    | Some l -> Format.pp_print_string ppf (Logs.level_to_string (Some l))
+  in
+  Arg.conv (parse, print)
+
+let log_level_arg =
+  let doc = "Log verbosity: debug, info, warning, error or quiet. Debug \
+             shows every retry, backoff sleep and reconnect." in
+  Arg.(value & opt log_level_conv (Some Logs.Warning) & info [ "log-level" ] ~docv:"LEVEL" ~doc)
+
+let setup_logs level verbose =
+  Fmt_tty.setup_std_outputs ();
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (if verbose then Some Logs.Debug else level)
+
 let endpoint_of host port socket =
   match socket with
   | Some path -> Net.Server.Unix_socket path
@@ -49,7 +79,8 @@ let connect ?provision host port socket name timeout attempts =
 
 (* --- ping -------------------------------------------------------------- *)
 
-let run_ping host port socket name timeout attempts =
+let run_ping host port socket name timeout attempts log_level verbose =
+  setup_logs log_level verbose;
   match connect host port socket name timeout attempts with
   | Error e -> `Error (false, Net.Client.error_to_string e)
   | Ok c ->
@@ -70,7 +101,7 @@ let ping_cmd =
     Term.(
       ret
         (const run_ping $ host_arg $ port_arg $ socket_arg $ name_arg $ timeout_arg
-       $ attempts_arg))
+       $ attempts_arg $ log_level_arg $ verbose_arg))
 
 (* --- search ------------------------------------------------------------ *)
 
@@ -103,7 +134,9 @@ let repeat_arg =
   let doc = "Run the search N times (distinct request ids)." in
   Arg.(value & opt int 1 & info [ "repeat" ] ~docv:"N" ~doc)
 
-let run_search host port socket name timeout attempts value cond attr batched repeat =
+let run_search host port socket name timeout attempts log_level verbose value cond attr batched
+    repeat =
+  setup_logs log_level verbose;
   match connect host port socket name timeout attempts with
   | Error e -> `Error (false, Net.Client.error_to_string e)
   | Ok c ->
@@ -137,7 +170,8 @@ let search_cmd =
     Term.(
       ret
         (const run_search $ host_arg $ port_arg $ socket_arg $ name_arg $ timeout_arg
-       $ attempts_arg $ value_arg $ cond_arg $ attr_arg $ batched_arg $ repeat_arg))
+       $ attempts_arg $ log_level_arg $ verbose_arg $ value_arg $ cond_arg $ attr_arg
+       $ batched_arg $ repeat_arg))
 
 let () =
   let info =

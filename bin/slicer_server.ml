@@ -53,18 +53,70 @@ let max_inflight_arg =
   Arg.(value & opt int 64 & info [ "max-inflight" ] ~docv:"N" ~doc)
 
 let verbose_arg =
-  let doc = "Enable debug logging." in
-  Arg.(value & flag & info [ "verbose" ] ~doc)
+  let doc = "Enable debug logging (same as --log-level debug)." in
+  Arg.(value & flag & info [ "verbose"; "v" ] ~doc)
 
-let setup_logs verbose =
+let log_level_conv =
+  let parse = function
+    | "debug" -> Ok (Some Logs.Debug)
+    | "info" -> Ok (Some Logs.Info)
+    | "warning" -> Ok (Some Logs.Warning)
+    | "error" -> Ok (Some Logs.Error)
+    | "quiet" -> Ok None
+    | s -> Error (`Msg (Printf.sprintf "unknown log level %S" s))
+  in
+  let print ppf = function
+    | None -> Format.pp_print_string ppf "quiet"
+    | Some l -> Format.pp_print_string ppf (Logs.level_to_string (Some l))
+  in
+  Arg.conv (parse, print)
+
+let log_level_arg =
+  let doc = "Log verbosity: debug, info, warning, error or quiet." in
+  Arg.(value & opt log_level_conv (Some Logs.Info) & info [ "log-level" ] ~docv:"LEVEL" ~doc)
+
+let setup_logs level verbose =
+  Fmt_tty.setup_std_outputs ();
   Logs.set_reporter (Logs_fmt.reporter ());
-  let level = if verbose then Logs.Debug else Logs.Info in
-  List.iter
-    (fun src -> Logs.Src.set_level src (Some level))
-    [ Protocol.log_src; Net.Service.log_src; Net.Server.log_src ]
+  Logs.set_level (if verbose then Some Logs.Debug else level)
 
-let run host port socket seed records width payment domains read_timeout max_inflight verbose =
-  setup_logs verbose;
+let metrics_dump_arg =
+  let doc = "Every metrics interval (and at shutdown), write the metrics \
+             registry snapshot to $(docv) — Prometheus text if it ends in \
+             .prom, JSON otherwise. Parent directories are created." in
+  Arg.(value & opt (some string) None & info [ "metrics-dump" ] ~docv:"FILE" ~doc)
+
+let metrics_interval_arg =
+  let doc = "Seconds between metrics snapshots (dump + summary log line)." in
+  Arg.(value & opt float 10. & info [ "metrics-interval" ] ~docv:"SECONDS" ~doc)
+
+let no_metrics_arg =
+  let doc = "Disable metrics recording (spans and counters become no-ops)." in
+  Arg.(value & flag & info [ "no-metrics" ] ~doc)
+
+let dump_metrics path =
+  let content =
+    if Filename.check_suffix path ".prom" then Obs.Export.to_prometheus ()
+    else Obs.Export.to_json ()
+  in
+  try Obs.Export.write_file path content
+  with Sys_error e -> Logs.err (fun m -> m "metrics dump failed: %s" e)
+
+let log_snapshot () =
+  Logs.info (fun m ->
+      m "stats: %d requests, %d settled, %d replays, %d busy, %dB in, %dB out, gas %d"
+        (Obs.counter_value "slicer_net_requests_total")
+        (Obs.counter_value "slicer_net_searches_settled_total")
+        (Obs.counter_value "slicer_net_idempotent_replays_total")
+        (Obs.counter_value "slicer_net_busy_refusals_total")
+        (Obs.counter_value "slicer_net_bytes_in_total")
+        (Obs.counter_value "slicer_net_bytes_out_total")
+        (Obs.counter_value "slicer_chain_gas_total"))
+
+let run host port socket seed records width payment domains read_timeout max_inflight verbose
+    log_level metrics_dump metrics_interval no_metrics =
+  setup_logs log_level verbose;
+  Obs.set_enabled (not no_metrics);
   if domains < 1 then `Error (false, "--domains must be >= 1")
   else if records < 0 then `Error (false, "--records must be >= 0")
   else begin
@@ -100,9 +152,18 @@ let run host port socket seed records width payment domains read_timeout max_inf
     let stop_now _ = stopping := true in
     Sys.set_signal Sys.sigint (Sys.Signal_handle stop_now);
     Sys.set_signal Sys.sigterm (Sys.Signal_handle stop_now);
+    let last_snapshot = ref (Unix.gettimeofday ()) in
     while not !stopping do
-      Unix.sleepf 0.2
+      Unix.sleepf 0.2;
+      if metrics_interval > 0. && Unix.gettimeofday () -. !last_snapshot >= metrics_interval
+      then begin
+        last_snapshot := Unix.gettimeofday ();
+        log_snapshot ();
+        Option.iter dump_metrics metrics_dump
+      end
     done;
+    (* Final snapshot so a short-lived run still leaves a dump behind. *)
+    Option.iter dump_metrics metrics_dump;
     Printf.printf "\nshutting down: %d connections, %d requests served\n%!"
       (Net.Server.connections_served server)
       (Net.Server.requests_served server);
@@ -119,6 +180,7 @@ let cmd =
     Term.(
       ret
         (const run $ host_arg $ port_arg $ socket_arg $ seed_arg $ records_arg $ width_arg
-       $ payment_arg $ domains_arg $ read_timeout_arg $ max_inflight_arg $ verbose_arg))
+       $ payment_arg $ domains_arg $ read_timeout_arg $ max_inflight_arg $ verbose_arg
+       $ log_level_arg $ metrics_dump_arg $ metrics_interval_arg $ no_metrics_arg))
 
 let () = exit (Cmd.eval cmd)

@@ -11,6 +11,11 @@ let cache_lock = Mutex.create ()
 let hits = ref 0
 let misses = ref 0
 
+let c_hits = Obs.counter ~help:"prime-representative memo hits" "slicer_acc_prime_cache_hits_total"
+
+let c_misses =
+  Obs.counter ~help:"prime-representative memo misses" "slicer_acc_prime_cache_misses_total"
+
 type cache_stats = { cs_entries : int; cs_hits : int; cs_misses : int; cs_limit : int }
 
 let cache_stats () =
@@ -25,7 +30,7 @@ let cache_stats () =
    each small prime is computed once with bigint division, after which
    every candidate [base + j] is screened with native-int arithmetic
    only. Survivors get the deterministic Miller-Rabin battery. *)
-let to_prime_uncached s =
+let prime_walk s =
   let digest = Sha256.digest (Bytesutil.concat [ "h-prime"; s ]) in
   (* high = digest with the top bit forced so every representative has
      exactly 256 + counter_bits significant bits. *)
@@ -53,11 +58,16 @@ let to_prime_uncached s =
   in
   walk 1 (* odd offsets only *)
 
+(* Span per walk, not per batch: [to_primes] runs the walks on pool
+   domains, so the histogram attributes time to the domain doing it. *)
+let to_prime_uncached s = Obs.span "acc.prime_derive" (fun () -> prime_walk s)
+
 let lookup s =
   Mutex.lock cache_lock;
   let r = Hashtbl.find_opt cache s in
   (match r with Some _ -> incr hits | None -> incr misses);
   Mutex.unlock cache_lock;
+  (match r with Some _ -> Obs.Counter.incr c_hits | None -> Obs.Counter.incr c_misses);
   r
 
 let store s x =

@@ -72,16 +72,16 @@ let g_pow params e =
 let accumulate params xs =
   match xs with
   | [] -> params.generator
-  | [ x ] -> Bigint.mod_pow params.generator x params.modulus
-  | _ -> g_pow params (product xs)
+  | [ x ] -> Obs.span "acc.fold" (fun () -> Bigint.mod_pow params.generator x params.modulus)
+  | _ -> Obs.span "acc.fold" (fun () -> g_pow params (product xs))
 
 let add params ac x = Bigint.mod_pow ac x params.modulus
 
 let add_batch params ac xs =
   match xs with
   | [] -> ac
-  | [ x ] -> add params ac x
-  | _ -> Bigint.mod_pow ac (product xs) params.modulus
+  | [ x ] -> Obs.span "acc.fold" (fun () -> add params ac x)
+  | _ -> Obs.span "acc.fold" (fun () -> Bigint.mod_pow ac (product xs) params.modulus)
 
 (* --- membership witnesses ---------------------------------------------- *)
 
@@ -89,7 +89,7 @@ let mem_witness params xs x =
   if not (List.exists (fun y -> Bigint.equal y x) xs) then
     invalid_arg "Rsa_acc.mem_witness: element not in set";
   (* One occurrence divides out of the product exactly. *)
-  g_pow params (Bigint.div (product xs) x)
+  Obs.span "acc.witness" (fun () -> g_pow params (Bigint.div (product xs) x))
 
 (* Product segment tree: each node carries Π of its range so the witness
    descent raises a node's base by the sibling product in one
@@ -178,7 +178,7 @@ let batch_witness params xs subset =
         q)
       (product xs) subset
   in
-  g_pow params remaining
+  Obs.span "acc.witness" (fun () -> g_pow params remaining)
 
 let verify_mem_batch params ~ac ~xs ~witness =
   let lifted = List.fold_left (fun w x -> Bigint.mod_pow w x params.modulus) witness xs in
@@ -206,7 +206,7 @@ let ctx_ac c =
 let ctx_witness c x =
   let q, r = Bigint.divmod c.ctx_product x in
   if not (Bigint.is_zero r) then invalid_arg "Rsa_acc.ctx_witness: element not in set";
-  ctx_pow c q
+  Obs.span "acc.witness" (fun () -> ctx_pow c q)
 
 let ctx_batch_witness c subset =
   let remaining =
@@ -217,7 +217,7 @@ let ctx_batch_witness c subset =
         q)
       c.ctx_product subset
   in
-  ctx_pow c remaining
+  Obs.span "acc.witness" (fun () -> ctx_pow c remaining)
 
 (* --- non-membership (universal accumulator, LLX '07) ------------------- *)
 

@@ -1,3 +1,36 @@
+let log_src = Logs.Src.create "slicer.chain.contract" ~doc:"Slicer settlement contract"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+(* Where the money and the gas go: every transaction submitted through
+   the client-side helpers lands in these. Settlements additionally
+   split by escrow outcome, the paper's fairness measure. *)
+let c_gas = Obs.counter ~help:"gas across all submitted transactions" "slicer_chain_gas_total"
+
+let h_settle_gas =
+  Obs.histogram ~units:Obs.Histogram.Raw ~help:"gas per settlement transaction"
+    "slicer_chain_settle_gas"
+
+let c_paid = Obs.counter ~help:"settlements paid to the cloud" "slicer_chain_settle_paid_total"
+
+let c_refunded =
+  Obs.counter ~help:"settlements refunded to the user" "slicer_chain_settle_refunded_total"
+
+let observe_txn ~label (receipt : Vm.receipt) =
+  Obs.Counter.add c_gas receipt.Vm.r_gas_used;
+  Log.debug (fun m ->
+      m "%s: gas %d, %s" label receipt.Vm.r_gas_used
+        (match receipt.Vm.r_output with Ok _ -> "ok" | Error e -> "reverted: " ^ e));
+  receipt
+
+let observe_settlement (receipt : Vm.receipt) =
+  Obs.Histogram.record h_settle_gas receipt.Vm.r_gas_used;
+  (match receipt.Vm.r_output with
+   | Ok [ "paid" ] -> Obs.Counter.incr c_paid
+   | Ok [ "refunded" ] -> Obs.Counter.incr c_refunded
+   | Ok _ | Error _ -> ());
+  receipt
+
 type claim = { token_bytes : string; results : string list; witness : Bigint.t }
 
 let encode_claim c =
@@ -186,7 +219,7 @@ let contract ~modulus ~generator ~initial_ac =
 let deploy ledger ~owner ~modulus ~generator ~initial_ac =
   let def = contract ~modulus ~generator ~initial_ac in
   let txn = Vm.make_deploy (Ledger.state ledger) ~sender:owner def [] in
-  let receipt = Ledger.submit_and_seal ledger txn in
+  let receipt = observe_txn ~label:"deploy" (Ledger.submit_and_seal ledger txn) in
   (txn.Vm.tx_to, receipt)
 
 let update_ac ledger ~owner ~contract ac =
@@ -194,28 +227,29 @@ let update_ac ledger ~owner ~contract ac =
     Vm.make_call (Ledger.state ledger) ~sender:owner ~to_:contract "updateAc"
       [ Bigint.to_bytes_be ac ]
   in
-  Ledger.submit_and_seal ledger txn
+  observe_txn ~label:"updateAc" (Ledger.submit_and_seal ledger txn)
 
 let request_search ledger ~user ~contract ~request_id ~tokens ~payment =
   let txn =
     Vm.make_call (Ledger.state ledger) ~sender:user ~to_:contract ~value:payment "requestSearch"
       [ request_id; Bytesutil.concat tokens ]
   in
-  Ledger.submit_and_seal ledger txn
+  observe_txn ~label:"requestSearch" (Ledger.submit_and_seal ledger txn)
 
 let submit_result ledger ~cloud ~contract ~request_id claims =
   let txn =
     Vm.make_call (Ledger.state ledger) ~sender:cloud ~to_:contract "submitResult"
       [ request_id; encode_claims claims ]
   in
-  Ledger.submit_and_seal ledger txn
+  observe_settlement (observe_txn ~label:"submitResult" (Ledger.submit_and_seal ledger txn))
 
 let submit_result_batched ledger ~cloud ~contract ~request_id claims ~witness =
   let txn =
     Vm.make_call (Ledger.state ledger) ~sender:cloud ~to_:contract "submitResultBatched"
       [ request_id; encode_claims claims; Bigint.to_bytes_be witness ]
   in
-  Ledger.submit_and_seal ledger txn
+  observe_settlement
+    (observe_txn ~label:"submitResultBatched" (Ledger.submit_and_seal ledger txn))
 
 let storage_get ledger ~contract key =
   (* Read-only view (no gas): inspecting state through a local node. *)

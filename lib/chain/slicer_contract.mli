@@ -18,6 +18,10 @@
     group elements (the "public verification without privacy leakage"
     requirement). *)
 
+val log_src : Logs.Src.t
+(** [slicer.chain.contract] — per-transaction gas and settlement
+    outcomes at debug level. *)
+
 type claim = {
   token_bytes : string;   (** [t_j ‖ j ‖ G1 ‖ G2] — the search token *)
   results : string list;  (** encrypted matched records [er] *)

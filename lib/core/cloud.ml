@@ -83,9 +83,11 @@ let witness_for t ~primes x =
          misbehaving path need not be fast. *)
       ( try Rsa_acc.mem_witness t.c_params primes x with Invalid_argument _ -> Bigint.one )
 
+let c_tokens = Obs.counter ~help:"search tokens served" "slicer_cloud_tokens_total"
+
 (* Algorithm 4 traversal: walk generations j..0, scanning counters under
    each trapdoor until the first miss. *)
-let collect_results t (st : Slicer_types.search_token) =
+let collect_results_untimed t (st : Slicer_types.search_token) =
   let stale = t.mode = Stale_results in
   let find l =
     if stale && Hashtbl.mem t.last_shipment l then None else Enc_index.find t.index l
@@ -110,6 +112,8 @@ let collect_results t (st : Slicer_types.search_token) =
     if i > 0 then trapdoor := Rsa_tdp.forward_bytes t.c_tdp !trapdoor
   done;
   List.rev !results
+
+let collect_results t st = Obs.span "cloud.collect" (fun () -> collect_results_untimed t st)
 
 let flip_bit s =
   if String.length s = 0 then s
@@ -138,6 +142,8 @@ let search_one t st =
   { Slicer_contract.token_bytes; results; witness }
 
 let search_batched t sts =
+  Obs.Counter.add c_tokens (List.length sts);
+  Obs.span "cloud.search" @@ fun () ->
   let partial =
     List.map
       (fun st ->
@@ -163,7 +169,9 @@ let search_batched t sts =
   in
   (claims, witness)
 
-let search t sts = List.map (search_one t) sts
+let search t sts =
+  Obs.Counter.add c_tokens (List.length sts);
+  Obs.span "cloud.search" (fun () -> List.map (search_one t) sts)
 
 type search_timings = { result_seconds : float; vo_seconds : float }
 

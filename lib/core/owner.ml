@@ -117,7 +117,9 @@ let add_records t records =
   let pool = Parallel.pool () in
   let record_arr = Array.of_list records in
   (* Phase 1: record -> keyword/tuple slicing, fanned across the pool. *)
-  let keyword_slices = Parallel.Pool.map pool (keywords_of t) record_arr in
+  let keyword_slices =
+    Obs.span "core.slice" (fun () -> Parallel.Pool.map pool (keywords_of t) record_arr)
+  in
   (* Each record id is encrypted exactly once, not once per keyword.
      Sequential: it warms the AES schedule cache, which must not be
      mutated concurrently. *)
@@ -175,7 +177,7 @@ let add_records t records =
   in
   (* Phase 3: per-entry (l, d) derivation and set-hash folds, sharded by
      keyword across the pool. *)
-  let results = Parallel.Pool.map pool run_job jobs in
+  let results = Obs.span "core.derive" (fun () -> Parallel.Pool.map pool run_job jobs) in
   let entries = ref [] and prime_inputs = ref [] in
   Array.iter
     (fun (job_entries, h, tk, prime_input) ->
@@ -201,11 +203,11 @@ let add_records t records =
 let build t records =
   if t.built then invalid_arg "Owner.build: already built (use insert)";
   t.built <- true;
-  add_records t records
+  Obs.span "core.build" (fun () -> add_records t records)
 
 let insert t records =
   if not t.built then invalid_arg "Owner.insert: call build first";
-  add_records t records
+  Obs.span "core.insert" (fun () -> add_records t records)
 
 let export_trapdoor_state t = Hashtbl.copy t.trapdoors
 

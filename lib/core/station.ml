@@ -20,6 +20,7 @@ type settlement = {
 }
 
 let settle t ~user ~request_id ~payment ~token_blobs ~batched =
+  Obs.span "chain.settle" @@ fun () ->
   let rr =
     Slicer_contract.request_search t.s_ledger ~user ~contract:t.s_contract ~request_id
       ~tokens:token_blobs ~payment
@@ -55,6 +56,7 @@ let settle t ~user ~request_id ~payment ~token_blobs ~batched =
 let onchain_ac t = Slicer_contract.stored_ac t.s_ledger ~contract:t.s_contract
 
 let install t ~owner (sh : Owner.shipment) =
+  Obs.span "chain.install" @@ fun () ->
   Cloud.install t.s_cloud sh;
   let receipt =
     Slicer_contract.update_ac t.s_ledger ~owner ~contract:t.s_contract sh.Owner.sh_ac

@@ -5,11 +5,13 @@ let verify_claim params ~ac (c : Slicer_contract.claim) =
   in
   Rsa_acc.verify_mem params ~ac ~x ~witness:c.Slicer_contract.witness
 
-let verify_claims params ~ac claims = List.for_all (verify_claim params ~ac) claims
+let verify_claims params ~ac claims =
+  Obs.span "core.verify" (fun () -> List.for_all (verify_claim params ~ac) claims)
 
 let claim_prime (c : Slicer_contract.claim) =
   let h = Mset_hash.of_list c.Slicer_contract.results in
   Prime_rep.to_prime (Bytesutil.concat [ c.Slicer_contract.token_bytes; Mset_hash.to_bytes h ])
 
 let verify_claims_batched params ~ac claims ~witness =
-  Rsa_acc.verify_mem_batch params ~ac ~xs:(List.map claim_prime claims) ~witness
+  Obs.span "core.verify" (fun () ->
+      Rsa_acc.verify_mem_batch params ~ac ~xs:(List.map claim_prime claims) ~witness)

@@ -2,6 +2,17 @@ let log_src = Logs.Src.create "slicer.net.client" ~doc:"Slicer network client"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
+let c_retries = Obs.counter ~help:"RPC attempts beyond the first" "slicer_net_client_retries_total"
+
+let c_connects =
+  Obs.counter ~help:"TCP/Unix-socket connects (first and re-)" "slicer_net_client_connects_total"
+
+let c_reconnects =
+  Obs.counter ~help:"connects after a previous socket died" "slicer_net_client_reconnects_total"
+
+let h_backoff =
+  Obs.histogram ~help:"time slept in retry backoff" "slicer_net_client_backoff_seconds"
+
 type config = {
   connect_timeout : float;
   request_timeout : float;
@@ -58,6 +69,7 @@ type t = {
   mutable prov : provisioned option;
   mutable gen : int;
   mutable counter : int;
+  mutable ever_connected : bool;
 }
 
 let name t = t.cname
@@ -114,6 +126,9 @@ let ensure_sock t =
   | None ->
     (match connect_fd t.cfg t.endpoint with
      | Ok fd ->
+       Obs.Counter.incr c_connects;
+       if t.ever_connected then Obs.Counter.incr c_reconnects;
+       t.ever_connected <- true;
        t.sock <- Some fd;
        Ok fd
      | Error e -> Error e)
@@ -158,6 +173,8 @@ let rpc t req =
          let rand = float_of_int (Drbg.uniform_int t.rng 1_000_000) /. 1_000_000. in
          let delay = backoff_delay t.cfg ~rand ~attempt:(n - 1) in
          Log.debug (fun m -> m "%s: attempt %d after %.0f ms (%s)" t.cname n (delay *. 1000.) last);
+         Obs.Counter.incr c_retries;
+         Obs.Histogram.record_s h_backoff delay;
          Unix.sleepf delay
        end);
       match exchange t payload with
@@ -203,7 +220,8 @@ let connect ?(config = default_config) ?name ?(provision = true) endpoint =
       sock = None;
       prov = None;
       gen = 0;
-      counter = 0 }
+      counter = 0;
+      ever_connected = false }
   in
   if not provision then Ok t
   else
@@ -220,6 +238,12 @@ let ping t =
   match rpc t Wire.Ping with
   | Ok Wire.Pong -> Ok (Unix.gettimeofday () -. t0)
   | Ok _ -> Error (Bad_reply "expected a pong")
+  | Error e -> Error e
+
+let stats t =
+  match rpc t Wire.Stats with
+  | Ok (Wire.Stats_reply { st_json; st_text }) -> Ok (st_json, st_text)
+  | Ok _ -> Error (Bad_reply "expected a stats reply")
   | Error e -> Error e
 
 let fresh_request_id t =

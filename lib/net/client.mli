@@ -72,6 +72,11 @@ val refresh : t -> (unit, error) result
 val ping : t -> (float, error) result
 (** Round-trip time in seconds. *)
 
+val stats : t -> (string * string, error) result
+(** The server's live {!Obs} registry snapshot as [(json, prometheus)].
+    Works without provisioning ([~provision:false]) and before a
+    Build — the admin path reads state only. *)
+
 val search :
   ?batched:bool -> t -> Slicer_types.query -> (Protocol.search_outcome, error) result
 (** One verified search round trip. [so_verified] requires {e both} the

@@ -18,6 +18,17 @@ let error_to_string = function
   | Truncated -> "truncated frame"
   | Bad_checksum -> "frame checksum mismatch"
 
+(* Live-transport traffic counters (the pure [encode]/[decode] codecs
+   used by offline tests do not count). The reject counter is shared by
+   name with the server's unparseable-request path. *)
+let c_frames_out = Obs.counter ~help:"frames written to sockets" "slicer_net_frames_out_total"
+let c_bytes_out = Obs.counter ~help:"bytes written to sockets" "slicer_net_bytes_out_total"
+let c_frames_in = Obs.counter ~help:"frames read from sockets" "slicer_net_frames_in_total"
+let c_bytes_in = Obs.counter ~help:"bytes read from sockets" "slicer_net_bytes_in_total"
+
+let c_rejects =
+  Obs.counter ~help:"malformed frames and requests rejected" "slicer_net_decode_rejects_total"
+
 let magic = "SLNP"
 let version = 1
 let header_bytes = 18
@@ -82,7 +93,9 @@ let write fd ~tag payload =
       go (off + n)
     end
   in
-  go 0
+  go 0;
+  Obs.Counter.incr c_frames_out;
+  Obs.Counter.add c_bytes_out total
 
 (* Reads exactly [n] more bytes into [buf] at [off], respecting the
    absolute [deadline] (None = block indefinitely). *)
@@ -116,7 +129,7 @@ let read_exact fd buf off n deadline =
   in
   go off n
 
-let read ?(max_payload = default_max_payload) ?timeout fd =
+let read_inner ?(max_payload = default_max_payload) ?timeout fd =
   let deadline = Option.map (fun t -> Unix.gettimeofday () +. t) timeout in
   let header = Bytes.create header_bytes in
   match read_exact fd header 0 header_bytes deadline with
@@ -145,3 +158,16 @@ let read ?(max_payload = default_max_payload) ?timeout fd =
         end
       end
     end
+
+let read ?max_payload ?timeout fd =
+  match read_inner ?max_payload ?timeout fd with
+  | Ok msg as r ->
+    Obs.Counter.incr c_frames_in;
+    Obs.Counter.add c_bytes_in (header_bytes + String.length msg.payload);
+    r
+  | Error (Closed | Timeout) as r -> r
+  | Error _ as r ->
+    (* Malformed framing, not a quiet peer: line noise, a dialect
+       mismatch or tampering. *)
+    Obs.Counter.incr c_rejects;
+    r

@@ -2,6 +2,15 @@ let log_src = Logs.Src.create "slicer.net.server" ~doc:"Slicer network server"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
+let c_busy = Obs.counter ~help:"requests refused Busy at admission" "slicer_net_busy_refusals_total"
+let c_conns = Obs.counter ~help:"connections accepted" "slicer_net_connections_total"
+let g_inflight = Obs.gauge ~help:"requests currently executing" "slicer_net_inflight"
+
+(* Same instrument [Frame.read] uses for malformed frames: a request
+   whose frame verified but whose payload doesn't parse is a decode
+   reject too. *)
+let c_rejects = Obs.counter "slicer_net_decode_rejects_total"
+
 type endpoint = Tcp of string * int | Unix_socket of string
 
 type config = {
@@ -75,6 +84,7 @@ let serve_request t fd (frame : Frame.msg) =
       (* The frame checksum passed, so this is a peer speaking a
          different dialect, not line noise; refuse and keep the
          connection (framing is still synchronized). *)
+      Obs.Counter.incr c_rejects;
       respond (Wire.Refused { code = Wire.Bad_request; detail = "unparseable request" });
       true
     | Some req ->
@@ -82,10 +92,12 @@ let serve_request t fd (frame : Frame.msg) =
         Mutex.lock t.lock;
         let ok = t.inflight < t.config.max_inflight in
         if ok then t.inflight <- t.inflight + 1;
+        Obs.Gauge.set g_inflight t.inflight;
         Mutex.unlock t.lock;
         ok
       in
       if not admitted then begin
+        Obs.Counter.incr c_busy;
         respond
           (Wire.Refused
              { code = Wire.Busy;
@@ -99,6 +111,7 @@ let serve_request t fd (frame : Frame.msg) =
               Mutex.lock t.lock;
               t.inflight <- t.inflight - 1;
               t.served_reqs <- t.served_reqs + 1;
+              Obs.Gauge.set g_inflight t.inflight;
               Mutex.unlock t.lock)
             (fun () -> Service.handle t.service req)
         in
@@ -154,6 +167,7 @@ let accept_loop t =
          let id = t.next_conn in
          t.next_conn <- id + 1;
          t.served_conns <- t.served_conns + 1;
+         Obs.Counter.incr c_conns;
          t.conns <- (id, fd) :: t.conns;
          let th = Thread.create (fun () -> connection_loop t id fd) () in
          t.threads <- th :: t.threads;

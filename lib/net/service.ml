@@ -2,6 +2,15 @@ let log_src = Logs.Src.create "slicer.net.service" ~doc:"Slicer network service"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
+let c_requests = Obs.counter ~help:"requests dispatched" "slicer_net_requests_total"
+
+let c_settled =
+  Obs.counter ~help:"searches settled on chain" "slicer_net_searches_settled_total"
+
+let c_replays =
+  Obs.counter ~help:"idempotency-cache hits (replayed replies)"
+    "slicer_net_idempotent_replays_total"
+
 (* State present once the owner's Build shipment has been applied. *)
 type built = {
   b_station : Station.t;
@@ -121,6 +130,7 @@ let do_search t b ~client ~request_id ~batched tokens =
           escrow is not touched a second time. Only the client that
           settled can hit this — the key includes its name. *)
        Log.debug (fun m -> m "replaying cached settlement for %S/%S" client request_id);
+       Obs.Counter.incr c_replays;
        cached
      | None ->
        (match
@@ -135,6 +145,7 @@ let do_search t b ~client ~request_id ~batched tokens =
         | Error e -> refused Wire.Bad_request ("request rejected on chain: " ^ e)
         | Ok { Station.se_claims; se_batch_witness; se_receipt } ->
           t.settled <- t.settled + 1;
+          Obs.Counter.incr c_settled;
           let ac =
             match Station.onchain_ac b.b_station with
             | Some ac -> ac
@@ -161,6 +172,7 @@ let do_build t req =
        (* The build was applied but the response frame was lost: the
           retry must see the original accept, not Already_built. *)
        Log.debug (fun m -> m "replaying cached build accept for %S/%S" client request_id);
+       Obs.Counter.incr c_replays;
        cached
      | None ->
      match t.state with
@@ -202,6 +214,11 @@ let do_build t req =
 let handle_locked t req =
   match (req, t.state) with
   | (Wire.Ping, _) -> Wire.Pong
+  | (Wire.Stats, _) ->
+    (* Read-only, served even pre-Build: the registry snapshot covers
+       the whole process, not just this service's database. *)
+    Wire.Stats_reply
+      { st_json = Obs.Export.to_json (); st_text = Obs.Export.to_prometheus () }
   | (Wire.Build _, _) -> do_build t req
   | (_, None) -> refused Wire.Not_ready "no database: awaiting the owner's Build shipment"
   | (Wire.Hello { client }, Some b) -> provision t b client
@@ -215,6 +232,7 @@ let handle_locked t req =
           primes a second time and double-bump the generation, silently
           desynchronizing the cloud from the on-chain [Ac]. *)
        Log.debug (fun m -> m "replaying cached insert accept for %S/%S" client request_id);
+       Obs.Counter.incr c_replays;
        cached
      | None ->
        (match Station.install b.b_station ~owner:b.b_owner_addr shipment with
@@ -230,6 +248,7 @@ let handle_locked t req =
           reply))
 
 let handle t req =
+  Obs.Counter.incr c_requests;
   Mutex.lock t.lock;
   Fun.protect
     ~finally:(fun () -> Mutex.unlock t.lock)

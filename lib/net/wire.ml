@@ -15,6 +15,7 @@ type request =
   | Insert of { client : string; request_id : string;
                 shipment : Owner.shipment; trapdoor : Owner.trapdoor_state }
   | Ping
+  | Stats
 
 type provision = {
   pv_width : int;
@@ -60,6 +61,7 @@ type response =
   | Found of search_reply
   | Accepted of { generation : int }
   | Pong
+  | Stats_reply of { st_json : string; st_text : string }
   | Refused of { code : err_code; detail : string }
 
 (* Small helpers: non-negative ints and option-of-bigint pieces. *)
@@ -103,6 +105,7 @@ let encode_request = function
       [ "insert"; client; request_id;
         Persist.shipment_to_bytes shipment; Persist.trapdoor_state_to_bytes trapdoor ]
   | Ping -> Bytesutil.concat [ "ping" ]
+  | Stats -> Bytesutil.concat [ "stats" ]
 
 let decode_request s =
   let* pieces = Bytesutil.split s in
@@ -130,6 +133,7 @@ let decode_request s =
     let* trapdoor = Persist.trapdoor_state_of_bytes trapdoor_blob in
     Some (Insert { client; request_id; shipment; trapdoor })
   | [ "ping" ] -> Some Ping
+  | [ "stats" ] -> Some Stats
   | _ -> None
 
 (* --- responses -------------------------------------------------------- *)
@@ -156,6 +160,7 @@ let encode_response = function
         Bigint.to_bytes_be r.sr_ac ]
   | Accepted { generation } -> Bytesutil.concat [ "accepted"; string_of_int generation ]
   | Pong -> Bytesutil.concat [ "pong" ]
+  | Stats_reply { st_json; st_text } -> Bytesutil.concat [ "stats"; st_json; st_text ]
   | Refused { code; detail } ->
     Bytesutil.concat [ "refused"; err_code_to_string code; detail ]
 
@@ -195,6 +200,7 @@ let decode_response s =
     let* generation = nat_of_string generation in
     Some (Accepted { generation })
   | [ "pong" ] -> Some Pong
+  | [ "stats"; st_json; st_text ] -> Some (Stats_reply { st_json; st_text })
   | [ "refused"; code; detail ] ->
     let* code = err_code_of_string code in
     Some (Refused { code; detail })

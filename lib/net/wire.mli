@@ -35,6 +35,9 @@ type request =
           lost reply must {e not} re-append the shipment's primes or bump
           the generation a second time. *)
   | Ping
+  | Stats
+      (** Admin: a snapshot of the server's {!Obs} registry. Served even
+          before a Build, and without a Hello — it reads state only. *)
 
 type provision = {
   pv_width : int;
@@ -65,6 +68,9 @@ type response =
   | Found of search_reply
   | Accepted of { generation : int }   (** Build/Insert acknowledged *)
   | Pong
+  | Stats_reply of { st_json : string; st_text : string }
+      (** The same registry snapshot rendered twice: [st_json] for
+          programs, [st_text] in Prometheus text exposition format. *)
   | Refused of { code : err_code; detail : string }
       (** Structured error frame — the server's graceful degradation
           path; it never answers bad input with silence or a crash. *)

@@ -1,0 +1,419 @@
+(* Metrics, phase tracing and exposition for the whole Slicer pipeline.
+
+   Design constraints, in order:
+
+   1. Recording on the hot path must stay O(ns) and allocation-free:
+      every instrument is an array of [int Atomic.t] cells sharded by
+      the recording domain's id, so the PR-1 fork-join pool and the
+      thread-per-connection server never contend on a cache line.
+      Totals are exact — shards are summed at snapshot time, never
+      sampled.
+
+   2. Histograms are HDR-style log-linear over non-negative ints
+      (nanoseconds for latency, raw units for gas): values below 16
+      get exact buckets, larger values get 16 sub-buckets per octave,
+      bounding the relative quantile error at ~6% with ~900 buckets
+      total. Two histograms recorded on different domains merge into
+      the same totals as one histogram recording everything.
+
+   3. The registry is process-global by default (the service, the
+      bench driver and the CLI all read the same truth), but tests can
+      build isolated registries.
+
+   Everything is guarded by one [enabled] flag; when cleared, [span]
+   runs its thunk directly and recording is a single load-and-branch. *)
+
+let enabled_flag = ref true
+let set_enabled b = enabled_flag := b
+let enabled () = !enabled_flag
+
+(* Shards: a power of two comfortably above the pool sizes we run
+   (domains are numbered densely from 0). Collisions just mean two
+   domains share an atomic — correctness is unaffected. *)
+let n_shards = 16
+
+let shard () = (Domain.self () :> int) land (n_shards - 1)
+
+let make_cells () = Array.init n_shards (fun _ -> Atomic.make 0)
+
+let sum_cells cells = Array.fold_left (fun acc c -> acc + Atomic.get c) 0 cells
+
+module Counter = struct
+  type t = { cells : int Atomic.t array }
+
+  let create () = { cells = make_cells () }
+
+  let add t n =
+    if !enabled_flag then ignore (Atomic.fetch_and_add t.cells.(shard ()) n)
+
+  let incr t = add t 1
+
+  let value t = sum_cells t.cells
+end
+
+module Gauge = struct
+  type t = { cell : int Atomic.t }
+
+  let create () = { cell = Atomic.make 0 }
+
+  let set t v = if !enabled_flag then Atomic.set t.cell v
+  let add t n = if !enabled_flag then ignore (Atomic.fetch_and_add t.cell n)
+  let value t = Atomic.get t.cell
+end
+
+module Summary = struct
+  (* Nearest-rank percentile on an already sorted array — the exact
+     formula the load driver has always reported, shared so bench and
+     exposition agree. [p] is in percent (50., 95., ...). *)
+  let percentile sorted p =
+    let n = Array.length sorted in
+    if n = 0 then Float.nan
+    else sorted.(min (n - 1) (int_of_float (ceil (p /. 100. *. float_of_int n)) - 1))
+end
+
+module Histogram = struct
+  type units = Seconds | Raw
+
+  (* Log-linear bucketing: [sub] linear sub-buckets per octave. *)
+  let sub_bits = 4
+  let sub = 1 lsl sub_bits
+  let max_log2 = 59 (* values clamp at 2^60 - 1; ns up to ~36 years *)
+  let n_buckets = ((max_log2 - sub_bits + 1) lsl sub_bits) + sub
+
+  let log2i v =
+    let r = ref 0 and v = ref v in
+    if !v lsr 32 <> 0 then (r := !r + 32; v := !v lsr 32);
+    if !v lsr 16 <> 0 then (r := !r + 16; v := !v lsr 16);
+    if !v lsr 8 <> 0 then (r := !r + 8; v := !v lsr 8);
+    if !v lsr 4 <> 0 then (r := !r + 4; v := !v lsr 4);
+    if !v lsr 2 <> 0 then (r := !r + 2; v := !v lsr 2);
+    if !v lsr 1 <> 0 then incr r;
+    !r
+
+  let bucket_of v =
+    let v = if v < 0 then 0 else v in
+    if v < sub then v
+    else begin
+      let v = if log2i v > max_log2 then (1 lsl (max_log2 + 1)) - 1 else v in
+      let m = log2i v in
+      ((m - sub_bits + 1) lsl sub_bits) lor ((v lsr (m - sub_bits)) land (sub - 1))
+    end
+
+  (* Largest value that lands in bucket [i] (inclusive upper bound). *)
+  let bucket_bound i =
+    if i < sub then i
+    else begin
+      let m = (i lsr sub_bits) + sub_bits - 1 in
+      let s = i land (sub - 1) in
+      ((sub + s + 1) lsl (m - sub_bits)) - 1
+    end
+
+  type t = {
+    units : units;
+    counts : int Atomic.t array array; (* shard -> bucket *)
+    sums : int Atomic.t array;         (* shard *)
+  }
+
+  let create ?(units = Seconds) () =
+    { units;
+      counts = Array.init n_shards (fun _ -> Array.init n_buckets (fun _ -> Atomic.make 0));
+      sums = make_cells () }
+
+  let units t = t.units
+
+  let record t v =
+    if !enabled_flag then begin
+      let v = if v < 0 then 0 else v in
+      let s = shard () in
+      ignore (Atomic.fetch_and_add t.counts.(s).(bucket_of v) 1);
+      ignore (Atomic.fetch_and_add t.sums.(s) v)
+    end
+
+  (* Latency entry point: seconds in, nanoseconds recorded. Durations
+     (not absolute times) keep the float mantissa honest. *)
+  let record_s t seconds = record t (int_of_float ((seconds *. 1e9) +. 0.5))
+
+  (* Fold [src]'s cells into [dst]. Snapshot-equivalent to having
+     recorded every [src] observation into [dst] directly. *)
+  let merge_into ~src ~dst =
+    if src.units <> dst.units then invalid_arg "Obs.Histogram.merge_into: unit mismatch";
+    for s = 0 to n_shards - 1 do
+      for b = 0 to n_buckets - 1 do
+        let n = Atomic.get src.counts.(s).(b) in
+        if n <> 0 then ignore (Atomic.fetch_and_add dst.counts.(s).(b) n)
+      done;
+      let v = Atomic.get src.sums.(s) in
+      if v <> 0 then ignore (Atomic.fetch_and_add dst.sums.(s) v)
+    done
+
+  type snapshot = {
+    sn_units : units;
+    sn_count : int;
+    sn_sum : int;                   (* raw units: ns or gas *)
+    sn_buckets : (int * int) array; (* (inclusive upper bound, count), non-empty only *)
+  }
+
+  let snapshot t =
+    let count = ref 0 in
+    let buckets = ref [] in
+    for b = n_buckets - 1 downto 0 do
+      let n = ref 0 in
+      for s = 0 to n_shards - 1 do
+        n := !n + Atomic.get t.counts.(s).(b)
+      done;
+      if !n <> 0 then begin
+        count := !count + !n;
+        buckets := (bucket_bound b, !n) :: !buckets
+      end
+    done;
+    { sn_units = t.units;
+      sn_count = !count;
+      sn_sum = sum_cells t.sums;
+      sn_buckets = Array.of_list !buckets }
+
+  (* Nearest-rank quantile over the bucketed counts; returns the
+     inclusive upper bound of the bucket holding that rank, in raw
+     units. [q] in [0, 1]. *)
+  let quantile sn q =
+    if sn.sn_count = 0 then Float.nan
+    else begin
+      let rank = max 1 (int_of_float (ceil (q *. float_of_int sn.sn_count))) in
+      let rec walk i seen =
+        if i >= Array.length sn.sn_buckets then Float.nan
+        else begin
+          let bound, n = sn.sn_buckets.(i) in
+          if seen + n >= rank then float_of_int bound else walk (i + 1) (seen + n)
+        end
+      in
+      walk 0 0
+    end
+
+  (* Display scale: raw units -> exported units. *)
+  let scale t = match t with Seconds -> 1e-9 | Raw -> 1.
+end
+
+type metric =
+  | Counter of Counter.t
+  | Gauge of Gauge.t
+  | Histogram of Histogram.t
+
+module Registry = struct
+  type entry = { e_name : string; e_help : string; e_metric : metric }
+
+  type t = { lock : Mutex.t; mutable entries : entry list }
+
+  let create () = { lock = Mutex.create (); entries = [] }
+
+  let default = create ()
+
+  (* Registration is idempotent: the first registration under a name
+     wins and later ones get the same instrument back, so a module can
+     name a shared counter without owning it. A kind clash is a
+     programming error. *)
+  let register t name help make =
+    Mutex.lock t.lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.lock)
+      (fun () ->
+        match List.find_opt (fun e -> e.e_name = name) t.entries with
+        | Some e -> e.e_metric
+        | None ->
+          let m = make () in
+          t.entries <- { e_name = name; e_help = help; e_metric = m } :: t.entries;
+          m)
+
+  let entries t =
+    Mutex.lock t.lock;
+    let es = t.entries in
+    Mutex.unlock t.lock;
+    List.sort (fun a b -> compare a.e_name b.e_name) es
+end
+
+let counter ?(registry = Registry.default) ?(help = "") name =
+  match Registry.register registry name help (fun () -> Counter (Counter.create ())) with
+  | Counter c -> c
+  | _ -> invalid_arg ("Obs.counter: " ^ name ^ " is registered as another kind")
+
+let gauge ?(registry = Registry.default) ?(help = "") name =
+  match Registry.register registry name help (fun () -> Gauge (Gauge.create ())) with
+  | Gauge g -> g
+  | _ -> invalid_arg ("Obs.gauge: " ^ name ^ " is registered as another kind")
+
+let histogram ?(registry = Registry.default) ?(help = "") ?(units = Histogram.Seconds) name =
+  match
+    Registry.register registry name help (fun () -> Histogram (Histogram.create ~units ()))
+  with
+  | Histogram h -> h
+  | _ -> invalid_arg ("Obs.histogram: " ^ name ^ " is registered as another kind")
+
+let counter_value ?(registry = Registry.default) name =
+  match List.find_opt (fun e -> e.Registry.e_name = name) (Registry.entries registry) with
+  | Some { Registry.e_metric = Counter c; _ } -> Counter.value c
+  | _ -> 0
+
+(* --- spans ------------------------------------------------------------- *)
+
+(* "core.build" -> "slicer_core_build_seconds". *)
+let metric_of_span name =
+  let mapped = String.map (fun c -> if c = '.' || c = '-' then '_' else c) name in
+  "slicer_" ^ mapped ^ "_seconds"
+
+module Smap = Map.Make (String)
+
+(* Lock-free lookup on the hot path: an immutable map behind an atomic,
+   CAS-published on the (rare) first use of a span name. Registration
+   idempotency guarantees racers resolve to the same histogram. *)
+let span_cache : Histogram.t Smap.t Atomic.t = Atomic.make Smap.empty
+
+let span_histogram name =
+  match Smap.find_opt name (Atomic.get span_cache) with
+  | Some h -> h
+  | None ->
+    let h = histogram ~help:("time in span " ^ name) (metric_of_span name) in
+    let rec publish () =
+      let old = Atomic.get span_cache in
+      if not (Smap.mem name old)
+         && not (Atomic.compare_and_set span_cache old (Smap.add name h old))
+      then publish ()
+    in
+    publish ();
+    h
+
+let span name f =
+  if not !enabled_flag then f ()
+  else begin
+    let h = span_histogram name in
+    let t0 = Unix.gettimeofday () in
+    match f () with
+    | r ->
+      Histogram.record_s h (Unix.gettimeofday () -. t0);
+      r
+    | exception exn ->
+      Histogram.record_s h (Unix.gettimeofday () -. t0);
+      raise exn
+  end
+
+(* --- exposition -------------------------------------------------------- *)
+
+module Export = struct
+  (* %.9g: enough digits to round-trip every bucket bound and count we
+     emit, few enough to stay deterministic across platforms. *)
+  let fmt_float x =
+    if Float.is_nan x then "NaN" else Printf.sprintf "%.9g" x
+
+  let json_escape s =
+    let buf = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  let to_prometheus ?(registry = Registry.default) () =
+    let buf = Buffer.create 4096 in
+    let header name help kind =
+      if help <> "" then Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name help);
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name kind)
+    in
+    List.iter
+      (fun { Registry.e_name = name; e_help = help; e_metric } ->
+        match e_metric with
+        | Counter c ->
+          header name help "counter";
+          Buffer.add_string buf (Printf.sprintf "%s %d\n" name (Counter.value c))
+        | Gauge g ->
+          header name help "gauge";
+          Buffer.add_string buf (Printf.sprintf "%s %d\n" name (Gauge.value g))
+        | Histogram h ->
+          let sn = Histogram.snapshot h in
+          let scale = Histogram.scale sn.Histogram.sn_units in
+          header name help "histogram";
+          let cum = ref 0 in
+          Array.iter
+            (fun (bound, n) ->
+              cum := !cum + n;
+              Buffer.add_string buf
+                (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" name
+                   (fmt_float (float_of_int bound *. scale))
+                   !cum))
+            sn.Histogram.sn_buckets;
+          Buffer.add_string buf
+            (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" name sn.Histogram.sn_count);
+          Buffer.add_string buf
+            (Printf.sprintf "%s_sum %s\n" name
+               (fmt_float (float_of_int sn.Histogram.sn_sum *. scale)));
+          Buffer.add_string buf (Printf.sprintf "%s_count %d\n" name sn.Histogram.sn_count))
+      (Registry.entries registry);
+    Buffer.contents buf
+
+  let to_json ?(registry = Registry.default) () =
+    let buf = Buffer.create 4096 in
+    let entries = Registry.entries registry in
+    let pick f = List.filter_map f entries in
+    let counters =
+      pick (fun e -> match e.Registry.e_metric with
+        | Counter c -> Some (e.Registry.e_name, Counter.value c)
+        | _ -> None)
+    in
+    let gauges =
+      pick (fun e -> match e.Registry.e_metric with
+        | Gauge g -> Some (e.Registry.e_name, Gauge.value g)
+        | _ -> None)
+    in
+    let hists =
+      pick (fun e -> match e.Registry.e_metric with
+        | Histogram h -> Some (e.Registry.e_name, Histogram.snapshot h)
+        | _ -> None)
+    in
+    let scalar_obj kvs =
+      String.concat ", "
+        (List.map (fun (k, v) -> Printf.sprintf "\"%s\": %d" (json_escape k) v) kvs)
+    in
+    Buffer.add_string buf "{\n";
+    Buffer.add_string buf (Printf.sprintf "  \"counters\": {%s},\n" (scalar_obj counters));
+    Buffer.add_string buf (Printf.sprintf "  \"gauges\": {%s},\n" (scalar_obj gauges));
+    Buffer.add_string buf "  \"histograms\": {";
+    List.iteri
+      (fun i (name, sn) ->
+        let scale = Histogram.scale sn.Histogram.sn_units in
+        if i > 0 then Buffer.add_string buf ",";
+        let q p = fmt_float (Histogram.quantile sn p *. scale) in
+        let buckets =
+          String.concat ", "
+            (Array.to_list
+               (Array.map
+                  (fun (bound, n) ->
+                    Printf.sprintf "[%s, %d]" (fmt_float (float_of_int bound *. scale)) n)
+                  sn.Histogram.sn_buckets))
+        in
+        Buffer.add_string buf
+          (Printf.sprintf
+             "\n    \"%s\": {\"count\": %d, \"sum\": %s, \"p50\": %s, \"p95\": %s, \"p99\": %s, \"buckets\": [%s]}"
+             (json_escape name) sn.Histogram.sn_count
+             (fmt_float (float_of_int sn.Histogram.sn_sum *. scale))
+             (q 0.5) (q 0.95) (q 0.99) buckets))
+      hists;
+    if hists <> [] then Buffer.add_string buf "\n  ";
+    Buffer.add_string buf "}\n}\n";
+    Buffer.contents buf
+
+  let rec ensure_dir dir =
+    if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+      ensure_dir (Filename.dirname dir);
+      try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+
+  let ensure_parent path = ensure_dir (Filename.dirname path)
+
+  let write_file path content =
+    ensure_parent path;
+    let oc = open_out path in
+    output_string oc content;
+    close_out oc
+end

@@ -1,0 +1,139 @@
+(** Metrics, phase tracing and exposition for the Slicer pipeline.
+
+    One process-global registry of named instruments — counters, gauges
+    and HDR-style latency histograms — all backed by per-domain sharded
+    [Atomic.t] cells so the fork-join pool and the thread-per-connection
+    server record without contention, and all totals stay {e exact}.
+
+    Phase timing uses {!span}: [span "core.build" f] runs [f] and
+    records its wall time into the histogram
+    ["slicer_core_build_seconds"] (dots map to underscores, a
+    [slicer_] prefix and [_seconds] suffix are added). Recording costs
+    O(100 ns); with {!set_enabled}[ false] the whole layer collapses to
+    a load-and-branch.
+
+    Snapshots export as Prometheus text or JSON via {!Export}. *)
+
+val set_enabled : bool -> unit
+(** Globally enable/disable all recording (default: enabled). Disabled
+    instruments still expose their last totals. *)
+
+val enabled : unit -> bool
+
+module Counter : sig
+  type t
+
+  val add : t -> int -> unit
+  val incr : t -> unit
+
+  val value : t -> int
+  (** Exact sum over all shards. *)
+end
+
+module Gauge : sig
+  type t
+
+  val set : t -> int -> unit
+  val add : t -> int -> unit
+  val value : t -> int
+end
+
+module Summary : sig
+  val percentile : float array -> float -> float
+  (** [percentile sorted p] — nearest-rank percentile ([p] in percent,
+      e.g. [95.]) over an already-sorted array; [nan] when empty. The
+      exact formula the load driver reports. *)
+end
+
+module Histogram : sig
+  type t
+
+  (** What the recorded ints denote, and hence the export scale:
+      [Seconds] histograms record nanoseconds and export seconds;
+      [Raw] histograms export values unscaled (e.g. gas). *)
+  type units = Seconds | Raw
+
+  val units : t -> units
+
+  val record : t -> int -> unit
+  (** Record one non-negative observation (ns or raw units); negative
+      values clamp to 0. Lock-free, allocation-free. *)
+
+  val record_s : t -> float -> unit
+  (** Record a duration given in seconds (stored as ns). *)
+
+  val merge_into : src:t -> dst:t -> unit
+  (** Fold [src]'s observations into [dst] — snapshot-equivalent to
+      having recorded everything into [dst] directly. Raises
+      [Invalid_argument] on a units mismatch. *)
+
+  type snapshot = {
+    sn_units : units;
+    sn_count : int;
+    sn_sum : int;                   (** raw units: ns or gas *)
+    sn_buckets : (int * int) array; (** (inclusive upper bound, count), non-empty only *)
+  }
+
+  val snapshot : t -> snapshot
+
+  val quantile : snapshot -> float -> float
+  (** Nearest-rank quantile ([q] in [0, 1]) in raw units: the upper
+      bound of the bucket holding that rank (≤ ~6% relative error);
+      [nan] when empty. *)
+
+  val bucket_of : int -> int
+  (** Bucket index for a value (log-linear, 16 sub-buckets/octave). *)
+
+  val bucket_bound : int -> int
+  (** Inclusive upper bound of a bucket index. *)
+end
+
+module Registry : sig
+  type t
+
+  val create : unit -> t
+  (** A fresh, empty registry (for tests). *)
+
+  val default : t
+  (** The process-global registry every instrument lands in unless told
+      otherwise. *)
+end
+
+val counter : ?registry:Registry.t -> ?help:string -> string -> Counter.t
+(** Get-or-create: the first registration under a name wins; later
+    calls return the same instrument, so independent modules can share
+    a counter by name. Raises [Invalid_argument] if the name is
+    registered as a different kind. *)
+
+val gauge : ?registry:Registry.t -> ?help:string -> string -> Gauge.t
+
+val histogram :
+  ?registry:Registry.t -> ?help:string -> ?units:Histogram.units -> string -> Histogram.t
+
+val counter_value : ?registry:Registry.t -> string -> int
+(** Current value of a registered counter, 0 if absent. *)
+
+val metric_of_span : string -> string
+(** ["core.build"] → ["slicer_core_build_seconds"]. *)
+
+val span : string -> (unit -> 'a) -> 'a
+(** [span name f] times [f ()] (exceptions included) into the histogram
+    {!metric_of_span}[ name] in the default registry. When disabled,
+    runs [f] directly. *)
+
+module Export : sig
+  val to_prometheus : ?registry:Registry.t -> unit -> string
+  (** Prometheus text exposition: entries sorted by name; histograms as
+      cumulative [_bucket{le="..."}] lines (non-empty buckets plus
+      [+Inf]) with [_sum]/[_count]. Deterministic for a given state. *)
+
+  val to_json : ?registry:Registry.t -> unit -> string
+  (** JSON snapshot: [{"counters": {...}, "gauges": {...},
+      "histograms": {name: {count, sum, p50, p95, p99, buckets}}}]. *)
+
+  val ensure_parent : string -> unit
+  (** Create the parent directories of a path if missing. *)
+
+  val write_file : string -> string -> unit
+  (** Write [content] to [path], creating parent directories first. *)
+end

@@ -183,7 +183,8 @@ let sample_requests =
        Wire.Insert
          { client = "owner"; request_id = "owner#2";
            shipment; trapdoor = Owner.export_trapdoor_state owner };
-       Wire.Ping ])
+       Wire.Ping;
+       Wire.Stats ])
 
 let trapdoor_list (t : Owner.trapdoor_state) =
   List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t [])
@@ -197,6 +198,7 @@ let check_request_roundtrip (req : Wire.request) =
     (match (req, req') with
      | Wire.Hello a, Wire.Hello b -> Alcotest.(check string) "client" a.client b.client
      | Wire.Ping, Wire.Ping -> ()
+     | Wire.Stats, Wire.Stats -> ()
      | Wire.Search a, Wire.Search b ->
        Alcotest.(check string) "client" a.client b.client;
        Alcotest.(check string) "request id" a.request_id b.request_id;
@@ -265,6 +267,8 @@ let test_response_roundtrips () =
       | None -> Alcotest.fail "simple response did not round-trip")
     [ Wire.Pong;
       Wire.Accepted { generation = 3 };
+      Wire.Stats_reply { st_json = "{\"counters\": {}}"; st_text = "# TYPE x counter\nx 1\n" };
+      Wire.Stats_reply { st_json = ""; st_text = "" };
       Wire.Refused { code = Wire.Busy; detail = "over capacity" };
       Wire.Refused { code = Wire.Bad_request; detail = "" };
       Wire.Refused { code = Wire.Not_ready; detail = "no database" };
@@ -283,17 +287,17 @@ let codec_corruption_props =
        |> List.map (fun payload -> Net.Frame.encode ~tag:Wire.request_tag payload))
   in
   [ prop "framed messages: bit flips rejected" ~count:300
-      QCheck2.Gen.(pair (int_range 0 5) nat)
+      QCheck2.Gen.(pair (int_range 0 6) nat)
       (fun (which, bit) ->
         let frame = List.nth (Lazy.force framed) which in
         Result.is_error (Net.Frame.decode (flip_bit frame bit)));
     prop "framed messages: truncation rejected" ~count:150
-      QCheck2.Gen.(pair (int_range 0 5) nat)
+      QCheck2.Gen.(pair (int_range 0 6) nat)
       (fun (which, cut) ->
         let frame = List.nth (Lazy.force framed) which in
         Result.is_error (Net.Frame.decode (String.sub frame 0 (cut mod String.length frame))));
     prop "framed messages: length lies rejected" ~count:150
-      QCheck2.Gen.(pair (int_range 0 5) (int_range 6 9))
+      QCheck2.Gen.(pair (int_range 0 6) (int_range 6 9))
       (fun (which, len_byte) ->
         let frame = Bytes.of_string (List.nth (Lazy.force framed) which) in
         Bytes.set frame len_byte
@@ -302,13 +306,13 @@ let codec_corruption_props =
     (* Below the frame (no checksum): decoders must never raise, on any
        input, and mutations of valid encodings must decode all-or-nothing. *)
     prop "bare codecs never raise" ~count:400
-      QCheck2.Gen.(pair (int_range 0 6) (pair nat (string_size (int_range 0 80))))
+      QCheck2.Gen.(pair (int_range 0 7) (pair nat (string_size (int_range 0 80))))
       (fun (which, (bit, garbage)) ->
         let reqs = Lazy.force sample_requests in
         let subject =
           if which < List.length reqs then
             flip_bit (Wire.encode_request (List.nth reqs which)) bit
-          else if which = 5 then flip_bit (Wire.encode_response (Lazy.force sample_found)) bit
+          else if which = 6 then flip_bit (Wire.encode_response (Lazy.force sample_found)) bit
           else garbage
         in
         ignore (Wire.decode_request subject);
@@ -502,6 +506,37 @@ let test_idempotent_build_and_insert () =
         | _ -> Alcotest.fail "post-retry search was not paid: primes corrupted?")
      | _ -> Alcotest.fail "post-retry search refused")
   | _ -> Alcotest.fail "hello refused"
+
+let test_stats_counters_advance () =
+  (* A retried Search through the service moves the Obs counters the
+     way the admin endpoint reports: 2 requests, 1 settlement, 1
+     idempotent replay. *)
+  let svc = Lazy.force service in
+  let m = Lazy.force mirror_system in
+  (match Net.Service.handle svc (Wire.Hello { client = "stats-user" }) with
+   | Wire.Welcome _ -> ()
+   | _ -> Alcotest.fail "hello refused");
+  let tokens =
+    User.gen_tokens ~rng:(Protocol.rng m) (Protocol.user m) (q 12 Slicer_types.Gt)
+  in
+  let req =
+    Wire.Search { client = "stats-user"; request_id = "stats-user#1"; batched = false; tokens }
+  in
+  let requests0 = Obs.counter_value "slicer_net_requests_total" in
+  let settled0 = Obs.counter_value "slicer_net_searches_settled_total" in
+  let replays0 = Obs.counter_value "slicer_net_idempotent_replays_total" in
+  (match Net.Service.handle svc req with
+   | Wire.Found _ -> ()
+   | _ -> Alcotest.fail "search refused");
+  (match Net.Service.handle svc req with
+   | Wire.Found _ -> ()
+   | _ -> Alcotest.fail "retry refused");
+  Alcotest.(check int) "both attempts counted as requests" (requests0 + 2)
+    (Obs.counter_value "slicer_net_requests_total");
+  Alcotest.(check int) "settled exactly once" (settled0 + 1)
+    (Obs.counter_value "slicer_net_searches_settled_total");
+  Alcotest.(check int) "the retry counted as a replay" (replays0 + 1)
+    (Obs.counter_value "slicer_net_idempotent_replays_total")
 
 let test_service_refusals () =
   let empty = Net.Service.create () in
@@ -837,6 +872,50 @@ let test_read_timeout_kicks_idlers () =
           | Ok _ -> Alcotest.fail "idle connection answered?"
           | Error e -> Alcotest.failf "expected server hangup, got %s" (Net.Frame.error_to_string e)))
 
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let test_stats_over_the_wire () =
+  (* The admin endpoint end to end: an unprovisioned client scrapes the
+     live server and gets back both encodings of the same registry. *)
+  ignore (Lazy.force server);
+  match Net.Client.connect ~name:"stats-scrape" ~provision:false (endpoint ()) with
+  | Error e -> Alcotest.failf "connect: %s" (Net.Client.error_to_string e)
+  | Ok c ->
+    let r = Net.Client.stats c in
+    Net.Client.close c;
+    (match r with
+     | Error e -> Alcotest.failf "stats: %s" (Net.Client.error_to_string e)
+     | Ok (st_json, st_text) ->
+       Alcotest.(check bool) "prometheus text names the settled counter" true
+         (contains st_text "slicer_net_searches_settled_total");
+       Alcotest.(check bool) "frame traffic is visible" true
+         (contains st_text "slicer_net_bytes_in_total");
+       Alcotest.(check bool) "json is a snapshot object" true
+         (String.length st_json > 0 && st_json.[0] = '{' && contains st_json "\"histograms\"");
+       (* The scrape itself rode the counted transport: a second scrape
+          must observe strictly more inbound bytes. *)
+       (match Net.Client.connect ~name:"stats-scrape-2" ~provision:false (endpoint ()) with
+        | Error e -> Alcotest.failf "reconnect: %s" (Net.Client.error_to_string e)
+        | Ok c2 ->
+          let r2 = Net.Client.stats c2 in
+          Net.Client.close c2;
+          (match r2 with
+           | Error e -> Alcotest.failf "second stats: %s" (Net.Client.error_to_string e)
+           | Ok (_, st_text2) ->
+             let v text =
+               String.split_on_char '\n' text
+               |> List.find_map (fun line ->
+                      match String.split_on_char ' ' line with
+                      | [ n; x ] when n = "slicer_net_bytes_in_total" -> int_of_string_opt x
+                      | _ -> None)
+               |> Option.value ~default:0
+             in
+             Alcotest.(check bool) "bytes_in advanced between scrapes" true
+               (v st_text2 > v st_text && v st_text > 0))))
+
 let () =
   Alcotest.run "net"
     [ ( "frame",
@@ -858,6 +937,8 @@ let () =
             test_replay_confined_to_client;
           Alcotest.test_case "idempotent build and insert" `Quick
             test_idempotent_build_and_insert;
+          Alcotest.test_case "stats counters advance across a retry" `Quick
+            test_stats_counters_advance;
           Alcotest.test_case "structured refusals" `Quick test_service_refusals ] );
       ( "loopback",
         [ Alcotest.test_case "concurrent clients match Protocol.search" `Quick
@@ -870,4 +951,5 @@ let () =
           Alcotest.test_case "kill and restart mid-load" `Quick test_kill_restart_mid_load;
           Alcotest.test_case "build and insert over the wire" `Quick
             test_build_and_insert_over_the_wire;
-          Alcotest.test_case "read timeout kicks idlers" `Quick test_read_timeout_kicks_idlers ] ) ]
+          Alcotest.test_case "read timeout kicks idlers" `Quick test_read_timeout_kicks_idlers;
+          Alcotest.test_case "stats over the wire" `Quick test_stats_over_the_wire ] ) ]
