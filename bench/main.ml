@@ -17,7 +17,7 @@
 let usage () =
   print_endline
     "usage: main.exe [--scale smoke|default|full] [--full] [--domains N] [--json FILE]\n\
-    \       [fig3|fig4|fig5|fig6|fig7|table1|table2|ablation|micro|load|all]";
+    \       [fig3|fig4|fig5|fig6|fig7|table1|table2|ablation|micro|load|recover|all]";
   exit 1
 
 let () =
@@ -67,6 +67,7 @@ let () =
     | "ablation" -> Ablation.run ()
     | "micro" -> Bechamel_suite.run ()
     | "load" -> Fig_load.run scale
+    | "recover" -> Fig_recover.run scale
     | "all" ->
       Tables.table1 ();
       Tables.table2 ();
@@ -74,6 +75,7 @@ let () =
       Fig_search.run scale;
       Fig_insert.run scale;
       Fig_load.run scale;
+      Fig_recover.run scale;
       Ablation.run ();
       Bechamel_suite.run ()
     | other ->

@@ -80,6 +80,24 @@ let setup_logs level verbose =
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (if verbose then Some Logs.Debug else level)
 
+let state_dir_arg =
+  let doc = "Durable state directory (WAL + snapshots). On startup the \
+             server recovers from it — newest valid snapshot plus WAL \
+             tail — and refuses to serve if the recovered accumulator \
+             disagrees with the on-chain $(i,Ac). Without this flag all \
+             state is in-memory and dies with the process." in
+  Arg.(value & opt (some string) None & info [ "state-dir" ] ~docv:"DIR" ~doc)
+
+let snapshot_bytes_arg =
+  let doc = "Take an atomic state snapshot (and truncate the WAL) every \
+             time the log exceeds $(docv) bytes." in
+  Arg.(value & opt int (4 * 1024 * 1024) & info [ "snapshot-bytes" ] ~docv:"BYTES" ~doc)
+
+let no_fsync_arg =
+  let doc = "Skip fsync barriers on the WAL and snapshots (benchmarks \
+             only: a crash can lose recent events)." in
+  Arg.(value & flag & info [ "no-fsync" ] ~doc)
+
 let metrics_dump_arg =
   let doc = "Every metrics interval (and at shutdown), write the metrics \
              registry snapshot to $(docv) — Prometheus text if it ends in \
@@ -113,28 +131,62 @@ let log_snapshot () =
         (Obs.counter_value "slicer_net_bytes_out_total")
         (Obs.counter_value "slicer_chain_gas_total"))
 
+let self_seed ~seed ~records ~width ~payment =
+  Printf.printf "self-seeding %d records (width %d, seed %S)...\n%!" records width seed;
+  let rng = Drbg.create ~seed:(seed ^ ":data") in
+  let db = Gen.uniform_records ~rng ~width records in
+  let system = Protocol.setup ~width ~payment ~seed db in
+  Cloud.precompute_witnesses (Protocol.cloud system);
+  Net.Service.of_protocol system
+
 let run host port socket seed records width payment domains read_timeout max_inflight verbose
-    log_level metrics_dump metrics_interval no_metrics =
+    log_level state_dir snapshot_bytes no_fsync metrics_dump metrics_interval no_metrics =
   setup_logs log_level verbose;
   Obs.set_enabled (not no_metrics);
   if domains < 1 then `Error (false, "--domains must be >= 1")
   else if records < 0 then `Error (false, "--records must be >= 0")
+  else if snapshot_bytes < 1 then `Error (false, "--snapshot-bytes must be >= 1")
   else begin
     Parallel.set_domains domains;
-    let service =
-      if records = 0 then begin
-        Printf.printf "starting empty: awaiting an owner Build shipment\n%!";
-        Net.Service.create ()
-      end
-      else begin
-        Printf.printf "self-seeding %d records (width %d, seed %S)...\n%!" records width seed;
-        let rng = Drbg.create ~seed:(seed ^ ":data") in
-        let db = Gen.uniform_records ~rng ~width records in
-        let system = Protocol.setup ~width ~payment ~seed db in
-        Cloud.precompute_witnesses (Protocol.cloud system);
-        Net.Service.of_protocol system
-      end
+    let service_or_error =
+      match state_dir with
+      | None ->
+        if records = 0 then begin
+          Printf.printf "starting empty: awaiting an owner Build shipment\n%!";
+          Ok (Net.Service.create ())
+        end
+        else Ok (self_seed ~seed ~records ~width ~payment)
+      | Some dir ->
+        let cfg = { Store.dir; fsync = not no_fsync; snapshot_bytes } in
+        (match Net.Service.recover cfg with
+         | Error e -> Error (Printf.sprintf "recovery from %s failed: %s" dir e)
+         | Ok (svc, stats) ->
+           if Net.Service.built svc then begin
+             Printf.printf
+               "recovered from %s: snapshot=%b, %d events replayed%s, generation %d\n%!" dir
+               stats.Net.Service.rs_snapshot stats.Net.Service.rs_replayed
+               (if stats.Net.Service.rs_dropped_tail then " (torn tail discarded)" else "")
+               (Net.Service.generation svc);
+             Ok svc
+           end
+           else if records = 0 then begin
+             Printf.printf "starting empty (durable in %s): awaiting an owner Build shipment\n%!" dir;
+             Ok svc
+           end
+           else begin
+             (* Fresh state dir + --records: seed once, then hand the
+                store to the seeded service, whose attach checkpoint
+                makes the seed durable. *)
+             let seeded = self_seed ~seed ~records ~width ~payment in
+             (match Net.Service.store svc with
+              | Some store -> Net.Service.attach_store seeded store
+              | None -> ());
+             Ok seeded
+           end)
     in
+    match service_or_error with
+    | Error msg -> `Error (false, msg)
+    | Ok service ->
     let endpoint =
       match socket with
       | Some path -> Net.Server.Unix_socket path
@@ -152,12 +204,14 @@ let run host port socket seed records width payment domains read_timeout max_inf
     let stop_now _ = stopping := true in
     Sys.set_signal Sys.sigint (Sys.Signal_handle stop_now);
     Sys.set_signal Sys.sigterm (Sys.Signal_handle stop_now);
-    let last_snapshot = ref (Unix.gettimeofday ()) in
+    (* Monotonic interval arithmetic: an NTP step must not burst or
+       starve the snapshot cadence. *)
+    let last_snapshot = ref (Obs.Clock.now ()) in
     while not !stopping do
       Unix.sleepf 0.2;
-      if metrics_interval > 0. && Unix.gettimeofday () -. !last_snapshot >= metrics_interval
+      if metrics_interval > 0. && Obs.Clock.now () -. !last_snapshot >= metrics_interval
       then begin
-        last_snapshot := Unix.gettimeofday ();
+        last_snapshot := Obs.Clock.now ();
         log_snapshot ();
         Option.iter dump_metrics metrics_dump
       end
@@ -168,6 +222,7 @@ let run host port socket seed records width payment domains read_timeout max_inf
       (Net.Server.connections_served server)
       (Net.Server.requests_served server);
     Net.Server.stop server;
+    Option.iter Store.close (Net.Service.store service);
     `Ok ()
   end
 
@@ -181,6 +236,7 @@ let cmd =
       ret
         (const run $ host_arg $ port_arg $ socket_arg $ seed_arg $ records_arg $ width_arg
        $ payment_arg $ domains_arg $ read_timeout_arg $ max_inflight_arg $ verbose_arg
-       $ log_level_arg $ metrics_dump_arg $ metrics_interval_arg $ no_metrics_arg))
+       $ log_level_arg $ state_dir_arg $ snapshot_bytes_arg $ no_fsync_arg
+       $ metrics_dump_arg $ metrics_interval_arg $ no_metrics_arg))
 
 let () = exit (Cmd.eval cmd)

@@ -39,6 +39,9 @@ let create ~validators =
 
 let state t = t.vm_state
 
+let validator_names t =
+  Array.to_list (Array.map (fun v -> v.v_name) t.validators)
+
 let submit t txn = t.mempool <- txn :: t.mempool
 
 let head t = List.hd t.chain

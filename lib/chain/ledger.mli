@@ -15,6 +15,11 @@ val create : validators:string list -> t
 val state : t -> Vm.state
 (** The world state (read side; mutate only through transactions). *)
 
+val validator_names : t -> string list
+(** The validator names passed to {!create}, in sealing order — what a
+    state snapshot records so recovery rebuilds an identical sealer
+    rotation. *)
+
 val submit : t -> Vm.txn -> unit
 (** Queues a transaction in the mempool. *)
 

@@ -216,6 +216,15 @@ let contract ~modulus ~generator ~initial_ac =
 
 (* --- client-side helpers ---------------------------------------------- *)
 
+let restore ledger ~contract:addr ~modulus ~generator =
+  (* Recovery: put the contract definition back at its snapshotted
+     address without executing anything. The constructor closure never
+     runs — the restored storage already holds its effects — so the
+     [initial_ac] baked into it is irrelevant; the live [Ac] is the
+     [key_ac] storage cell. *)
+  let def = contract ~modulus ~generator ~initial_ac:Bigint.one in
+  Vm.install_contract (Ledger.state ledger) addr def
+
 let deploy ledger ~owner ~modulus ~generator ~initial_ac =
   let def = contract ~modulus ~generator ~initial_ac in
   let txn = Vm.make_deploy (Ledger.state ledger) ~sender:owner def [] in

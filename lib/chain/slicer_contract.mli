@@ -38,6 +38,14 @@ val contract : modulus:Bigint.t -> generator:Bigint.t -> initial_ac:Bigint.t -> 
 
 (** Client-side transaction builders. *)
 
+val restore :
+  Ledger.t -> contract:Vm.address -> modulus:Bigint.t -> generator:Bigint.t -> unit
+(** Recovery support: re-install the contract definition at its
+    snapshotted address via {!Vm.install_contract} — no transaction,
+    no constructor run. The caller must restore the contract's storage
+    (including the [ac] cell) separately; the live accumulation value
+    comes from storage, never from the closure. *)
+
 val deploy :
   Ledger.t -> owner:Vm.address -> modulus:Bigint.t -> generator:Bigint.t -> initial_ac:Bigint.t ->
   Vm.address * Vm.receipt

@@ -56,6 +56,47 @@ let move_value state ~from ~to_ amount =
     Ok ()
   end
 
+(* --- snapshot export / import ----------------------------------------- *)
+
+(* The durable store can't serialize [contract_def] (it holds
+   closures), so a snapshot carries the *materialized* world state —
+   accounts, storage cells — and the restorer re-installs each
+   contract's definition from code. These bypass the journal and gas:
+   they are only legal outside any transaction. *)
+
+let accounts state =
+  let addrs = Hashtbl.create 16 in
+  Hashtbl.iter (fun a _ -> Hashtbl.replace addrs a ()) state.balances;
+  Hashtbl.iter (fun a _ -> Hashtbl.replace addrs a ()) state.nonces;
+  Hashtbl.fold (fun a () acc -> (a, balance state a, nonce state a) :: acc) addrs []
+  |> List.sort compare
+
+let restore_account state addr ~balance ~nonce =
+  if state.journal <> None then invalid_arg "Vm.restore_account: inside a transaction";
+  Hashtbl.replace state.balances addr balance;
+  Hashtbl.replace state.nonces addr nonce
+
+let install_contract state addr def =
+  if state.journal <> None then invalid_arg "Vm.install_contract: inside a transaction";
+  Hashtbl.replace state.deployed addr def
+
+let storage_entries state addr =
+  match Hashtbl.find_opt state.storage addr with
+  | None -> []
+  | Some tbl -> Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare
+
+let restore_storage state addr entries =
+  if state.journal <> None then invalid_arg "Vm.restore_storage: inside a transaction";
+  let tbl =
+    match Hashtbl.find_opt state.storage addr with
+    | Some tbl -> tbl
+    | None ->
+      let tbl = Hashtbl.create 16 in
+      Hashtbl.replace state.storage addr tbl;
+      tbl
+  in
+  List.iter (fun (k, v) -> Hashtbl.replace tbl k v) entries
+
 (* --- contract-side operations ---------------------------------------- *)
 
 let storage_of state addr =

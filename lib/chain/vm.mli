@@ -43,6 +43,30 @@ val balance : state -> address -> int
 val nonce : state -> address -> int
 val contract_at : state -> address -> contract_def option
 
+(** {1 Snapshot export / import}
+
+    For the durable store: a snapshot carries the {e materialized}
+    world state — [contract_def] closures cannot be serialized, so the
+    restorer re-installs each contract's definition from code via
+    {!install_contract}. The restore functions bypass the journal and
+    gas metering and raise [Invalid_argument] inside a transaction. *)
+
+val accounts : state -> (address * int * int) list
+(** Every address with a balance or a nonce, as
+    [(address, balance, nonce)], deterministically sorted. *)
+
+val restore_account : state -> address -> balance:int -> nonce:int -> unit
+
+val install_contract : state -> address -> contract_def -> unit
+(** Place a contract definition at an address without running its
+    constructor (the snapshotted storage {e is} the constructor's plus
+    all later effects). *)
+
+val storage_entries : state -> address -> (string * string) list
+(** A contract's storage cells, deterministically sorted. *)
+
+val restore_storage : state -> address -> (string * string) list -> unit
+
 (** {1 Contract-side operations (metered, journaled)} *)
 
 val sload : ctx -> string -> string option

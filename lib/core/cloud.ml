@@ -52,6 +52,19 @@ let install t (sh : Owner.shipment) =
 let set_behavior t m = t.mode <- m
 let behavior t = t.mode
 
+(* Snapshot export: the merged view of every shipment installed so
+   far. [install]ing these as one synthetic shipment on a fresh cloud
+   reproduces the same index/primes/ac (snapshot-only granularity:
+   Stale_results' one-shipment lookback resets, which only affects the
+   misbehaviour demo, never honest state). *)
+let entries t =
+  let acc = ref [] in
+  Enc_index.iter (fun l d -> acc := (l, d) :: !acc) t.index;
+  List.sort compare !acc
+
+let primes t = t.primes
+let current_ac t = t.ac
+
 let precompute_witnesses t =
   let cache = Hashtbl.create (List.length t.primes) in
   List.iter

@@ -29,6 +29,21 @@ val install : t -> Owner.shipment -> unit
 val set_behavior : t -> misbehavior -> unit
 val behavior : t -> misbehavior
 
+(** {2 Snapshot export}
+
+    The merged view of every shipment installed so far — feeding these
+    back through {!install} as one synthetic shipment on a fresh cloud
+    reproduces the same index, prime multiset and [Ac]. *)
+
+val entries : t -> (string * string) list
+(** All index entries [(l, d)], deterministically sorted. *)
+
+val primes : t -> Bigint.t list
+(** The accumulated prime multiset, in installation order. *)
+
+val current_ac : t -> Bigint.t
+(** The accumulation value the cloud currently answers under. *)
+
 val search_one : t -> Slicer_types.search_token -> Slicer_contract.claim
 (** Algorithm 4 for a single token (with any configured misbehaviour
     applied). *)

@@ -41,6 +41,19 @@ let delete t records =
   List.iter (fun r -> Hashtbl.replace t.deleted r.Slicer_types.id ()) records
 
 let update t ~old_record record =
+  (* Validate *before* touching either instance: once [delete] has fed
+     the deletion index, a failing [insert] would leave the update
+     half-applied (old record gone, new one absent). With these checks
+     up front, [insert] can no longer fail after [delete] succeeds, so
+     an update is all-or-nothing. In particular a replayed old ID —
+     the natural "overwrite in place" mistake — is rejected here: the
+     paper forbids repeated IDs, so an update must carry a fresh one. *)
+  let old_id = old_record.Slicer_types.id and new_id = record.Slicer_types.id in
+  if String.equal new_id old_id then
+    invalid_arg
+      (Printf.sprintf "Dual.update: id %S replays the old record's ID — an update needs a fresh ID" new_id);
+  if Hashtbl.mem t.inserted new_id || Hashtbl.mem t.deleted new_id then
+    invalid_arg (Printf.sprintf "Dual.update: id %S already used" new_id);
   delete t [ old_record ];
   insert t [ record ]
 

@@ -29,7 +29,11 @@ val delete : t -> Slicer_types.record list -> unit
     fields differ from the inserted version, or it is already deleted. *)
 
 val update : t -> old_record:Slicer_types.record -> Slicer_types.record -> unit
-(** Delete + insert; the new record must carry a fresh ID. *)
+(** Delete + insert, atomically: the new ID is validated {e before}
+    either instance is touched, so a rejected update leaves no trace.
+    @raise Invalid_argument when the new record replays the old
+    record's ID or any already-used ID — updates must carry a fresh
+    ID (the paper forbids repeated IDs). *)
 
 val search : t -> Slicer_types.query -> search_outcome
 

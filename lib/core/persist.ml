@@ -158,14 +158,43 @@ let receipt_of_bytes s =
 
 (* --- files ------------------------------------------------------------------ *)
 
+(* Atomic + durable: bytes land in [path ^ ".tmp"], get fsynced, and
+   only then rename over [path]; the parent directory is fsynced so
+   the rename itself survives a crash. A reader therefore sees either
+   the old file or the new one — never a half-written hybrid, which is
+   exactly what the in-place [open_out_bin] this replaces produced
+   when the process died mid-write. *)
 let save ~path bytes =
-  let oc = open_out_bin path in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc bytes)
+  let tmp = path ^ ".tmp" in
+  let fd =
+    Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC; Unix.O_CLOEXEC ] 0o644
+  in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      let len = String.length bytes in
+      let off = ref 0 in
+      while !off < len do
+        off := !off + Unix.write_substring fd bytes !off (len - !off)
+      done;
+      Unix.fsync fd);
+  Unix.rename tmp path;
+  match Unix.openfile (Filename.dirname path) [ Unix.O_RDONLY; Unix.O_CLOEXEC ] 0 with
+  | dfd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close dfd with Unix.Unix_error _ -> ())
+      (fun () -> try Unix.fsync dfd with Unix.Unix_error _ -> ())
+  | exception Unix.Unix_error _ -> ()
 
 let load ~path =
-  match open_in_bin path with
-  | ic ->
+  (* [None] on *any* read failure: [Sys_error] on open/read, but also
+     [End_of_file] when the file shrinks between [in_channel_length]
+     and the read — a window the old code let escape as an exception. *)
+  match
+    let ic = open_in_bin path in
     Fun.protect
-      ~finally:(fun () -> close_in ic)
-      (fun () -> Some (really_input_string ic (in_channel_length ic)))
-  | exception Sys_error _ -> None
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | bytes -> Some bytes
+  | exception (Sys_error _ | End_of_file) -> None

@@ -37,7 +37,11 @@ val receipt_to_bytes : Vm.receipt -> string
 val receipt_of_bytes : string -> Vm.receipt option
 
 val save : path:string -> string -> unit
-(** Writes bytes to a file (truncating). *)
+(** Atomically and durably replaces the file at [path]: bytes are
+    written to [path ^ ".tmp"], fsynced, renamed into place, and the
+    parent directory fsynced. A crash at any point leaves the previous
+    contents (or the previous absence) intact — never a torn file. *)
 
 val load : path:string -> string option
-(** Reads a whole file; [None] when unreadable. *)
+(** Reads a whole file; [None] on {e any} read failure — missing file,
+    permission error, or the file shrinking mid-read. *)

@@ -234,9 +234,9 @@ let connect ?(config = default_config) ?name ?(provision = true) endpoint =
 let refresh t = hello t
 
 let ping t =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Obs.Clock.now () in
   match rpc t Wire.Ping with
-  | Ok Wire.Pong -> Ok (Unix.gettimeofday () -. t0)
+  | Ok Wire.Pong -> Ok (Obs.Clock.now () -. t0)
   | Ok _ -> Error (Bad_reply "expected a pong")
   | Error e -> Error e
 

@@ -98,7 +98,7 @@ let write fd ~tag payload =
   Obs.Counter.add c_bytes_out total
 
 (* Reads exactly [n] more bytes into [buf] at [off], respecting the
-   absolute [deadline] (None = block indefinitely). *)
+   absolute monotonic [deadline] (None = block indefinitely). *)
 let read_exact fd buf off n deadline =
   let rec go off n =
     if n = 0 then Ok ()
@@ -107,7 +107,7 @@ let read_exact fd buf off n deadline =
         match deadline with
         | None -> `Ready
         | Some d ->
-          let remaining = d -. Unix.gettimeofday () in
+          let remaining = d -. Obs.Clock.now () in
           if remaining <= 0. then `Expired
           else (match Unix.select [ fd ] [] [] remaining with
                 | [ _ ], _, _ -> `Ready
@@ -130,7 +130,9 @@ let read_exact fd buf off n deadline =
   go off n
 
 let read_inner ?(max_payload = default_max_payload) ?timeout fd =
-  let deadline = Option.map (fun t -> Unix.gettimeofday () +. t) timeout in
+  (* Deadlines are monotonic-clock absolute: an NTP step must not fire
+     (or indefinitely defer) an in-flight read timeout. *)
+  let deadline = Option.map (fun t -> Obs.Clock.now () +. t) timeout in
   let header = Bytes.create header_bytes in
   match read_exact fd header 0 header_bytes deadline with
   | Error e -> Error e

@@ -37,6 +37,11 @@ type t = {
   max_cached_replies : int;
   faucet : int;
   mutable settled : int;
+  (* Durable state ([attach_store]/[recover]): while attached, every
+     effectful event is journaled under [lock] — so WAL order is
+     mutation order — and group-commit synced before the reply leaves
+     [handle]. [None] (the default) = the pre-PR-5 in-memory service. *)
+  mutable store : Store.t option;
 }
 
 let create ?(max_cached_replies = 8192) ?(faucet = 100_000_000) () =
@@ -47,7 +52,8 @@ let create ?(max_cached_replies = 8192) ?(faucet = 100_000_000) () =
     reply_order = Queue.create ();
     max_cached_replies;
     faucet;
-    settled = 0 }
+    settled = 0;
+    store = None }
 
 let of_protocol ?max_cached_replies ?faucet p =
   let t = create ?max_cached_replies ?faucet () in
@@ -72,6 +78,8 @@ let searches_settled t = t.settled
 
 let station t = Option.map (fun b -> b.b_station) t.state
 
+let store t = t.store
+
 let refused code detail = Wire.Refused { code; detail }
 
 (* Collision-free composite key: [concat] length-prefixes each piece,
@@ -91,6 +99,31 @@ let cache_reply t key reply =
 let cached_reply t ~client ~request_id =
   Hashtbl.find_opt t.replies (reply_key ~client ~request_id)
 
+(* WAL event taxonomy. Payloads are the raw [Wire] request bytes
+   (except Register, which carries just the client name): the service
+   is deterministic, so replaying the requests that took effect — in
+   lock order — reproduces the state, idempotency cache included.
+   [tag_delete] is reserved but unreachable: Dual-instance deletion
+   exists in lib/core yet has no Wire message (see DESIGN.md §8) —
+   the tag names the slot without pretending the path exists. *)
+let tag_register = 1
+let tag_build = 2
+let tag_insert = 3
+let tag_search = 4
+let tag_delete = 5
+
+let _ = tag_delete
+
+(* Journal one effectful event. Only called on the fresh-effect paths
+   — never on a cache replay, or recovery would apply the effect
+   twice — and always under [t.lock], so WAL order is effect order.
+   During [recover]'s replay the store is not yet attached, hence no
+   re-journaling. *)
+let journal t ~tag payload =
+  match t.store with
+  | None -> ()
+  | Some store -> ignore (Store.append store ~tag payload)
+
 let user_address t b client =
   match Hashtbl.find_opt t.users client with
   | Some addr -> addr
@@ -98,6 +131,7 @@ let user_address t b client =
     let addr = Vm.address_of_name ("slicer-net:user:" ^ client) in
     Vm.fund (Ledger.state (Station.ledger b.b_station)) addr t.faucet;
     Hashtbl.replace t.users client addr;
+    journal t ~tag:tag_register client;
     Log.info (fun m -> m "registered user %S (%a)" client Vm.pp_address addr);
     addr
 
@@ -118,7 +152,7 @@ let provision t b client =
       pv_user_addr = addr;
       pv_ac = ac }
 
-let do_search t b ~client ~request_id ~batched tokens =
+let do_search t b ~req ~client ~request_id ~batched tokens =
   (* Registration first: the cache must be unreachable to un-helloed
      peers, or a stranger could replay someone else's settled reply. *)
   match Hashtbl.find_opt t.users client with
@@ -160,6 +194,7 @@ let do_search t b ~client ~request_id ~batched tokens =
                 sr_receipt = se_receipt;
                 sr_ac = ac }
           in
+          journal t ~tag:tag_search (Wire.encode_request req);
           cache_reply t (reply_key ~client ~request_id) reply;
           reply))
 
@@ -207,6 +242,7 @@ let do_build t req =
               m "built from wire shipment: %d index entries, deploy gas %d"
                 (List.length shipment.Owner.sh_entries) receipt.Vm.r_gas_used);
           let reply = Wire.Accepted { generation = 1 } in
+          journal t ~tag:tag_build (Wire.encode_request req);
           cache_reply t (reply_key ~client ~request_id) reply;
           reply))
   | _ -> assert false
@@ -222,9 +258,9 @@ let handle_locked t req =
   | (Wire.Build _, _) -> do_build t req
   | (_, None) -> refused Wire.Not_ready "no database: awaiting the owner's Build shipment"
   | (Wire.Hello { client }, Some b) -> provision t b client
-  | (Wire.Search { client; request_id; batched; tokens }, Some b) ->
-    do_search t b ~client ~request_id ~batched tokens
-  | (Wire.Insert { client; request_id; shipment; trapdoor }, Some b) ->
+  | ((Wire.Search { client; request_id; batched; tokens } as req), Some b) ->
+    do_search t b ~req ~client ~request_id ~batched tokens
+  | ((Wire.Insert { client; request_id; shipment; trapdoor } as req), Some b) ->
     (match cached_reply t ~client ~request_id with
      | Some cached ->
        (* Applied already, response frame lost: replaying the accept is
@@ -244,16 +280,302 @@ let handle_locked t req =
               m "insert shipment applied: %d entries, generation %d, gas %d"
                 (List.length shipment.Owner.sh_entries) b.b_generation receipt.Vm.r_gas_used);
           let reply = Wire.Accepted { generation = b.b_generation } in
+          journal t ~tag:tag_insert (Wire.encode_request req);
           cache_reply t (reply_key ~client ~request_id) reply;
           reply))
 
-let handle t req =
-  Obs.Counter.incr c_requests;
+(* --- durable state: snapshot codec, recovery, barriers ----------------- *)
+
+let ( let* ) = Option.bind
+
+let snap_magic_built = "slicer-service-built-v1"
+let snap_magic_empty = "slicer-service-empty-v1"
+
+(* The snapshot is the *materialized* behavioral state, not chain
+   history: [Vm.contract_def] holds closures and blocks hold txn
+   payloads, neither serializable. Everything observable through the
+   wire protocol is covered — provisioning parameters, the merged
+   cloud view (index entries, prime multiset, Ac), chain accounts and
+   the contract's storage cells, registered users, and the idempotency
+   cache in FIFO order. Restoring re-installs the contract definition
+   from code at its old address without running the constructor. *)
+let encode_snapshot t =
+  match t.state with
+  | None -> Bytesutil.concat [ snap_magic_empty ]
+  | Some b ->
+    let st = b.b_station in
+    let cloud = Station.cloud st in
+    let ledger = Station.ledger st in
+    let vmst = Ledger.state ledger in
+    let contract = Station.contract st in
+    let users =
+      Hashtbl.fold (fun name _ acc -> name :: acc) t.users [] |> List.sort compare
+    in
+    let replies =
+      Queue.fold (fun acc key -> key :: acc) [] t.reply_order
+      |> List.rev
+      |> List.concat_map (fun key ->
+             match Hashtbl.find_opt t.replies key with
+             | Some resp -> [ key; Wire.encode_response resp ]
+             | None -> [])
+    in
+    Bytesutil.concat
+      [ snap_magic_built;
+        string_of_int b.b_width;
+        string_of_int b.b_payment;
+        string_of_int b.b_generation;
+        string_of_int t.settled;
+        Bigint.to_bytes_be b.b_acc.Rsa_acc.modulus;
+        Bigint.to_bytes_be b.b_acc.Rsa_acc.generator;
+        Bigint.to_bytes_be b.b_user_keys.Keys.u_tdp_public.Rsa_tdp.pn;
+        Bigint.to_bytes_be b.b_user_keys.Keys.u_tdp_public.Rsa_tdp.e;
+        b.b_user_keys.Keys.u_k;
+        b.b_user_keys.Keys.u_k_r;
+        b.b_owner_addr;
+        contract;
+        Station.cloud_addr st;
+        Bytesutil.concat (Ledger.validator_names ledger);
+        Persist.trapdoor_state_to_bytes b.b_trapdoor;
+        Bytesutil.concat
+          (List.concat_map (fun (l, d) -> [ l; d ]) (Cloud.entries cloud));
+        Bytesutil.concat (List.map Bigint.to_bytes_be (Cloud.primes cloud));
+        Bigint.to_bytes_be (Cloud.current_ac cloud);
+        Bytesutil.concat
+          (List.concat_map
+             (fun (a, bal, n) -> [ a; string_of_int bal; string_of_int n ])
+             (Vm.accounts vmst));
+        Bytesutil.concat
+          (List.concat_map (fun (k, v) -> [ k; v ]) (Vm.storage_entries vmst contract));
+        Bytesutil.concat users;
+        Bytesutil.concat replies ]
+
+let rec pairs_of = function
+  | [] -> Some []
+  | a :: b :: rest ->
+    let* tail = pairs_of rest in
+    Some ((a, b) :: tail)
+  | [ _ ] -> None
+
+let rec account_triples = function
+  | [] -> Some []
+  | a :: bal :: n :: rest ->
+    let* bal = int_of_string_opt bal in
+    let* n = int_of_string_opt n in
+    let* tail = account_triples rest in
+    Some ((a, bal, n) :: tail)
+  | _ -> None
+
+let decode_snapshot ?max_cached_replies ?faucet bytes =
+  let* pieces = Bytesutil.split bytes in
+  match pieces with
+  | [ m ] when String.equal m snap_magic_empty ->
+    Some (create ?max_cached_replies ?faucet ())
+  | [ m; width; payment; generation; settled; modulus; gen; pn; e; u_k; u_k_r;
+      owner_addr; contract; cloud_addr; validators; trapdoor; entries; primes; ac;
+      accounts; storage; users; replies ]
+    when String.equal m snap_magic_built ->
+    let* width = int_of_string_opt width in
+    let* payment = int_of_string_opt payment in
+    let* generation = int_of_string_opt generation in
+    let* settled = int_of_string_opt settled in
+    let* validators = Bytesutil.split validators in
+    let* () = if validators = [] then None else Some () in
+    let* trapdoor = Persist.trapdoor_state_of_bytes trapdoor in
+    let* entry_flat = Bytesutil.split entries in
+    let* sh_entries = pairs_of entry_flat in
+    let* prime_flat = Bytesutil.split primes in
+    let* account_flat = Bytesutil.split accounts in
+    let* accounts = account_triples account_flat in
+    let* storage_flat = Bytesutil.split storage in
+    let* storage = pairs_of storage_flat in
+    let* user_names = Bytesutil.split users in
+    let* reply_flat = Bytesutil.split replies in
+    let* reply_pairs = pairs_of reply_flat in
+    let* replies =
+      List.fold_left
+        (fun acc (key, blob) ->
+          let* acc = acc in
+          let* resp = Wire.decode_response blob in
+          Some ((key, resp) :: acc))
+        (Some []) reply_pairs
+      |> Option.map List.rev
+    in
+    let acc_params =
+      { Rsa_acc.modulus = Bigint.of_bytes_be modulus;
+        generator = Bigint.of_bytes_be gen }
+    in
+    let tdp_public =
+      Rsa_tdp.public_of_parts ~n:(Bigint.of_bytes_be pn) ~e:(Bigint.of_bytes_be e)
+    in
+    let cloud = Cloud.create ~acc_params ~tdp_public () in
+    Cloud.install cloud
+      { Owner.sh_entries;
+        sh_primes = List.map Bigint.of_bytes_be prime_flat;
+        sh_ac = Bigint.of_bytes_be ac };
+    let ledger = Ledger.create ~validators in
+    let vmst = Ledger.state ledger in
+    List.iter
+      (fun (a, balance, nonce) -> Vm.restore_account vmst a ~balance ~nonce)
+      accounts;
+    Slicer_contract.restore ledger ~contract ~modulus:acc_params.Rsa_acc.modulus
+      ~generator:acc_params.Rsa_acc.generator;
+    Vm.restore_storage vmst contract storage;
+    let t = create ?max_cached_replies ?faucet () in
+    t.state <-
+      Some
+        { b_station = Station.create ~cloud ~ledger ~contract ~cloud_addr;
+          b_acc = acc_params;
+          b_user_keys = { Keys.u_k; u_k_r; u_tdp_public = tdp_public };
+          b_width = width;
+          b_payment = payment;
+          b_owner_addr = owner_addr;
+          b_trapdoor = trapdoor;
+          b_generation = generation };
+    t.settled <- settled;
+    List.iter
+      (fun name ->
+        Hashtbl.replace t.users name (Vm.address_of_name ("slicer-net:user:" ^ name)))
+      user_names;
+    List.iter (fun (key, resp) -> cache_reply t key resp) replies;
+    Some t
+  | _ -> None
+
+let apply_event t (ev : Store.event) =
+  if ev.Store.ev_tag = tag_register then
+    match t.state with
+    | Some b ->
+      ignore (user_address t b ev.Store.ev_payload);
+      Ok ()
+    | None -> Error (Printf.sprintf "event %d: register before build" ev.Store.ev_seq)
+  else
+    match Wire.decode_request ev.Store.ev_payload with
+    | None ->
+      Error (Printf.sprintf "event %d (tag %d): undecodable request" ev.Store.ev_seq ev.Store.ev_tag)
+    | Some req -> (
+      match handle_locked t req with
+      | Wire.Refused { code; detail } ->
+        (* A journaled event took effect once; a deterministic replay
+           cannot refuse it. If it does, the state diverged — refuse
+           to serve rather than serve wrong answers. *)
+        Error
+          (Printf.sprintf "event %d (tag %d) refused on replay (%s): %s" ev.Store.ev_seq
+             ev.Store.ev_tag (Wire.err_code_to_string code) detail)
+      | _ -> Ok ())
+
+(* The acceptance invariant: the recovered prime multiset must
+   re-accumulate to both the cloud's Ac and the on-chain Ac. Anything
+   else means the index, the ADS and the chain no longer tell the same
+   story, and serving would break verifiability silently. *)
+let verify_recovered t =
+  match t.state with
+  | None -> Ok ()
+  | Some b ->
+    let cloud = Station.cloud b.b_station in
+    let computed = Rsa_acc.accumulate b.b_acc (Cloud.primes cloud) in
+    let cloud_ac = Cloud.current_ac cloud in
+    (match Station.onchain_ac b.b_station with
+     | None -> Error "recovered chain holds no Ac"
+     | Some chain_ac ->
+       if Bigint.equal computed cloud_ac && Bigint.equal computed chain_ac then Ok ()
+       else
+         Error
+           "recovered accumulator mismatch: primes, cloud Ac and on-chain Ac disagree")
+
+let attach_store t store =
   Mutex.lock t.lock;
   Fun.protect
     ~finally:(fun () -> Mutex.unlock t.lock)
     (fun () ->
-      try handle_locked t req
-      with exn ->
-        Log.err (fun m -> m "handler raised: %s" (Printexc.to_string exn));
-        refused Wire.Internal (Printexc.to_string exn))
+      t.store <- Some store;
+      (* Anchor immediately: the current in-memory state becomes the
+         durable base, and the WAL only ever extends it. *)
+      Store.checkpoint store (encode_snapshot t))
+
+type recovery_stats = {
+  rs_snapshot : bool;
+  rs_replayed : int;
+  rs_dropped_tail : bool;
+}
+
+let recover ?max_cached_replies ?faucet cfg =
+  Obs.span "store.recover" (fun () ->
+      let store, rc = Store.open_ cfg in
+      let fail msg =
+        Store.close store;
+        Error msg
+      in
+      let base =
+        match rc.Store.rc_snapshot with
+        | None -> Some (create ?max_cached_replies ?faucet ())
+        | Some (_seq, payload) -> decode_snapshot ?max_cached_replies ?faucet payload
+      in
+      match base with
+      | None -> fail "snapshot failed to decode (codec mismatch)"
+      | Some t ->
+        let rec replay = function
+          | [] -> Ok ()
+          | ev :: rest -> (
+            match apply_event t ev with Ok () -> replay rest | Error _ as e -> e)
+        in
+        (match replay rc.Store.rc_events with
+         | Error e -> fail ("WAL replay failed: " ^ e)
+         | Ok () ->
+           (match verify_recovered t with
+            | Error e -> fail e
+            | Ok () ->
+              attach_store t store;
+              Log.info (fun m ->
+                  m "recovered: snapshot=%b, %d events replayed, dropped_tail=%b, generation %d"
+                    (rc.Store.rc_snapshot <> None)
+                    (List.length rc.Store.rc_events) rc.Store.rc_dropped_tail (generation t));
+              Ok
+                ( t,
+                  { rs_snapshot = rc.Store.rc_snapshot <> None;
+                    rs_replayed = List.length rc.Store.rc_events;
+                    rs_dropped_tail = rc.Store.rc_dropped_tail } ))))
+
+let effectful = function
+  | Wire.Search _ | Wire.Build _ | Wire.Insert _ | Wire.Hello _ -> true
+  | Wire.Ping | Wire.Stats -> false
+
+(* The durability barrier, outside [t.lock] so concurrent settlements
+   group-commit on one fsync. Also where the snapshot cadence lives:
+   past [snapshot_bytes] of WAL, re-serialize under the lock and
+   truncate. *)
+let maybe_persist t req =
+  match t.store with
+  | None -> ()
+  | Some store ->
+    if effectful req then begin
+      Store.sync store;
+      if Store.should_snapshot store then begin
+        Mutex.lock t.lock;
+        Fun.protect
+          ~finally:(fun () -> Mutex.unlock t.lock)
+          (fun () ->
+            if Store.should_snapshot store then
+              Store.checkpoint store (encode_snapshot t))
+      end
+    end
+
+let handle t req =
+  Obs.Counter.incr c_requests;
+  Mutex.lock t.lock;
+  let resp =
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.lock)
+      (fun () ->
+        try handle_locked t req
+        with exn ->
+          Log.err (fun m -> m "handler raised: %s" (Printexc.to_string exn));
+          refused Wire.Internal (Printexc.to_string exn))
+  in
+  (* The reply must not leave before its journal record is durable. A
+     failed barrier refuses instead of replying: the effect is applied
+     in memory but not on disk, and the client's retry replays the
+     cached reply through a (hopefully healed) barrier. *)
+  match maybe_persist t req with
+  | () -> resp
+  | exception exn ->
+    Log.err (fun m -> m "durability barrier failed: %s" (Printexc.to_string exn));
+    refused Wire.Internal ("durability barrier failed: " ^ Printexc.to_string exn)

@@ -39,3 +39,41 @@ val searches_settled : t -> int
 val station : t -> Station.t option
 (** The underlying settlement endpoint (for tests: e.g. configuring
     cloud misbehaviour or inspecting balances). [None] before Build. *)
+
+(** {1 Durability}
+
+    With a {!Store} attached, every effectful event — client
+    registration, Build, Insert, settled Search — is journaled under
+    the service lock {e before} its reply leaves {!handle}, and
+    group-commit fsynced after it; past [snapshot_bytes] of WAL the
+    full state is snapshotted atomically and the log truncated. The
+    service's dispatch is deterministic, so replaying the journaled
+    request bytes over the newest snapshot reproduces the state —
+    including the idempotency cache, which is how a retried
+    [(client, request_id)] still replays its cached reply across a
+    [kill -9]. *)
+
+val attach_store : t -> Store.t -> unit
+(** Start journaling into [store]. Immediately checkpoints the current
+    in-memory state as the durable base (so a service built from
+    [--records N] or an applied Build survives from this moment on). *)
+
+val store : t -> Store.t option
+(** The attached store, if any — e.g. to hand a freshly-recovered empty
+    store to a self-seeded replacement service. *)
+
+type recovery_stats = {
+  rs_snapshot : bool;      (** a valid snapshot was loaded *)
+  rs_replayed : int;       (** WAL events replayed on top of it *)
+  rs_dropped_tail : bool;  (** torn/stale bytes were discarded *)
+}
+
+val recover :
+  ?max_cached_replies:int -> ?faucet:int -> Store.config ->
+  (t * recovery_stats, string) result
+(** Open (or create) the durable state at [cfg.dir], rebuild the
+    service from the newest valid snapshot plus the contiguous WAL
+    tail, verify the recovered prime multiset re-accumulates to both
+    the cloud's and the on-chain [Ac], re-anchor on a fresh checkpoint
+    and attach the store. [Error] — and no serving — when replay or
+    the accumulator check fails. *)

@@ -27,6 +27,18 @@ let enabled_flag = ref true
 let set_enabled b = enabled_flag := b
 let enabled () = !enabled_flag
 
+module Clock = struct
+  (* CLOCK_MONOTONIC via the bechamel stub (OCaml 5.1's [Unix] has no
+     [clock_gettime]). Wall-clock deadlines computed from
+     [Unix.gettimeofday] fire early or never when NTP steps the clock;
+     everything interval-shaped must come through here. *)
+  let now_ns () = Int64.to_int (Monotonic_clock.now ())
+
+  let now () = Int64.to_float (Monotonic_clock.now ()) /. 1e9
+
+  let elapsed_s t0_ns = float_of_int (now_ns () - t0_ns) /. 1e9
+end
+
 (* Shards: a power of two comfortably above the pool sizes we run
    (domains are numbered densely from 0). Collisions just mean two
    domains share an atomic — correctness is unaffected. *)
@@ -283,13 +295,13 @@ let span name f =
   if not !enabled_flag then f ()
   else begin
     let h = span_histogram name in
-    let t0 = Unix.gettimeofday () in
+    let t0 = Clock.now_ns () in
     match f () with
     | r ->
-      Histogram.record_s h (Unix.gettimeofday () -. t0);
+      Histogram.record h (Clock.now_ns () - t0);
       r
     | exception exn ->
-      Histogram.record_s h (Unix.gettimeofday () -. t0);
+      Histogram.record h (Clock.now_ns () - t0);
       raise exn
   end
 

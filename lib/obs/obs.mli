@@ -20,6 +20,24 @@ val set_enabled : bool -> unit
 
 val enabled : unit -> bool
 
+module Clock : sig
+  (** The process's monotonic clock ([CLOCK_MONOTONIC]). Every
+      deadline, timeout and interval in the pipeline must be computed
+      against this clock, never [Unix.gettimeofday]: an NTP step moves
+      the wall clock and would fire every in-flight timeout early — or
+      never. The epoch is arbitrary (boot-relative); only differences
+      are meaningful. *)
+
+  val now : unit -> float
+  (** Monotonic seconds. *)
+
+  val now_ns : unit -> int
+  (** Monotonic nanoseconds (cheap: one [@@noalloc] C call). *)
+
+  val elapsed_s : int -> float
+  (** [elapsed_s t0] — seconds since an earlier {!now_ns} reading. *)
+end
+
 module Counter : sig
   type t
 

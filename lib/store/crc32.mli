@@ -1,0 +1,16 @@
+(** CRC-32 (IEEE 802.3, the zlib/gzip polynomial 0xEDB88320).
+
+    Guards every WAL record and snapshot payload against torn writes
+    and bit rot: a record whose stored CRC disagrees with its bytes is
+    treated as end-of-log, never parsed. Not a cryptographic MAC — the
+    store trusts its own disk, not an adversary. *)
+
+val string : string -> int
+(** CRC-32 of a whole string, in [0, 2{^32}). ["123456789"] →
+    [0xCBF43926] (the standard check value). *)
+
+val update : int -> string -> int -> int -> int
+(** [update crc s pos len] extends a previous {!string}/[update]
+    result over [s.[pos .. pos+len-1]], so large payloads can be
+    checksummed in chunks. [update 0 s 0 (String.length s) =
+    string s]. *)

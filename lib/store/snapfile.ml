@@ -1,0 +1,122 @@
+let magic = "SLSN1"
+let keep_generations = 2
+
+let path_of ~dir ~seq = Filename.concat dir (Printf.sprintf "snap-%d.bin" seq)
+
+let seq_of_name name =
+  match String.length name with
+  | n when n > 9 && String.sub name 0 5 = "snap-" && String.sub name (n - 4) 4 = ".bin"
+    ->
+    int_of_string_opt (String.sub name 5 (n - 9))
+  | _ -> None
+
+let get_be32 s pos =
+  (Char.code s.[pos] lsl 24)
+  lor (Char.code s.[pos + 1] lsl 16)
+  lor (Char.code s.[pos + 2] lsl 8)
+  lor Char.code s.[pos + 3]
+
+let write_fully fd s =
+  let len = String.length s in
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write_substring fd s !off (len - !off)
+  done
+
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY; Unix.O_CLOEXEC ] 0 with
+  | dfd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close dfd with Unix.Unix_error _ -> ())
+      (fun () -> try Unix.fsync dfd with Unix.Unix_error _ -> ())
+  | exception Unix.Unix_error _ -> ()
+
+let listing dir =
+  match Sys.readdir dir with
+  | names ->
+    Array.to_list names
+    |> List.filter_map (fun n ->
+           match seq_of_name n with Some seq -> Some (seq, n) | None -> None)
+    |> List.sort (fun (a, _) (b, _) -> compare b a)
+  | exception Sys_error _ -> []
+
+let prune ~dir =
+  (* Stale .tmp files are debris from a crash mid-write: always gone. *)
+  (match Sys.readdir dir with
+  | names ->
+    Array.iter
+      (fun n ->
+        if Filename.check_suffix n ".tmp" then
+          try Sys.remove (Filename.concat dir n) with Sys_error _ -> ())
+      names
+  | exception Sys_error _ -> ());
+  List.iteri
+    (fun i (_, name) ->
+      if i >= keep_generations then
+        try Sys.remove (Filename.concat dir name) with Sys_error _ -> ())
+    (listing dir)
+
+let write ~dir ~seq ~fsync payload =
+  let final = path_of ~dir ~seq in
+  let tmp = final ^ ".tmp" in
+  let body =
+    String.concat ""
+      [
+        magic;
+        Bytesutil.be64 seq;
+        Bytesutil.be32 (String.length payload);
+        Bytesutil.be32 (Crc32.string (Bytesutil.be64 seq ^ payload));
+        payload;
+      ]
+  in
+  let fd =
+    Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC; Unix.O_CLOEXEC ] 0o644
+  in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      write_fully fd body;
+      if fsync then Unix.fsync fd);
+  Unix.rename tmp final;
+  if fsync then fsync_dir dir;
+  prune ~dir
+
+let load_one path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception (Sys_error _ | End_of_file) -> None
+  | body ->
+    let hdr = 5 + 8 + 4 + 4 in
+    if String.length body < hdr || String.sub body 0 5 <> magic then None
+    else begin
+      let seq =
+        let hi = get_be32 body 5 and lo = get_be32 body 9 in
+        (hi lsl 32) lor lo
+      in
+      let len = get_be32 body 13 in
+      let crc = get_be32 body 17 in
+      if String.length body <> hdr + len then None
+      else
+        let payload = String.sub body hdr len in
+        if Crc32.string (Bytesutil.be64 seq ^ payload) <> crc then None
+        else Some (seq, payload)
+    end
+
+let load_newest ~dir =
+  let rec first = function
+    | [] -> None
+    | (_, name) :: rest -> (
+      match load_one (Filename.concat dir name) with
+      | Some r -> Some r
+      | None -> first rest)
+  in
+  first (listing dir)
+
+let wipe ~dir =
+  List.iter
+    (fun (_, name) -> try Sys.remove (Filename.concat dir name) with Sys_error _ -> ())
+    (listing dir)

@@ -1,0 +1,31 @@
+(** Atomic, CRC-guarded state snapshots.
+
+    One snapshot = one file [snap-<seq>.bin] in the state directory:
+
+    {v
+      "SLSN1" [seq : be64] [len : be32] [crc : be32] [payload : len bytes]
+    v}
+
+    with [crc] = {!Crc32.string} over [be64 seq ^ payload], so a file
+    renamed or truncated by the filesystem is rejected, not loaded.
+
+    {!write} is crash-atomic the POSIX way: payload goes to
+    [snap-<seq>.bin.tmp], the fd is fsynced, the file renamed into
+    place, and the {e directory} fsynced so the rename itself is
+    durable. A crash at any byte offset leaves either the old
+    generation or the new one — never a half file under the real name.
+    The previous generation is kept (two on disk) so a snapshot that
+    lands corrupt — media error, not crash — still leaves a valid
+    restore point. *)
+
+val write : dir:string -> seq:int -> fsync:bool -> string -> unit
+(** Atomically publish [payload] as generation [seq] and prune all but
+    the newest two generations (plus any stale [.tmp] debris). *)
+
+val load_newest : dir:string -> (int * string) option
+(** The newest snapshot that passes magic + CRC validation, as
+    [(seq, payload)] — corrupt newer generations are skipped, not
+    fatal. [None] when the directory holds no valid snapshot. *)
+
+val wipe : dir:string -> unit
+(** Remove every snapshot (tests). *)

@@ -916,6 +916,290 @@ let test_stats_over_the_wire () =
              Alcotest.(check bool) "bytes_in advanced between scrapes" true
                (v st_text2 > v st_text && v st_text > 0))))
 
+(* --- durability: WAL + snapshots across restarts --------------------------- *)
+
+let fresh_state_dir =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "slicer-net-dur-%d-%d" (Unix.getpid ()) !n)
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter (fun name -> rm_rf (Filename.concat path name)) (Sys.readdir path);
+    Unix.rmdir path
+  | _ -> Unix.unlink path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+(* A dedicated little owner whose shipments populate durable services. *)
+let durable_owner seed =
+  let rng = Drbg.create ~seed in
+  let keys = Keys.generate ~tdp_bits:512 ~rng () in
+  let acc_params = Rsa_acc.setup ~rng ~bits:512 () in
+  let owner = Owner.create ~width ~rng ~acc_params ~keys () in
+  let records = Gen.uniform_records ~rng ~width 15 in
+  let shipment = Owner.build owner records in
+  (rng, keys, acc_params, owner, records, shipment)
+
+let test_service_survives_restart () =
+  (* The full acceptance loop in-process: an empty durable service is
+     populated over wire messages (Build, Hello, Search, Insert), the
+     store is closed as a stand-in for the process dying, and recovery
+     must reproduce the state — generation, escrow, and above all the
+     idempotency cache: the retried (client, request id) replays its
+     settled reply byte-for-byte instead of paying twice. *)
+  let dir = fresh_state_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let cfg = { Store.dir; fsync = false; snapshot_bytes = max_int } in
+  let rng, keys, acc_params, owner, _records, shipment = durable_owner "dur-owner" in
+  let svc =
+    match Net.Service.recover cfg with
+    | Ok (svc, stats) ->
+      Alcotest.(check bool) "fresh dir: nothing to replay" true
+        (stats.Net.Service.rs_replayed = 0 && not (Net.Service.built svc));
+      svc
+    | Error e -> Alcotest.failf "initial recover: %s" e
+  in
+  (match
+     Net.Service.handle svc
+       (Wire.Build
+          { client = "dur-owner"; request_id = "dur#1"; width; payment = 500;
+            acc = acc_params; tdp_n = keys.Keys.tdp_public.Rsa_tdp.pn;
+            tdp_e = keys.Keys.tdp_public.Rsa_tdp.e;
+            user_k = (Keys.for_user keys).Keys.u_k;
+            user_k_r = (Keys.for_user keys).Keys.u_k_r; shipment;
+            trapdoor = Owner.export_trapdoor_state owner })
+   with
+   | Wire.Accepted { generation } -> Alcotest.(check int) "built" 1 generation
+   | _ -> Alcotest.fail "build refused");
+  let user =
+    match Net.Service.handle svc (Wire.Hello { client = "dur-user" }) with
+    | Wire.Welcome p ->
+      User.create ~keys:p.Wire.pv_user_keys ~width:p.Wire.pv_width p.Wire.pv_trapdoor
+    | _ -> Alcotest.fail "hello refused"
+  in
+  let tokens = User.gen_tokens ~rng user (q 30 Slicer_types.Lt) in
+  let search_req =
+    Wire.Search { client = "dur-user"; request_id = "dur-user#1"; batched = false; tokens }
+  in
+  let first =
+    match Net.Service.handle svc search_req with
+    | Wire.Found _ as r -> r
+    | _ -> Alcotest.fail "search refused"
+  in
+  let shipment2 = Owner.insert owner [ Slicer_types.record_of_value "dur-new" 3 ] in
+  (match
+     Net.Service.handle svc
+       (Wire.Insert
+          { client = "dur-owner"; request_id = "dur#2"; shipment = shipment2;
+            trapdoor = Owner.export_trapdoor_state owner })
+   with
+   | Wire.Accepted { generation } -> Alcotest.(check int) "inserted" 2 generation
+   | _ -> Alcotest.fail "insert refused");
+  Option.iter Store.close (Net.Service.store svc);
+  (* "Restart": rebuild from disk alone. *)
+  match Net.Service.recover cfg with
+  | Error e -> Alcotest.failf "recover after restart: %s" e
+  | Ok (svc2, stats) ->
+    Alcotest.(check int) "Build, Register, Search, Insert replayed" 4
+      stats.Net.Service.rs_replayed;
+    Alcotest.(check bool) "recovered service is built" true (Net.Service.built svc2);
+    Alcotest.(check int) "generation survived" 2 (Net.Service.generation svc2);
+    let settled = Net.Service.searches_settled svc2 in
+    (* The acceptance criterion: a retried (client, request id) replays
+       the pre-crash settlement byte-for-byte — escrow untouched. *)
+    let again = Net.Service.handle svc2 search_req in
+    Alcotest.(check string) "cached reply survives the restart"
+      (Wire.encode_response first) (Wire.encode_response again);
+    Alcotest.(check int) "the replay did not settle escrow again" settled
+      (Net.Service.searches_settled svc2);
+    (* Fresh traffic settles fresh, against the recovered (post-Insert)
+       index, and is still paid — the recovered Ac agrees with chain. *)
+    (match Net.Service.handle svc2 (Wire.Hello { client = "dur-user-2" }) with
+     | Wire.Welcome p ->
+       let u2 =
+         User.create ~keys:p.Wire.pv_user_keys ~width:p.Wire.pv_width p.Wire.pv_trapdoor
+       in
+       let t2 = User.gen_tokens ~rng u2 (q 3 Slicer_types.Eq) in
+       (match
+          Net.Service.handle svc2
+            (Wire.Search
+               { client = "dur-user-2"; request_id = "du2#1"; batched = false; tokens = t2 })
+        with
+        | Wire.Found r ->
+          (match r.Wire.sr_receipt.Vm.r_output with
+           | Ok [ "paid" ] -> ()
+           | _ -> Alcotest.fail "fresh post-recovery search was not paid")
+        | _ -> Alcotest.fail "fresh post-recovery search refused")
+     | _ -> Alcotest.fail "hello after recovery refused");
+    Alcotest.(check int) "exactly one new settlement" (settled + 1)
+      (Net.Service.searches_settled svc2);
+    Option.iter Store.close (Net.Service.store svc2)
+
+(* The real thing: a separate slicer-server process, killed with
+   SIGKILL mid-load, recovered from its state directory. *)
+
+let server_exe () =
+  List.find_opt Sys.file_exists
+    [ "../bin/slicer_server.exe";
+      "_build/default/bin/slicer_server.exe";
+      "bin/slicer_server.exe" ]
+
+let spawn_server ~exe ~dir =
+  let out_r, out_w = Unix.pipe () in
+  let null = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0 in
+  let argv =
+    [| exe; "--records"; "0"; "--port"; "0"; "--state-dir"; dir;
+       "--log-level"; "quiet"; "--metrics-interval"; "0" |]
+  in
+  let pid = Unix.create_process exe argv null out_w Unix.stderr in
+  Unix.close out_w;
+  Unix.close null;
+  let ic = Unix.in_channel_of_descr out_r in
+  (* The server prints "listening on HOST:PORT" once bound. *)
+  let rec find_port () =
+    match input_line ic with
+    | line ->
+      (match String.rindex_opt line ':' with
+       | Some i
+         when String.length line > 13 && String.sub line 0 13 = "listening on " ->
+         (match int_of_string_opt (String.sub line (i + 1) (String.length line - i - 1)) with
+          | Some port -> port
+          | None -> find_port ())
+       | _ -> find_port ())
+    | exception End_of_file ->
+      ignore (Unix.kill pid Sys.sigkill);
+      Alcotest.fail "server exited before listening"
+  in
+  let port = find_port () in
+  (pid, out_r, port)
+
+let raw_connect port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Net.Server.resolve_host "127.0.0.1", port));
+  fd
+
+let raw_request fd req =
+  Net.Frame.write fd ~tag:Wire.request_tag (Wire.encode_request req);
+  match Net.Frame.read ~timeout:20. fd with
+  | Error e -> Alcotest.failf "raw read: %s" (Net.Frame.error_to_string e)
+  | Ok { Net.Frame.payload; _ } ->
+    (match Wire.decode_response payload with
+     | Some resp -> resp
+     | None -> Alcotest.fail "raw response did not decode")
+
+let test_sigkill_mid_load_recovers () =
+  match server_exe () with
+  | None -> Alcotest.skip ()
+  | Some exe ->
+    let dir = fresh_state_dir () in
+    Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+    let pid, out_fd, port = spawn_server ~exe ~dir in
+    Fun.protect
+      ~finally:(fun () ->
+        (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+        (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ());
+        try Unix.close out_fd with Unix.Unix_error _ -> ())
+    @@ fun () ->
+    let ep = Net.Server.Tcp ("127.0.0.1", port) in
+    let rng, keys, acc_params, owner, records, shipment = durable_owner "sigkill-owner" in
+    (* The owner bootstraps the durable server over the wire. *)
+    (match Net.Client.connect ~name:"sigkill-owner" ~provision:false ep with
+     | Error e -> Alcotest.failf "owner connect: %s" (Net.Client.error_to_string e)
+     | Ok oc ->
+       (match
+          Net.Client.build oc ~width ~payment:500 ~acc:acc_params
+            ~tdp_public:keys.Keys.tdp_public ~user_keys:(Keys.for_user keys) ~shipment
+            ~trapdoor:(Owner.export_trapdoor_state owner)
+        with
+        | Ok generation -> Alcotest.(check int) "built over the wire" 1 generation
+        | Error e -> Alcotest.failf "build: %s" (Net.Client.error_to_string e));
+       Net.Client.close oc);
+    (* A pinned (client, request id) settles before the kill: the probe
+       whose reply must replay byte-identically after recovery. *)
+    let probe_req, probe_reply =
+      let fd = raw_connect port in
+      Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      @@ fun () ->
+      match raw_request fd (Wire.Hello { client = "sigkill-probe" }) with
+      | Wire.Welcome p ->
+        let user =
+          User.create ~keys:p.Wire.pv_user_keys ~width:p.Wire.pv_width p.Wire.pv_trapdoor
+        in
+        let tokens = User.gen_tokens ~rng user (q 30 Slicer_types.Lt) in
+        let req =
+          Wire.Search
+            { client = "sigkill-probe"; request_id = "sigkill-probe#1"; batched = false;
+              tokens }
+        in
+        (match raw_request fd req with
+         | Wire.Found _ as reply -> (req, reply)
+         | _ -> Alcotest.fail "probe search refused")
+      | _ -> Alcotest.fail "probe hello refused"
+    in
+    (* Sustained load from a second client; SIGKILL lands mid-flight. *)
+    let stop = ref false in
+    let loader () =
+      let ccfg =
+        { Net.Client.default_config with
+          max_attempts = 2; backoff_base = 0.02; request_timeout = 10. }
+      in
+      match Net.Client.connect ~config:ccfg ~name:"sigkill-load" ep with
+      | Error _ -> ()
+      | Ok c ->
+        (try
+           while not !stop do
+             match Net.Client.search c (q 10 Slicer_types.Gt) with
+             | Ok _ -> ()
+             | Error _ -> raise Exit
+           done
+         with _ -> ());
+        (try Net.Client.close c with _ -> ())
+    in
+    let th = Thread.create loader () in
+    Thread.delay 0.3;
+    Unix.kill pid Sys.sigkill;
+    ignore (Unix.waitpid [] pid);
+    stop := true;
+    Thread.join th;
+    (* Recover from the survivor: the state directory. [recover] itself
+       re-verifies that the recovered primes re-accumulate to the
+       on-chain Ac — an Ok here is the accumulator acceptance check. *)
+    let cfg = { Store.dir; fsync = true; snapshot_bytes = 4 * 1024 * 1024 } in
+    (match Net.Service.recover cfg with
+     | Error e -> Alcotest.failf "recovery after SIGKILL: %s" e
+     | Ok (svc, _stats) ->
+       Alcotest.(check bool) "recovered service is built" true (Net.Service.built svc);
+       Alcotest.(check int) "generation survived the kill" 1 (Net.Service.generation svc);
+       let settled = Net.Service.searches_settled svc in
+       let again = Net.Service.handle svc probe_req in
+       Alcotest.(check string) "probe reply replays byte-for-byte across the kill"
+         (Wire.encode_response probe_reply) (Wire.encode_response again);
+       Alcotest.(check int) "the probe retry did not settle twice" settled
+         (Net.Service.searches_settled svc);
+       (* Serve the recovered state and answer a fresh client correctly. *)
+       let srv = Net.Server.start svc in
+       Fun.protect
+         ~finally:(fun () ->
+           Net.Server.stop srv;
+           Option.iter Store.close (Net.Service.store svc))
+       @@ fun () ->
+       match Net.Client.connect ~name:"sigkill-after" (Net.Server.endpoint srv) with
+       | Error e -> Alcotest.failf "post-recovery connect: %s" (Net.Client.error_to_string e)
+       | Ok c ->
+         let query = q 30 Slicer_types.Lt in
+         (match Net.Client.search c query with
+          | Ok out ->
+            Alcotest.(check bool) "post-recovery search verified" true
+              out.Protocol.so_verified;
+            check_ids "post-recovery ids match the oracle"
+              (Slicer_types.reference_search records query) out.Protocol.so_ids
+          | Error e -> Alcotest.failf "post-recovery search: %s" (Net.Client.error_to_string e));
+         Net.Client.close c)
+
 let () =
   Alcotest.run "net"
     [ ( "frame",
@@ -952,4 +1236,8 @@ let () =
           Alcotest.test_case "build and insert over the wire" `Quick
             test_build_and_insert_over_the_wire;
           Alcotest.test_case "read timeout kicks idlers" `Quick test_read_timeout_kicks_idlers;
-          Alcotest.test_case "stats over the wire" `Quick test_stats_over_the_wire ] ) ]
+          Alcotest.test_case "stats over the wire" `Quick test_stats_over_the_wire ] );
+      ( "durability",
+        [ Alcotest.test_case "state survives a restart" `Quick test_service_survives_restart;
+          Alcotest.test_case "SIGKILL mid-load, recover, serve again" `Quick
+            test_sigkill_mid_load_recovers ] ) ]

@@ -91,6 +91,41 @@ let test_file_roundtrip () =
       Alcotest.(check (option string)) "file roundtrip" (Some payload) (Persist.load ~path));
   Alcotest.(check (option string)) "missing file" None (Persist.load ~path:"/nonexistent/nope.bin")
 
+let test_file_save_is_atomic () =
+  (* [save] goes through a temp file + rename: overwriting never leaves
+     a mix of old and new bytes, and no temp debris stays behind. *)
+  let path = Filename.temp_file "slicer-persist" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      Persist.save ~path "first generation";
+      Persist.save ~path "second";
+      Alcotest.(check (option string)) "overwrite is complete" (Some "second")
+        (Persist.load ~path);
+      let dir = Filename.dirname path and base = Filename.basename path in
+      let debris =
+        Sys.readdir dir |> Array.to_list
+        |> List.filter (fun name ->
+               name <> base
+               && String.length name >= String.length base
+               && String.sub name 0 (String.length base) = base)
+      in
+      Alcotest.(check (list string)) "no temp debris next to the file" [] debris;
+      (* Truncation between writes is still a consistent (shorter) file
+         — load reflects it rather than raising. *)
+      let oc = open_out_bin path in
+      output_string oc "second";
+      close_out oc;
+      let fd = Unix.openfile path [ Unix.O_RDWR ] 0o644 in
+      Unix.ftruncate fd 3;
+      Unix.close fd;
+      Alcotest.(check bool) "truncated file still loads its bytes" true
+        (Persist.load ~path = Some "sec"))
+
+let test_load_never_raises () =
+  (* A directory where a file is expected: Sys_error territory. *)
+  Alcotest.(check (option string)) "directory" None (Persist.load ~path:(Filename.get_temp_dir_name ()))
+
 let test_token_bytes_roundtrip () =
   let st =
     { Slicer_types.st_trapdoor = String.make 64 '\x42'; st_updates = 3; st_g1 = String.make 16 'a'; st_g2 = String.make 16 'b' }
@@ -119,5 +154,7 @@ let () =
           Alcotest.test_case "shipment feeds a cloud" `Quick test_shipment_feeds_cloud;
           Alcotest.test_case "trapdoor state roundtrip" `Quick test_trapdoor_state_roundtrip;
           Alcotest.test_case "token bytes roundtrip" `Quick test_token_bytes_roundtrip;
-          Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip ] );
+          Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
+          Alcotest.test_case "file save is atomic" `Quick test_file_save_is_atomic;
+          Alcotest.test_case "load never raises" `Quick test_load_never_raises ] );
       ("properties", props) ]

@@ -254,6 +254,32 @@ let test_dual_update () =
   check_ids "old value gone" [] (Dual.search d (q 5 Slicer_types.Eq)).Dual.ids;
   check_ids "new value present" [ "v2" ] (Dual.search d (q 9 Slicer_types.Eq)).Dual.ids
 
+let test_dual_update_rejects_replayed_id () =
+  (* The natural "overwrite in place" mistake: updating a record while
+     keeping its ID replays the old ID, which the paper's no-repeated-ID
+     rule forbids. The rejection must be all-or-nothing — validation
+     happens before either instance is touched, so the old record is
+     still live and searchable afterwards. *)
+  let d = Dual.setup ~width ~seed:"dual-replay" [ Slicer_types.record_of_value "v1" 5 ] in
+  Alcotest.(check bool) "replayed old ID rejected" true
+    (try
+       Dual.update d ~old_record:(Slicer_types.record_of_value "v1" 5)
+         (Slicer_types.record_of_value "v1" 9);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "previously used ID rejected" true
+    (try
+       Dual.insert d [ Slicer_types.record_of_value "other" 7 ];
+       Dual.update d ~old_record:(Slicer_types.record_of_value "v1" 5)
+         (Slicer_types.record_of_value "other" 9);
+       false
+     with Invalid_argument _ -> true);
+  (* Nothing was half-applied: the old record still answers, the
+     aborted new value does not. *)
+  check_ids "old record untouched" [ "v1" ] (Dual.search d (q 5 Slicer_types.Eq)).Dual.ids;
+  check_ids "aborted update left no trace" [] (Dual.search d (q 9 Slicer_types.Eq)).Dual.ids;
+  Alcotest.(check int) "live count unchanged" 2 (Dual.live_count d)
+
 (* --- extensions: batched settlement, interval search, leakage ------------- *)
 
 let test_batched_search_agrees () =
@@ -551,7 +577,9 @@ let () =
       ( "deletion",
         [ Alcotest.test_case "delete" `Quick test_dual_delete;
           Alcotest.test_case "guards" `Quick test_dual_guards;
-          Alcotest.test_case "update" `Quick test_dual_update ] );
+          Alcotest.test_case "update" `Quick test_dual_update;
+          Alcotest.test_case "update rejects a replayed ID" `Quick
+            test_dual_update_rejects_replayed_id ] );
       ( "extensions",
         [ Alcotest.test_case "batched settlement agrees" `Quick test_batched_search_agrees;
           Alcotest.test_case "batched rejects tampering" `Quick test_batched_rejects_tampering;
