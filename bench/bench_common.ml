@@ -56,6 +56,11 @@ let scale_of_label = function
 
 let json_rows : string list ref = ref []
 
+(* Figures measured by this run: [write_json] replaces their rows in an
+   existing output file and keeps everything else, so one BENCH file
+   can accumulate load + micro + witness rows across separate runs. *)
+let emitted_figures : (string, unit) Hashtbl.t = Hashtbl.create 8
+
 let json_escape s =
   let buf = Buffer.create (String.length s) in
   String.iter
@@ -83,16 +88,62 @@ let json_row ~figure ~series fields =
     Printf.sprintf "\"%s\": %s" (json_escape k) value
   in
   let all = ("figure", J_str figure) :: ("series", J_str series) :: fields in
+  Hashtbl.replace emitted_figures figure ();
   json_rows := Printf.sprintf "{%s}" (String.concat ", " (List.map field all)) :: !json_rows
+
+(* [json_row] puts the figure field first, and figure labels are plain
+   identifiers — no escapes to worry about when reading them back. *)
+let row_figure line =
+  let tag = "\"figure\": \"" in
+  let tl = String.length tag in
+  if String.length line >= 1 + tl && String.sub line 1 tl = tag then begin
+    match String.index_from_opt line (1 + tl) '"' with
+    | Some e -> Some (String.sub line (1 + tl) (e - 1 - tl))
+    | None -> None
+  end
+  else None
+
+(* Rows already in the output file, one per line as [write_json] laid
+   them out. A file this writer didn't produce yields no rows — the
+   run then starts the file over rather than corrupting it. *)
+let read_json_rows path =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in_bin path in
+    let content = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    String.split_on_char '\n' content
+    |> List.filter_map (fun line ->
+           let line = String.trim line in
+           let line =
+             if String.length line > 0 && line.[String.length line - 1] = ',' then
+               String.sub line 0 (String.length line - 1)
+             else line
+           in
+           if String.length line > 1 && line.[0] = '{' && row_figure line <> None then Some line
+           else None)
+  end
 
 let write_json path =
   Obs.Export.ensure_parent path;
+  (* Merge by figure: rows from figures this run re-measured are
+     replaced; rows from figures it didn't touch survive. *)
+  let kept =
+    List.filter
+      (fun line ->
+        match row_figure line with
+        | Some fig -> not (Hashtbl.mem emitted_figures fig)
+        | None -> false)
+      (read_json_rows path)
+  in
+  let rows = kept @ List.rev !json_rows in
   let oc = open_out path in
   output_string oc "[\n";
-  output_string oc (String.concat ",\n" (List.rev !json_rows));
+  output_string oc (String.concat ",\n" rows);
   output_string oc "\n]\n";
   close_out oc;
-  Printf.printf "\nwrote %d benchmark rows to %s\n" (List.length !json_rows) path
+  Printf.printf "\nwrote %d benchmark rows to %s (%d kept from earlier runs)\n"
+    (List.length rows) path (List.length kept)
 
 let time f =
   let t0 = Unix.gettimeofday () in

@@ -17,7 +17,7 @@
 let usage () =
   print_endline
     "usage: main.exe [--scale smoke|default|full] [--full] [--domains N] [--json FILE]\n\
-    \       [fig3|fig4|fig5|fig6|fig7|table1|table2|ablation|micro|load|recover|all]";
+    \       [fig3|fig4|fig5|fig6|fig7|table1|table2|ablation|micro|load|recover|witness|all]";
   exit 1
 
 let () =
@@ -41,9 +41,10 @@ let () =
        | _ -> Printf.printf "--domains expects a positive integer, got %S\n" n; usage ());
       parse rest
     | "--json" :: path :: rest ->
-      (* Fail on an unwritable path now, not after an hour of measuring. *)
+      (* Fail on an unwritable path now, not after an hour of measuring
+         — without truncating it: earlier runs' rows merge at the end. *)
       Obs.Export.ensure_parent path;
-      (match open_out path with
+      (match open_out_gen [ Open_wronly; Open_creat ] 0o644 path with
        | oc -> close_out oc
        | exception Sys_error msg -> Printf.printf "--json: %s\n" msg; usage ());
       json_path := Some path;
@@ -68,6 +69,7 @@ let () =
     | "micro" -> Bechamel_suite.run ()
     | "load" -> Fig_load.run scale
     | "recover" -> Fig_recover.run scale
+    | "witness" -> Fig_witness.run scale
     | "all" ->
       Tables.table1 ();
       Tables.table2 ();
@@ -76,6 +78,7 @@ let () =
       Fig_insert.run scale;
       Fig_load.run scale;
       Fig_recover.run scale;
+      Fig_witness.run scale;
       Ablation.run ();
       Bechamel_suite.run ()
     | other ->

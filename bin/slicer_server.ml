@@ -112,6 +112,13 @@ let no_metrics_arg =
   let doc = "Disable metrics recording (spans and counters become no-ops)." in
   Arg.(value & flag & info [ "no-metrics" ] ~doc)
 
+let no_witness_index_arg =
+  let doc = "Disable the persistent witness index (escape hatch): every \
+             verification object is recomputed from the shared product \
+             context instead of served from the maintained tree. Values \
+             are identical either way; only latency changes." in
+  Arg.(value & flag & info [ "no-witness-index" ] ~doc)
+
 let dump_metrics path =
   let content =
     if Filename.check_suffix path ".prom" then Obs.Export.to_prometheus ()
@@ -131,18 +138,20 @@ let log_snapshot () =
         (Obs.counter_value "slicer_net_bytes_out_total")
         (Obs.counter_value "slicer_chain_gas_total"))
 
-let self_seed ~seed ~records ~width ~payment =
+let self_seed ~seed ~records ~width ~payment ~witness_index =
   Printf.printf "self-seeding %d records (width %d, seed %S)...\n%!" records width seed;
   let rng = Drbg.create ~seed:(seed ^ ":data") in
   let db = Gen.uniform_records ~rng ~width records in
-  let system = Protocol.setup ~width ~payment ~seed db in
+  let system = Protocol.setup ~width ~payment ~witness_index ~seed db in
   Cloud.precompute_witnesses (Protocol.cloud system);
-  Net.Service.of_protocol system
+  Net.Service.of_protocol ~witness_index system
 
 let run host port socket seed records width payment domains read_timeout max_inflight verbose
-    log_level state_dir snapshot_bytes no_fsync metrics_dump metrics_interval no_metrics =
+    log_level state_dir snapshot_bytes no_fsync metrics_dump metrics_interval no_metrics
+    no_witness_index =
   setup_logs log_level verbose;
   Obs.set_enabled (not no_metrics);
+  let witness_index = not no_witness_index in
   if domains < 1 then `Error (false, "--domains must be >= 1")
   else if records < 0 then `Error (false, "--records must be >= 0")
   else if snapshot_bytes < 1 then `Error (false, "--snapshot-bytes must be >= 1")
@@ -153,12 +162,12 @@ let run host port socket seed records width payment domains read_timeout max_inf
       | None ->
         if records = 0 then begin
           Printf.printf "starting empty: awaiting an owner Build shipment\n%!";
-          Ok (Net.Service.create ())
+          Ok (Net.Service.create ~witness_index ())
         end
-        else Ok (self_seed ~seed ~records ~width ~payment)
+        else Ok (self_seed ~seed ~records ~width ~payment ~witness_index)
       | Some dir ->
         let cfg = { Store.dir; fsync = not no_fsync; snapshot_bytes } in
-        (match Net.Service.recover cfg with
+        (match Net.Service.recover ~witness_index cfg with
          | Error e -> Error (Printf.sprintf "recovery from %s failed: %s" dir e)
          | Ok (svc, stats) ->
            if Net.Service.built svc then begin
@@ -177,7 +186,7 @@ let run host port socket seed records width payment domains read_timeout max_inf
              (* Fresh state dir + --records: seed once, then hand the
                 store to the seeded service, whose attach checkpoint
                 makes the seed durable. *)
-             let seeded = self_seed ~seed ~records ~width ~payment in
+             let seeded = self_seed ~seed ~records ~width ~payment ~witness_index in
              (match Net.Service.store svc with
               | Some store -> Net.Service.attach_store seeded store
               | None -> ());
@@ -237,6 +246,6 @@ let cmd =
         (const run $ host_arg $ port_arg $ socket_arg $ seed_arg $ records_arg $ width_arg
        $ payment_arg $ domains_arg $ read_timeout_arg $ max_inflight_arg $ verbose_arg
        $ log_level_arg $ state_dir_arg $ snapshot_bytes_arg $ no_fsync_arg
-       $ metrics_dump_arg $ metrics_interval_arg $ no_metrics_arg))
+       $ metrics_dump_arg $ metrics_interval_arg $ no_metrics_arg $ no_witness_index_arg))
 
 let () = exit (Cmd.eval cmd)

@@ -16,6 +16,8 @@ let c_hits = Obs.counter ~help:"prime-representative memo hits" "slicer_acc_prim
 let c_misses =
   Obs.counter ~help:"prime-representative memo misses" "slicer_acc_prime_cache_misses_total"
 
+let g_entries = Obs.gauge ~help:"prime-representative memo entries" "slicer_acc_prime_cache_entries"
+
 type cache_stats = { cs_entries : int; cs_hits : int; cs_misses : int; cs_limit : int }
 
 let cache_stats () =
@@ -73,7 +75,9 @@ let lookup s =
 let store s x =
   Mutex.lock cache_lock;
   if Hashtbl.length cache < cache_limit then Hashtbl.replace cache s x;
-  Mutex.unlock cache_lock
+  let n = Hashtbl.length cache in
+  Mutex.unlock cache_lock;
+  Obs.Gauge.set g_entries n
 
 let to_prime s =
   match lookup s with
@@ -113,5 +117,10 @@ let to_primes ss =
       | Some x -> x
       | None -> ( match Hashtbl.find fresh s with Some x -> x | None -> assert false ))
     cached
+
+(* Speculative batch warm-up: derive-and-cache without needing the
+   representatives back. Misses fan over the pool, so warming k fresh
+   inputs costs ~one walk of wall clock on a parallel pool. *)
+let warm ss = ignore (to_primes ss : Bigint.t list)
 
 let is_representative_of x s = Bigint.equal x (to_prime s)

@@ -28,6 +28,13 @@ val to_primes : string list -> Bigint.t list
     sequential [List.map to_prime]. This is the owner's per-keyword ADS
     hot path during Build/Insert. *)
 
+val warm : string list -> unit
+(** Speculative batch warm-up: {!to_primes} for the side effect of
+    populating the memo. Driven from the query stream so the
+    latency-critical search path finds its claim primes already
+    derived; warming [k] fresh inputs costs about one prime walk of
+    wall clock on a parallel pool. *)
+
 type cache_stats = { cs_entries : int; cs_hits : int; cs_misses : int; cs_limit : int }
 
 val cache_stats : unit -> cache_stats

@@ -51,6 +51,34 @@ let fixed_of params =
   Mutex.unlock fixed_lock;
   fb
 
+(* Per-modulus Montgomery contexts (limb inverse, R mod m, R² mod m),
+   shared process-wide: every exponentiation with a varying base —
+   incremental adds, witness-tree refreshes, contract-side verification
+   — reuses one immutable context instead of re-deriving the state per
+   call. Contexts are safe to share across domains. *)
+let mont_lock = Mutex.create ()
+let mont_cache : (string, Bigint.Mont.ctx) Hashtbl.t = Hashtbl.create 4
+
+let mont_of params =
+  let key = Bigint.to_hex params.modulus in
+  Mutex.lock mont_lock;
+  let mc =
+    match Hashtbl.find_opt mont_cache key with
+    | Some mc -> mc
+    | None ->
+      let mc = Bigint.Mont.create params.modulus in
+      Hashtbl.replace mont_cache key mc;
+      mc
+  in
+  Mutex.unlock mont_lock;
+  mc
+
+(* [b^e mod modulus] through the shared context; the even-modulus
+   fallback keeps degenerate test parameters working. *)
+let pow_mod params b e =
+  if Bigint.is_even params.modulus then Bigint.mod_pow b e params.modulus
+  else Bigint.Mont.pow (mont_of params) b e
+
 (* The anchor chain costs one squaring per bit of coverage — a full
    direct exponentiation — so one-shot callers ([accumulate],
    [non_mem_witness]) only use it when it is already built or a parallel
@@ -75,13 +103,13 @@ let accumulate params xs =
   | [ x ] -> Obs.span "acc.fold" (fun () -> Bigint.mod_pow params.generator x params.modulus)
   | _ -> Obs.span "acc.fold" (fun () -> g_pow params (product xs))
 
-let add params ac x = Bigint.mod_pow ac x params.modulus
+let add params ac x = pow_mod params ac x
 
 let add_batch params ac xs =
   match xs with
   | [] -> ac
   | [ x ] -> Obs.span "acc.fold" (fun () -> add params ac x)
-  | _ -> Obs.span "acc.fold" (fun () -> Bigint.mod_pow ac (product xs) params.modulus)
+  | _ -> Obs.span "acc.fold" (fun () -> pow_mod params ac (product xs))
 
 (* --- membership witnesses ---------------------------------------------- *)
 
@@ -134,8 +162,8 @@ let all_witnesses params xs =
       match tree with
       | Pleaf (_, i) -> out.(i) <- base
       | Pnode (_, l, r) ->
-        let bl () = Bigint.mod_pow base (tree_product r) params.modulus in
-        let br () = Bigint.mod_pow base (tree_product l) params.modulus in
+        let bl () = pow_mod params base (tree_product r) in
+        let br () = pow_mod params base (tree_product l) in
         if depth > 0 then
           ignore
             (Parallel.Pool.both pool
@@ -161,8 +189,44 @@ let all_witnesses params xs =
     Array.to_list (Array.mapi (fun i w -> (arr.(i), w)) out)
   end
 
-let verify_mem params ~ac ~x ~witness =
-  Bigint.equal (Bigint.mod_pow witness x params.modulus) ac
+(* Membership verification is a pure function of (modulus, witness,
+   exponents, Ac); verifiers re-check the same claim every time a query
+   repeats, so a bounded process-wide memo turns the steady state into
+   a hash lookup. Misbehaviour cannot alias into a stale entry: any
+   tampered witness, claim prime or accumulator value changes the key. *)
+let verify_limit = 65_536
+let verify_memo : (string, bool) Hashtbl.t = Hashtbl.create 1024
+let verify_lock = Mutex.create ()
+
+let c_verify_hits =
+  Obs.counter ~help:"membership-verification memo hits" "slicer_acc_verify_cache_hits_total"
+
+let c_verify_misses =
+  Obs.counter ~help:"membership-verification memo misses" "slicer_acc_verify_cache_misses_total"
+
+let verify_memoized params ~ac ~xs ~witness =
+  let key =
+    String.concat "|"
+      (Bigint.to_hex params.modulus :: Bigint.to_hex witness :: Bigint.to_hex ac
+      :: List.map Bigint.to_hex xs)
+  in
+  Mutex.lock verify_lock;
+  let cached = Hashtbl.find_opt verify_memo key in
+  Mutex.unlock verify_lock;
+  match cached with
+  | Some v ->
+    Obs.Counter.incr c_verify_hits;
+    v
+  | None ->
+    Obs.Counter.incr c_verify_misses;
+    let lifted = List.fold_left (fun w x -> pow_mod params w x) witness xs in
+    let v = Bigint.equal lifted ac in
+    Mutex.lock verify_lock;
+    if Hashtbl.length verify_memo < verify_limit then Hashtbl.replace verify_memo key v;
+    Mutex.unlock verify_lock;
+    v
+
+let verify_mem params ~ac ~x ~witness = verify_memoized params ~ac ~xs:[ x ] ~witness
 
 (* --- batched membership ------------------------------------------------ *)
 
@@ -180,9 +244,7 @@ let batch_witness params xs subset =
   in
   Obs.span "acc.witness" (fun () -> g_pow params remaining)
 
-let verify_mem_batch params ~ac ~xs ~witness =
-  let lifted = List.fold_left (fun w x -> Bigint.mod_pow w x params.modulus) witness xs in
-  Bigint.equal lifted ac
+let verify_mem_batch params ~ac ~xs ~witness = verify_memoized params ~ac ~xs ~witness
 
 (* --- shared-product context (the cloud's per-query hot path) ----------- *)
 
@@ -190,6 +252,18 @@ type ctx = { ctx_params : params; ctx_product : Bigint.t; ctx_count : int }
 
 let context params xs =
   { ctx_params = params; ctx_product = product xs; ctx_count = List.length xs }
+
+(* Appending to the accumulated multiset multiplies the shared product
+   by the new primes' product — O(M(B)) bigint work, no exponentiation —
+   so a long-lived ctx survives Insert instead of being rebuilt from
+   scratch on the next query. *)
+let ctx_extend c xs =
+  match xs with
+  | [] -> c
+  | _ ->
+    { c with
+      ctx_product = Bigint.mul c.ctx_product (product xs);
+      ctx_count = c.ctx_count + List.length xs }
 
 (* A ctx is a repeat customer: more queries over the same set are
    coming, so it always invests in the fixed-base chain. Batched chain
@@ -242,10 +316,8 @@ let non_mem_witness params xs x =
 
 let verify_non_mem params ~ac ~x ~witness =
   (* Ac^a = g^(a'u) = g^(1 - b'x) = g * d^x. *)
-  let lhs = Bigint.mod_pow ac witness.nw_a params.modulus in
+  let lhs = pow_mod params ac witness.nw_a in
   let rhs =
-    Bigint.mod_mul params.generator
-      (Bigint.mod_pow witness.nw_d x params.modulus)
-      params.modulus
+    Bigint.mod_mul params.generator (pow_mod params witness.nw_d x) params.modulus
   in
   Bigint.equal lhs rhs

@@ -123,6 +123,24 @@ val context : params -> Bigint.t list -> ctx
 (** Builds the shared product ([O(M(B) log n)] bigint work, no
     exponentiations). *)
 
+val ctx_extend : ctx -> Bigint.t list -> ctx
+(** [ctx_extend c xs] is the context for the multiset extended by [xs]:
+    one product-tree multiply, no exponentiations — so Insert extends a
+    long-lived context instead of forcing a from-scratch rebuild on the
+    next query. Equivalent to [context params (old_set @ xs)]. *)
+
+val pow_mod : params -> Bigint.t -> Bigint.t -> Bigint.t
+(** [pow_mod params b e = Bigint.mod_pow b e params.modulus], routed
+    through a process-wide per-modulus {!Bigint.Mont} context so
+    repeated exponentiations stop re-deriving Montgomery state. Safe
+    across domains; values are identical to [mod_pow]. *)
+
+val g_pow_cached : params -> Bigint.t -> Bigint.t
+(** [g^e mod n] through the process-wide fixed-base anchor chain of the
+    generator (always invests in the chain — see the cost model above).
+    This is the exponentiation reuse-heavy callers ({!ctx_witness},
+    {!all_witnesses}, the witness index) sit on. *)
+
 val ctx_params : ctx -> params
 val ctx_count : ctx -> int
 

@@ -590,28 +590,46 @@ let limb_inv n0 =
   done;
   !x land mask
 
-let mod_pow b e m =
-  if sign e < 0 then invalid_arg "Bigint.mod_pow: negative exponent";
-  if compare m two < 0 then invalid_arg "Bigint.mod_pow: modulus <= 1";
-  if is_zero e then erem one m
-  else if is_even m then begin
-    (* Rare path: plain square-and-multiply with division-based reduction. *)
-    let b = erem b m in
-    let bits = num_bits e in
-    let acc = ref (erem one m) in
-    for i = bits - 1 downto 0 do
-      acc := mod_mul !acc !acc m;
-      if testbit e i then acc := mod_mul !acc b m
-    done;
-    !acc
-  end
-  else begin
+(* Precomputed per-modulus Montgomery state. Everything [mod_pow]
+   re-derives on every call — the limb inverse, [R mod m], and the
+   conversion of the base into Montgomery form by a general division —
+   is either stored here or replaced by one Montgomery multiplication
+   against [R² mod m]. A context is immutable after [create], so one
+   context per modulus serves any number of domains concurrently. *)
+module Mont = struct
+  type ctx = {
+    ctx_modulus : t;
+    mmag : int array;
+    k : int;
+    m0' : int;
+    r1 : int array;  (* R mod m, R = 2^(k·limb_bits) *)
+    r2 : int array;  (* R² mod m: one mont_mul against it converts into the domain *)
+  }
+
+  let create m =
+    if compare m two < 0 then invalid_arg "Bigint.Mont.create: modulus <= 1";
+    if is_even m then invalid_arg "Bigint.Mont.create: even modulus";
+    let m = abs m in
+    let mmag = m.mag in
+    let k = Array.length mmag in
+    let r = shift_left one (k * limb_bits) in
+    { ctx_modulus = m;
+      mmag;
+      k;
+      m0' = (base - limb_inv mmag.(0)) land mask;
+      r1 = (erem r m).mag;
+      r2 = (erem (mul r r) m).mag }
+
+  let modulus c = c.ctx_modulus
+
+  let pow c b e =
+    if sign e < 0 then invalid_arg "Bigint.mod_pow: negative exponent";
+    if is_zero e then erem one c.ctx_modulus
+    else begin
     (* Allocation-free Montgomery ladder: operands live in fixed (k+1)-limb
        buffers (top limb zero between operations since values stay < m),
        products and REDC run in one shared scratch buffer. *)
-    let mmag = (abs m).mag in
-    let k = Array.length mmag in
-    let m0' = (base - limb_inv mmag.(0)) land mask in
+    let { mmag; k; m0'; _ } = c in
     let t = Array.make ((2 * k) + 2) 0 in
     (* REDC t in place, write the (< m) result into dst (k+1 limbs). *)
     let redc_into dst =
@@ -674,17 +692,54 @@ let mod_pow b e m =
       done;
       redc_into dst
     in
+    (* Dedicated squaring: each cross product a_i·a_j (i < j) is
+       accumulated once and the whole buffer doubled afterwards —
+       doubling p in place could overflow 63-bit ints at 31-bit limbs,
+       the separate pass cannot. Halves the product-phase multiplies;
+       squarings are ~80% of a big-exponent ladder. *)
+    let mont_sqr_into dst a =
+      Array.fill t 0 ((2 * k) + 2) 0;
+      for i = 0 to k do
+        let ai = a.(i) in
+        if ai <> 0 then begin
+          let carry = ref 0 in
+          for j = i + 1 to k do
+            let p = (ai * a.(j)) + t.(i + j) + !carry in
+            t.(i + j) <- p land mask;
+            carry := p lsr limb_bits
+          done;
+          if !carry <> 0 then t.(i + k + 1) <- t.(i + k + 1) + !carry
+        end
+      done;
+      let carry = ref 0 in
+      for idx = 0 to (2 * k) + 1 do
+        let v = (t.(idx) lsl 1) + !carry in
+        t.(idx) <- v land mask;
+        carry := v lsr limb_bits
+      done;
+      let carry = ref 0 in
+      for i = 0 to k do
+        let p = a.(i) * a.(i) in
+        let s = t.(2 * i) + (p land mask) + !carry in
+        t.(2 * i) <- s land mask;
+        let s2 = t.((2 * i) + 1) + (p lsr limb_bits) + (s lsr limb_bits) in
+        t.((2 * i) + 1) <- s2 land mask;
+        carry := s2 lsr limb_bits
+      done;
+      redc_into dst
+    in
     let to_buf mag =
       let buf = Array.make (k + 1) 0 in
       Array.blit mag 0 buf 0 (Array.length mag);
       buf
     in
-    (* R mod m and b*R mod m via one general division each. *)
-    let r_mod_m = (erem (shift_left one (k * limb_bits)) m).mag in
-    let b_mont = (erem (shift_left (erem b m) (k * limb_bits)) m).mag in
-    if nat_is_zero b_mont then zero
+    (* Into Montgomery form by one multiplication against the cached R²:
+       REDC(b · R²) = b·R mod m — no general division on this path. *)
+    let b_mont = Array.make (k + 1) 0 in
+    mont_mul_into b_mont (to_buf (erem b c.ctx_modulus).mag) (to_buf c.r2);
+    if Array.for_all (fun l -> l = 0) b_mont then zero
     else begin
-      let acc = ref (to_buf r_mod_m) and tmp = ref (Array.make (k + 1) 0) in
+      let acc = ref (to_buf c.r1) and tmp = ref (Array.make (k + 1) 0) in
       let bits = num_bits e in
       (* Sliding-window: precompute the odd powers b^1, b^3, …,
          b^(2^w - 1) in Montgomery form, then consume the exponent in
@@ -699,10 +754,10 @@ let mod_pow b e m =
         else 7
       in
       let tbl = Array.make (1 lsl (w - 1)) [||] in
-      tbl.(0) <- to_buf b_mont;
+      tbl.(0) <- b_mont;
       if w > 1 then begin
         let bsq = Array.make (k + 1) 0 in
-        mont_mul_into bsq tbl.(0) tbl.(0);
+        mont_sqr_into bsq tbl.(0);
         for i = 1 to Array.length tbl - 1 do
           let d = Array.make (k + 1) 0 in
           mont_mul_into d tbl.(i - 1) bsq;
@@ -715,10 +770,16 @@ let mod_pow b e m =
         acc := !tmp;
         tmp := swap
       in
+      let advance_sq () =
+        mont_sqr_into !tmp !acc;
+        let swap = !acc in
+        acc := !tmp;
+        tmp := swap
+      in
       let i = ref (bits - 1) in
       while !i >= 0 do
         if not (testbit e !i) then begin
-          advance !acc;
+          advance_sq ();
           decr i
         end
         else begin
@@ -728,7 +789,7 @@ let mod_pow b e m =
             incr j
           done;
           for _ = 1 to !i - !j + 1 do
-            advance !acc
+            advance_sq ()
           done;
           let v = ref 0 in
           for bi = !i downto !j do
@@ -744,7 +805,25 @@ let mod_pow b e m =
       redc_into !tmp;
       make 1 (nat_normalize (Array.copy !tmp))
     end
+    end
+end
+
+let mod_pow b e m =
+  if sign e < 0 then invalid_arg "Bigint.mod_pow: negative exponent";
+  if compare m two < 0 then invalid_arg "Bigint.mod_pow: modulus <= 1";
+  if is_zero e then erem one m
+  else if is_even m then begin
+    (* Rare path: plain square-and-multiply with division-based reduction. *)
+    let b = erem b m in
+    let bits = num_bits e in
+    let acc = ref (erem one m) in
+    for i = bits - 1 downto 0 do
+      acc := mod_mul !acc !acc m;
+      if testbit e i then acc := mod_mul !acc b m
+    done;
+    !acc
   end
+  else Mont.pow (Mont.create m) b e
 
 (* Repeated squaring for anchor-chain extension: for odd [m], returns
    [| x^(2^w); x^(2^(2w)); ...; x^(2^(count*w)) |] mod m with ONE

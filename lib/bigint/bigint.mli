@@ -116,6 +116,27 @@ val mod_pow : t -> t -> t -> t
     multiplication when [m] is odd. @raise Invalid_argument on negative
     exponent or modulus [<= 1]. *)
 
+(** Precomputed per-modulus Montgomery state for repeated
+    exponentiation with {e varying} bases modulo one odd modulus
+    (complementing {!Fixed_base}, which fixes the base). [create]
+    derives once what {!mod_pow} re-derives per call — the limb
+    inverse, [R mod m] and [R² mod m] — and converts bases into the
+    Montgomery domain with one multiplication instead of a general
+    division. A context is immutable after [create] and safe to share
+    across domains. *)
+module Mont : sig
+  type ctx
+
+  val create : t -> ctx
+  (** @raise Invalid_argument when the modulus is even or [<= 1]. *)
+
+  val modulus : ctx -> t
+
+  val pow : ctx -> t -> t -> t
+  (** [pow c b e] is exactly [mod_pow b e (modulus c)] for [e >= 0].
+      @raise Invalid_argument on a negative exponent. *)
+end
+
 val gcd : t -> t -> t
 
 val egcd : t -> t -> t * t * t

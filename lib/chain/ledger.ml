@@ -6,12 +6,15 @@ type validator = {
 }
 
 type t = {
+  uid : int; (* process-local identity, for off-chain indexer caches *)
   vm_state : Vm.state;
   validators : validator array;
   mutable chain : Block.t list; (* newest first; last element is genesis *)
   mutable mempool : Vm.txn list; (* newest first *)
   receipts : (string, Vm.receipt) Hashtbl.t;
 }
+
+let uid_counter = ref 0
 
 let genesis_parent = Sha256.digest "slicer-genesis"
 
@@ -31,7 +34,9 @@ let create ~validators =
     Block.make ~parent:genesis_parent ~number:0 ~timestamp:0 ~sealer:validators.(0).v_addr
       ~seal:(seal_with validators.(0)) [] []
   in
-  { vm_state = Vm.create_state ();
+  incr uid_counter;
+  { uid = !uid_counter;
+    vm_state = Vm.create_state ();
     validators;
     chain = [ genesis ];
     mempool = [];
@@ -44,9 +49,19 @@ let validator_names t =
 
 let submit t txn = t.mempool <- txn :: t.mempool
 
+let uid t = t.uid
 let head t = List.hd t.chain
 let height t = (head t).Block.header.Block.number
 let blocks t = List.rev t.chain
+
+let blocks_above t ~height =
+  (* Walk the newest-first spine only until it drops to [height]:
+     O(new blocks), which is what keeps incremental indexers cheap. *)
+  let rec take acc = function
+    | b :: rest when b.Block.header.Block.number > height -> take (b :: acc) rest
+    | _ -> acc
+  in
+  take [] t.chain
 
 let sealer_for t number = t.validators.(number mod Array.length t.validators)
 

@@ -20,11 +20,34 @@ type t = {
   mutable witness_cache : (string, Bigint.t) Hashtbl.t option;
   (* Shared product tree over [primes]: built lazily on first witness,
      after which every VO is one exact division + one fixed-base
-     exponentiation instead of an O(n) re-accumulation. *)
+     exponentiation instead of an O(n) re-accumulation. Extended in
+     place by [install] (one multiply), never rebuilt. *)
   mutable acc_ctx : Rsa_acc.ctx option;
+  (* Persistent witness index: keeps the product/root-split tree alive
+     across operations so a warm witness is a table lookup. [None]
+     when disabled ([~witness_index:false]) — the ctx path then serves
+     every VO. *)
+  use_index : bool;
+  mutable windex : Witness_tree.t option;
+  (* Served-claim cache: an honest repeated token costs one lookup
+     instead of an index walk + multiset hash + witness. Reset whenever
+     the index state or the behaviour mode changes. *)
+  claim_cache : (string, Slicer_contract.claim) Hashtbl.t;
+  (* Batched replies cache under the whole token sequence: the combined
+     witness is a per-query Shamir recombination, so a repeat served
+     from the table saves the exponentiations, not just the walk. *)
+  batch_cache : (string, Slicer_contract.claim list * Bigint.t) Hashtbl.t;
 }
 
-let create ~acc_params ~tdp_public () =
+let claim_cache_limit = 65_536
+
+let c_claim_hits =
+  Obs.counter ~help:"served-claim cache hits" "slicer_cloud_claim_cache_hits_total"
+
+let c_claim_misses =
+  Obs.counter ~help:"served-claim cache misses" "slicer_cloud_claim_cache_misses_total"
+
+let create ?(witness_index = true) ~acc_params ~tdp_public () =
   { c_params = acc_params;
     c_tdp = tdp_public;
     index = Enc_index.create ();
@@ -34,9 +57,27 @@ let create ~acc_params ~tdp_public () =
     last_shipment = Hashtbl.create 1;
     prev_primes = [];
     witness_cache = None;
-    acc_ctx = None }
+    acc_ctx = None;
+    use_index = witness_index;
+    windex = None;
+    claim_cache = Hashtbl.create 256;
+    batch_cache = Hashtbl.create 64 }
+
+let windex_of t =
+  match t.windex with
+  | Some wt -> Some wt
+  | None ->
+    if not t.use_index then None
+    else begin
+      let wt = Witness_tree.create t.c_params in
+      Witness_tree.append wt t.primes;
+      t.windex <- Some wt;
+      Some wt
+    end
 
 let install t (sh : Owner.shipment) =
+  Hashtbl.reset t.claim_cache;
+  Hashtbl.reset t.batch_cache;
   t.prev_primes <- t.primes;
   t.last_shipment <- Hashtbl.create (List.length sh.Owner.sh_entries);
   List.iter
@@ -47,9 +88,23 @@ let install t (sh : Owner.shipment) =
   t.primes <- t.primes @ sh.Owner.sh_primes;
   t.ac <- sh.Owner.sh_ac;
   t.witness_cache <- None;
-  t.acc_ctx <- None
+  (* Insert extends the long-lived structures instead of discarding
+     them: the shared product gains one multiply, the witness index
+     recomputes only its O(log n) spine. Warm witnesses survive and
+     are lazily re-based on the next lookup. *)
+  (match t.acc_ctx with
+   | Some c -> t.acc_ctx <- Some (Rsa_acc.ctx_extend c sh.Owner.sh_primes)
+   | None -> ());
+  match t.windex with
+  | Some wt -> Witness_tree.append wt sh.Owner.sh_primes
+  | None -> ignore (windex_of t)
 
-let set_behavior t m = t.mode <- m
+let set_behavior t m =
+  if m <> t.mode then begin
+    Hashtbl.reset t.claim_cache;
+    Hashtbl.reset t.batch_cache
+  end;
+  t.mode <- m
 let behavior t = t.mode
 
 (* Snapshot export: the merged view of every shipment installed so
@@ -66,11 +121,14 @@ let primes t = t.primes
 let current_ac t = t.ac
 
 let precompute_witnesses t =
-  let cache = Hashtbl.create (List.length t.primes) in
-  List.iter
-    (fun (x, w) -> Hashtbl.replace cache (Bigint.to_string x) w)
-    (Rsa_acc.all_witnesses t.c_params t.primes);
-  t.witness_cache <- Some cache
+  match windex_of t with
+  | Some wt -> Witness_tree.warm_all wt
+  | None ->
+    let cache = Hashtbl.create (List.length t.primes) in
+    List.iter
+      (fun (x, w) -> Hashtbl.replace cache (Bigint.to_string x) w)
+      (Rsa_acc.all_witnesses t.c_params t.primes);
+    t.witness_cache <- Some cache
 
 let ctx_of t =
   match t.acc_ctx with
@@ -89,8 +147,15 @@ let witness_for t ~primes x =
   match cached with
   | Some w -> w
   | None ->
-    if primes == t.primes then
-      ( try Rsa_acc.ctx_witness (ctx_of t) x with Invalid_argument _ -> Bigint.one )
+    if primes == t.primes then begin
+      match (if t.mode = Stale_results then None else windex_of t) with
+      | Some wt ->
+        (* The maintained index serves (or lazily re-bases) the leaf;
+           a miss is a non-member claim, same as the ctx fallback. *)
+        ( match Witness_tree.witness wt x with Some w -> w | None -> Bigint.one )
+      | None ->
+        ( try Rsa_acc.ctx_witness (ctx_of t) x with Invalid_argument _ -> Bigint.one )
+    end
     else
       (* Snapshot prime lists (Stale_results) don't get a context: the
          misbehaving path need not be fast. *)
@@ -141,11 +206,13 @@ let delivered_results t st =
   | Inject_result -> honest_results @ [ Sha256.digest "bogus" |> fun d -> String.sub d 0 16 ]
   | Tamper_result -> ( match honest_results with [] -> [] | r :: rest -> flip_bit r :: rest )
 
-let claim_prime ~token_bytes results =
+let claim_input ~token_bytes results =
   let h = Mset_hash.of_list results in
-  Prime_rep.to_prime (Bytesutil.concat [ token_bytes; Mset_hash.to_bytes h ])
+  Bytesutil.concat [ token_bytes; Mset_hash.to_bytes h ]
 
-let search_one t st =
+let claim_prime ~token_bytes results = Prime_rep.to_prime (claim_input ~token_bytes results)
+
+let search_one_uncached t st =
   let results = delivered_results t st in
   let token_bytes = Slicer_types.token_bytes st in
   let x = claim_prime ~token_bytes results in
@@ -154,23 +221,43 @@ let search_one t st =
   let witness = if t.mode = Forge_witness then Bigint.succ witness else witness in
   { Slicer_contract.token_bytes; results; witness }
 
-let search_batched t sts =
-  Obs.Counter.add c_tokens (List.length sts);
+let search_one t st =
+  if t.mode <> Honest then search_one_uncached t st
+  else begin
+    let token_bytes = Slicer_types.token_bytes st in
+    match Hashtbl.find_opt t.claim_cache token_bytes with
+    | Some c ->
+      Obs.Counter.incr c_claim_hits;
+      c
+    | None ->
+      Obs.Counter.incr c_claim_misses;
+      let c = search_one_uncached t st in
+      if Hashtbl.length t.claim_cache < claim_cache_limit then
+        Hashtbl.replace t.claim_cache token_bytes c;
+      c
+  end
+
+let search_batched_uncached t sts =
   Obs.span "cloud.search" @@ fun () ->
   let partial =
     List.map
       (fun st ->
         let results = delivered_results t st in
         let token_bytes = Slicer_types.token_bytes st in
-        (token_bytes, results, claim_prime ~token_bytes results))
+        (token_bytes, results, claim_input ~token_bytes results))
       sts
   in
-  let xs = List.map (fun (_, _, x) -> x) partial in
+  (* One batched derivation: cache hits are free, misses fan their
+     prime search over the pool instead of running one by one. *)
+  let xs = Prime_rep.to_primes (List.map (fun (_, _, input) -> input) partial) in
   let witness =
     if t.mode = Stale_results then
       try Rsa_acc.batch_witness t.c_params t.prev_primes xs with Invalid_argument _ -> Bigint.one
     else
-      try Rsa_acc.ctx_batch_witness (ctx_of t) xs with Invalid_argument _ -> Bigint.one
+      match windex_of t with
+      | Some wt -> ( try Witness_tree.batch_witness wt xs with Invalid_argument _ -> Bigint.one )
+      | None ->
+        ( try Rsa_acc.ctx_batch_witness (ctx_of t) xs with Invalid_argument _ -> Bigint.one )
   in
   let witness = if t.mode = Forge_witness then Bigint.succ witness else witness in
   let claims =
@@ -181,6 +268,22 @@ let search_batched t sts =
       partial
   in
   (claims, witness)
+
+let search_batched t sts =
+  Obs.Counter.add c_tokens (List.length sts);
+  if t.mode <> Honest then search_batched_uncached t sts
+  else begin
+    let key = Bytesutil.concat (List.map Slicer_types.token_bytes sts) in
+    match Hashtbl.find_opt t.batch_cache key with
+    | Some r ->
+      Obs.Counter.incr c_claim_hits;
+      r
+    | None ->
+      Obs.Counter.incr c_claim_misses;
+      let r = search_batched_uncached t sts in
+      if Hashtbl.length t.batch_cache < claim_cache_limit then Hashtbl.replace t.batch_cache key r;
+      r
+  end
 
 let search t sts =
   Obs.Counter.add c_tokens (List.length sts);
@@ -207,6 +310,42 @@ let search_instrumented t sts =
       sts
   in
   (claims, { result_seconds = !result_time; vo_seconds = !vo_time })
+
+(* Speculative warm-up driven from the query stream: derive (and cache)
+   the claim primes a token batch will need, and touch their leaves so
+   the witness index re-bases them off the hot path. Misbehaving modes
+   perturb the delivered results, so only the honest cloud warms. *)
+let warm_tokens t sts =
+  (* Tokens whose claims are already cached have nothing left to warm:
+     speculation only pays for genuinely fresh queries. *)
+  let fresh =
+    List.filter
+      (fun st -> not (Hashtbl.mem t.claim_cache (Slicer_types.token_bytes st)))
+      sts
+  in
+  if t.mode = Honest && fresh <> [] then
+    Obs.span "cloud.warm" @@ fun () ->
+    let inputs =
+      List.map
+        (fun st ->
+          let results = collect_results_untimed t st in
+          claim_input ~token_bytes:(Slicer_types.token_bytes st) results)
+        fresh
+    in
+    let xs = Prime_rep.to_primes inputs in
+    match windex_of t with
+    | Some wt -> List.iter (fun x -> ignore (Witness_tree.witness wt x)) xs
+    | None -> ()
+
+let witness_index_stats t = Option.map Witness_tree.stats t.windex
+let witness_index_bytes t = match t.windex with Some wt -> Witness_tree.size_bytes wt | None -> 0
+
+let export_witness_index t =
+  match t.windex with Some wt -> Witness_tree.export wt | None -> ""
+
+let restore_witness_index t blob =
+  if String.length blob = 0 then None
+  else match windex_of t with Some wt -> Witness_tree.absorb wt blob | None -> None
 
 let index_entries t = Enc_index.entry_count t.index
 let index_bytes t = Enc_index.size_bytes t.index

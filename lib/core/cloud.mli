@@ -19,7 +19,13 @@ type misbehavior =
   | Forge_witness   (** return a perturbed verification object *)
   | Stale_results   (** answer from a pre-insert snapshot of the index *)
 
-val create : acc_params:Rsa_acc.params -> tdp_public:Rsa_tdp.public -> unit -> t
+val create :
+  ?witness_index:bool -> acc_params:Rsa_acc.params -> tdp_public:Rsa_tdp.public -> unit -> t
+(** [~witness_index] (default [true]) maintains a persistent
+    {!Witness_tree} over the accumulated primes: Insert only recomputes
+    the O(log n) product spine, and a warm witness query is a table
+    lookup instead of a full-size exponentiation. [false] falls back to
+    the shared-product context for every VO. *)
 
 val install : t -> Owner.shipment -> unit
 (** Apply a Build/Insert shipment: add index entries and primes, adopt
@@ -69,10 +75,36 @@ val search_instrumented :
     and RSA witness). *)
 
 val precompute_witnesses : t -> unit
-(** Optional optimisation (ablation bench): compute all membership
-    witnesses in O(n log n) once, so each query's VO generation is a
-    table lookup instead of an O(n) exponentiation chain. Invalidated
-    by the next {!install}. *)
+(** Warm every witness at once: with the index enabled this is
+    [Witness_tree.warm_all] (and the warmth {e survives} later
+    {!install}s — only the stale leaves are lazily re-based); without
+    it, the legacy one-shot table from [Rsa_acc.all_witnesses],
+    invalidated by the next {!install}. *)
+
+val warm_tokens : t -> Slicer_types.search_token list -> unit
+(** Speculative warmer driven from the query stream: batch-derive (and
+    cache) the claim primes these tokens will need and touch their
+    witness-index leaves, so the subsequent {!search} serves VOs from
+    warm state. No-op for a misbehaving cloud (perturbed results make
+    speculation useless). *)
+
+(** {2 Witness-index introspection and snapshotting} *)
+
+val witness_index_stats : t -> Witness_tree.stats option
+(** [None] when the index is disabled (or not yet built). *)
+
+val witness_index_bytes : t -> int
+(** Approximate heap footprint of the maintained index (0 if disabled). *)
+
+val export_witness_index : t -> string
+(** Compact serialized warm state (leaf witnesses + generation stamps)
+    for the service snapshot; [""] when the index is disabled. *)
+
+val restore_witness_index : t -> string -> int option
+(** Graft an exported blob onto the index rebuilt by {!install} replay:
+    restored leaves serve identical witnesses without recomputation.
+    Returns the number of leaves absorbed; [None] for an empty/foreign
+    blob or when the index is disabled. *)
 
 val index_entries : t -> int
 val index_bytes : t -> int

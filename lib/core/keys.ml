@@ -46,4 +46,18 @@ let schedule k_r =
     s
 
 let encrypt_record_id ~k_r id = Aes128.encrypt_string (schedule k_r) id
-let decrypt_record_id ~k_r ct = Aes128.decrypt_string (schedule k_r) ct
+
+(* Decryptions are memoized: a user replays the same encrypted ids on
+   every repeated query, and softcore AES dominates the otherwise-warm
+   read path. Bounded like every other long-lived memo. *)
+let decrypt_memo_limit = 65_536
+let decrypt_memo : (string, string) Hashtbl.t = Hashtbl.create 256
+
+let decrypt_record_id ~k_r ct =
+  let key = Bytesutil.concat [ k_r; ct ] in
+  match Hashtbl.find_opt decrypt_memo key with
+  | Some id -> id
+  | None ->
+    let id = Aes128.decrypt_string (schedule k_r) ct in
+    if Hashtbl.length decrypt_memo < decrypt_memo_limit then Hashtbl.replace decrypt_memo key id;
+    id

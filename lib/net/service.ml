@@ -42,9 +42,12 @@ type t = {
      mutation order — and group-commit synced before the reply leaves
      [handle]. [None] (the default) = the pre-PR-5 in-memory service. *)
   mutable store : Store.t option;
+  (* Whether Build creates the cloud with the persistent witness index
+     (the [--no-witness-index] server escape hatch sets this false). *)
+  witness_index : bool;
 }
 
-let create ?(max_cached_replies = 8192) ?(faucet = 100_000_000) () =
+let create ?(max_cached_replies = 8192) ?(faucet = 100_000_000) ?(witness_index = true) () =
   { lock = Mutex.create ();
     state = None;
     users = Hashtbl.create 64;
@@ -53,10 +56,11 @@ let create ?(max_cached_replies = 8192) ?(faucet = 100_000_000) () =
     max_cached_replies;
     faucet;
     settled = 0;
-    store = None }
+    store = None;
+    witness_index }
 
-let of_protocol ?max_cached_replies ?faucet p =
-  let t = create ?max_cached_replies ?faucet () in
+let of_protocol ?max_cached_replies ?faucet ?witness_index p =
+  let t = create ?max_cached_replies ?faucet ?witness_index () in
   let owner = Protocol.owner p in
   t.state <-
     Some
@@ -167,6 +171,12 @@ let do_search t b ~req ~client ~request_id ~batched tokens =
        Obs.Counter.incr c_replays;
        cached
      | None ->
+       (* Speculative warm-up off the settlement path's caches: derive
+          the claim primes this batch will need (pool fan-out) and
+          touch their witness-index leaves, so the settle below serves
+          its VO from warm state. Pure cache effect — the settled
+          bytes are identical with or without it. *)
+       Cloud.warm_tokens (Station.cloud b.b_station) tokens;
        (match
           (* The on-chain request id is the same composite key: the
              contract refuses duplicate ids globally, so namespacing by
@@ -214,7 +224,7 @@ let do_build t req =
      | Some _ -> refused Wire.Already_built "the service already holds a database"
      | None ->
        let tdp_public = Rsa_tdp.public_of_parts ~n:tdp_n ~e:tdp_e in
-       let cloud = Cloud.create ~acc_params:acc ~tdp_public () in
+       let cloud = Cloud.create ~witness_index:t.witness_index ~acc_params:acc ~tdp_public () in
        Cloud.install cloud shipment;
        let ledger = Ledger.create ~validators:[ "validator-1"; "validator-2"; "validator-3" ] in
        let owner_addr = Vm.address_of_name "slicer-net:owner" in
@@ -288,7 +298,10 @@ let handle_locked t req =
 
 let ( let* ) = Option.bind
 
-let snap_magic_built = "slicer-service-built-v1"
+let snap_magic_built = "slicer-service-built-v2"
+(* v1 snapshots (pre witness-index) decode too: same pieces, no
+   trailing witness blob — the index rebuilds cold and re-warms. *)
+let snap_magic_built_v1 = "slicer-service-built-v1"
 let snap_magic_empty = "slicer-service-empty-v1"
 
 (* The snapshot is the *materialized* behavioral state, not chain
@@ -347,7 +360,12 @@ let encode_snapshot t =
         Bytesutil.concat
           (List.concat_map (fun (k, v) -> [ k; v ]) (Vm.storage_entries vmst contract));
         Bytesutil.concat users;
-        Bytesutil.concat replies ]
+        Bytesutil.concat replies;
+        (* Warm witness state: leaf witnesses + generation stamps. The
+           products rebuild from [primes] above; grafting this back
+           means a restarted server serves witnesses without a single
+           recomputation. Empty when the index is disabled. *)
+        Cloud.export_witness_index cloud ]
 
 let rec pairs_of = function
   | [] -> Some []
@@ -365,15 +383,21 @@ let rec account_triples = function
     Some ((a, bal, n) :: tail)
   | _ -> None
 
-let decode_snapshot ?max_cached_replies ?faucet bytes =
+let decode_snapshot ?max_cached_replies ?faucet ?witness_index bytes =
   let* pieces = Bytesutil.split bytes in
   match pieces with
   | [ m ] when String.equal m snap_magic_empty ->
-    Some (create ?max_cached_replies ?faucet ())
-  | [ m; width; payment; generation; settled; modulus; gen; pn; e; u_k; u_k_r;
-      owner_addr; contract; cloud_addr; validators; trapdoor; entries; primes; ac;
-      accounts; storage; users; replies ]
-    when String.equal m snap_magic_built ->
+    Some (create ?max_cached_replies ?faucet ?witness_index ())
+  | m :: width :: payment :: generation :: settled :: modulus :: gen :: pn :: e :: u_k
+    :: u_k_r :: owner_addr :: contract :: cloud_addr :: validators :: trapdoor :: entries
+    :: primes :: ac :: accounts :: storage :: users :: replies :: tail
+    when String.equal m snap_magic_built || String.equal m snap_magic_built_v1 ->
+    let* windex_blob =
+      match tail with
+      | [ w ] when String.equal m snap_magic_built -> Some w
+      | [] when String.equal m snap_magic_built_v1 -> Some ""
+      | _ -> None
+    in
     let* width = int_of_string_opt width in
     let* payment = int_of_string_opt payment in
     let* generation = int_of_string_opt generation in
@@ -407,11 +431,17 @@ let decode_snapshot ?max_cached_replies ?faucet bytes =
     let tdp_public =
       Rsa_tdp.public_of_parts ~n:(Bigint.of_bytes_be pn) ~e:(Bigint.of_bytes_be e)
     in
-    let cloud = Cloud.create ~acc_params ~tdp_public () in
+    let cloud =
+      Cloud.create
+        ~witness_index:(Option.value witness_index ~default:true)
+        ~acc_params ~tdp_public ()
+    in
     Cloud.install cloud
       { Owner.sh_entries;
         sh_primes = List.map Bigint.of_bytes_be prime_flat;
         sh_ac = Bigint.of_bytes_be ac };
+    (* Graft the snapshotted warm witnesses onto the rebuilt index. *)
+    if String.length windex_blob > 0 then ignore (Cloud.restore_witness_index cloud windex_blob);
     let ledger = Ledger.create ~validators in
     let vmst = Ledger.state ledger in
     List.iter
@@ -420,7 +450,7 @@ let decode_snapshot ?max_cached_replies ?faucet bytes =
     Slicer_contract.restore ledger ~contract ~modulus:acc_params.Rsa_acc.modulus
       ~generator:acc_params.Rsa_acc.generator;
     Vm.restore_storage vmst contract storage;
-    let t = create ?max_cached_replies ?faucet () in
+    let t = create ?max_cached_replies ?faucet ?witness_index () in
     t.state <-
       Some
         { b_station = Station.create ~cloud ~ledger ~contract ~cloud_addr;
@@ -497,7 +527,7 @@ type recovery_stats = {
   rs_dropped_tail : bool;
 }
 
-let recover ?max_cached_replies ?faucet cfg =
+let recover ?max_cached_replies ?faucet ?witness_index cfg =
   Obs.span "store.recover" (fun () ->
       let store, rc = Store.open_ cfg in
       let fail msg =
@@ -506,8 +536,9 @@ let recover ?max_cached_replies ?faucet cfg =
       in
       let base =
         match rc.Store.rc_snapshot with
-        | None -> Some (create ?max_cached_replies ?faucet ())
-        | Some (_seq, payload) -> decode_snapshot ?max_cached_replies ?faucet payload
+        | None -> Some (create ?max_cached_replies ?faucet ?witness_index ())
+        | Some (_seq, payload) ->
+          decode_snapshot ?max_cached_replies ?faucet ?witness_index payload
       in
       match base with
       | None -> fail "snapshot failed to decode (codec mismatch)"

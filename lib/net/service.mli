@@ -16,12 +16,15 @@ val log_src : Logs.src
 
 type t
 
-val create : ?max_cached_replies:int -> ?faucet:int -> unit -> t
+val create : ?max_cached_replies:int -> ?faucet:int -> ?witness_index:bool -> unit -> t
 (** An empty service awaiting a [Wire.Build] shipment from the data
     owner. [faucet] is the balance granted to each newly registered
-    user (default 100,000,000 wei). *)
+    user (default 100,000,000 wei). [witness_index] (default [true])
+    controls whether Build creates the cloud with the persistent
+    witness index ({!Cloud.create}); [false] is the
+    [--no-witness-index] escape hatch. *)
 
-val of_protocol : ?max_cached_replies:int -> ?faucet:int -> Protocol.t -> t
+val of_protocol : ?max_cached_replies:int -> ?faucet:int -> ?witness_index:bool -> Protocol.t -> t
 (** Serve an in-process system (e.g. one the server built from
     [--records N] at startup): the service drives the {e same} station,
     so wire searches and [Protocol.search] settle identically. *)
@@ -69,7 +72,7 @@ type recovery_stats = {
 }
 
 val recover :
-  ?max_cached_replies:int -> ?faucet:int -> Store.config ->
+  ?max_cached_replies:int -> ?faucet:int -> ?witness_index:bool -> Store.config ->
   (t * recovery_stats, string) result
 (** Open (or create) the durable state at [cfg.dir], rebuild the
     service from the newest valid snapshot plus the contiguous WAL

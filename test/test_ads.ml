@@ -180,6 +180,106 @@ let test_acc_tampered_ac_fails () =
   let w = Rsa_acc.mem_witness small_params xs x in
   Alcotest.(check bool) "tampered Ac fails" false (Rsa_acc.verify_mem small_params ~ac:bad_ac ~x ~witness:w)
 
+(* --- witness tree (persistent witness index) ---------------------------- *)
+
+let test_wt_matches_rebuild () =
+  (* Incremental appends with interleaved queries (so bases exist at
+     many different generations) must agree with a from-scratch
+     all_witnesses rebuild and the direct accumulation. *)
+  let batches = [ primes_of 3 "wt-a"; primes_of 1 "wt-b"; primes_of 5 "wt-c"; primes_of 2 "wt-d" ] in
+  let wt = Witness_tree.create small_params in
+  List.iter
+    (fun batch ->
+      Witness_tree.append wt batch;
+      (* Touch one element so its cached base goes stale on the next append. *)
+      ignore (Witness_tree.witness wt (List.hd batch)))
+    batches;
+  let all = List.concat batches in
+  Alcotest.(check int) "leaf count" (List.length all) (Witness_tree.leaf_count wt);
+  Alcotest.(check bool) "ac matches accumulate" true
+    (Bigint.equal (Witness_tree.ac wt) (Rsa_acc.accumulate small_params all));
+  List.iter2
+    (fun x (x', w_rebuild) ->
+      Alcotest.(check bool) "rebuild order" true (Bigint.equal x x');
+      match Witness_tree.witness wt x with
+      | None -> Alcotest.fail "member prime missing from index"
+      | Some w -> Alcotest.(check bool) "witness = all_witnesses" true (Bigint.equal w w_rebuild))
+    all
+    (Rsa_acc.all_witnesses small_params all);
+  Alcotest.(check bool) "non-member misses" true (Witness_tree.witness wt (Prime_rep.to_prime "wt-outsider") = None)
+
+let test_wt_warm_all () =
+  let xs = primes_of 11 "wt-warm" in
+  let wt = Witness_tree.create small_params in
+  Witness_tree.append wt xs;
+  Witness_tree.warm_all wt;
+  let stats = Witness_tree.stats wt in
+  Alcotest.(check int) "all leaves cached" (List.length xs) stats.Witness_tree.ws_cached;
+  Alcotest.(check int) "all leaves fresh" (List.length xs) stats.Witness_tree.ws_fresh;
+  List.iter2
+    (fun x (_, w_rebuild) ->
+      match Witness_tree.witness wt x with
+      | None -> Alcotest.fail "missing after warm_all"
+      | Some w -> Alcotest.(check bool) "warm witness identical" true (Bigint.equal w w_rebuild))
+    xs
+    (Rsa_acc.all_witnesses small_params xs);
+  (* Every query after warm_all must be a pure cache hit. *)
+  let stats' = Witness_tree.stats wt in
+  Alcotest.(check int) "queries were hits" (List.length xs) (stats'.Witness_tree.ws_hits - stats.Witness_tree.ws_hits);
+  Alcotest.(check int) "no refresh after warm" stats.Witness_tree.ws_refreshes stats'.Witness_tree.ws_refreshes
+
+let test_wt_batch_witness () =
+  let xs = primes_of 8 "wt-batch" in
+  let wt = Witness_tree.create small_params in
+  Witness_tree.append wt xs;
+  let ctx = Rsa_acc.context small_params xs in
+  let subset = [ List.nth xs 1; List.nth xs 4; List.nth xs 6 ] in
+  Alcotest.(check bool) "batch = ctx_batch_witness" true
+    (Bigint.equal (Witness_tree.batch_witness wt subset) (Rsa_acc.ctx_batch_witness ctx subset));
+  Alcotest.(check bool) "singleton = mem_witness" true
+    (Bigint.equal (Witness_tree.batch_witness wt [ List.hd xs ]) (Rsa_acc.mem_witness small_params xs (List.hd xs)));
+  Alcotest.(check bool) "empty subset = Ac" true
+    (Bigint.equal (Witness_tree.batch_witness wt []) (Rsa_acc.accumulate small_params xs));
+  Alcotest.(check bool) "full set = g" true
+    (Bigint.equal (Witness_tree.batch_witness wt xs) small_params.Rsa_acc.generator);
+  Alcotest.check_raises "missing element" (Invalid_argument "Rsa_acc.batch_witness: element not in set")
+    (fun () -> ignore (Witness_tree.batch_witness wt [ Prime_rep.to_prime "wt-batch-outsider" ]));
+  (* Duplicates: both in the multiset and in the subset (the division
+     fallback path), mirroring ctx_batch_witness's multiset semantics. *)
+  let dup = List.hd xs in
+  let wt2 = Witness_tree.create small_params in
+  Witness_tree.append wt2 (xs @ [ dup ]);
+  let ctx2 = Rsa_acc.context small_params (xs @ [ dup ]) in
+  Alcotest.(check bool) "duplicate subset = ctx" true
+    (Bigint.equal (Witness_tree.batch_witness wt2 [ dup; dup ]) (Rsa_acc.ctx_batch_witness ctx2 [ dup; dup ]));
+  Alcotest.(check bool) "subset over multiset = ctx" true
+    (Bigint.equal (Witness_tree.batch_witness wt2 subset) (Rsa_acc.ctx_batch_witness ctx2 subset))
+
+let test_wt_export_absorb () =
+  let batches = [ primes_of 6 "wt-snap"; primes_of 3 "wt-snap2" ] in
+  let all = List.concat batches in
+  let wt = Witness_tree.create small_params in
+  List.iter (Witness_tree.append wt) batches;
+  Witness_tree.warm_all wt;
+  let blob = Witness_tree.export wt in
+  (* Restore: rebuild products from the primes, graft the witnesses. *)
+  let wt' = Witness_tree.create small_params in
+  Witness_tree.append wt' all;
+  (match Witness_tree.absorb wt' blob with
+   | Some n -> Alcotest.(check int) "all leaves absorbed" (List.length all) n
+   | None -> Alcotest.fail "export blob rejected");
+  let before = Witness_tree.stats wt' in
+  List.iter
+    (fun x ->
+      match (Witness_tree.witness wt x, Witness_tree.witness wt' x) with
+      | Some w, Some w' -> Alcotest.(check bool) "restored witness identical" true (Bigint.equal w w')
+      | _ -> Alcotest.fail "missing witness after restore")
+    all;
+  let after = Witness_tree.stats wt' in
+  Alcotest.(check int) "restored tree served without cold recompute" before.Witness_tree.ws_cold
+    after.Witness_tree.ws_cold;
+  Alcotest.(check bool) "garbage blob rejected" true (Witness_tree.absorb wt' "not-a-snapshot" = None)
+
 (* --- Merkle tree -------------------------------------------------------- *)
 
 let test_merkle_roundtrip () =
@@ -276,6 +376,29 @@ let props =
         List.for_all
           (fun x -> Rsa_acc.verify_mem small_params ~ac ~x ~witness:(Rsa_acc.mem_witness small_params xs x))
           xs);
+    prop "witness tree = from-scratch rebuild" ~count:15
+      QCheck2.Gen.(list_size (int_range 1 5) (int_range 1 4))
+      (fun batch_sizes ->
+        (* Any interleaving of appends (with queries in between, so bases
+           get stamped at many generations) serves exactly what a
+           from-scratch all_witnesses rebuild computes. *)
+        let wt = Witness_tree.create small_params in
+        let all = ref [] in
+        List.iteri
+          (fun i n ->
+            let batch = primes_of n (Printf.sprintf "wt-prop-%d-%d" i n) in
+            Witness_tree.append wt batch;
+            all := !all @ batch;
+            ignore (Witness_tree.witness wt (List.hd batch)))
+          batch_sizes;
+        Bigint.equal (Witness_tree.ac wt) (Rsa_acc.accumulate small_params !all)
+        && List.for_all2
+             (fun x (_, w) ->
+               match Witness_tree.witness wt x with
+               | Some w' -> Bigint.equal w w'
+               | None -> false)
+             !all
+             (Rsa_acc.all_witnesses small_params !all));
     prop "merkle proofs verify" ~count:30 (QCheck2.Gen.int_range 1 40) (fun n ->
         let leaves = List.init n (fun i -> Printf.sprintf "L%d" i) in
         let t = Merkle.build leaves in
@@ -308,6 +431,11 @@ let () =
           Alcotest.test_case "batch witness" `Quick test_acc_batch_witness;
           Alcotest.test_case "non-membership" `Quick test_acc_non_membership;
           Alcotest.test_case "tampered Ac" `Quick test_acc_tampered_ac_fails ] );
+      ( "witness_tree",
+        [ Alcotest.test_case "matches rebuild" `Quick test_wt_matches_rebuild;
+          Alcotest.test_case "warm_all" `Quick test_wt_warm_all;
+          Alcotest.test_case "batch witness" `Quick test_wt_batch_witness;
+          Alcotest.test_case "export/absorb" `Quick test_wt_export_absorb ] );
       ( "merkle",
         [ Alcotest.test_case "roundtrip" `Quick test_merkle_roundtrip;
           Alcotest.test_case "rejects" `Quick test_merkle_rejects;

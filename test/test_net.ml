@@ -1039,6 +1039,101 @@ let test_service_survives_restart () =
       (Net.Service.searches_settled svc2);
     Option.iter Store.close (Net.Service.store svc2)
 
+let test_witness_index_survives_restart () =
+  (* The v2 snapshot carries the warm witness state: a restored service
+     serves byte-identical VOs with its index already warm — zero cold
+     recomputation, even for leaves that went stale across an Insert. *)
+  let dir = fresh_state_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let cfg = { Store.dir; fsync = false; snapshot_bytes = max_int } in
+  let rng, keys, acc_params, owner, _records, shipment = durable_owner "windex-owner" in
+  let svc =
+    match Net.Service.recover cfg with
+    | Ok (svc, _) -> svc
+    | Error e -> Alcotest.failf "initial recover: %s" e
+  in
+  (match
+     Net.Service.handle svc
+       (Wire.Build
+          { client = "windex-owner"; request_id = "wi#b"; width; payment = 500;
+            acc = acc_params; tdp_n = keys.Keys.tdp_public.Rsa_tdp.pn;
+            tdp_e = keys.Keys.tdp_public.Rsa_tdp.e;
+            user_k = (Keys.for_user keys).Keys.u_k;
+            user_k_r = (Keys.for_user keys).Keys.u_k_r; shipment;
+            trapdoor = Owner.export_trapdoor_state owner })
+   with
+   | Wire.Accepted _ -> ()
+   | _ -> Alcotest.fail "build refused");
+  let user =
+    match Net.Service.handle svc (Wire.Hello { client = "windex-user" }) with
+    | Wire.Welcome p ->
+      User.create ~keys:p.Wire.pv_user_keys ~width:p.Wire.pv_width p.Wire.pv_trapdoor
+    | _ -> Alcotest.fail "hello refused"
+  in
+  let tokens = User.gen_tokens ~rng user (q 30 Slicer_types.Lt) in
+  let witnesses_of = function
+    | Wire.Found f ->
+      List.map (fun c -> Bigint.to_bytes_be c.Slicer_contract.witness) f.Wire.sr_claims
+    | _ -> Alcotest.fail "search refused"
+  in
+  ignore
+    (witnesses_of
+       (Net.Service.handle svc
+          (Wire.Search
+             { client = "windex-user"; request_id = "wi#1"; batched = false; tokens })));
+  (* Insert so some warm leaves go stale, then query again: the second
+     settlement re-bases them at the latest generation. *)
+  let shipment2 = Owner.insert owner [ Slicer_types.record_of_value "wi-new" 3 ] in
+  (match
+     Net.Service.handle svc
+       (Wire.Insert
+          { client = "windex-owner"; request_id = "wi#i"; shipment = shipment2;
+            trapdoor = Owner.export_trapdoor_state owner })
+   with
+   | Wire.Accepted _ -> ()
+   | _ -> Alcotest.fail "insert refused");
+  let before =
+    witnesses_of
+      (Net.Service.handle svc
+         (Wire.Search
+            { client = "windex-user"; request_id = "wi#2"; batched = false; tokens }))
+  in
+  Option.iter Store.close (Net.Service.store svc);
+  (* Restart 1: WAL replay reconstructs (and re-warms) the index; the
+     re-anchoring checkpoint then snapshots the warm state. *)
+  (match Net.Service.recover cfg with
+   | Error e -> Alcotest.failf "first recover: %s" e
+   | Ok (svc2, _) -> Option.iter Store.close (Net.Service.store svc2));
+  (* Restart 2: snapshot-only restore — nothing replayed, so any warmth
+     must come from the snapshot's witness blob. *)
+  match Net.Service.recover cfg with
+  | Error e -> Alcotest.failf "second recover: %s" e
+  | Ok (svc3, stats) ->
+    Alcotest.(check int) "snapshot-only restore" 0 stats.Net.Service.rs_replayed;
+    let cloud =
+      match Net.Service.station svc3 with
+      | Some st -> Station.cloud st
+      | None -> Alcotest.fail "recovered service has no station"
+    in
+    (match Cloud.witness_index_stats cloud with
+     | None -> Alcotest.fail "recovered cloud has no witness index"
+     | Some ws ->
+       Alcotest.(check bool) "restored leaves are cached" true
+         (ws.Witness_tree.ws_cached > 0);
+       Alcotest.(check int) "no cold work at restore" 0 ws.Witness_tree.ws_cold);
+    let after =
+      witnesses_of
+        (Net.Service.handle svc3
+           (Wire.Search
+              { client = "windex-user"; request_id = "wi#3"; batched = false; tokens }))
+    in
+    Alcotest.(check (list string)) "restored index serves identical witnesses" before after;
+    (match Cloud.witness_index_stats cloud with
+     | Some ws ->
+       Alcotest.(check int) "served without full recomputation" 0 ws.Witness_tree.ws_cold
+     | None -> Alcotest.fail "witness index vanished");
+    Option.iter Store.close (Net.Service.store svc3)
+
 (* The real thing: a separate slicer-server process, killed with
    SIGKILL mid-load, recovered from its state directory. *)
 
@@ -1239,5 +1334,7 @@ let () =
           Alcotest.test_case "stats over the wire" `Quick test_stats_over_the_wire ] );
       ( "durability",
         [ Alcotest.test_case "state survives a restart" `Quick test_service_survives_restart;
+          Alcotest.test_case "witness index survives a restart" `Quick
+            test_witness_index_survives_restart;
           Alcotest.test_case "SIGKILL mid-load, recover, serve again" `Quick
             test_sigkill_mid_load_recovers ] ) ]

@@ -173,6 +173,34 @@ let acc_props =
               && Bigint.equal w (Rsa_acc.mem_witness params xs x)
               && Bigint.equal w bw
               && Rsa_acc.verify_mem params ~ac ~x ~witness:w));
+    prop "witness tree == rebuild at every pool size" ~count:15 gen_prime_list (fun xs ->
+        let params = Lazy.force params in
+        match xs with
+        | [] -> true
+        | x :: _ ->
+          let distinct = List.sort_uniq Bigint.compare xs in
+          across_domains
+            (fun () ->
+              (* A fresh maintained index per pool size, fed in two
+                 appends with a query in between so the spine recompute,
+                 the lazy re-base and the pool-parallel warm_all all run
+                 at this domain count. *)
+              let wt = Witness_tree.create params in
+              let k = List.length xs / 2 in
+              let l = List.filteri (fun i _ -> i < k) xs
+              and r = List.filteri (fun i _ -> i >= k) xs in
+              Witness_tree.append wt l;
+              ignore (Witness_tree.witness wt x);
+              Witness_tree.append wt r;
+              Witness_tree.warm_all wt;
+              ( Witness_tree.ac wt,
+                (match Witness_tree.witness wt x with Some w -> w | None -> Bigint.zero),
+                Witness_tree.batch_witness wt distinct ))
+            (fun (ac, w, bw) (ac', w', bw') ->
+              Bigint.equal ac ac' && Bigint.equal w w' && Bigint.equal bw bw'
+              && Bigint.equal ac (Rsa_acc.accumulate params xs)
+              && Bigint.equal w (Rsa_acc.mem_witness params xs x)
+              && Bigint.equal bw (Rsa_acc.batch_witness params xs distinct)));
     prop "to_primes == map to_prime (with duplicates)" ~count:15
       QCheck2.Gen.(list_size (int_range 0 8) (int_range 0 1_000_000))
       (fun seeds ->
