@@ -69,6 +69,11 @@ let make_tests () =
 
 let run () =
   Bench_common.header "Bechamel micro-benchmarks (ns/op, OLS on monotonic clock)";
+  (* Earlier targets in the same run (the load driver especially) leave
+     a large dirty heap; without a compaction their GC debt is billed
+     to whichever micro-benchmark the collector interrupts, and the
+     span-overhead guard below trips on pure noise. *)
+  Gc.compact ();
   let tests = Test.make_grouped ~name:"slicer" (make_tests ()) in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.4) ~kde:None () in
   let raw = Benchmark.all cfg [ Instance.monotonic_clock ] tests in

@@ -48,6 +48,10 @@ let scale_of_label = function
   | "full" -> Some full_scale
   | _ -> None
 
+(* --conns N: fig_load's high-connection-count mode. 0 (the default)
+   skips the swarm phase entirely. *)
+let conns : int ref = ref 0
+
 (* --- machine-readable output (--json FILE) ------------------------------ *)
 
 (* Figure modules call [json_row] for every measured point; [write_json]

@@ -2,12 +2,21 @@
    *processes* hammer one slicer server over loopback TCP and report
    throughput and latency percentiles.
 
+   With --conns N (N > 0) the driver runs twice: a baseline fleet
+   first, then the same-sized fleet again while the parent holds N
+   extra keep-alive connections open against the server (a
+   {!Net.Client.Swarm}). The second phase's p99 must stay within 2x of
+   the baseline's — the event loop's tail latency has to be flat in
+   the number of open sockets, not just in the number of active
+   clients.
+
    Fork discipline: children are forked while the domain pool is
    drained to a single domain and before the server's accept thread
-   exists, so no child ever inherits a live thread. The listener is
-   pre-bound so children know the port before the server starts; their
-   first Hello simply waits in the backlog until the accept loop
-   spins up. *)
+   exists, so no child ever inherits a live thread. Both fleets fork
+   up front; each child blocks on a go-pipe byte until its phase
+   starts. The listener is pre-bound so children know the port before
+   the server starts; their first Hello simply waits in the backlog
+   until the accept loop spins up. *)
 
 open Bench_common
 
@@ -31,10 +40,24 @@ let write_all fd s =
   in
   go 0
 
+(* Block until the parent releases this child's phase (one byte down
+   the go pipe; EOF means the parent died — exit quietly). *)
+let await_go fd =
+  let b = Bytes.create 1 in
+  let rec wait () =
+    match Unix.read fd b 0 1 with
+    | 0 -> Unix._exit 0
+    | _ -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
+  in
+  wait ();
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
 (* The child process: provision, then fire random verified searches
    until the deadline, streaming one result line per search. Exits via
    [_exit] so the parent's duplicated stdio buffers are not reflushed. *)
-let run_child idx endpoint ~warm duration wr =
+let run_child idx endpoint ~warm duration ~go wr =
+  await_go go;
   let buf = Buffer.create 4096 in
   let cfg =
     { Net.Client.default_config with request_timeout = 60.; max_attempts = 8 }
@@ -120,10 +143,8 @@ let contains hay needle =
   let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
   nn = 0 || go 0
 
-(* Scrape the live server's Obs snapshot over the wire and sanity-check
-   it: the smoke alias relies on this to prove the whole observability
-   path (record -> registry -> Wire.Stats -> exposition) end to end. *)
-let check_stats endpoint ~searches =
+(* One wire scrape of the live server's Obs snapshot. *)
+let scrape endpoint =
   match Net.Client.connect ~name:"load-stats" ~provision:false endpoint with
   | Error e -> failwith ("load driver: stats scrape failed: " ^ Net.Client.error_to_string e)
   | Ok c ->
@@ -131,64 +152,50 @@ let check_stats endpoint ~searches =
     Net.Client.close c;
     (match r with
      | Error e -> failwith ("load driver: Stats rpc failed: " ^ Net.Client.error_to_string e)
-     | Ok (st_json, st_text) ->
-       let settled = prom_value st_text "slicer_net_searches_settled_total" in
-       let bytes_in = prom_value st_text "slicer_net_bytes_in_total" in
-       let bytes_out = prom_value st_text "slicer_net_bytes_out_total" in
-       Printf.printf "  server stats: %.0f settled, %.0fKB in, %.0fKB out\n"
-         settled (bytes_in /. 1024.) (bytes_out /. 1024.);
-       if not (settled >= float_of_int searches) then
-         failwith "load driver: stats snapshot lost settled searches";
-       if not (bytes_in > 0. && bytes_out > 0.) then
-         failwith "load driver: stats snapshot has no frame traffic";
-       if String.length st_json = 0 || st_json.[0] <> '{' || not (contains st_json "\"histograms\"")
-       then failwith "load driver: stats JSON snapshot malformed";
-       if not (contains st_text "slicer_cloud_search_seconds_bucket") then
-         failwith "load driver: stats snapshot missing search latency histogram";
-       (settled, bytes_in, bytes_out))
+     | Ok snap -> snap)
 
-let run scale =
-  header "Service load (figure: load)";
-  let clients, warm, duration = params scale in
-  let width = List.hd scale.widths in
-  let size = List.hd scale.order_sizes in
-  Printf.printf "%d client processes, %.0f s warmup + %.0f s measured, server: %d records at width %d\n%!"
-    clients warm duration size width;
-  let rng = Drbg.create ~seed:"load-driver-data" in
-  let db = Gen.uniform_records ~rng ~width size in
-  let system = Protocol.setup ~width ~payment:1000 ~seed:"load-driver" db in
-  Cloud.precompute_witnesses (Protocol.cloud system);
-  let listener = Net.Server.bind_endpoint (Net.Server.Tcp ("127.0.0.1", 0)) in
-  let port = Net.Server.bound_port listener in
-  let endpoint = Net.Server.Tcp ("127.0.0.1", port) in
-  (* Quiesce domains and buffers; fork the fleet. *)
-  let prev_domains = Parallel.domains () in
-  Parallel.set_domains 1;
-  flush stdout;
-  flush stderr;
-  let children =
-    List.init clients (fun idx ->
-        let rd, wr = Unix.pipe () in
-        match Unix.fork () with
-        | 0 ->
-          (try Unix.close rd with Unix.Unix_error _ -> ());
-          (try Unix.close listener with Unix.Unix_error _ -> ());
-          run_child idx endpoint ~warm duration wr
-        | pid ->
-          (try Unix.close wr with Unix.Unix_error _ -> ());
-          (pid, rd))
-  in
-  Parallel.set_domains prev_domains;
-  let service = Net.Service.of_protocol system in
-  let server = Net.Server.start ~listener service in
-  let t0 = Unix.gettimeofday () in
-  let outputs = read_pipes (List.map snd children) in
-  let wall_total = Unix.gettimeofday () -. t0 in
-  List.iter (fun (pid, _) -> ignore (Unix.waitpid [] pid)) children;
-  (* Aggregate. Throughput covers the measured window only: each child
-     reports its own timed-phase span, and the slowest span is the
-     conservative denominator (children overlap almost exactly, so any
-     straggler only under-reports throughput). *)
+(* Sanity-check a snapshot: the smoke alias relies on this to prove the
+   whole observability path (record -> registry -> Wire.Stats ->
+   exposition) end to end. *)
+let check_stats endpoint ~searches =
+  let st_json, st_text = scrape endpoint in
+  let settled = prom_value st_text "slicer_net_searches_settled_total" in
+  let bytes_in = prom_value st_text "slicer_net_bytes_in_total" in
+  let bytes_out = prom_value st_text "slicer_net_bytes_out_total" in
+  Printf.printf "  server stats: %.0f settled, %.0fKB in, %.0fKB out\n"
+    settled (bytes_in /. 1024.) (bytes_out /. 1024.);
+  if not (settled >= float_of_int searches) then
+    failwith "load driver: stats snapshot lost settled searches";
+  if not (bytes_in > 0. && bytes_out > 0.) then
+    failwith "load driver: stats snapshot has no frame traffic";
+  if String.length st_json = 0 || st_json.[0] <> '{' || not (contains st_json "\"histograms\"")
+  then failwith "load driver: stats JSON snapshot malformed";
+  if not (contains st_text "slicer_cloud_search_seconds_bucket") then
+    failwith "load driver: stats snapshot missing search latency histogram";
+  if not (contains st_text "slicer_net_worker_queue_depth_bucket") then
+    failwith "load driver: stats snapshot missing worker queue-depth histogram";
+  (settled, bytes_in, bytes_out)
+
+type fleet_result = {
+  fr_searches : int;
+  fr_errors : int;
+  fr_span : float;
+  fr_sorted : float array;  (* recorded latencies, ascending *)
+}
+
+(* Release one fleet's go pipes, drain its result pipes, reap it, and
+   aggregate. Throughput covers the measured window only: each child
+   reports its own timed-phase span, and the slowest span is the
+   conservative denominator (children overlap almost exactly, so any
+   straggler only under-reports throughput). *)
+let run_fleet children =
+  List.iter
+    (fun (_, _, go_wr) ->
+      write_all go_wr "g";
+      try Unix.close go_wr with Unix.Unix_error _ -> ())
+    children;
+  let outputs = read_pipes (List.map (fun (_, rd, _) -> rd) children) in
+  List.iter (fun (pid, _, _) -> ignore (Unix.waitpid [] pid)) children;
   let latencies = ref [] and errs = ref 0 and fails = ref 0 in
   let span = ref 0. in
   List.iter
@@ -212,32 +219,147 @@ let run scale =
     outputs;
   let sorted = Array.of_list !latencies in
   Array.sort compare sorted;
-  let searches = Array.length sorted in
-  let settled, bytes_in, bytes_out = check_stats endpoint ~searches in
-  Net.Server.stop server;
-  let wall = if !span > 0. then !span else wall_total in
-  let throughput = float_of_int searches /. wall in
-  let p50 = percentile sorted 50. and p95 = percentile sorted 95. and p99 = percentile sorted 99. in
-  row_header [ "searches"; "errors"; "ops/s"; "p50"; "p95"; "p99" ];
-  row "loopback"
-    [ string_of_int searches;
-      string_of_int (!errs + !fails);
+  { fr_searches = Array.length sorted;
+    fr_errors = !errs + !fails;
+    fr_span = !span;
+    fr_sorted = sorted }
+
+let report ~series ~clients ~conns ~size ~width ~wall r =
+  let wall = if r.fr_span > 0. then r.fr_span else wall in
+  let throughput = float_of_int r.fr_searches /. wall in
+  let p50 = percentile r.fr_sorted 50.
+  and p95 = percentile r.fr_sorted 95.
+  and p99 = percentile r.fr_sorted 99. in
+  row series
+    [ string_of_int r.fr_searches;
+      string_of_int r.fr_errors;
       Printf.sprintf "%.1f" throughput;
       Printf.sprintf "%.1fms" (p50 *. 1000.);
       Printf.sprintf "%.1fms" (p95 *. 1000.);
       Printf.sprintf "%.1fms" (p99 *. 1000.) ];
-  json_row ~figure:"load" ~series:"loopback"
+  json_row ~figure:"load" ~series
     [ ("clients", J_int clients);
+      ("extra_conns", J_int conns);
       ("duration_s", J_float wall);
       ("records", J_int size);
       ("width", J_int width);
-      ("searches", J_int searches);
-      ("errors", J_int (!errs + !fails));
+      ("searches", J_int r.fr_searches);
+      ("errors", J_int r.fr_errors);
       ("throughput_ops", J_float throughput);
       ("p50_ms", J_float (p50 *. 1000.));
       ("p95_ms", J_float (p95 *. 1000.));
-      ("p99_ms", J_float (p99 *. 1000.));
-      ("settled", J_int (int_of_float settled));
-      ("bytes_in", J_int (int_of_float bytes_in));
-      ("bytes_out", J_int (int_of_float bytes_out)) ];
-  if searches = 0 then failwith "load driver: no search completed"
+      ("p99_ms", J_float (p99 *. 1000.)) ];
+  (throughput, p99)
+
+let run scale =
+  header "Service load (figure: load)";
+  let clients, warm, duration = params scale in
+  let conns = !Bench_common.conns in
+  let width = List.hd scale.widths in
+  let size = List.hd scale.order_sizes in
+  Printf.printf "%d client processes, %.0f s warmup + %.0f s measured, server: %d records at width %d\n%!"
+    clients warm duration size width;
+  if conns > 0 then
+    Printf.printf "high-connection mode: re-measuring under %d extra keep-alive connections\n%!" conns;
+  let rng = Drbg.create ~seed:"load-driver-data" in
+  let db = Gen.uniform_records ~rng ~width size in
+  let system = Protocol.setup ~width ~payment:1000 ~seed:"load-driver" db in
+  Cloud.precompute_witnesses (Protocol.cloud system);
+  let listener = Net.Server.bind_endpoint (Net.Server.Tcp ("127.0.0.1", 0)) in
+  let port = Net.Server.bound_port listener in
+  let endpoint = Net.Server.Tcp ("127.0.0.1", port) in
+  (* Quiesce domains and buffers; fork both fleets before any thread
+     exists. Children block on their go pipe until their phase. *)
+  let prev_domains = Parallel.domains () in
+  Parallel.set_domains 1;
+  flush stdout;
+  flush stderr;
+  let fork_fleet base =
+    List.init clients (fun i ->
+        let idx = base + i in
+        let rd, wr = Unix.pipe () in
+        let go_rd, go_wr = Unix.pipe () in
+        match Unix.fork () with
+        | 0 ->
+          (try Unix.close rd with Unix.Unix_error _ -> ());
+          (try Unix.close go_wr with Unix.Unix_error _ -> ());
+          (try Unix.close listener with Unix.Unix_error _ -> ());
+          run_child idx endpoint ~warm duration ~go:go_rd wr
+        | pid ->
+          (try Unix.close wr with Unix.Unix_error _ -> ());
+          (try Unix.close go_rd with Unix.Unix_error _ -> ());
+          (pid, rd, go_wr))
+  in
+  let fleet_a = fork_fleet 0 in
+  (* The second fleet gets fresh client indices: request ids are
+     client-name-scoped, so reusing fleet A's names would replay its
+     idempotency-cached replies instead of measuring. *)
+  let fleet_b = if conns > 0 then fork_fleet clients else [] in
+  Parallel.set_domains prev_domains;
+  let service = Net.Service.of_protocol system in
+  let server = Net.Server.start ~listener service in
+  let t0 = Unix.gettimeofday () in
+  let res_a = run_fleet fleet_a in
+  let wall_a = Unix.gettimeofday () -. t0 in
+  row_header [ "searches"; "errors"; "ops/s"; "p50"; "p95"; "p99" ];
+  let throughput_a, p99_a =
+    report ~series:"loopback" ~clients ~conns:0 ~size ~width ~wall:wall_a res_a
+  in
+  ignore throughput_a;
+  let searches = ref res_a.fr_searches in
+  if conns > 0 then begin
+    (* Open the swarm, prove the server sees every socket, then re-run
+       the measured fleet with the sockets held open. A keep-alive
+       ticker thread paces pings so the idle sweep never reaps swarm
+       members mid-measurement. *)
+    let sw = Net.Client.Swarm.open_ ~ping_interval:10. ~timeout:120. ~n:conns endpoint in
+    let live = Net.Client.Swarm.live sw in
+    Printf.printf "  swarm: %d/%d connections confirmed\n%!" live conns;
+    if live < conns then
+      failwith (Printf.sprintf "load driver: only %d of %d swarm connections confirmed" live conns);
+    let _, st_text = scrape endpoint in
+    let open_conns = prom_value st_text "slicer_net_open_connections" in
+    if not (open_conns >= float_of_int conns) then
+      failwith
+        (Printf.sprintf "load driver: server reports %.0f open connections, expected >= %d"
+           open_conns conns);
+    let stop_ticker = ref false in
+    let ticker =
+      Thread.create
+        (fun () ->
+          while not !stop_ticker do
+            Net.Client.Swarm.tick ~timeout_ms:100 sw;
+            Thread.delay 0.2
+          done)
+        ()
+    in
+    let t1 = Unix.gettimeofday () in
+    let res_b = run_fleet fleet_b in
+    let wall_b = Unix.gettimeofday () -. t1 in
+    stop_ticker := true;
+    Thread.join ticker;
+    let live_after = Net.Client.Swarm.live sw in
+    let _, p99_b =
+      report ~series:"under_swarm" ~clients ~conns ~size ~width ~wall:wall_b res_b
+    in
+    searches := !searches + res_b.fr_searches;
+    Printf.printf "  swarm after measurement: %d/%d still live\n%!" live_after conns;
+    Net.Client.Swarm.close sw;
+    if live_after < conns then
+      failwith
+        (Printf.sprintf "load driver: swarm decayed to %d/%d during measurement" live_after conns);
+    (* The flat-p99 guard: tail latency under N extra open sockets must
+       stay within 2x of the baseline tail. The absolute grace floor
+       (25 ms) absorbs scheduler noise at the seconds-long smoke scale,
+       where the baseline p99 itself swings 2x run to run; a real
+       tail-latency collapse under 1000 sockets clears it easily. *)
+    if res_b.fr_searches > 0 && p99_b > 2. *. p99_a && p99_b > 0.025 then
+      failwith
+        (Printf.sprintf
+           "load driver: p99 %.1fms under %d connections exceeds 2x baseline p99 %.1fms"
+           (p99_b *. 1000.) conns (p99_a *. 1000.));
+    if res_b.fr_searches = 0 then failwith "load driver: no search completed under swarm"
+  end;
+  let _ = check_stats endpoint ~searches:!searches in
+  Net.Server.stop server;
+  if res_a.fr_searches = 0 then failwith "load driver: no search completed"

@@ -17,6 +17,7 @@
 let usage () =
   print_endline
     "usage: main.exe [--scale smoke|default|full] [--full] [--domains N] [--json FILE]\n\
+    \       [--conns N]\n\
     \       [fig3|fig4|fig5|fig6|fig7|table1|table2|ablation|micro|load|recover|witness|all]";
   exit 1
 
@@ -40,6 +41,11 @@ let () =
        | Some d when d >= 1 -> Parallel.set_domains d
        | _ -> Printf.printf "--domains expects a positive integer, got %S\n" n; usage ());
       parse rest
+    | "--conns" :: n :: rest ->
+      (match int_of_string_opt n with
+       | Some c when c >= 0 -> Bench_common.conns := c
+       | _ -> Printf.printf "--conns expects a non-negative integer, got %S\n" n; usage ());
+      parse rest
     | "--json" :: path :: rest ->
       (* Fail on an unwritable path now, not after an hour of measuring
          — without truncating it: earlier runs' rows merge at the end. *)
@@ -49,7 +55,7 @@ let () =
        | exception Sys_error msg -> Printf.printf "--json: %s\n" msg; usage ());
       json_path := Some path;
       parse rest
-    | ("--scale" | "--domains" | "--json") :: [] -> usage ()
+    | ("--scale" | "--domains" | "--json" | "--conns") :: [] -> usage ()
     | t :: rest ->
       targets := t :: !targets;
       parse rest

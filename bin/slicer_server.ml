@@ -52,6 +52,16 @@ let max_inflight_arg =
              clients receive a busy refusal and back off." in
   Arg.(value & opt int 64 & info [ "max-inflight" ] ~docv:"N" ~doc)
 
+let max_conns_arg =
+  let doc = "Maximum simultaneously open connections; accepts past the \
+             cap are closed immediately." in
+  Arg.(value & opt int 4096 & info [ "max-conns" ] ~docv:"N" ~doc)
+
+let workers_arg =
+  let doc = "Dispatch worker threads executing request handlers off the \
+             event loop." in
+  Arg.(value & opt int 4 & info [ "workers" ] ~docv:"N" ~doc)
+
 let verbose_arg =
   let doc = "Enable debug logging (same as --log-level debug)." in
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc)
@@ -146,7 +156,8 @@ let self_seed ~seed ~records ~width ~payment ~witness_index =
   Cloud.precompute_witnesses (Protocol.cloud system);
   Net.Service.of_protocol ~witness_index system
 
-let run host port socket seed records width payment domains read_timeout max_inflight verbose
+let run host port socket seed records width payment domains read_timeout max_inflight
+    max_conns workers verbose
     log_level state_dir snapshot_bytes no_fsync metrics_dump metrics_interval no_metrics
     no_witness_index =
   setup_logs log_level verbose;
@@ -154,6 +165,8 @@ let run host port socket seed records width payment domains read_timeout max_inf
   let witness_index = not no_witness_index in
   if domains < 1 then `Error (false, "--domains must be >= 1")
   else if records < 0 then `Error (false, "--records must be >= 0")
+  else if max_conns < 1 then `Error (false, "--max-conns must be >= 1")
+  else if workers < 1 then `Error (false, "--workers must be >= 1")
   else if snapshot_bytes < 1 then `Error (false, "--snapshot-bytes must be >= 1")
   else begin
     Parallel.set_domains domains;
@@ -203,7 +216,7 @@ let run host port socket seed records width payment domains read_timeout max_inf
     in
     let config =
       { Net.Server.default_config with
-        endpoint; read_timeout; max_inflight }
+        endpoint; read_timeout; max_inflight; max_conns; workers }
     in
     let server = Net.Server.start ~config service in
     (match endpoint with
@@ -244,7 +257,8 @@ let cmd =
     Term.(
       ret
         (const run $ host_arg $ port_arg $ socket_arg $ seed_arg $ records_arg $ width_arg
-       $ payment_arg $ domains_arg $ read_timeout_arg $ max_inflight_arg $ verbose_arg
+       $ payment_arg $ domains_arg $ read_timeout_arg $ max_inflight_arg
+       $ max_conns_arg $ workers_arg $ verbose_arg
        $ log_level_arg $ state_dir_arg $ snapshot_bytes_arg $ no_fsync_arg
        $ metrics_dump_arg $ metrics_interval_arg $ no_metrics_arg $ no_witness_index_arg))
 

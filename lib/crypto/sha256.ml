@@ -94,6 +94,18 @@ let compress_string ctx s off =
   done;
   rounds ctx
 
+let compress_bytes ctx b off =
+  let w = ctx.w in
+  for t = 0 to 15 do
+    let i = off + (t * 4) in
+    Array.unsafe_set w t
+      ((Char.code (Bytes.unsafe_get b i) lsl 24)
+       lor (Char.code (Bytes.unsafe_get b (i + 1)) lsl 16)
+       lor (Char.code (Bytes.unsafe_get b (i + 2)) lsl 8)
+       lor Char.code (Bytes.unsafe_get b (i + 3)));
+  done;
+  rounds ctx
+
 let compress_buf ctx =
   let w = ctx.w and b = ctx.buf in
   for t = 0 to 15 do
@@ -129,6 +141,31 @@ let update ctx s =
   if !pos < len then begin
     Bytes.blit_string s !pos ctx.buf 0 (len - !pos);
     ctx.buf_len <- len - !pos
+  end
+
+let update_sub ctx b off len =
+  if off < 0 || len < 0 || off + len > Bytes.length b then
+    invalid_arg "Sha256.update_sub";
+  ctx.total <- ctx.total + len;
+  let pos = ref off in
+  let stop = off + len in
+  if ctx.buf_len > 0 then begin
+    let take = Stdlib.min (64 - ctx.buf_len) len in
+    Bytes.blit b off ctx.buf ctx.buf_len take;
+    ctx.buf_len <- ctx.buf_len + take;
+    pos := off + take;
+    if ctx.buf_len = 64 then begin
+      compress_buf ctx;
+      ctx.buf_len <- 0
+    end
+  end;
+  while stop - !pos >= 64 do
+    compress_bytes ctx b !pos;
+    pos := !pos + 64
+  done;
+  if !pos < stop then begin
+    Bytes.blit b !pos ctx.buf 0 (stop - !pos);
+    ctx.buf_len <- stop - !pos
   end
 
 (* Padding and the final one or two blocks are assembled in place in

@@ -15,6 +15,12 @@ type ctx
 val init : unit -> ctx
 val update : ctx -> string -> unit
 
+val update_sub : ctx -> Bytes.t -> int -> int -> unit
+(** [update_sub ctx b off len] absorbs [len] bytes of [b] starting at
+    [off] without copying them out first — the zero-copy checksum path
+    for framing buffers. @raise Invalid_argument on out-of-range
+    slices. *)
+
 val copy : ctx -> ctx
 (** An independent snapshot of the state absorbed so far: updating or
     finalizing either context leaves the other untouched. *)

@@ -84,6 +84,157 @@ let decode ?(max_payload = default_max_payload) ?(off = 0) s =
     end
   end
 
+(* --- incremental decoder ------------------------------------------------- *)
+
+(* The event loop's per-connection arena: the socket reads straight
+   into [buf] at the write cursor, [next] parses frames in place at the
+   read cursor and yields views into the same bytes. The only payload
+   copy on the whole receive path is the final [payload_string]
+   extraction that hands the bytes to the typed codec — counted, so a
+   test can assert the invariant. Checksums are verified by streaming
+   the arena slices through a SHA-256 context ([Sha256.update_sub]):
+   frame layout puts (version | tag | length) contiguously at offset 4,
+   which is exactly the checksum input's header prefix, so verification
+   allocates nothing but the context. *)
+module Decoder = struct
+  type t = {
+    d_max_payload : int;
+    mutable buf : Bytes.t;
+    mutable r : int; (* start of unparsed bytes *)
+    mutable w : int; (* end of buffered bytes *)
+    mutable compactions : int;
+    mutable extractions : int;
+    mutable frames : int;
+  }
+
+  type view = { v_tag : int; v_buf : Bytes.t; v_off : int; v_len : int }
+
+  let initial_capacity = 4096
+  let idle_capacity = 64 * 1024
+
+  let create ?(max_payload = default_max_payload) () =
+    { d_max_payload = max_payload;
+      buf = Bytes.create initial_capacity;
+      r = 0;
+      w = 0;
+      compactions = 0;
+      extractions = 0;
+      frames = 0 }
+
+  let buffered t = t.w - t.r
+  let compactions t = t.compactions
+  let extractions t = t.extractions
+  let frames t = t.frames
+  let buffer t = t.buf
+
+  (* All parsed bytes consumed: rewind, and give an arena a large frame
+     once ballooned back to the GC (a thousand idle connections must
+     not pin a thousand 16 MiB buffers). *)
+  let reset_empty t =
+    t.r <- 0;
+    t.w <- 0;
+    if Bytes.length t.buf > idle_capacity then t.buf <- Bytes.create initial_capacity
+
+  (* Make at least [n] contiguous free bytes available at the write
+     cursor: slide the unparsed tail down first (cheap bookkeeping, not
+     a payload copy — the bytes have not been parsed yet), grow only
+     when the frame truly needs more room. *)
+  let ensure_space t n =
+    if Bytes.length t.buf - t.w < n then begin
+      let used = buffered t in
+      if t.r > 0 then begin
+        Bytes.blit t.buf t.r t.buf 0 used;
+        if used > 0 then t.compactions <- t.compactions + 1;
+        t.r <- 0;
+        t.w <- used
+      end;
+      if Bytes.length t.buf - t.w < n then begin
+        let cap = max (2 * Bytes.length t.buf) (t.w + n) in
+        let cap = Stdlib.min (Stdlib.max cap (t.w + n)) (header_bytes + t.d_max_payload) in
+        let cap = Stdlib.max cap (t.w + n) in
+        let nb = Bytes.create cap in
+        Bytes.blit t.buf 0 nb 0 t.w;
+        t.buf <- nb
+      end
+    end
+
+  let space t n =
+    ensure_space t n;
+    (t.buf, t.w)
+
+  let room t = Bytes.length t.buf - t.w
+
+  let commit t n =
+    if n < 0 || t.w + n > Bytes.length t.buf then invalid_arg "Decoder.commit";
+    t.w <- t.w + n
+
+  let feed t s =
+    let n = String.length s in
+    ensure_space t n;
+    Bytes.blit_string s 0 t.buf t.w n;
+    t.w <- t.w + n
+
+  let be32_bytes b off =
+    let g i = Char.code (Bytes.get b (off + i)) in
+    (g 0 lsl 24) lor (g 1 lsl 16) lor (g 2 lsl 8) lor g 3
+
+  (* Constant-time compare of the stored checksum (in the arena) with
+     the computed digest — mirrors [Bytesutil.const_equal] without
+     extracting the stored bytes first. *)
+  let checksum_matches buf off digest =
+    let acc = ref 0 in
+    for i = 0 to checksum_bytes - 1 do
+      acc := !acc lor (Char.code (Bytes.get buf (off + i)) lxor Char.code digest.[i])
+    done;
+    !acc = 0
+
+  (* Parse one frame at the read cursor. [Ok None] = need more bytes. *)
+  let next t =
+    let avail = buffered t in
+    if avail < header_bytes then begin
+      if avail = 0 then reset_empty t;
+      Ok None
+    end
+    else begin
+      let b = t.buf and off = t.r in
+      if not
+           (Bytes.get b off = magic.[0]
+           && Bytes.get b (off + 1) = magic.[1]
+           && Bytes.get b (off + 2) = magic.[2]
+           && Bytes.get b (off + 3) = magic.[3])
+      then Error Bad_magic
+      else begin
+        let ver = Char.code (Bytes.get b (off + 4)) in
+        if ver <> version then Error (Bad_version ver)
+        else begin
+          let tag = Char.code (Bytes.get b (off + 5)) in
+          let len = be32_bytes b (off + 6) in
+          if len > t.d_max_payload then Error (Oversized len)
+          else if avail < header_bytes + len then Ok None
+          else begin
+            let ctx = Sha256.init () in
+            (* (version | tag | length) sit contiguously at offset 4 —
+               the exact checksum header prefix. *)
+            Sha256.update_sub ctx b (off + 4) 6;
+            Sha256.update_sub ctx b (off + header_bytes) len;
+            let digest = Sha256.finalize_trunc ctx checksum_bytes in
+            if not (checksum_matches b (off + 10) digest) then Error Bad_checksum
+            else begin
+              t.r <- off + header_bytes + len;
+              t.frames <- t.frames + 1;
+              if t.r = t.w then reset_empty t;
+              Ok (Some { v_tag = tag; v_buf = b; v_off = off + header_bytes; v_len = len })
+            end
+          end
+        end
+      end
+    end
+
+  let payload_string t v =
+    t.extractions <- t.extractions + 1;
+    Bytes.sub_string v.v_buf v.v_off v.v_len
+end
+
 let write fd ~tag payload =
   let frame = Bytes.of_string (encode ~tag payload) in
   let total = Bytes.length frame in
@@ -109,11 +260,16 @@ let read_exact fd buf off n deadline =
         | Some d ->
           let remaining = d -. Obs.Clock.now () in
           if remaining <= 0. then `Expired
-          else (match Unix.select [ fd ] [] [] remaining with
-                | [ _ ], _, _ -> `Ready
-                | _ -> `Expired
-                | exception Unix.Unix_error (Unix.EINTR, _, _) -> `Retry
-                | exception Unix.Unix_error _ -> `Dead (* fd closed under us *))
+          else
+            (* poll(2), not select: a client holding a thousand swarm
+               sockets still needs deadlines on fds >= FD_SETSIZE. *)
+            (match Poll.wait_fd fd ~read:true ~write:false
+                     ~timeout_ms:(Poll.ms_of_span remaining)
+             with
+             | 0 -> `Retry (* timeout tick; the deadline check loops *)
+             | -1 -> `Retry (* EINTR *)
+             | _ -> `Ready (* readable, or error the read will surface *)
+             | exception Failure _ -> `Dead (* fd closed under us *))
       in
       match ready with
       | `Expired -> Error Timeout

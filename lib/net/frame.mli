@@ -46,6 +46,69 @@ val decode : ?max_payload:int -> ?off:int -> string -> (msg * int, error) result
     returns it with the offset just past it. Never raises on malformed
     input. *)
 
+(** Incremental, zero-copy streaming decoder — the event-loop server's
+    per-connection receive path. The socket reads {e directly} into the
+    decoder's arena ({!Decoder.space} / {!Decoder.commit}), and
+    {!Decoder.next} parses frames in place, verifying the checksum by
+    streaming arena slices through SHA-256 and yielding {!Decoder.view}s
+    that alias the arena. No intermediate payload copy exists anywhere
+    on the path; the single extraction that hands the payload to the
+    typed codec layer ({!Decoder.payload_string}) is counted by
+    {!Decoder.extractions} so tests can assert the invariant. *)
+module Decoder : sig
+  type t
+
+  type view = {
+    v_tag : int;
+    v_buf : Bytes.t;  (** aliases the arena — do not mutate *)
+    v_off : int;
+    v_len : int;
+  }
+  (** Valid until the next call that feeds or parses this decoder. *)
+
+  val create : ?max_payload:int -> unit -> t
+
+  val space : t -> int -> Bytes.t * int
+  (** [space t n] returns the arena and write offset with at least [n]
+      contiguous free bytes — read the socket straight into it, then
+      {!commit} what arrived. May slide unparsed bytes down or grow the
+      arena (bounded by the 18-byte header + [max_payload]). *)
+
+  val room : t -> int
+  (** Free bytes after the write offset of the last {!space} call. *)
+
+  val commit : t -> int -> unit
+  (** Account [n] bytes written into the arena by the caller. *)
+
+  val feed : t -> string -> unit
+  (** Copy-in convenience for tests and non-socket feeds. *)
+
+  val next : t -> (view option, error) result
+  (** Parse one frame at the read cursor. [Ok None] means the buffered
+      bytes end inside a header or payload — feed more. Errors are
+      sticky in practice: after [Bad_magic]/[Bad_checksum] the stream
+      cannot be resynchronized and the connection should close. *)
+
+  val buffered : t -> int
+  (** Unparsed bytes currently buffered (> 0 mid-frame). *)
+
+  val payload_string : t -> view -> string
+  (** The one counted copy: extract a view's payload for the typed
+      codec layer. *)
+
+  val buffer : t -> Bytes.t
+  (** The live arena (for aliasing assertions in tests). *)
+
+  val compactions : t -> int
+  (** Times unparsed bytes were slid to the arena base. *)
+
+  val extractions : t -> int
+  (** {!payload_string} calls — the only payload copies ever made. *)
+
+  val frames : t -> int
+  (** Complete frames parsed. *)
+end
+
 val write : Unix.file_descr -> tag:int -> string -> unit
 (** Writes a whole frame (handles short writes).
     @raise Unix.Unix_error on transport failure. *)

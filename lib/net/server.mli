@@ -1,40 +1,56 @@
-(** The concurrent cloud server: accepts many clients over TCP or Unix
-    sockets, one lightweight thread per connection, and drives a
-    {!Service}.
+(** The concurrent cloud server: a single-threaded poll(2) event loop
+    owns every socket in non-blocking mode, and a bounded worker pool
+    executes request dispatch so the loop never blocks on crypto.
+
+    Receive path: each connection reads straight into a
+    {!Frame.Decoder} arena and frames are parsed in place — multiple
+    frames per readable event (request pipelining), replies flushed in
+    request order even when the pool completes them out of order.
 
     Defensive posture:
-    - every frame read is bounded by [read_timeout] (slowloris peers
-      are disconnected) and by [max_payload] (oversized frames are
-      refused before buffering);
-    - at most [max_inflight] requests are processed at once — beyond
-      that, clients get a structured [busy] refusal and back off;
-    - malformed frames and payloads produce error frames (then, for
-      unsynchronizable streams, a clean close) — never a crash: a
-      connection thread's failure is contained to that connection.
+    - strict pre-handshake state machine: a peer whose {e first} bytes
+      are not a valid frame is dropped silently (no oracle for port
+      scanners); after one valid frame, malformed framing gets a
+      structured refusal and then a close;
+    - every connection is swept on [read_timeout]: idle peers and
+      slowloris byte-tricklers (the clock only resets on {e complete}
+      frames) are disconnected;
+    - write backpressure: a connection whose outbound queue exceeds
+      [max_queued_write] stops being read until it drains — a
+      non-reading client throttles itself, never the server;
+    - admission control: past [max_inflight] queued-or-executing
+      requests, clients get a structured [Busy] refusal and back off;
+    - [max_conns] caps accepted sockets; excess accepts close at once.
 
-    {!stop} closes the listener and every live connection and joins all
-    threads, after which the same service can be re-served — the
-    crash/restart story the fault-tolerance tests exercise. *)
+    {!stop} drains the loop and pool and closes everything, after which
+    the same service can be re-served — the crash/restart story the
+    fault-tolerance tests exercise. *)
 
 val log_src : Logs.src
 
 type endpoint = Tcp of string * int | Unix_socket of string
 
 type config = {
-  endpoint : endpoint;     (** [Tcp (host, 0)] picks an ephemeral port *)
-  read_timeout : float;    (** seconds per frame read; idle kick *)
+  endpoint : endpoint;      (** [Tcp (host, 0)] picks an ephemeral port *)
+  read_timeout : float;     (** idle sweep: seconds since the last complete frame *)
   max_payload : int;
-  max_inflight : int;      (** concurrent requests being processed *)
+  max_inflight : int;       (** dispatch-pool admission cap (queued + executing) *)
   backlog : int;
+  max_conns : int;          (** open-connection cap; excess accepts are closed *)
+  workers : int;            (** dispatch pool size *)
+  max_queued_write : int;   (** per-connection outbound bytes before read throttling *)
 }
 
 val default_config : config
-(** Loopback TCP on an ephemeral port, 30 s read timeout, 64 inflight. *)
+(** Loopback TCP on an ephemeral port, 30 s read timeout, 64 inflight,
+    4096 connections, 4 workers, 4 MiB write queue cap. *)
 
 type t
 
 val resolve_host : string -> Unix.inet_addr
-(** Dotted-quad or DNS name. @raise Failure when unresolvable. *)
+(** Numeric (IPv4 or IPv6) or DNS name, via [getaddrinfo]. Resolution
+    happens once, before binding or connecting — never on the accept
+    path. @raise Failure when unresolvable. *)
 
 val bind_endpoint : endpoint -> Unix.file_descr
 (** Create/bind/listen a socket without starting any thread — so a
@@ -45,7 +61,8 @@ val bound_port : Unix.file_descr -> int
 (** The actual TCP port of a bound listener (0 for Unix sockets). *)
 
 val start : ?config:config -> ?listener:Unix.file_descr -> Service.t -> t
-(** Binds (unless [listener] is given) and spawns the accept thread. *)
+(** Binds (unless [listener] is given), spawns the event loop and the
+    worker pool. *)
 
 val port : t -> int
 val endpoint : t -> endpoint
@@ -53,6 +70,9 @@ val endpoint : t -> endpoint
 val connections_served : t -> int
 val requests_served : t -> int
 
+val open_connections : t -> int
+(** Live sockets currently owned by the loop. *)
+
 val stop : t -> unit
-(** Stop accepting, drop every connection, join all threads.
-    Idempotent. *)
+(** Stop the loop, drain the pool, drop every connection, join all
+    threads. Idempotent. *)

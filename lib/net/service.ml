@@ -11,6 +11,10 @@ let c_replays =
   Obs.counter ~help:"idempotency-cache hits (replayed replies)"
     "slicer_net_idempotent_replays_total"
 
+let c_warms =
+  Obs.counter ~help:"background witness warm passes completed"
+    "slicer_net_background_warms_total"
+
 (* State present once the owner's Build shipment has been applied. *)
 type built = {
   b_station : Station.t;
@@ -45,6 +49,13 @@ type t = {
   (* Whether Build creates the cloud with the persistent witness index
      (the [--no-witness-index] server escape hatch sets this false). *)
   witness_index : bool;
+  (* Background warmer: after a Build/Insert shipment lands, witness
+     precomputation runs on a self-reaping thread off the request path,
+     so the first post-shipment Search pays a warm lookup instead of
+     cold witness exponentiation. *)
+  warm_lock : Mutex.t;
+  mutable warm_running : bool;
+  mutable warm_again : bool;
 }
 
 let create ?(max_cached_replies = 8192) ?(faucet = 100_000_000) ?(witness_index = true) () =
@@ -57,7 +68,10 @@ let create ?(max_cached_replies = 8192) ?(faucet = 100_000_000) ?(witness_index 
     faucet;
     settled = 0;
     store = None;
-    witness_index }
+    witness_index;
+    warm_lock = Mutex.create ();
+    warm_running = false;
+    warm_again = false }
 
 let of_protocol ?max_cached_replies ?faucet ?witness_index p =
   let t = create ?max_cached_replies ?faucet ?witness_index () in
@@ -589,6 +603,65 @@ let maybe_persist t req =
       end
     end
 
+(* After a Build/Insert shipment is accepted, precompute every element's
+   accumulator witness on a background thread so the next Search hits the
+   warm index instead of paying cold exponentiations inline. One warmer
+   runs at a time; shipments landing mid-warm set [warm_again] and the
+   same thread loops, so bursts coalesce into at most one trailing pass.
+   Gated on [witness_index]: the legacy per-search witness cache is not
+   safe to touch off the service lock. *)
+let rec warm_pass t =
+  let cloud =
+    Mutex.lock t.lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.lock)
+      (fun () -> Option.map (fun b -> Station.cloud b.b_station) t.state)
+  in
+  (match cloud with
+   | None -> ()
+   | Some cloud ->
+     (try
+        Obs.span "service.background_warm" (fun () ->
+            Cloud.precompute_witnesses cloud);
+        Obs.Counter.incr c_warms
+      with exn ->
+        Log.warn (fun m ->
+            m "background warm failed: %s" (Printexc.to_string exn))));
+  let again =
+    Mutex.lock t.warm_lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.warm_lock)
+      (fun () ->
+        if t.warm_again then begin
+          t.warm_again <- false;
+          true
+        end
+        else begin
+          t.warm_running <- false;
+          false
+        end)
+  in
+  if again then warm_pass t
+
+let schedule_warm t =
+  if t.witness_index then begin
+    Mutex.lock t.warm_lock;
+    let spawn =
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock t.warm_lock)
+        (fun () ->
+          if t.warm_running then begin
+            t.warm_again <- true;
+            false
+          end
+          else begin
+            t.warm_running <- true;
+            true
+          end)
+    in
+    if spawn then ignore (Thread.create warm_pass t)
+  end
+
 let handle t req =
   Obs.Counter.incr c_requests;
   Mutex.lock t.lock;
@@ -606,7 +679,11 @@ let handle t req =
      in memory but not on disk, and the client's retry replays the
      cached reply through a (hopefully healed) barrier. *)
   match maybe_persist t req with
-  | () -> resp
+  | () ->
+    (match req, resp with
+     | (Wire.Build _ | Wire.Insert _), Wire.Accepted _ -> schedule_warm t
+     | _ -> ());
+    resp
   | exception exn ->
     Log.err (fun m -> m "durability barrier failed: %s" (Printexc.to_string exn));
     refused Wire.Internal ("durability barrier failed: " ^ Printexc.to_string exn)

@@ -916,6 +916,265 @@ let test_stats_over_the_wire () =
              Alcotest.(check bool) "bytes_in advanced between scrapes" true
                (v st_text2 > v st_text && v st_text > 0))))
 
+(* --- event loop: incremental decoding, pipelining, backpressure ------------ *)
+
+let test_decoder_byte_at_a_time () =
+  (* Feeding a frame stream one byte at a time yields exactly the frames
+     the pure decoder sees, and the views alias the live arena. *)
+  let frames = [ (1, "first"); (2, ""); (9, String.make 300 '\x7f'); (3, "third") ] in
+  let stream = String.concat "" (List.map (fun (tag, p) -> Net.Frame.encode ~tag p) frames) in
+  let d = Net.Frame.Decoder.create () in
+  let got = ref [] in
+  String.iter
+    (fun c ->
+      Net.Frame.Decoder.feed d (String.make 1 c);
+      match Net.Frame.Decoder.next d with
+      | Ok None -> ()
+      | Ok (Some v) ->
+        Alcotest.(check bool) "view aliases the arena" true
+          (v.Net.Frame.Decoder.v_buf == Net.Frame.Decoder.buffer d);
+        got := (v.Net.Frame.Decoder.v_tag, Net.Frame.Decoder.payload_string d v) :: !got
+      | Error e -> Alcotest.failf "decoder: %s" (Net.Frame.error_to_string e))
+    stream;
+  Alcotest.(check (list (pair int string))) "all frames, in order" frames (List.rev !got);
+  Alcotest.(check int) "frames counted" (List.length frames) (Net.Frame.Decoder.frames d);
+  Alcotest.(check int) "nothing left buffered" 0 (Net.Frame.Decoder.buffered d)
+
+let test_decoder_zero_copy () =
+  (* One big chunk in, several frames out: the only payload copies are
+     the counted [payload_string] extractions — parsing itself copies
+     nothing. *)
+  let payloads = List.init 5 (fun i -> String.make (100 * (i + 1)) (Char.chr (65 + i))) in
+  let stream = String.concat "" (List.map (Net.Frame.encode ~tag:7) payloads) in
+  let d = Net.Frame.Decoder.create () in
+  Net.Frame.Decoder.feed d stream;
+  let rec drain acc =
+    match Net.Frame.Decoder.next d with
+    | Ok None -> List.rev acc
+    | Ok (Some v) -> drain (v :: acc)
+    | Error e -> Alcotest.failf "decoder: %s" (Net.Frame.error_to_string e)
+  in
+  let views = drain [] in
+  Alcotest.(check int) "parsed all frames" (List.length payloads) (List.length views);
+  Alcotest.(check int) "parsing made zero payload copies" 0 (Net.Frame.Decoder.extractions d);
+  (* Extract only the middle one: exactly one copy happens. *)
+  let v = List.nth views 2 in
+  Alcotest.(check string) "extracted payload" (List.nth payloads 2)
+    (Net.Frame.Decoder.payload_string d v);
+  Alcotest.(check int) "one counted extraction" 1 (Net.Frame.Decoder.extractions d)
+
+let test_decoder_rejects_corruption () =
+  (* The streaming checksum catches a flipped payload bit exactly like
+     the pure decoder does. *)
+  let frame = Bytes.of_string (Net.Frame.encode ~tag:1 "an honest payload") in
+  Bytes.set frame 20 (Char.chr (Char.code (Bytes.get frame 20) lxor 4));
+  let d = Net.Frame.Decoder.create () in
+  Net.Frame.Decoder.feed d (Bytes.to_string frame);
+  (match Net.Frame.Decoder.next d with
+   | Error Net.Frame.Bad_checksum -> ()
+   | Ok _ -> Alcotest.fail "corrupt frame parsed"
+   | Error e -> Alcotest.failf "expected Bad_checksum, got %s" (Net.Frame.error_to_string e))
+
+let connect_raw srv =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (match Net.Server.endpoint srv with
+   | Net.Server.Tcp (h, p) -> Unix.connect fd (Unix.ADDR_INET (Net.Server.resolve_host h, p))
+   | Net.Server.Unix_socket p -> Unix.connect fd (Unix.ADDR_UNIX p));
+  fd
+
+let write_raw fd s =
+  let b = Bytes.of_string s in
+  let rec go off =
+    if off < Bytes.length b then
+      match Unix.write fd b off (Bytes.length b - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+let test_pipelined_requests_in_order () =
+  (* Many requests in one burst, answered strictly in order even though
+     the worker pool may complete them out of order — with a malformed
+     payload mid-stream answered (with a refusal) in its slot. *)
+  ignore (Lazy.force server);
+  let fd = connect_raw (Lazy.force server) in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      let n = 12 in
+      let burst =
+        String.concat ""
+          (List.init n (fun i ->
+               if i = 5 then Net.Frame.encode ~tag:Wire.request_tag "not a request"
+               else Net.Frame.encode ~tag:Wire.request_tag (Wire.encode_request Wire.Ping)))
+      in
+      write_raw fd burst;
+      List.iter
+        (fun i ->
+          match Net.Frame.read ~timeout:10. fd with
+          | Error e -> Alcotest.failf "reply %d: %s" i (Net.Frame.error_to_string e)
+          | Ok { Net.Frame.payload; _ } ->
+            (match Wire.decode_response payload, i with
+             | Some (Wire.Refused { code = Wire.Bad_request; _ }), 5 -> ()
+             | Some Wire.Pong, i when i <> 5 -> ()
+             | Some _, _ -> Alcotest.failf "reply %d out of order or wrong" i
+             | None, _ -> Alcotest.failf "reply %d undecodable" i))
+        (List.init n (fun i -> i)))
+
+let test_slowloris_swept_without_stalling () =
+  (* A byte-trickler never completes a frame: the sweep kicks it even
+     though bytes keep arriving, and a concurrent well-behaved client
+     never notices. *)
+  let config = { Net.Server.default_config with read_timeout = 0.5 } in
+  let srv = Net.Server.start ~config (Lazy.force service) in
+  Fun.protect
+    ~finally:(fun () -> Net.Server.stop srv)
+    (fun () ->
+      let sly = connect_raw srv in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close sly with Unix.Unix_error _ -> ())
+        (fun () ->
+          let frame = Net.Frame.encode ~tag:Wire.request_tag (Wire.encode_request Wire.Ping) in
+          let kicked = ref false in
+          (try
+             (* One byte every 150 ms: a complete frame would take ~5 s,
+                ten times the sweep deadline. *)
+             for i = 0 to String.length frame - 1 do
+               write_raw sly (String.make 1 frame.[i]);
+               Unix.sleepf 0.15;
+               if i = 3 then begin
+                 (* Mid-trickle, a normal client gets served instantly. *)
+                 match Net.Client.connect ~name:"not-slow" ~provision:false
+                         (Net.Server.endpoint srv)
+                 with
+                 | Error e -> Alcotest.failf "victim connect: %s" (Net.Client.error_to_string e)
+                 | Ok c ->
+                   (match Net.Client.ping c with
+                    | Ok _ -> ()
+                    | Error e ->
+                      Alcotest.failf "slowloris stalled a good client: %s"
+                        (Net.Client.error_to_string e));
+                   Net.Client.close c
+               end
+             done
+           with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> kicked := true);
+          (* Either the trickle write already failed, or the next read
+             sees the server's hangup. *)
+          if not !kicked then
+            match Net.Frame.read ~timeout:5. sly with
+            | Error (Net.Frame.Closed | Net.Frame.Truncated) -> ()
+            | Ok _ -> Alcotest.fail "slowloris connection was answered"
+            | Error e -> Alcotest.failf "expected hangup, got %s" (Net.Frame.error_to_string e)))
+
+let test_backpressure_throttles_non_reader () =
+  (* A client that fires pipelined Stats requests (big replies) without
+     reading gets its socket throttled — bounded server memory — and
+     every reply, in order, once it finally drains. *)
+  (* Tiny, pinned kernel buffers on both ends (explicit setsockopt
+     disables autotuning; accepted sockets inherit the listener's), so
+     the kernel can absorb almost nothing and the reply bytes must
+     queue in the server's userspace — which is exactly what the
+     backpressure cap bounds. *)
+  let listener = Net.Server.bind_endpoint (Net.Server.Tcp ("127.0.0.1", 0)) in
+  Unix.setsockopt_int listener Unix.SO_SNDBUF 4096;
+  let port = Net.Server.bound_port listener in
+  let config =
+    { Net.Server.default_config with
+      endpoint = Net.Server.Tcp ("127.0.0.1", port);
+      max_queued_write = 2048 }
+  in
+  let srv = Net.Server.start ~config ~listener (Lazy.force service) in
+  Fun.protect
+    ~finally:(fun () -> Net.Server.stop srv)
+    (fun () ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt_int fd Unix.SO_RCVBUF 4096;
+      Unix.connect fd (Unix.ADDR_INET (Net.Server.resolve_host "127.0.0.1", port));
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          let throttles_before = Obs.counter_value "slicer_net_backpressure_throttles_total" in
+          let n = 40 in
+          let burst =
+            String.concat ""
+              (List.init n (fun _ ->
+                   Net.Frame.encode ~tag:Wire.request_tag (Wire.encode_request Wire.Stats)))
+          in
+          write_raw fd burst;
+          (* Give the server time to queue far more reply bytes than
+             [max_queued_write] while we refuse to read. *)
+          Unix.sleepf 0.8;
+          let throttles_after = Obs.counter_value "slicer_net_backpressure_throttles_total" in
+          Alcotest.(check bool) "write backpressure engaged" true
+            (throttles_after > throttles_before);
+          (* Now drain: every reply arrives, in order, on the same
+             connection. *)
+          List.iter
+            (fun i ->
+              match Net.Frame.read ~timeout:20. fd with
+              | Error e -> Alcotest.failf "reply %d: %s" i (Net.Frame.error_to_string e)
+              | Ok { Net.Frame.payload; _ } ->
+                (match Wire.decode_response payload with
+                 | Some (Wire.Stats_reply _) -> ()
+                 | _ -> Alcotest.failf "reply %d is not a stats reply" i))
+            (List.init n (fun i -> i));
+          (* The throttled connection recovered fully. *)
+          Net.Frame.write fd ~tag:Wire.request_tag (Wire.encode_request Wire.Ping);
+          match Net.Frame.read ~timeout:5. fd with
+          | Ok { Net.Frame.payload; _ } ->
+            (match Wire.decode_response payload with
+             | Some Wire.Pong -> ()
+             | _ -> Alcotest.fail "expected Pong after draining")
+          | Error e -> Alcotest.failf "no pong after draining: %s" (Net.Frame.error_to_string e)))
+
+let test_pre_handshake_garbage_dropped () =
+  (* A peer whose very first bytes are not a valid frame gets dropped
+     silently: no refusal, no oracle, just EOF. *)
+  ignore (Lazy.force server);
+  let fd = connect_raw (Lazy.force server) in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      write_raw fd "GET / HTTP/1.1\r\nHost: victim\r\n\r\n";
+      let b = Bytes.create 256 in
+      match Unix.read fd b 0 256 with
+      | 0 -> ()
+      | n -> Alcotest.failf "port-scanner got %d reply bytes" n
+      | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> ())
+
+let test_swarm_holds_connections () =
+  (* A few hundred keep-alive connections from one process: all confirm,
+     the server's open-connection gauge sees them, and closing the swarm
+     releases them. *)
+  let srv = Net.Server.start (Lazy.force service) in
+  Fun.protect
+    ~finally:(fun () -> Net.Server.stop srv)
+    (fun () ->
+      let n = 300 in
+      let sw = Net.Client.Swarm.open_ ~timeout:60. ~n (Net.Server.endpoint srv) in
+      Fun.protect
+        ~finally:(fun () -> Net.Client.Swarm.close sw)
+        (fun () ->
+          Alcotest.(check int) "every connection confirmed" n (Net.Client.Swarm.live sw);
+          Alcotest.(check bool) "server sees the swarm" true
+            (Net.Server.open_connections srv >= n);
+          (* Keep-alives keep flowing on demand. *)
+          Net.Client.Swarm.tick ~timeout_ms:200 sw;
+          Alcotest.(check int) "still live after a tick" n (Net.Client.Swarm.live sw));
+      (* After close, the loop reaps every socket promptly. *)
+      let deadline = Unix.gettimeofday () +. 5. in
+      let rec wait () =
+        if Net.Server.open_connections srv = 0 then ()
+        else if Unix.gettimeofday () > deadline then
+          Alcotest.failf "server still holds %d sockets after swarm close"
+            (Net.Server.open_connections srv)
+        else begin
+          Unix.sleepf 0.05;
+          wait ()
+        end
+      in
+      wait ())
+
 (* --- durability: WAL + snapshots across restarts --------------------------- *)
 
 let fresh_state_dir =
@@ -1332,6 +1591,21 @@ let () =
             test_build_and_insert_over_the_wire;
           Alcotest.test_case "read timeout kicks idlers" `Quick test_read_timeout_kicks_idlers;
           Alcotest.test_case "stats over the wire" `Quick test_stats_over_the_wire ] );
+      ( "event loop",
+        [ Alcotest.test_case "decoder: byte-at-a-time" `Quick test_decoder_byte_at_a_time;
+          Alcotest.test_case "decoder: zero-copy parsing" `Quick test_decoder_zero_copy;
+          Alcotest.test_case "decoder: rejects corruption" `Quick
+            test_decoder_rejects_corruption;
+          Alcotest.test_case "pipelined requests answered in order" `Quick
+            test_pipelined_requests_in_order;
+          Alcotest.test_case "slowloris swept without stalling others" `Quick
+            test_slowloris_swept_without_stalling;
+          Alcotest.test_case "backpressure throttles a non-reader" `Quick
+            test_backpressure_throttles_non_reader;
+          Alcotest.test_case "pre-handshake garbage dropped silently" `Quick
+            test_pre_handshake_garbage_dropped;
+          Alcotest.test_case "swarm holds hundreds of sockets" `Quick
+            test_swarm_holds_connections ] );
       ( "durability",
         [ Alcotest.test_case "state survives a restart" `Quick test_service_survives_restart;
           Alcotest.test_case "witness index survives a restart" `Quick
