@@ -52,6 +52,16 @@ let scale_of_label = function
    skips the swarm phase entirely. *)
 let conns : int ref = ref 0
 
+(* --shards N: fig_load's cluster mode — boot N slicer-server shard
+   processes behind an in-process router and measure through it,
+   comparing against a 1-shard cluster baseline. 0 (the default) keeps
+   the classic single in-process server. *)
+let shards : int ref = ref 0
+
+(* --server-exe PATH: the slicer-server binary the cluster mode boots;
+   empty means "next to this benchmark's own executable tree". *)
+let server_exe : string ref = ref ""
+
 (* --- machine-readable output (--json FILE) ------------------------------ *)
 
 (* Figure modules call [json_row] for every measured point; [write_json]

@@ -127,16 +127,34 @@ let read_pipes fds =
 
 let percentile = Obs.Summary.percentile
 
-(* Pull a metric's value out of a Prometheus-text snapshot: the line
-   "name value" (histograms and labelled series never match, which is
-   what we want for the plain counters asserted below). *)
+(* Pull a metric's value out of a Prometheus-text snapshot. A line
+   matches as "name value" or "name{instance=...} value" — the form
+   cluster members emit — and a merged scrape (router text ^ shard
+   texts) repeats the metric once per instance, so matches are SUMMED.
+   Histogram series never match: their names carry a _bucket/_sum/
+   _count suffix, and le-labelled lines don't start with [name ^ "{i"]. *)
 let prom_value text name =
-  String.split_on_char '\n' text
-  |> List.find_map (fun line ->
-         match String.split_on_char ' ' line with
-         | [ n; v ] when n = name -> float_of_string_opt v
-         | _ -> None)
-  |> Option.value ~default:Float.nan
+  let series n =
+    n = name
+    || (String.length n > String.length name + 1
+        && String.sub n 0 (String.length name) = name
+        && n.[String.length name] = '{'
+        && n.[String.length name + 1] = 'i')
+  in
+  let total =
+    String.split_on_char '\n' text
+    |> List.fold_left
+         (fun acc line ->
+           match String.split_on_char ' ' line with
+           | [ n; v ] when series n ->
+             (match (acc, float_of_string_opt v) with
+              | (Some a, Some x) -> Some (a +. x)
+              | (None, some) -> some
+              | (some, None) -> some)
+           | _ -> acc)
+         None
+  in
+  Option.value total ~default:Float.nan
 
 let contains hay needle =
   let nh = String.length hay and nn = String.length needle in
@@ -224,7 +242,10 @@ let run_fleet children =
     fr_span = !span;
     fr_sorted = sorted }
 
-let report ~series ~clients ~conns ~size ~width ~wall r =
+(* Every row records the run's full topology — shard count, extra
+   keep-alive connections and server worker threads — so a BENCH file
+   mixing single-server and cluster points stays self-describing. *)
+let report ~series ~clients ~shards ~conns ~workers ~size ~width ~wall r =
   let wall = if r.fr_span > 0. then r.fr_span else wall in
   let throughput = float_of_int r.fr_searches /. wall in
   let p50 = percentile r.fr_sorted 50.
@@ -239,7 +260,9 @@ let report ~series ~clients ~conns ~size ~width ~wall r =
       Printf.sprintf "%.1fms" (p99 *. 1000.) ];
   json_row ~figure:"load" ~series
     [ ("clients", J_int clients);
-      ("extra_conns", J_int conns);
+      ("shards", J_int shards);
+      ("conns", J_int conns);
+      ("workers", J_int workers);
       ("duration_s", J_float wall);
       ("records", J_int size);
       ("width", J_int width);
@@ -251,7 +274,7 @@ let report ~series ~clients ~conns ~size ~width ~wall r =
       ("p99_ms", J_float (p99 *. 1000.)) ];
   (throughput, p99)
 
-let run scale =
+let run_single scale =
   header "Service load (figure: load)";
   let clients, warm, duration = params scale in
   let conns = !Bench_common.conns in
@@ -297,13 +320,15 @@ let run scale =
   let fleet_b = if conns > 0 then fork_fleet clients else [] in
   Parallel.set_domains prev_domains;
   let service = Net.Service.of_protocol system in
-  let server = Net.Server.start ~listener service in
+  let server = Net.Server.start ~listener (Net.Service.handle service) in
+  let workers = Net.Server.default_config.Net.Server.workers in
   let t0 = Unix.gettimeofday () in
   let res_a = run_fleet fleet_a in
   let wall_a = Unix.gettimeofday () -. t0 in
   row_header [ "searches"; "errors"; "ops/s"; "p50"; "p95"; "p99" ];
   let throughput_a, p99_a =
-    report ~series:"loopback" ~clients ~conns:0 ~size ~width ~wall:wall_a res_a
+    report ~series:"loopback" ~clients ~shards:1 ~conns:0 ~workers ~size ~width
+      ~wall:wall_a res_a
   in
   ignore throughput_a;
   let searches = ref res_a.fr_searches in
@@ -340,7 +365,8 @@ let run scale =
     Thread.join ticker;
     let live_after = Net.Client.Swarm.live sw in
     let _, p99_b =
-      report ~series:"under_swarm" ~clients ~conns ~size ~width ~wall:wall_b res_b
+      report ~series:"under_swarm" ~clients ~shards:1 ~conns ~workers ~size ~width
+        ~wall:wall_b res_b
     in
     searches := !searches + res_b.fr_searches;
     Printf.printf "  swarm after measurement: %d/%d still live\n%!" live_after conns;
@@ -363,3 +389,340 @@ let run scale =
   let _ = check_stats endpoint ~searches:!searches in
   Net.Server.stop server;
   if res_a.fr_searches = 0 then failwith "load driver: no search completed"
+
+(* --- cluster mode (--shards N) ------------------------------------------ *)
+
+(* Boot N real slicer-server shard processes behind an in-process
+   {!Cluster.Router}, drive the same client fleets through the router,
+   and compare against a 1-shard cluster baseline. The N-shard phase
+   additionally SIGKILLs one shard mid-measurement and restarts it on
+   the same port and state dir: the fleet must ride through on client
+   retries, and a pinned request id replayed afterwards must settle
+   exactly once. *)
+
+let fresh_dir =
+  let n = ref 0 in
+  fun () ->
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "slicer-bench-cluster-%d-%d" (Unix.getpid ()) (incr n; !n))
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter (fun name -> rm_rf (Filename.concat path name)) (Sys.readdir path);
+    Unix.rmdir path
+  | _ -> Unix.unlink path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+(* dune lays the tree out as _build/default/{bench,bin}/..., so the
+   sibling binary is the default; --server-exe overrides. *)
+let default_server_exe () =
+  Filename.concat
+    (Filename.dirname Sys.executable_name)
+    (Filename.concat Filename.parent_dir_name (Filename.concat "bin" "slicer_server.exe"))
+
+type shard_proc = {
+  mutable sp_pid : int;
+  mutable sp_port : int;
+  mutable sp_out : Unix.file_descr;
+  sp_dir : string;
+  sp_id : int;
+}
+
+let find_sub hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = if i + nn > nh then None else if String.sub hay i nn = needle then Some i else go (i + 1) in
+  go 0
+
+(* Block until the child prints its "listening on HOST:PORT" banner
+   (the shard is accepting by then) and return the port. *)
+let await_listening ~what rd =
+  let buf = Buffer.create 256 in
+  let chunk = Bytes.create 1024 in
+  let deadline = Unix.gettimeofday () +. 30. in
+  let tag = "listening on " in
+  let rec go () =
+    let s = Buffer.contents buf in
+    match find_sub s tag with
+    | Some i when String.index_from_opt s i '\n' <> None ->
+      let e = String.index_from s i '\n' in
+      let line = String.sub s (i + String.length tag) (e - i - String.length tag) in
+      (match String.rindex_opt line ':' with
+       | Some c ->
+         (match int_of_string_opt (String.sub line (c + 1) (String.length line - c - 1)) with
+          | Some p -> p
+          | None -> failwith (what ^ ": unparseable listening banner: " ^ line))
+       | None -> failwith (what ^ ": unparseable listening banner: " ^ line))
+    | _ ->
+      if Unix.gettimeofday () > deadline then
+        failwith (what ^ ": no listening banner within 30 s");
+      let ready, _, _ = Unix.select [ rd ] [] [] 1.0 in
+      (match ready with
+       | [] -> ()
+       | _ ->
+         (match Unix.read rd chunk 0 (Bytes.length chunk) with
+          | 0 -> failwith (what ^ ": exited before listening")
+          | n -> Buffer.add_subbytes buf chunk 0 n
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()));
+      go ()
+  in
+  go ()
+
+(* Spawn one shard server, empty, durable, awaiting the router's Build
+   split. fsync stays ON: the SIGKILL drill relies on settled requests
+   surviving the kill. *)
+let spawn_shard ~exe ~shards ~port ~dir i =
+  let args =
+    [ exe; "--records"; "0"; "--host"; "127.0.0.1"; "--port"; string_of_int port;
+      "--shard-id"; string_of_int i; "--shard-count"; string_of_int shards;
+      "--instance"; Printf.sprintf "shard-%d" i; "--state-dir"; dir;
+      "--log-level"; "error"; "--metrics-interval"; "0" ]
+  in
+  let rd, wr = Unix.pipe () in
+  Unix.set_close_on_exec rd;
+  let pid = Unix.create_process exe (Array.of_list args) Unix.stdin wr Unix.stderr in
+  Unix.close wr;
+  let bound = await_listening ~what:(Printf.sprintf "shard %d" i) rd in
+  { sp_pid = pid; sp_port = bound; sp_out = rd; sp_dir = dir; sp_id = i }
+
+let respawn_shard ~exe ~shards sp =
+  (try Unix.close sp.sp_out with Unix.Unix_error _ -> ());
+  let fresh = spawn_shard ~exe ~shards ~port:sp.sp_port ~dir:sp.sp_dir sp.sp_id in
+  sp.sp_pid <- fresh.sp_pid;
+  sp.sp_port <- fresh.sp_port;
+  sp.sp_out <- fresh.sp_out
+
+let stop_shard sp =
+  (try Unix.kill sp.sp_pid Sys.sigterm with Unix.Unix_error _ -> ());
+  (try ignore (Unix.waitpid [] sp.sp_pid) with Unix.Unix_error _ -> ());
+  (try Unix.close sp.sp_out with Unix.Unix_error _ -> ());
+  rm_rf sp.sp_dir
+
+(* Post-recovery assertions: a fresh verified search succeeds through
+   the router, and a pinned request id replayed verbatim settles
+   exactly once cluster-wide (the shards' idempotency caches answer the
+   second send; the settled counter must not move). *)
+let settle_once_probe endpoint ~width ~keys ~trapdoor =
+  match Net.Client.connect ~name:"cluster-probe" endpoint with
+  | Error e ->
+    failwith ("cluster load: probe could not provision: " ^ Net.Client.error_to_string e)
+  | Ok c ->
+    (match Net.Client.search c (Slicer_types.query 1 Slicer_types.Gt) with
+     | Ok out when out.Protocol.so_verified -> ()
+     | Ok _ -> failwith "cluster load: post-recovery search failed verification"
+     | Error e ->
+       failwith ("cluster load: post-recovery search failed: " ^ Net.Client.error_to_string e));
+    let rng = Drbg.create ~seed:"cluster-probe-tokens" in
+    let user = User.create ~keys:(Keys.for_user keys) ~width trapdoor in
+    let tokens = User.gen_tokens ~rng user (Slicer_types.query 2 Slicer_types.Lt) in
+    let req =
+      Net.Wire.Search
+        { client = Net.Client.name c; request_id = "pinned-probe#1"; batched = false; tokens }
+    in
+    let settled () =
+      let _, text = scrape endpoint in
+      prom_value text "slicer_net_searches_settled_total"
+    in
+    let send label =
+      match Net.Client.rpc c req with
+      | Ok (Net.Wire.Found r) -> r
+      | Ok _ -> failwith ("cluster load: pinned probe " ^ label ^ " got a non-search reply")
+      | Error e ->
+        failwith
+          ("cluster load: pinned probe " ^ label ^ " failed: " ^ Net.Client.error_to_string e)
+    in
+    let r1 = send "send" in
+    let s1 = settled () in
+    let r2 = send "replay" in
+    let s2 = settled () in
+    if s2 <> s1 then
+      failwith
+        (Printf.sprintf "cluster load: pinned request settled twice (%.0f -> %.0f)" s1 s2);
+    if List.length r1.Net.Wire.sr_claims <> List.length r2.Net.Wire.sr_claims then
+      failwith "cluster load: replayed reply disagrees with the original";
+    Printf.printf "  settle-once probe: replay held the settled counter at %.0f\n%!" s1;
+    Net.Client.close c
+
+(* One cluster measurement point: k shard processes + router, a Build
+   shipped through the router, one pre-forked fleet driven through it
+   clean (the scaling number). With [drill_fleet], a second fleet then
+   re-runs the load while one shard is SIGKILLed mid-measurement and
+   restarted on its port and state dir — followed by the post-recovery
+   assertions. Returns the clean throughput. *)
+let run_point ~exe ~warm ~duration ~width ~records ~keys ~acc_params ~drill_fleet ~clients
+    ~size listener endpoint fleet k =
+  subheader (Printf.sprintf "%d shard%s" k (if k = 1 then "" else "s"));
+  let shards = Array.init k (fun i -> spawn_shard ~exe ~shards:k ~port:0 ~dir:(fresh_dir ()) i) in
+  Fun.protect ~finally:(fun () -> Array.iter stop_shard shards) @@ fun () ->
+  let topo =
+    Cluster.Topology.create
+      (Array.to_list (Array.map (fun sp -> Net.Server.Tcp ("127.0.0.1", sp.sp_port)) shards))
+  in
+  let router = Cluster.Router.create topo in
+  let server = Net.Server.start ~listener (Cluster.Router.handle router) in
+  let orng = Drbg.create ~seed:"cluster-load-owner" in
+  let owner = Owner.create ~width ~rng:orng ~acc_params ~keys () in
+  let shipment = Owner.build owner records in
+  let trapdoor = Owner.export_trapdoor_state owner in
+  (match Net.Client.connect ~name:(Printf.sprintf "cluster-owner-%d" k) ~provision:false endpoint with
+   | Error e ->
+     failwith ("cluster load: owner could not connect: " ^ Net.Client.error_to_string e)
+   | Ok oc ->
+     (match
+        Net.Client.build oc ~width ~payment:1000 ~acc:acc_params
+          ~tdp_public:keys.Keys.tdp_public ~user_keys:(Keys.for_user keys) ~shipment ~trapdoor
+      with
+      | Ok generation ->
+        Printf.printf "  built generation %d across %d shard%s\n%!" generation k
+          (if k = 1 then "" else "s")
+      | Error e ->
+        failwith ("cluster load: build through router failed: " ^ Net.Client.error_to_string e));
+     Net.Client.close oc);
+  let workers = Net.Server.default_config.Net.Server.workers in
+  let t0 = Unix.gettimeofday () in
+  let res = run_fleet fleet in
+  let wall = Unix.gettimeofday () -. t0 in
+  let throughput, _ =
+    report
+      ~series:(Printf.sprintf "cluster_%d" k)
+      ~clients ~shards:k ~conns:0 ~workers ~size ~width ~wall res
+  in
+  if res.fr_searches = 0 then
+    failwith (Printf.sprintf "cluster load: no search completed at %d shards" k);
+  (match drill_fleet with
+   | None -> ()
+   | Some fleet ->
+     let killer =
+       Thread.create
+         (fun () ->
+           Thread.delay (warm +. (duration *. 0.35));
+           let victim = shards.(k - 1) in
+           Printf.printf "  kill drill: SIGKILL shard %d (pid %d)\n%!" victim.sp_id
+             victim.sp_pid;
+           Unix.kill victim.sp_pid Sys.sigkill;
+           ignore (Unix.waitpid [] victim.sp_pid);
+           Thread.delay 0.3;
+           respawn_shard ~exe ~shards:k victim;
+           Printf.printf "  kill drill: shard %d recovered on port %d\n%!" victim.sp_id
+             victim.sp_port)
+         ()
+     in
+     let t1 = Unix.gettimeofday () in
+     let dres = run_fleet fleet in
+     let dwall = Unix.gettimeofday () -. t1 in
+     Thread.join killer;
+     settle_once_probe endpoint ~width ~keys ~trapdoor;
+     let _ =
+       report
+         ~series:(Printf.sprintf "cluster_%d_kill" k)
+         ~clients ~shards:k ~conns:0 ~workers ~size ~width ~wall:dwall dres
+     in
+     if dres.fr_searches = 0 then
+       failwith "cluster load: no search completed across the kill drill";
+     (* A kill drill costs retries, not correctness: the fleet must ride
+        through on backoff. Residual errors are the refusals clients were
+        still retrying when their measurement window closed. *)
+     if dres.fr_errors > dres.fr_searches / 2 then
+       failwith
+         (Printf.sprintf "cluster load: %d of %d searches failed across the kill drill"
+            dres.fr_errors dres.fr_searches));
+  let _ = check_stats endpoint ~searches:res.fr_searches in
+  Net.Server.stop server;
+  Cluster.Router.close router;
+  throughput
+
+let run_cluster scale n =
+  header "Cluster load (figure: load)";
+  let clients, warm, duration = params scale in
+  let width = List.hd scale.widths in
+  let size = List.hd scale.order_sizes in
+  let exe =
+    match !Bench_common.server_exe with "" -> default_server_exe () | path -> path
+  in
+  if not (Sys.file_exists exe) then
+    failwith
+      (Printf.sprintf
+         "cluster load: slicer-server binary not found at %s (build it, or pass --server-exe)"
+         exe);
+  Printf.printf
+    "%d client processes, %.0f s warmup + %.0f s measured, %d records at width %d\n"
+    clients warm duration size width;
+  Printf.printf "cluster mode: shard processes via %s\n%!" exe;
+  (* Shards are processes precisely because OCaml threads share one
+     runtime lock — but processes only run in parallel on real cores.
+     Short of that, the N-shard point measures the fan-out tax (split,
+     N settlements, merge) with zero parallel gain to offset it. *)
+  let cores = Domain.recommended_domain_count () in
+  if cores < n + 1 then
+    Printf.printf
+      "  note: %d core%s available for %d shard processes + router — expect the \
+       scaling ratio to show fan-out overhead, not parallel speedup\n%!"
+      cores (if cores = 1 then "" else "s") n;
+  let rng = Drbg.create ~seed:"cluster-load-data" in
+  let keys = Keys.generate ~tdp_bits:512 ~rng () in
+  let acc_params = Rsa_acc.setup ~rng ~bits:512 () in
+  let records = Gen.uniform_records ~rng ~width size in
+  let points = if n = 1 then [ 1 ] else [ 1; n ] in
+  (* Routers' listeners are bound before anything forks so each fleet
+     knows its endpoint; every fleet — one per point, plus the kill
+     drill's — is forked up front, before any thread exists (the fork
+     discipline at the top of this file). The drill fleet shares the
+     last point's endpoint: children connect only when released. *)
+  let listeners =
+    List.map (fun _ -> Net.Server.bind_endpoint (Net.Server.Tcp ("127.0.0.1", 0))) points
+  in
+  let endpoints =
+    List.map (fun l -> Net.Server.Tcp ("127.0.0.1", Net.Server.bound_port l)) listeners
+  in
+  let drill_endpoint = if n > 1 then [ List.nth endpoints 1 ] else [] in
+  let prev_domains = Parallel.domains () in
+  Parallel.set_domains 1;
+  flush stdout;
+  flush stderr;
+  let fleets =
+    List.mapi
+      (fun pi endpoint ->
+        List.init clients (fun i ->
+            let idx = (pi * clients) + i in
+            let rd, wr = Unix.pipe () in
+            let go_rd, go_wr = Unix.pipe () in
+            match Unix.fork () with
+            | 0 ->
+              (try Unix.close rd with Unix.Unix_error _ -> ());
+              (try Unix.close go_wr with Unix.Unix_error _ -> ());
+              List.iter
+                (fun l -> try Unix.close l with Unix.Unix_error _ -> ())
+                listeners;
+              run_child idx endpoint ~warm duration ~go:go_rd wr
+            | pid ->
+              (try Unix.close wr with Unix.Unix_error _ -> ());
+              (try Unix.close go_rd with Unix.Unix_error _ -> ());
+              (pid, rd, go_wr)))
+      (endpoints @ drill_endpoint)
+  in
+  Parallel.set_domains prev_domains;
+  let drill_fleet = if n > 1 then Some (List.nth fleets 2) else None in
+  row_header [ "searches"; "errors"; "ops/s"; "p50"; "p95"; "p99" ];
+  let throughputs =
+    List.mapi
+      (fun pi k ->
+        run_point ~exe ~warm ~duration ~width ~records ~keys ~acc_params
+          ~drill_fleet:(if pi = 1 then drill_fleet else None)
+          ~clients ~size (List.nth listeners pi) (List.nth endpoints pi)
+          (List.nth fleets pi) k)
+      points
+  in
+  match (points, throughputs) with
+  | ([ 1; k ], [ t1; tk ]) when t1 > 0. ->
+    let speedup = tk /. t1 in
+    Printf.printf "\n  scaling 1 -> %d shards: %.2fx (%.1f -> %.1f ops/s)\n%!" k speedup t1 tk;
+    json_row ~figure:"load" ~series:"cluster_scaling"
+      [ ("shards", J_int k); ("speedup", J_float speedup);
+        ("base_ops", J_float t1); ("ops", J_float tk) ]
+  | _ -> ()
+
+let run scale =
+  match !Bench_common.shards with
+  | 0 -> run_single scale
+  | n -> run_cluster scale n

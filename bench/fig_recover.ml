@@ -140,7 +140,7 @@ let service_kill_recover () =
    | Net.Wire.Accepted _ -> ()
    | _ -> failwith "recover bench: build refused");
   let user =
-    match Net.Service.handle svc (Net.Wire.Hello { client = "recover-user" }) with
+    match Net.Service.handle svc (Net.Wire.Hello { client = "recover-user"; proto = Net.Wire.proto_version }) with
     | Net.Wire.Welcome p ->
       User.create ~keys:p.Net.Wire.pv_user_keys ~width:p.Net.Wire.pv_width
         p.Net.Wire.pv_trapdoor

@@ -17,7 +17,7 @@
 let usage () =
   print_endline
     "usage: main.exe [--scale smoke|default|full] [--full] [--domains N] [--json FILE]\n\
-    \       [--conns N]\n\
+    \       [--conns N] [--shards N] [--server-exe PATH]\n\
     \       [fig3|fig4|fig5|fig6|fig7|table1|table2|ablation|micro|load|recover|witness|all]";
   exit 1
 
@@ -46,6 +46,14 @@ let () =
        | Some c when c >= 0 -> Bench_common.conns := c
        | _ -> Printf.printf "--conns expects a non-negative integer, got %S\n" n; usage ());
       parse rest
+    | "--shards" :: n :: rest ->
+      (match int_of_string_opt n with
+       | Some s when s >= 1 -> Bench_common.shards := s
+       | _ -> Printf.printf "--shards expects a positive integer, got %S\n" n; usage ());
+      parse rest
+    | "--server-exe" :: path :: rest ->
+      Bench_common.server_exe := path;
+      parse rest
     | "--json" :: path :: rest ->
       (* Fail on an unwritable path now, not after an hour of measuring
          — without truncating it: earlier runs' rows merge at the end. *)
@@ -55,7 +63,8 @@ let () =
        | exception Sys_error msg -> Printf.printf "--json: %s\n" msg; usage ());
       json_path := Some path;
       parse rest
-    | ("--scale" | "--domains" | "--json" | "--conns") :: [] -> usage ()
+    | ("--scale" | "--domains" | "--json" | "--conns" | "--shards" | "--server-exe") :: [] ->
+      usage ()
     | t :: rest ->
       targets := t :: !targets;
       parse rest

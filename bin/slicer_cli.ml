@@ -210,35 +210,86 @@ let json_arg =
   let doc = "Print the JSON snapshot instead of Prometheus text." in
   Arg.(value & flag & info [ "json" ] ~doc)
 
-let run_stats host port socket json verbose log_level =
-  setup_logs log_level verbose;
-  let endpoint =
-    match socket with
-    | Some path -> Net.Server.Unix_socket path
-    | None -> Net.Server.Tcp (host, port)
-  in
-  (* ~provision:false — the admin path needs no keys, and works against
-     an empty (pre-Build) server too. *)
+let addrs_arg =
+  let doc = "Scrape $(docv) (HOST:PORT or unix:PATH). Repeatable: given \
+             several — e.g. every shard of a cluster plus its router — \
+             prints one merged view, each member's series kept apart by \
+             its instance label." in
+  Arg.(value & opt_all string [] & info [ "addr"; "a" ] ~docv:"ADDR" ~doc)
+
+(* One scrape. [~provision:false] — the admin path needs no keys, and
+   works against an empty (pre-Build) server too. *)
+let scrape endpoint =
   match Net.Client.connect ~name:"slicer-cli-stats" ~provision:false endpoint with
-  | Error e -> `Error (false, Net.Client.error_to_string e)
+  | Error e -> Error (Net.Client.error_to_string e)
   | Ok c ->
     let r = Net.Client.stats c in
     Net.Client.close c;
     (match r with
+     | Ok snap -> Ok snap
+     | Error e -> Error (Net.Client.error_to_string e))
+
+let run_stats host port socket json addrs verbose log_level =
+  setup_logs log_level verbose;
+  let endpoints =
+    match addrs with
+    | [] ->
+      (match socket with
+       | Some path -> Ok [ ("", Net.Server.Unix_socket path) ]
+       | None -> Ok [ ("", Net.Server.Tcp (host, port)) ])
+    | addrs ->
+      let rec parse acc = function
+        | [] -> Ok (List.rev acc)
+        | a :: rest ->
+          (match Cluster.Topology.endpoint_of_string a with
+           | Ok ep -> parse ((a, ep) :: acc) rest
+           | Error e -> Error e)
+      in
+      parse [] addrs
+  in
+  match endpoints with
+  | Error e -> `Error (false, e)
+  | Ok [ (_, endpoint) ] ->
+    (match scrape endpoint with
      | Ok (st_json, st_text) ->
        print_string (if json then st_json else st_text);
        `Ok ()
-     | Error e -> `Error (false, Net.Client.error_to_string e))
+     | Error e -> `Error (false, e))
+  | Ok endpoints ->
+    (* Merged cluster view: a failed member is reported inline so one
+       dead shard doesn't hide the rest of the fleet. *)
+    let results = List.map (fun (addr, ep) -> (addr, scrape ep)) endpoints in
+    if json then begin
+      let member (addr, r) =
+        match r with
+        | Ok (st_json, _) -> Printf.sprintf "{\"addr\":\"%s\",\"stats\":%s}" addr st_json
+        | Error e -> Printf.sprintf "{\"addr\":\"%s\",\"error\":\"%s\"}" addr e
+      in
+      print_string
+        ("{\"targets\":[" ^ String.concat "," (List.map member results) ^ "]}\n")
+    end
+    else
+      List.iter
+        (fun (addr, r) ->
+          match r with
+          | Ok (_, st_text) ->
+            Printf.printf "# == %s ==\n" addr;
+            print_string st_text
+          | Error e -> Printf.printf "# == %s == scrape failed: %s\n" addr e)
+        results;
+    if List.for_all (fun (_, r) -> Result.is_ok r) results then `Ok ()
+    else `Error (false, "one or more members failed to answer")
 
 let stats_cmd =
   let info =
     Cmd.info "stats"
-      ~doc:"Scrape a running slicer-server's live metrics (Prometheus text or JSON)"
+      ~doc:"Scrape live metrics from one slicer-server — or, with repeated \
+            $(b,--addr), a whole cluster (Prometheus text or JSON)"
   in
   Cmd.v info
     Term.(
-      ret (const run_stats $ host_arg $ port_arg $ socket_arg $ json_arg $ verbose_arg
-         $ log_level_arg))
+      ret (const run_stats $ host_arg $ port_arg $ socket_arg $ json_arg $ addrs_arg
+         $ verbose_arg $ log_level_arg))
 
 let () =
   let info = Cmd.info "slicer" ~version:"1.0.0" ~doc:"Verifiable encrypted numerical search (ICDCS'22 reproduction)" in

@@ -129,6 +129,23 @@ let no_witness_index_arg =
              are identical either way; only latency changes." in
   Arg.(value & flag & info [ "no-witness-index" ] ~doc)
 
+let instance_arg =
+  let doc = "Instance name echoed in Welcome frames and metrics (e.g. \
+             $(b,shard-0)). Defaults to $(b,shard-ID) when --shard-count \
+             is above 1, empty otherwise." in
+  Arg.(value & opt (some string) None & info [ "instance" ] ~docv:"NAME" ~doc)
+
+let shard_id_arg =
+  let doc = "This server's shard index within a cluster (0-based). Stored \
+             in the on-chain contract at Build so recovery and verification \
+             stay per-shard." in
+  Arg.(value & opt int 0 & info [ "shard-id" ] ~docv:"I" ~doc)
+
+let shard_count_arg =
+  let doc = "Total shards in the cluster this server belongs to. 1 (the \
+             default) means a standalone server." in
+  Arg.(value & opt int 1 & info [ "shard-count" ] ~docv:"N" ~doc)
+
 let dump_metrics path =
   let content =
     if Filename.check_suffix path ".prom" then Obs.Export.to_prometheus ()
@@ -148,18 +165,18 @@ let log_snapshot () =
         (Obs.counter_value "slicer_net_bytes_out_total")
         (Obs.counter_value "slicer_chain_gas_total"))
 
-let self_seed ~seed ~records ~width ~payment ~witness_index =
+let self_seed ~seed ~records ~width ~payment ~witness_index ~instance ~shard =
   Printf.printf "self-seeding %d records (width %d, seed %S)...\n%!" records width seed;
   let rng = Drbg.create ~seed:(seed ^ ":data") in
   let db = Gen.uniform_records ~rng ~width records in
   let system = Protocol.setup ~width ~payment ~witness_index ~seed db in
   Cloud.precompute_witnesses (Protocol.cloud system);
-  Net.Service.of_protocol ~witness_index system
+  Net.Service.of_protocol ~witness_index ~instance ~shard system
 
 let run host port socket seed records width payment domains read_timeout max_inflight
     max_conns workers verbose
     log_level state_dir snapshot_bytes no_fsync metrics_dump metrics_interval no_metrics
-    no_witness_index =
+    no_witness_index instance shard_id shard_count =
   setup_logs log_level verbose;
   Obs.set_enabled (not no_metrics);
   let witness_index = not no_witness_index in
@@ -168,19 +185,29 @@ let run host port socket seed records width payment domains read_timeout max_inf
   else if max_conns < 1 then `Error (false, "--max-conns must be >= 1")
   else if workers < 1 then `Error (false, "--workers must be >= 1")
   else if snapshot_bytes < 1 then `Error (false, "--snapshot-bytes must be >= 1")
+  else if shard_count < 1 then `Error (false, "--shard-count must be >= 1")
+  else if shard_id < 0 || shard_id >= shard_count then
+    `Error (false, "--shard-id must be in [0, shard-count)")
   else begin
     Parallel.set_domains domains;
+    let shard = (shard_id, shard_count) in
+    let instance =
+      match instance with
+      | Some name -> name
+      | None -> if shard_count > 1 then Printf.sprintf "shard-%d" shard_id else ""
+    in
+    Obs.set_instance instance;
     let service_or_error =
       match state_dir with
       | None ->
         if records = 0 then begin
           Printf.printf "starting empty: awaiting an owner Build shipment\n%!";
-          Ok (Net.Service.create ~witness_index ())
+          Ok (Net.Service.create ~witness_index ~instance ~shard ())
         end
-        else Ok (self_seed ~seed ~records ~width ~payment ~witness_index)
+        else Ok (self_seed ~seed ~records ~width ~payment ~witness_index ~instance ~shard)
       | Some dir ->
         let cfg = { Store.dir; fsync = not no_fsync; snapshot_bytes } in
-        (match Net.Service.recover ~witness_index cfg with
+        (match Net.Service.recover ~witness_index ~instance ~shard cfg with
          | Error e -> Error (Printf.sprintf "recovery from %s failed: %s" dir e)
          | Ok (svc, stats) ->
            if Net.Service.built svc then begin
@@ -199,7 +226,9 @@ let run host port socket seed records width payment domains read_timeout max_inf
              (* Fresh state dir + --records: seed once, then hand the
                 store to the seeded service, whose attach checkpoint
                 makes the seed durable. *)
-             let seeded = self_seed ~seed ~records ~width ~payment ~witness_index in
+             let seeded =
+               self_seed ~seed ~records ~width ~payment ~witness_index ~instance ~shard
+             in
              (match Net.Service.store svc with
               | Some store -> Net.Service.attach_store seeded store
               | None -> ());
@@ -218,7 +247,7 @@ let run host port socket seed records width payment domains read_timeout max_inf
       { Net.Server.default_config with
         endpoint; read_timeout; max_inflight; max_conns; workers }
     in
-    let server = Net.Server.start ~config service in
+    let server = Net.Server.start ~config (Net.Service.handle service) in
     (match endpoint with
      | Net.Server.Tcp (h, _) -> Printf.printf "listening on %s:%d\n%!" h (Net.Server.port server)
      | Net.Server.Unix_socket p -> Printf.printf "listening on %s\n%!" p);
@@ -260,6 +289,7 @@ let cmd =
        $ payment_arg $ domains_arg $ read_timeout_arg $ max_inflight_arg
        $ max_conns_arg $ workers_arg $ verbose_arg
        $ log_level_arg $ state_dir_arg $ snapshot_bytes_arg $ no_fsync_arg
-       $ metrics_dump_arg $ metrics_interval_arg $ no_metrics_arg $ no_witness_index_arg))
+       $ metrics_dump_arg $ metrics_interval_arg $ no_metrics_arg $ no_witness_index_arg
+       $ instance_arg $ shard_id_arg $ shard_count_arg))
 
 let () = exit (Cmd.eval cmd)

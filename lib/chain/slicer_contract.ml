@@ -78,6 +78,8 @@ let pseudo_code =
 let key_owner = "owner"
 let key_modulus = "modulus"
 let key_ac = "ac"
+let key_shard_id = "shard_id"
+let key_shard_count = "shard_count"
 let key_user id = "req:" ^ id ^ ":user"
 let key_amount id = "req:" ^ id ^ ":amount"
 let key_digest id = "req:" ^ id ^ ":digest"
@@ -129,7 +131,7 @@ let verify_claim ctx ~params ~ac c =
       Hashtbl.replace verify_memo key (ok, List.rev !charges);
     ok
 
-let contract ~modulus ~generator ~initial_ac =
+let contract ~modulus ~generator ~initial_ac ~shard =
   let constructor ctx _args =
     (* generator is part of the public parameters; persisted for
        completeness even though VerifyMem itself only needs n and Ac. *)
@@ -137,6 +139,13 @@ let contract ~modulus ~generator ~initial_ac =
     Vm.sstore ctx key_modulus (Bigint.to_bytes_be modulus);
     Vm.sstore ctx "generator" (Bigint.to_bytes_be generator);
     Vm.sstore ctx key_ac (Bigint.to_bytes_be initial_ac);
+    (* Cluster identity: which slice of the keyword space this
+       contract's Ac covers. A lone server deploys as (0, 1). Stored so
+       an auditor (or a recovering shard) can check it is verifying
+       against the accumulator it thinks it is. *)
+    let shard_id, shard_count = shard in
+    Vm.sstore ctx key_shard_id (string_of_int shard_id);
+    Vm.sstore ctx key_shard_count (string_of_int shard_count);
     Ok []
   in
   let update_ac ctx args =
@@ -249,11 +258,11 @@ let restore ledger ~contract:addr ~modulus ~generator =
      runs — the restored storage already holds its effects — so the
      [initial_ac] baked into it is irrelevant; the live [Ac] is the
      [key_ac] storage cell. *)
-  let def = contract ~modulus ~generator ~initial_ac:Bigint.one in
+  let def = contract ~modulus ~generator ~initial_ac:Bigint.one ~shard:(0, 1) in
   Vm.install_contract (Ledger.state ledger) addr def
 
-let deploy ledger ~owner ~modulus ~generator ~initial_ac =
-  let def = contract ~modulus ~generator ~initial_ac in
+let deploy ?(shard = (0, 1)) ledger ~owner ~modulus ~generator ~initial_ac =
+  let def = contract ~modulus ~generator ~initial_ac ~shard in
   let txn = Vm.make_deploy (Ledger.state ledger) ~sender:owner def [] in
   let receipt = observe_txn ~label:"deploy" (Ledger.submit_and_seal ledger txn) in
   (txn.Vm.tx_to, receipt)
@@ -302,6 +311,14 @@ let request_status ledger ~contract ~request_id = storage_get ledger ~contract (
 
 let stored_ac ledger ~contract =
   Option.map Bigint.of_bytes_be (storage_get ledger ~contract key_ac)
+
+let stored_shard ledger ~contract =
+  match
+    ( Option.bind (storage_get ledger ~contract key_shard_id) int_of_string_opt,
+      Option.bind (storage_get ledger ~contract key_shard_count) int_of_string_opt )
+  with
+  | Some i, Some n -> Some (i, n)
+  | _ -> None
 
 (* Tokens travel to the cloud through the event log, and an off-chain
    indexer recovers them — but a real indexer tails the chain rather

@@ -31,10 +31,14 @@ type claim = {
 val encode_claims : claim list -> string
 val decode_claims : string -> claim list option
 
-val contract : modulus:Bigint.t -> generator:Bigint.t -> initial_ac:Bigint.t -> Vm.contract_def
+val contract :
+  modulus:Bigint.t -> generator:Bigint.t -> initial_ac:Bigint.t -> shard:int * int ->
+  Vm.contract_def
 (** Contract definition; deploy with {!Vm.make_deploy} (no init args —
     parameters are baked into the constructor closure, standing in for
-    constructor calldata which is charged separately). *)
+    constructor calldata which is charged separately). [shard = (i, n)]
+    records which slice of the keyword space this contract's [Ac]
+    covers; a lone server uses [(0, 1)]. *)
 
 (** Client-side transaction builders. *)
 
@@ -47,9 +51,11 @@ val restore :
     comes from storage, never from the closure. *)
 
 val deploy :
+  ?shard:int * int ->
   Ledger.t -> owner:Vm.address -> modulus:Bigint.t -> generator:Bigint.t -> initial_ac:Bigint.t ->
   Vm.address * Vm.receipt
-(** Deploys and seals a block; returns the contract address. *)
+(** Deploys and seals a block; returns the contract address.
+    [shard] defaults to [(0, 1)] (a lone server). *)
 
 val update_ac : Ledger.t -> owner:Vm.address -> contract:Vm.address -> Bigint.t -> Vm.receipt
 
@@ -77,6 +83,11 @@ val request_status : Ledger.t -> contract:Vm.address -> request_id:string -> str
 
 val stored_ac : Ledger.t -> contract:Vm.address -> Bigint.t option
 (** The accumulation value currently on chain (freshness anchor). *)
+
+val stored_shard : Ledger.t -> contract:Vm.address -> (int * int) option
+(** The shard identity [(i, n)] stamped at deploy time; [None] when the
+    storage cells are missing (contracts restored from pre-cluster
+    snapshots). *)
 
 val stored_tokens : Ledger.t -> contract:Vm.address -> request_id:string -> string list option
 (** The tokens the cloud retrieves from the chain for a request. *)

@@ -1,0 +1,16 @@
+(* 56 bits of the (uniform) G1 key — the same prefix fold Enc_index
+   hashes labels with, wide enough that [mod shards] is unbiased for
+   any realistic shard count (bias < 2^-40 at 1024 shards). *)
+let prefix56 s =
+  let b i = Char.code (String.unsafe_get s i) in
+  (b 0 lsl 48) lor (b 1 lsl 40) lor (b 2 lsl 32) lor (b 3 lsl 24)
+  lor (b 4 lsl 16) lor (b 5 lsl 8) lor b 6
+
+let of_g1 ~shards g1 =
+  if shards < 1 then invalid_arg "Shard_key.of_g1: shards must be >= 1";
+  if String.length g1 < 7 then invalid_arg "Shard_key.of_g1: key shorter than 7 bytes";
+  prefix56 g1 mod shards
+
+let of_token ~shards (t : Slicer_types.search_token) = of_g1 ~shards t.Slicer_types.st_g1
+
+let of_group ~shards (g : Owner.keyword_group) = of_g1 ~shards g.Owner.kg_g1

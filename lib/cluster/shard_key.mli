@@ -1,0 +1,27 @@
+(** The cluster's partition function: keyword → shard.
+
+    Slicer shards by {e keyword}, never by individual [(l, d)] index
+    entry. Algorithm 4 terminates its per-generation scan at the first
+    missing counter, so splitting one keyword's counter chain across
+    shards would silently truncate results; keeping the whole chain on
+    one shard preserves every per-shard claim byte-identical to what a
+    lone server would produce for the same tokens.
+
+    The key material is the keyword's G1 PRF key: it is uniform (PRF
+    output), stable across generations and trapdoor rotations, present
+    in every search token ([st_g1]) and in every shipment group
+    ([kg_g1]) — so data and queries route identically with no shared
+    state, and the function is a pure fold over bytes, stable across
+    process restarts. The fold uses the same leading 56 bits
+    {!Enc_index} hashes on. *)
+
+val of_g1 : shards:int -> string -> int
+(** [of_g1 ~shards g1] is the owning shard in [0 .. shards-1].
+    @raise Invalid_argument when [shards < 1] or [g1] is shorter than
+    7 bytes (G1 keys are 16). *)
+
+val of_token : shards:int -> Slicer_types.search_token -> int
+(** Routes a search token by its [st_g1]. *)
+
+val of_group : shards:int -> Owner.keyword_group -> int
+(** Routes a shipment group by its [kg_g1]. *)

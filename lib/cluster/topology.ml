@@ -1,0 +1,51 @@
+type t = { eps : Net.Server.endpoint array }
+
+let create = function
+  | [] -> invalid_arg "Topology.create: a cluster needs at least one shard"
+  | eps -> { eps = Array.of_list eps }
+
+let shards t = Array.length t.eps
+let endpoint t i = t.eps.(i)
+let endpoints t = Array.to_list t.eps
+
+let endpoint_to_string = function
+  | Net.Server.Tcp (host, port) -> Printf.sprintf "%s:%d" host port
+  | Net.Server.Unix_socket path -> "unix:" ^ path
+
+let endpoint_of_string s =
+  match String.index_opt s ':' with
+  | None -> Error (Printf.sprintf "%S: expected HOST:PORT or unix:PATH" s)
+  | Some _ when String.length s > 5 && String.sub s 0 5 = "unix:" ->
+    Ok (Net.Server.Unix_socket (String.sub s 5 (String.length s - 5)))
+  | Some _ ->
+    (* The port is after the last colon, so IPv6 literals work too. *)
+    let i = String.rindex s ':' in
+    let host = String.sub s 0 i and port = String.sub s (i + 1) (String.length s - i - 1) in
+    (match int_of_string_opt port with
+     | Some p when p > 0 && p < 65536 && host <> "" -> Ok (Net.Server.Tcp (host, p))
+     | _ -> Error (Printf.sprintf "%S: bad port" s))
+
+let magic = "slicer-topology-v1"
+
+let to_bytes t =
+  Bytesutil.concat (magic :: List.map endpoint_to_string (endpoints t))
+
+let of_bytes bytes =
+  match Bytesutil.split bytes with
+  | Some (m :: eps) when String.equal m magic && eps <> [] ->
+    let rec go acc = function
+      | [] -> Ok (create (List.rev acc))
+      | e :: rest ->
+        (match endpoint_of_string e with
+         | Ok ep -> go (ep :: acc) rest
+         | Error _ as err -> err)
+    in
+    go [] eps
+  | Some _ | None -> Error "not a topology file"
+
+let save ~path t = Persist.save ~path (to_bytes t)
+
+let load ~path =
+  match Persist.load ~path with
+  | None -> Error (path ^ ": unreadable or missing")
+  | Some bytes -> of_bytes bytes

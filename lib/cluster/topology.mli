@@ -1,0 +1,27 @@
+(** The router-side cluster map: which shard lives where.
+
+    A topology is an ordered list of shard endpoints; a shard's index
+    in the list {e is} its shard id, so the file must list shards in
+    the same order across router restarts (routing is a pure function
+    of the G1 key and the shard {e count}, but replies name shards by
+    index). The router persists the map under its state dir and reloads
+    it when restarted without [--shard] flags. *)
+
+type t
+
+val create : Net.Server.endpoint list -> t
+(** @raise Invalid_argument on an empty list. *)
+
+val shards : t -> int
+val endpoint : t -> int -> Net.Server.endpoint
+val endpoints : t -> Net.Server.endpoint list
+
+val endpoint_of_string : string -> (Net.Server.endpoint, string) result
+(** ["HOST:PORT"] or ["unix:PATH"]. *)
+
+val endpoint_to_string : Net.Server.endpoint -> string
+
+val save : path:string -> t -> unit
+(** Atomic + durable write (via {!Persist.save}). *)
+
+val load : path:string -> (t, string) result

@@ -18,10 +18,17 @@ type t = {
 
 type timings = { index_seconds : float; ads_seconds : float }
 
+type keyword_group = {
+  kg_g1 : string;
+  kg_entries : (string * string) list;
+  kg_prime : Bigint.t;
+}
+
 type shipment = {
   sh_entries : (string * string) list;
   sh_primes : Bigint.t list;
   sh_ac : Bigint.t;
+  sh_groups : keyword_group list;
 }
 
 let create ?(width = 16) ~rng ~acc_params ~keys () =
@@ -198,7 +205,22 @@ let add_records t records =
          else Rsa_acc.add_batch t.o_params t.ac new_primes));
   t.t_ads <- !ads_time;
   t.t_index <- Unix.gettimeofday () -. started -. !ads_time;
-  { sh_entries = List.rev !entries; sh_primes = new_primes; sh_ac = t.ac }
+  (* Per-keyword groups, aligned with [results]/[gpairs]/[new_primes]:
+     each keyword's entries and prime travel together so a router can
+     split the shipment by shard key (a prefix of the keyword's G1 key)
+     without re-deriving anything. The flat views above are exactly the
+     concatenation of the groups. *)
+  let prime_arr = Array.of_list new_primes in
+  let groups =
+    Array.to_list
+      (Array.mapi
+         (fun i (job_entries, _, _, _) ->
+           { kg_g1 = fst gpairs.(i);
+             kg_entries = Array.to_list job_entries;
+             kg_prime = prime_arr.(i) })
+         results)
+  in
+  { sh_entries = List.rev !entries; sh_primes = new_primes; sh_ac = t.ac; sh_groups = groups }
 
 let build t records =
   if t.built then invalid_arg "Owner.build: already built (use insert)";

@@ -13,10 +13,25 @@ type t
 type trapdoor_state = (string, string * int) Hashtbl.t
 (** The [T] dictionary the owner shares with authorized users. *)
 
+type keyword_group = {
+  kg_g1 : string;             (** the keyword's G1 PRF key — the shard key *)
+  kg_entries : (string * string) list; (** this keyword's [(l, d)] entries *)
+  kg_prime : Bigint.t;        (** this keyword's fresh prime representative *)
+}
+(** One keyword's slice of a shipment. A keyword's whole counter chain
+    must live on one cloud shard (Algorithm 4 scans counters until the
+    first miss), so a cluster router splits shipments by group — never
+    by individual entry. [kg_g1] equals [st_g1] of every search token
+    for the keyword, so tokens route to the same shard as the data. *)
+
 type shipment = {
   sh_entries : (string * string) list; (** new [(l, d)] index entries *)
   sh_primes : Bigint.t list;           (** new prime representatives [X⁺] *)
   sh_ac : Bigint.t;                    (** accumulation value after the update *)
+  sh_groups : keyword_group list;
+  (** per-keyword breakdown; [sh_entries]/[sh_primes] are the
+      concatenation of the groups in keyword order. Empty only for
+      shipments decoded from pre-cluster archives. *)
 }
 
 val create :

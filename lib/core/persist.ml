@@ -36,28 +36,72 @@ let records_of_bytes s =
 
 (* --- shipments ----------------------------------------------------------- *)
 
-let shipment_to_bytes (sh : Owner.shipment) =
+(* Three-piece form [entries; primes; ac] is the pre-cluster archive
+   shape and still decodes (with no groups). Grouped shipments append a
+   fourth piece holding the per-keyword breakdown so a router replaying
+   a WAL can still split by shard key. *)
+let entries_to_blob entries =
+  Bytesutil.concat (List.concat_map (fun (l, d) -> [ l; d ]) entries)
+
+let entries_of_blob blob =
+  let* pieces = Bytesutil.split blob in
+  let rec go acc = function
+    | [] -> Some (List.rev acc)
+    | l :: d :: rest -> go ((l, d) :: acc) rest
+    | [ _ ] -> None
+  in
+  go [] pieces
+
+let group_to_bytes (g : Owner.keyword_group) =
   Bytesutil.concat
-    [ Bytesutil.concat (List.concat_map (fun (l, d) -> [ l; d ]) sh.Owner.sh_entries);
+    [ g.Owner.kg_g1; Bigint.to_bytes_be g.Owner.kg_prime; entries_to_blob g.Owner.kg_entries ]
+
+let group_of_bytes s =
+  let* pieces = Bytesutil.split s in
+  match pieces with
+  | [ kg_g1; prime; entries_blob ] ->
+    let* kg_entries = entries_of_blob entries_blob in
+    Some { Owner.kg_g1; kg_entries; kg_prime = Bigint.of_bytes_be prime }
+  | _ -> None
+
+let shipment_to_bytes (sh : Owner.shipment) =
+  let base =
+    [ entries_to_blob sh.Owner.sh_entries;
       Bytesutil.concat (List.map Bigint.to_bytes_be sh.Owner.sh_primes);
       Bigint.to_bytes_be sh.Owner.sh_ac ]
+  in
+  match sh.Owner.sh_groups with
+  | [] -> Bytesutil.concat base
+  | groups -> Bytesutil.concat (base @ [ Bytesutil.concat (List.map group_to_bytes groups) ])
 
 let shipment_of_bytes s =
   let* pieces = Bytesutil.split s in
-  match pieces with
-  | [ entries_blob; primes_blob; ac ] ->
-    let* entry_pieces = Bytesutil.split entries_blob in
-    let rec entries acc = function
-      | [] -> Some (List.rev acc)
-      | l :: d :: rest -> entries ((l, d) :: acc) rest
-      | [ _ ] -> None
-    in
-    let* sh_entries = entries [] entry_pieces in
+  let decode entries_blob primes_blob ac groups_blob =
+    let* sh_entries = entries_of_blob entries_blob in
     let* prime_pieces = Bytesutil.split primes_blob in
+    let* sh_groups =
+      match groups_blob with
+      | None -> Some []
+      | Some blob ->
+        let* group_pieces = Bytesutil.split blob in
+        let rec go acc = function
+          | [] -> Some (List.rev acc)
+          | p :: rest ->
+            let* g = group_of_bytes p in
+            go (g :: acc) rest
+        in
+        go [] group_pieces
+    in
     Some
       { Owner.sh_entries;
         sh_primes = List.map Bigint.of_bytes_be prime_pieces;
-        sh_ac = Bigint.of_bytes_be ac }
+        sh_ac = Bigint.of_bytes_be ac;
+        sh_groups }
+  in
+  match pieces with
+  | [ entries_blob; primes_blob; ac ] -> decode entries_blob primes_blob ac None
+  | [ entries_blob; primes_blob; ac; groups_blob ] ->
+    decode entries_blob primes_blob ac (Some groups_blob)
   | _ -> None
 
 (* --- trapdoor state -------------------------------------------------------- *)

@@ -14,7 +14,7 @@ let simulate_build ~rng (leak : Leakage.build_leakage) =
         random_prime_of_bits ~rng leak.Leakage.bl_prime_bits)
   in
   let ac = Bigint.succ (Drbg.bits rng 511) in
-  { Owner.sh_entries = entries; sh_primes = primes; sh_ac = ac }
+  { Owner.sh_entries = entries; sh_primes = primes; sh_ac = ac; sh_groups = [] }
 
 let simulate_search ~rng (leak : Leakage.search_leakage) =
   let result_bytes = (leak.Leakage.sl_result_bits + 7) / 8 in

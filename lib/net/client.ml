@@ -203,7 +203,7 @@ let apply_provision t (p : Wire.provision) =
   t.gen <- p.Wire.pv_generation
 
 let hello t =
-  match rpc t (Wire.Hello { client = t.cname }) with
+  match rpc t (Wire.Hello { client = t.cname; proto = Wire.proto_version }) with
   | Ok (Wire.Welcome p) ->
     apply_provision t p;
     Ok ()
@@ -259,12 +259,23 @@ let outcome_of_reply t prov ~token_count (r : Wire.search_reply) =
     match r.Wire.sr_receipt.Vm.r_output with Ok [ "paid" ] -> true | Ok _ | Error _ -> false
   in
   (* Client-side Algorithm 5 against the on-chain Ac: the user need not
-     trust the server's word for the settlement. *)
+     trust the server's word for the settlement. A routed reply carries
+     one part per involved shard; each part verifies against that
+     shard's own Ac_i — per-shard and constant-size, exactly as a
+     direct client of that shard would check it. *)
+  let verify ~ac ~witness claims =
+    match witness with
+    | Some witness -> Verifier.verify_claims_batched prov.p_acc ~ac claims ~witness
+    | None -> Verifier.verify_claims prov.p_acc ~ac claims
+  in
   let locally_ok =
-    match r.Wire.sr_batch_witness with
-    | Some witness ->
-      Verifier.verify_claims_batched prov.p_acc ~ac:r.Wire.sr_ac claims ~witness
-    | None -> Verifier.verify_claims prov.p_acc ~ac:r.Wire.sr_ac claims
+    match r.Wire.sr_parts with
+    | [] -> verify ~ac:r.Wire.sr_ac ~witness:r.Wire.sr_batch_witness claims
+    | parts ->
+      List.for_all
+        (fun (p : Wire.shard_part) ->
+          verify ~ac:p.Wire.shp_ac ~witness:p.Wire.shp_batch_witness p.Wire.shp_claims)
+        parts
   in
   let ids =
     List.filter_map
@@ -280,14 +291,23 @@ let outcome_of_reply t prov ~token_count (r : Wire.search_reply) =
         List.fold_left (fun n r -> n + String.length r) n c.Slicer_contract.results)
       0 claims
   in
-  let vo_bytes =
-    match r.Wire.sr_batch_witness with
+  let vo_size ~witness claims =
+    match witness with
     | Some w -> String.length (Bigint.to_bytes_be w)
     | None ->
       List.fold_left
         (fun n (c : Slicer_contract.claim) ->
           n + String.length (Bigint.to_bytes_be c.Slicer_contract.witness))
         0 claims
+  in
+  let vo_bytes =
+    match r.Wire.sr_parts with
+    | [] -> vo_size ~witness:r.Wire.sr_batch_witness claims
+    | parts ->
+      List.fold_left
+        (fun n (p : Wire.shard_part) ->
+          n + vo_size ~witness:p.Wire.shp_batch_witness p.Wire.shp_claims)
+        0 parts
   in
   t.gen <- r.Wire.sr_generation;
   { Protocol.so_ids = ids;

@@ -97,6 +97,13 @@ val insert :
 val requests_sent : t -> int
 (** Distinct request ids issued (retries excluded). *)
 
+val rpc : t -> Wire.request -> (Wire.response, error) result
+(** One raw request round trip under the full retry/backoff machinery,
+    with the response returned untyped. [Refused] frames other than
+    [Busy] surface as [Error (Refused _)]. This is the router's fan-out
+    primitive: it builds its own sub-requests (derived request ids,
+    split shipments) and must not re-enter the typed helpers above. *)
+
 val close : t -> unit
 
 (** High-connection-count mode: hundreds or thousands of cheap

@@ -86,7 +86,10 @@ type job = { j_conn : int; j_seq : int; j_payload : string }
 
 type t = {
   config : config;
-  service : Service.t;
+  (* What to do with one decoded request. Usually [Service.handle svc],
+     but the router front end plugs its fan-out dispatcher in here and
+     reuses the whole event loop unchanged. *)
+  handler : Wire.request -> Wire.response;
   listener : Unix.file_descr;
   wake_r : Unix.file_descr;
   wake_w : Unix.file_descr;
@@ -486,7 +489,7 @@ let worker_loop t =
           Obs.Counter.incr c_rejects;
           refusal Wire.Bad_request "unparseable request"
         | Some req ->
-          (try Service.handle t.service req
+          (try t.handler req
            with exn ->
              Log.err (fun m -> m "handler raised: %s" (Printexc.to_string exn));
              refusal Wire.Internal (Printexc.to_string exn))
@@ -506,7 +509,7 @@ let worker_loop t =
 
 (* --- lifecycle ----------------------------------------------------------- *)
 
-let start ?(config = default_config) ?listener service =
+let start ?(config = default_config) ?listener handler =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let listener = match listener with Some fd -> fd | None -> bind_endpoint config.endpoint in
   Unix.set_nonblock listener;
@@ -515,7 +518,7 @@ let start ?(config = default_config) ?listener service =
   Unix.set_nonblock wake_w;
   let t =
     { config;
-      service;
+      handler;
       listener;
       wake_r;
       wake_w;

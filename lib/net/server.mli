@@ -60,9 +60,13 @@ val bind_endpoint : endpoint -> Unix.file_descr
 val bound_port : Unix.file_descr -> int
 (** The actual TCP port of a bound listener (0 for Unix sockets). *)
 
-val start : ?config:config -> ?listener:Unix.file_descr -> Service.t -> t
+val start :
+  ?config:config -> ?listener:Unix.file_descr -> (Wire.request -> Wire.response) -> t
 (** Binds (unless [listener] is given), spawns the event loop and the
-    worker pool. *)
+    worker pool around the given request handler — [Service.handle svc]
+    for a shard or lone server, the router's dispatcher for a cluster
+    front end. The handler is called from worker threads and must be
+    thread-safe; exceptions it raises become [Refused Internal]. *)
 
 val port : t -> int
 val endpoint : t -> endpoint

@@ -49,6 +49,12 @@ type t = {
   (* Whether Build creates the cloud with the persistent witness index
      (the [--no-witness-index] server escape hatch sets this false). *)
   witness_index : bool;
+  (* Cluster identity: [instance] names this process in Welcome frames
+     and metric exposition; [shard = (i, n)] is stamped into the
+     contract at deploy time so a shard's chain records which slice of
+     the keyword space its Ac_i covers. (0, 1) = a lone server. *)
+  instance : string;
+  shard : int * int;
   (* Background warmer: after a Build/Insert shipment lands, witness
      precomputation runs on a self-reaping thread off the request path,
      so the first post-shipment Search pays a warm lookup instead of
@@ -58,7 +64,8 @@ type t = {
   mutable warm_again : bool;
 }
 
-let create ?(max_cached_replies = 8192) ?(faucet = 100_000_000) ?(witness_index = true) () =
+let create ?(max_cached_replies = 8192) ?(faucet = 100_000_000) ?(witness_index = true)
+    ?(instance = "") ?(shard = (0, 1)) () =
   { lock = Mutex.create ();
     state = None;
     users = Hashtbl.create 64;
@@ -69,12 +76,14 @@ let create ?(max_cached_replies = 8192) ?(faucet = 100_000_000) ?(witness_index 
     settled = 0;
     store = None;
     witness_index;
+    instance;
+    shard;
     warm_lock = Mutex.create ();
     warm_running = false;
     warm_again = false }
 
-let of_protocol ?max_cached_replies ?faucet ?witness_index p =
-  let t = create ?max_cached_replies ?faucet ?witness_index () in
+let of_protocol ?max_cached_replies ?faucet ?witness_index ?instance ?shard p =
+  let t = create ?max_cached_replies ?faucet ?witness_index ?instance ?shard () in
   let owner = Protocol.owner p in
   t.state <-
     Some
@@ -168,7 +177,9 @@ let provision t b client =
       pv_user_keys = b.b_user_keys;
       pv_trapdoor = b.b_trapdoor;
       pv_user_addr = addr;
-      pv_ac = ac }
+      pv_ac = ac;
+      pv_shards = snd t.shard;
+      pv_instance = t.instance }
 
 let do_search t b ~req ~client ~request_id ~batched tokens =
   (* Registration first: the cache must be unreachable to un-helloed
@@ -216,7 +227,8 @@ let do_search t b ~req ~client ~request_id ~batched tokens =
                 sr_claims = se_claims;
                 sr_batch_witness = se_batch_witness;
                 sr_receipt = se_receipt;
-                sr_ac = ac }
+                sr_ac = ac;
+                sr_parts = [] }
           in
           journal t ~tag:tag_search (Wire.encode_request req);
           cache_reply t (reply_key ~client ~request_id) reply;
@@ -245,8 +257,9 @@ let do_build t req =
        let cloud_addr = Vm.address_of_name "slicer-net:cloud" in
        Vm.fund (Ledger.state ledger) owner_addr t.faucet;
        let contract, receipt =
-         Slicer_contract.deploy ledger ~owner:owner_addr ~modulus:acc.Rsa_acc.modulus
-           ~generator:acc.Rsa_acc.generator ~initial_ac:shipment.Owner.sh_ac
+         Slicer_contract.deploy ~shard:t.shard ledger ~owner:owner_addr
+           ~modulus:acc.Rsa_acc.modulus ~generator:acc.Rsa_acc.generator
+           ~initial_ac:shipment.Owner.sh_ac
        in
        (match receipt.Vm.r_output with
         | Error e -> refused Wire.Internal ("contract deployment failed: " ^ e)
@@ -279,9 +292,16 @@ let handle_locked t req =
        the whole process, not just this service's database. *)
     Wire.Stats_reply
       { st_json = Obs.Export.to_json (); st_text = Obs.Export.to_prometheus () }
+  | (Wire.Hello { proto; _ }, _) when proto <> Wire.proto_version ->
+    (* Loud handshake failure for cross-version peers: a revision-1
+       client must not receive replies it would mis-frame (sharded
+       Found parts, topology Welcome tails). *)
+    refused Wire.Version_mismatch
+      (Printf.sprintf "client speaks protocol revision %d, this server speaks %d" proto
+         Wire.proto_version)
   | (Wire.Build _, _) -> do_build t req
   | (_, None) -> refused Wire.Not_ready "no database: awaiting the owner's Build shipment"
-  | (Wire.Hello { client }, Some b) -> provision t b client
+  | (Wire.Hello { client; _ }, Some b) -> provision t b client
   | ((Wire.Search { client; request_id; batched; tokens } as req), Some b) ->
     do_search t b ~req ~client ~request_id ~batched tokens
   | ((Wire.Insert { client; request_id; shipment; trapdoor } as req), Some b) ->
@@ -397,11 +417,11 @@ let rec account_triples = function
     Some ((a, bal, n) :: tail)
   | _ -> None
 
-let decode_snapshot ?max_cached_replies ?faucet ?witness_index bytes =
+let decode_snapshot ?max_cached_replies ?faucet ?witness_index ?instance ?shard bytes =
   let* pieces = Bytesutil.split bytes in
   match pieces with
   | [ m ] when String.equal m snap_magic_empty ->
-    Some (create ?max_cached_replies ?faucet ?witness_index ())
+    Some (create ?max_cached_replies ?faucet ?witness_index ?instance ?shard ())
   | m :: width :: payment :: generation :: settled :: modulus :: gen :: pn :: e :: u_k
     :: u_k_r :: owner_addr :: contract :: cloud_addr :: validators :: trapdoor :: entries
     :: primes :: ac :: accounts :: storage :: users :: replies :: tail
@@ -453,7 +473,8 @@ let decode_snapshot ?max_cached_replies ?faucet ?witness_index bytes =
     Cloud.install cloud
       { Owner.sh_entries;
         sh_primes = List.map Bigint.of_bytes_be prime_flat;
-        sh_ac = Bigint.of_bytes_be ac };
+        sh_ac = Bigint.of_bytes_be ac;
+        sh_groups = [] };
     (* Graft the snapshotted warm witnesses onto the rebuilt index. *)
     if String.length windex_blob > 0 then ignore (Cloud.restore_witness_index cloud windex_blob);
     let ledger = Ledger.create ~validators in
@@ -464,7 +485,7 @@ let decode_snapshot ?max_cached_replies ?faucet ?witness_index bytes =
     Slicer_contract.restore ledger ~contract ~modulus:acc_params.Rsa_acc.modulus
       ~generator:acc_params.Rsa_acc.generator;
     Vm.restore_storage vmst contract storage;
-    let t = create ?max_cached_replies ?faucet ?witness_index () in
+    let t = create ?max_cached_replies ?faucet ?witness_index ?instance ?shard () in
     t.state <-
       Some
         { b_station = Station.create ~cloud ~ledger ~contract ~cloud_addr;
@@ -541,7 +562,7 @@ type recovery_stats = {
   rs_dropped_tail : bool;
 }
 
-let recover ?max_cached_replies ?faucet ?witness_index cfg =
+let recover ?max_cached_replies ?faucet ?witness_index ?instance ?shard cfg =
   Obs.span "store.recover" (fun () ->
       let store, rc = Store.open_ cfg in
       let fail msg =
@@ -550,9 +571,9 @@ let recover ?max_cached_replies ?faucet ?witness_index cfg =
       in
       let base =
         match rc.Store.rc_snapshot with
-        | None -> Some (create ?max_cached_replies ?faucet ?witness_index ())
+        | None -> Some (create ?max_cached_replies ?faucet ?witness_index ?instance ?shard ())
         | Some (_seq, payload) ->
-          decode_snapshot ?max_cached_replies ?faucet ?witness_index payload
+          decode_snapshot ?max_cached_replies ?faucet ?witness_index ?instance ?shard payload
       in
       match base with
       | None -> fail "snapshot failed to decode (codec mismatch)"

@@ -16,15 +16,22 @@ val log_src : Logs.src
 
 type t
 
-val create : ?max_cached_replies:int -> ?faucet:int -> ?witness_index:bool -> unit -> t
+val create :
+  ?max_cached_replies:int -> ?faucet:int -> ?witness_index:bool -> ?instance:string ->
+  ?shard:int * int -> unit -> t
 (** An empty service awaiting a [Wire.Build] shipment from the data
     owner. [faucet] is the balance granted to each newly registered
     user (default 100,000,000 wei). [witness_index] (default [true])
     controls whether Build creates the cloud with the persistent
     witness index ({!Cloud.create}); [false] is the
-    [--no-witness-index] escape hatch. *)
+    [--no-witness-index] escape hatch. [instance] (default [""]) names
+    this process in Welcome frames; [shard = (i, n)] (default [(0, 1)])
+    is the cluster slice this service owns — stamped into the contract
+    at Build and echoed as [pv_shards] so clients know the topology. *)
 
-val of_protocol : ?max_cached_replies:int -> ?faucet:int -> ?witness_index:bool -> Protocol.t -> t
+val of_protocol :
+  ?max_cached_replies:int -> ?faucet:int -> ?witness_index:bool -> ?instance:string ->
+  ?shard:int * int -> Protocol.t -> t
 (** Serve an in-process system (e.g. one the server built from
     [--records N] at startup): the service drives the {e same} station,
     so wire searches and [Protocol.search] settle identically. *)
@@ -72,7 +79,8 @@ type recovery_stats = {
 }
 
 val recover :
-  ?max_cached_replies:int -> ?faucet:int -> ?witness_index:bool -> Store.config ->
+  ?max_cached_replies:int -> ?faucet:int -> ?witness_index:bool -> ?instance:string ->
+  ?shard:int * int -> Store.config ->
   (t * recovery_stats, string) result
 (** Open (or create) the durable state at [cfg.dir], rebuild the
     service from the newest valid snapshot plus the contiguous WAL

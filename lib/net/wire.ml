@@ -3,8 +3,15 @@ let ( let* ) = Option.bind
 let request_tag = 0x01
 let response_tag = 0x02
 
+(* Protocol feature revision, negotiated in Hello. Revision 1 is the
+   pre-cluster protocol (no proto field on the wire); revision 2 adds
+   cluster topology to Welcome and per-shard parts to Found. Servers
+   refuse a mismatched Hello with [Version_mismatch] so old clients
+   fail loudly instead of mis-framing sharded replies. *)
+let proto_version = 2
+
 type request =
-  | Hello of { client : string }
+  | Hello of { client : string; proto : int }
   | Search of { client : string; request_id : string; batched : bool;
                 tokens : Slicer_types.search_token list }
   | Build of { client : string; request_id : string;
@@ -26,6 +33,16 @@ type provision = {
   pv_trapdoor : Owner.trapdoor_state;
   pv_user_addr : Vm.address;
   pv_ac : Bigint.t;
+  pv_shards : int;
+  pv_instance : string;
+}
+
+type shard_part = {
+  shp_shard : int;
+  shp_claims : Slicer_contract.claim list;
+  shp_batch_witness : Bigint.t option;
+  shp_ac : Bigint.t;
+  shp_receipt : Vm.receipt;
 }
 
 type search_reply = {
@@ -35,9 +52,12 @@ type search_reply = {
   sr_batch_witness : Bigint.t option;
   sr_receipt : Vm.receipt;
   sr_ac : Bigint.t;
+  sr_parts : shard_part list;
 }
 
-type err_code = Busy | Bad_request | Not_ready | Already_built | Unknown_user | Internal
+type err_code =
+  | Busy | Bad_request | Not_ready | Already_built | Unknown_user | Internal
+  | Version_mismatch
 
 let err_code_to_string = function
   | Busy -> "busy"
@@ -46,6 +66,7 @@ let err_code_to_string = function
   | Already_built -> "already_built"
   | Unknown_user -> "unknown_user"
   | Internal -> "internal"
+  | Version_mismatch -> "version_mismatch"
 
 let err_code_of_string = function
   | "busy" -> Some Busy
@@ -54,6 +75,7 @@ let err_code_of_string = function
   | "already_built" -> Some Already_built
   | "unknown_user" -> Some Unknown_user
   | "internal" -> Some Internal
+  | "version_mismatch" -> Some Version_mismatch
   | _ -> None
 
 type response =
@@ -88,7 +110,9 @@ let opt_bigint_of_bytes s =
 (* --- requests --------------------------------------------------------- *)
 
 let encode_request = function
-  | Hello { client } -> Bytesutil.concat [ "hello"; client ]
+  | Hello { client; proto } ->
+    if proto = 1 then Bytesutil.concat [ "hello"; client ]
+    else Bytesutil.concat [ "hello"; client; string_of_int proto ]
   | Search { client; request_id; batched; tokens } ->
     Bytesutil.concat
       [ "search"; client; request_id; bool_tag batched; Persist.tokens_to_bytes tokens ]
@@ -110,7 +134,13 @@ let encode_request = function
 let decode_request s =
   let* pieces = Bytesutil.split s in
   match pieces with
-  | [ "hello"; client ] -> Some (Hello { client })
+  (* A bare two-piece hello is what revision-1 clients emit: decode it
+     as [proto = 1] so the service can refuse it by name rather than
+     dropping it as unparseable. *)
+  | [ "hello"; client ] -> Some (Hello { client; proto = 1 })
+  | [ "hello"; client; proto ] ->
+    let* proto = nat_of_string proto in
+    Some (Hello { client; proto })
   | [ "search"; client; request_id; batched; tokens_blob ] ->
     let* batched = bool_of_tag batched in
     let* tokens = Persist.tokens_of_bytes tokens_blob in
@@ -138,6 +168,38 @@ let decode_request s =
 
 (* --- responses -------------------------------------------------------- *)
 
+(* One shard's section of a routed search reply: its claims verify
+   against its own [shp_ac] (the shard's on-chain accumulation value),
+   and its receipt is the settlement on that shard's chain. *)
+let part_to_bytes p =
+  Bytesutil.concat
+    [ string_of_int p.shp_shard;
+      Persist.claims_to_bytes p.shp_claims;
+      opt_bigint_to_bytes p.shp_batch_witness;
+      Bigint.to_bytes_be p.shp_ac;
+      Persist.receipt_to_bytes p.shp_receipt ]
+
+let part_of_bytes s =
+  let* pieces = Bytesutil.split s in
+  match pieces with
+  | [ shard; claims_blob; witness_blob; ac; receipt_blob ] ->
+    let* shp_shard = nat_of_string shard in
+    let* shp_claims = Persist.claims_of_bytes claims_blob in
+    let* shp_batch_witness = opt_bigint_of_bytes witness_blob in
+    let* shp_receipt = Persist.receipt_of_bytes receipt_blob in
+    Some { shp_shard; shp_claims; shp_batch_witness; shp_ac = Bigint.of_bytes_be ac; shp_receipt }
+  | _ -> None
+
+let parts_of_bytes blob =
+  let* pieces = Bytesutil.split blob in
+  let rec go acc = function
+    | [] -> Some (List.rev acc)
+    | p :: rest ->
+      let* part = part_of_bytes p in
+      go (part :: acc) rest
+  in
+  go [] pieces
+
 let encode_response = function
   | Welcome p ->
     Bytesutil.concat
@@ -150,24 +212,29 @@ let encode_response = function
         p.pv_user_keys.Keys.u_k; p.pv_user_keys.Keys.u_k_r;
         Persist.trapdoor_state_to_bytes p.pv_trapdoor;
         p.pv_user_addr;
-        Bigint.to_bytes_be p.pv_ac ]
+        Bigint.to_bytes_be p.pv_ac;
+        string_of_int p.pv_shards;
+        p.pv_instance ]
   | Found r ->
-    Bytesutil.concat
+    let base =
       [ "found"; r.sr_request_id; string_of_int r.sr_generation;
         Persist.claims_to_bytes r.sr_claims;
         opt_bigint_to_bytes r.sr_batch_witness;
         Persist.receipt_to_bytes r.sr_receipt;
         Bigint.to_bytes_be r.sr_ac ]
+    in
+    (match r.sr_parts with
+     | [] -> Bytesutil.concat base
+     | parts -> Bytesutil.concat (base @ [ Bytesutil.concat (List.map part_to_bytes parts) ]))
   | Accepted { generation } -> Bytesutil.concat [ "accepted"; string_of_int generation ]
   | Pong -> Bytesutil.concat [ "pong" ]
   | Stats_reply { st_json; st_text } -> Bytesutil.concat [ "stats"; st_json; st_text ]
   | Refused { code; detail } ->
     Bytesutil.concat [ "refused"; err_code_to_string code; detail ]
 
-let decode_response s =
-  let* pieces = Bytesutil.split s in
+let decode_welcome ~shards pieces =
   match pieces with
-  | [ "welcome"; width; payment; generation; modulus; generator; tdp_n; tdp_e;
+  | [ width; payment; generation; modulus; generator; tdp_n; tdp_e;
       u_k; u_k_r; trapdoor_blob; user_addr; ac ] ->
     let* pv_width = nat_of_string width in
     let* pv_payment = nat_of_string payment in
@@ -180,14 +247,20 @@ let decode_response s =
       | pk -> Some pk
       | exception Invalid_argument _ -> None
     in
+    let pv_shards, pv_instance = shards in
     Some
       (Welcome
          { pv_width; pv_payment; pv_generation;
            pv_acc = { Rsa_acc.modulus = Bigint.of_bytes_be modulus;
                       generator = Bigint.of_bytes_be generator };
            pv_user_keys = { Keys.u_k; u_k_r; u_tdp_public };
-           pv_trapdoor; pv_user_addr = user_addr; pv_ac = Bigint.of_bytes_be ac })
-  | [ "found"; sr_request_id; generation; claims_blob; witness_blob; receipt_blob; ac ] ->
+           pv_trapdoor; pv_user_addr = user_addr; pv_ac = Bigint.of_bytes_be ac;
+           pv_shards; pv_instance })
+  | _ -> None
+
+let decode_found ~parts pieces =
+  match pieces with
+  | [ sr_request_id; generation; claims_blob; witness_blob; receipt_blob; ac ] ->
     let* sr_generation = nat_of_string generation in
     let* sr_claims = Persist.claims_of_bytes claims_blob in
     let* sr_batch_witness = opt_bigint_of_bytes witness_blob in
@@ -195,7 +268,31 @@ let decode_response s =
     Some
       (Found
          { sr_request_id; sr_generation; sr_claims; sr_batch_witness; sr_receipt;
-           sr_ac = Bigint.of_bytes_be ac })
+           sr_ac = Bigint.of_bytes_be ac; sr_parts = parts })
+  | _ -> None
+
+let decode_response s =
+  let* pieces = Bytesutil.split s in
+  match pieces with
+  (* Revision-1 Welcome (no topology tail) still decodes: one shard,
+     anonymous instance. *)
+  | "welcome" :: ([ _; _; _; _; _; _; _; _; _; _; _; _ ] as rest) ->
+    decode_welcome ~shards:(1, "") rest
+  | "welcome" :: width :: payment :: generation :: modulus :: generator :: tdp_n :: tdp_e
+    :: u_k :: u_k_r :: trapdoor_blob :: user_addr :: ac :: [ shards; instance ] ->
+    let* pv_shards = nat_of_string shards in
+    decode_welcome ~shards:(pv_shards, instance)
+      [ width; payment; generation; modulus; generator; tdp_n; tdp_e;
+        u_k; u_k_r; trapdoor_blob; user_addr; ac ]
+  | [ "found"; sr_request_id; generation; claims_blob; witness_blob; receipt_blob; ac ] ->
+    decode_found ~parts:[]
+      [ sr_request_id; generation; claims_blob; witness_blob; receipt_blob; ac ]
+  | [ "found"; sr_request_id; generation; claims_blob; witness_blob; receipt_blob; ac;
+      parts_blob ] ->
+    let* parts = parts_of_bytes parts_blob in
+    let* () = if parts = [] then None else Some () in
+    decode_found ~parts
+      [ sr_request_id; generation; claims_blob; witness_blob; receipt_blob; ac ]
   | [ "accepted"; generation ] ->
     let* generation = nat_of_string generation in
     Some (Accepted { generation })

@@ -7,10 +7,20 @@
 val request_tag : int
 val response_tag : int
 
+val proto_version : int
+(** The protocol feature revision this build speaks (2). Revision 1 is
+    the pre-cluster protocol: its Hello carries no proto field and its
+    Found replies can never carry per-shard parts. A server refuses a
+    Hello whose revision differs from its own with
+    [Refused Version_mismatch], so mixed-version deployments fail
+    loudly at the handshake instead of mis-framing later replies. *)
+
 type request =
-  | Hello of { client : string }
+  | Hello of { client : string; proto : int }
       (** Register and provision: the owner → user authorization channel
-          (keys, trapdoor state) plus a funded chain address. *)
+          (keys, trapdoor state) plus a funded chain address. [proto] is
+          the client's {!proto_version}; legacy two-piece hellos decode
+          as [proto = 1]. *)
   | Search of { client : string; request_id : string; batched : bool;
                 tokens : Slicer_types.search_token list }
       (** The user → cloud search message. [(client, request_id)] is the
@@ -48,18 +58,38 @@ type provision = {
   pv_trapdoor : Owner.trapdoor_state;
   pv_user_addr : Vm.address;
   pv_ac : Bigint.t;                 (** on-chain accumulation value *)
+  pv_shards : int;                  (** cluster width; 1 for a single server *)
+  pv_instance : string;             (** responder identity (shard id / router) *)
 }
+
+type shard_part = {
+  shp_shard : int;                      (** which shard produced this section *)
+  shp_claims : Slicer_contract.claim list;
+  shp_batch_witness : Bigint.t option;
+  shp_ac : Bigint.t;                    (** that shard's on-chain [Ac_i] *)
+  shp_receipt : Vm.receipt;             (** that shard's settlement receipt *)
+}
+(** One shard's section of a routed search reply. Algorithm-5
+    verification stays per-shard and constant-size: each part's claims
+    verify against its own [shp_ac], never against a global product. *)
 
 type search_reply = {
   sr_request_id : string;
   sr_generation : int;
   sr_claims : Slicer_contract.claim list;
+      (** merged claims, in the request's token order *)
   sr_batch_witness : Bigint.t option;
-  sr_receipt : Vm.receipt;          (** the chain's settlement receipt *)
+  sr_receipt : Vm.receipt;          (** the chain's settlement receipt
+                                        (router replies: synthesized merge) *)
   sr_ac : Bigint.t;                 (** on-chain [Ac] to verify against *)
+  sr_parts : shard_part list;
+      (** empty for a single server; non-empty means the reply was
+          merged by a router and each part must verify separately *)
 }
 
-type err_code = Busy | Bad_request | Not_ready | Already_built | Unknown_user | Internal
+type err_code =
+  | Busy | Bad_request | Not_ready | Already_built | Unknown_user | Internal
+  | Version_mismatch
 
 val err_code_to_string : err_code -> string
 

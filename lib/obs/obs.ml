@@ -27,6 +27,13 @@ let enabled_flag = ref true
 let set_enabled b = enabled_flag := b
 let enabled () = !enabled_flag
 
+(* Which process this registry describes — "" for a standalone server
+   (exposition format unchanged), "shard-0" / "router" in a cluster so
+   one merged scrape can tell the members apart. *)
+let instance_ref = ref ""
+let set_instance name = instance_ref := name
+let instance () = !instance_ref
+
 module Clock = struct
   (* CLOCK_MONOTONIC via the bechamel stub (OCaml 5.1's [Unix] has no
      [clock_gettime]). Wall-clock deadlines computed from
@@ -329,6 +336,16 @@ module Export = struct
 
   let to_prometheus ?(registry = Registry.default) () =
     let buf = Buffer.create 4096 in
+    (* The instance label, when set, rides on every series so a merged
+       cluster scrape (router text ^ shard texts) stays well-formed:
+       same metric name, distinct label sets. Empty instance emits the
+       exact pre-cluster format. *)
+    let inst = !instance_ref in
+    let plain = if inst = "" then "" else Printf.sprintf "{instance=\"%s\"}" inst in
+    let with_le le =
+      if inst = "" then Printf.sprintf "{le=\"%s\"}" le
+      else Printf.sprintf "{le=\"%s\",instance=\"%s\"}" le inst
+    in
     let header name help kind =
       if help <> "" then Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name help);
       Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name kind)
@@ -338,10 +355,10 @@ module Export = struct
         match e_metric with
         | Counter c ->
           header name help "counter";
-          Buffer.add_string buf (Printf.sprintf "%s %d\n" name (Counter.value c))
+          Buffer.add_string buf (Printf.sprintf "%s%s %d\n" name plain (Counter.value c))
         | Gauge g ->
           header name help "gauge";
-          Buffer.add_string buf (Printf.sprintf "%s %d\n" name (Gauge.value g))
+          Buffer.add_string buf (Printf.sprintf "%s%s %d\n" name plain (Gauge.value g))
         | Histogram h ->
           let sn = Histogram.snapshot h in
           let scale = Histogram.scale sn.Histogram.sn_units in
@@ -351,16 +368,17 @@ module Export = struct
             (fun (bound, n) ->
               cum := !cum + n;
               Buffer.add_string buf
-                (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" name
-                   (fmt_float (float_of_int bound *. scale))
+                (Printf.sprintf "%s_bucket%s %d\n" name
+                   (with_le (fmt_float (float_of_int bound *. scale)))
                    !cum))
             sn.Histogram.sn_buckets;
           Buffer.add_string buf
-            (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" name sn.Histogram.sn_count);
+            (Printf.sprintf "%s_bucket%s %d\n" name (with_le "+Inf") sn.Histogram.sn_count);
           Buffer.add_string buf
-            (Printf.sprintf "%s_sum %s\n" name
+            (Printf.sprintf "%s_sum%s %s\n" name plain
                (fmt_float (float_of_int sn.Histogram.sn_sum *. scale)));
-          Buffer.add_string buf (Printf.sprintf "%s_count %d\n" name sn.Histogram.sn_count))
+          Buffer.add_string buf
+            (Printf.sprintf "%s_count%s %d\n" name plain sn.Histogram.sn_count))
       (Registry.entries registry);
     Buffer.contents buf
 
@@ -388,6 +406,9 @@ module Export = struct
         (List.map (fun (k, v) -> Printf.sprintf "\"%s\": %d" (json_escape k) v) kvs)
     in
     Buffer.add_string buf "{\n";
+    if !instance_ref <> "" then
+      Buffer.add_string buf
+        (Printf.sprintf "  \"instance\": \"%s\",\n" (json_escape !instance_ref));
     Buffer.add_string buf (Printf.sprintf "  \"counters\": {%s},\n" (scalar_obj counters));
     Buffer.add_string buf (Printf.sprintf "  \"gauges\": {%s},\n" (scalar_obj gauges));
     Buffer.add_string buf "  \"histograms\": {";

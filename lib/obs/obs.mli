@@ -20,6 +20,15 @@ val set_enabled : bool -> unit
 
 val enabled : unit -> bool
 
+val set_instance : string -> unit
+(** Name this process in exposition: when non-empty, every exported
+    series carries an [instance="..."] label (and the JSON snapshot an
+    ["instance"] field), so merged cluster scrapes — router text
+    concatenated with shard texts — keep the members apart. The default
+    [""] leaves the exposition format exactly as before. *)
+
+val instance : unit -> string
+
 module Clock : sig
   (** The process's monotonic clock ([CLOCK_MONOTONIC]). Every
       deadline, timeout and interval in the pipeline must be computed

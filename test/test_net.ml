@@ -41,7 +41,7 @@ let service = lazy (Net.Service.of_protocol (Lazy.force service_system))
 
 let server =
   lazy
-    (let srv = Net.Server.start (Lazy.force service) in
+    (let srv = Net.Server.start (Net.Service.handle (Lazy.force service)) in
      at_exit (fun () -> Net.Server.stop srv);
      srv)
 
@@ -165,7 +165,7 @@ let sample_requests =
      let acc_params = Rsa_acc.setup ~rng ~bits:512 () in
      let owner = Owner.create ~width ~rng ~acc_params ~keys () in
      let shipment = Owner.build owner (Gen.uniform_records ~rng ~width 5) in
-     [ Wire.Hello { client = "alice" };
+     [ Wire.Hello { client = "alice"; proto = Wire.proto_version };
        Wire.Search
          { client = "alice"; request_id = "alice#7"; batched = true;
            tokens = Lazy.force sample_tokens };
@@ -234,7 +234,7 @@ let test_request_roundtrips () = List.iter check_request_roundtrip (Lazy.force s
 let sample_found =
   lazy
     (let svc = Lazy.force service in
-     match Net.Service.handle svc (Wire.Hello { client = "codec-probe" }) with
+     match Net.Service.handle svc (Wire.Hello { client = "codec-probe"; proto = Wire.proto_version }) with
      | Wire.Welcome _ ->
        (match
           Net.Service.handle svc
@@ -386,7 +386,7 @@ let backoff_props =
 let test_idempotent_settlement () =
   let svc = Lazy.force service in
   let m = Lazy.force mirror_system in
-  (match Net.Service.handle svc (Wire.Hello { client = "idem" }) with
+  (match Net.Service.handle svc (Wire.Hello { client = "idem"; proto = Wire.proto_version }) with
    | Wire.Welcome _ -> ()
    | _ -> Alcotest.fail "hello refused");
   let tokens = User.gen_tokens ~rng:(Protocol.rng m) (Protocol.user m) (q 20 Slicer_types.Gt) in
@@ -413,7 +413,7 @@ let test_idempotent_settlement () =
 let test_replay_confined_to_client () =
   let svc = Lazy.force service in
   let m = Lazy.force mirror_system in
-  (match Net.Service.handle svc (Wire.Hello { client = "replay-a" }) with
+  (match Net.Service.handle svc (Wire.Hello { client = "replay-a"; proto = Wire.proto_version }) with
    | Wire.Welcome _ -> ()
    | _ -> Alcotest.fail "hello refused");
   let tokens =
@@ -433,7 +433,7 @@ let test_replay_confined_to_client () =
    | _ -> Alcotest.fail "unexpected reply to the stranger");
   (* A registered *other* client re-using the id gets its own fresh
      settlement (the cache key includes the client), not the replay. *)
-  (match Net.Service.handle svc (Wire.Hello { client = "replay-b" }) with
+  (match Net.Service.handle svc (Wire.Hello { client = "replay-b"; proto = Wire.proto_version }) with
    | Wire.Welcome _ -> ()
    | _ -> Alcotest.fail "hello refused");
   let settled_before = Net.Service.searches_settled svc in
@@ -490,7 +490,7 @@ let test_idempotent_build_and_insert () =
   (* Decisive: the cloud's prime multiset still matches the on-chain Ac.
      Had the retry re-applied the shipment, this settlement would be
      refused payment on chain. *)
-  match Net.Service.handle svc (Wire.Hello { client = "idem-user" }) with
+  match Net.Service.handle svc (Wire.Hello { client = "idem-user"; proto = Wire.proto_version }) with
   | Wire.Welcome p ->
     let user =
       User.create ~keys:p.Wire.pv_user_keys ~width:p.Wire.pv_width p.Wire.pv_trapdoor
@@ -513,7 +513,7 @@ let test_stats_counters_advance () =
      idempotent replay. *)
   let svc = Lazy.force service in
   let m = Lazy.force mirror_system in
-  (match Net.Service.handle svc (Wire.Hello { client = "stats-user" }) with
+  (match Net.Service.handle svc (Wire.Hello { client = "stats-user"; proto = Wire.proto_version }) with
    | Wire.Welcome _ -> ()
    | _ -> Alcotest.fail "hello refused");
   let tokens =
@@ -540,7 +540,7 @@ let test_stats_counters_advance () =
 
 let test_service_refusals () =
   let empty = Net.Service.create () in
-  (match Net.Service.handle empty (Wire.Hello { client = "early" }) with
+  (match Net.Service.handle empty (Wire.Hello { client = "early"; proto = Wire.proto_version }) with
    | Wire.Refused { code = Wire.Not_ready; _ } -> ()
    | _ -> Alcotest.fail "hello before Build should be Not_ready");
   let svc = Lazy.force service in
@@ -698,7 +698,7 @@ let test_busy_refusal_exhausts () =
   (* A zero-capacity server refuses every request with Busy; the client
      retries with backoff and finally reports exhaustion. *)
   let config = { Net.Server.default_config with max_inflight = 0 } in
-  let srv = Net.Server.start ~config (Lazy.force service) in
+  let srv = Net.Server.start ~config (Net.Service.handle (Lazy.force service)) in
   Fun.protect
     ~finally:(fun () -> Net.Server.stop srv)
     (fun () ->
@@ -730,7 +730,7 @@ let test_kill_restart_mid_load () =
   let config =
     { Net.Server.default_config with endpoint = Net.Server.Tcp ("127.0.0.1", port) }
   in
-  let srv = ref (Net.Server.start ~config ~listener svc) in
+  let srv = ref (Net.Server.start ~config ~listener (Net.Service.handle svc)) in
   let queries = [ q 32 Slicer_types.Lt; q 10 Slicer_types.Gt; q 50 Slicer_types.Lt ] in
   let expected = List.map (fun query -> Slicer_types.reference_search small_db query) queries in
   let failures = Array.make 4 None in
@@ -775,7 +775,7 @@ let test_kill_restart_mid_load () =
       rebind (tries - 1)
   in
   let listener2 = rebind 20 in
-  srv := Net.Server.start ~config ~listener:listener2 svc;
+  srv := Net.Server.start ~config ~listener:listener2 (Net.Service.handle svc);
   List.iter Thread.join threads;
   Net.Server.stop !srv;
   Array.iteri
@@ -790,7 +790,7 @@ let test_build_and_insert_over_the_wire () =
   (* An owner bootstraps an *empty* server entirely over the wire, then
      a user provisions against it and searches. *)
   let svc = Net.Service.create () in
-  let srv = Net.Server.start svc in
+  let srv = Net.Server.start (Net.Service.handle svc) in
   Fun.protect
     ~finally:(fun () -> Net.Server.stop srv)
     (fun () ->
@@ -855,7 +855,7 @@ let test_build_and_insert_over_the_wire () =
 
 let test_read_timeout_kicks_idlers () =
   let config = { Net.Server.default_config with read_timeout = 0.3 } in
-  let srv = Net.Server.start ~config (Lazy.force service) in
+  let srv = Net.Server.start ~config (Net.Service.handle (Lazy.force service)) in
   Fun.protect
     ~finally:(fun () -> Net.Server.stop srv)
     (fun () ->
@@ -1026,7 +1026,7 @@ let test_slowloris_swept_without_stalling () =
      though bytes keep arriving, and a concurrent well-behaved client
      never notices. *)
   let config = { Net.Server.default_config with read_timeout = 0.5 } in
-  let srv = Net.Server.start ~config (Lazy.force service) in
+  let srv = Net.Server.start ~config (Net.Service.handle (Lazy.force service)) in
   Fun.protect
     ~finally:(fun () -> Net.Server.stop srv)
     (fun () ->
@@ -1083,7 +1083,7 @@ let test_backpressure_throttles_non_reader () =
       endpoint = Net.Server.Tcp ("127.0.0.1", port);
       max_queued_write = 2048 }
   in
-  let srv = Net.Server.start ~config ~listener (Lazy.force service) in
+  let srv = Net.Server.start ~config ~listener (Net.Service.handle (Lazy.force service)) in
   Fun.protect
     ~finally:(fun () -> Net.Server.stop srv)
     (fun () ->
@@ -1146,7 +1146,7 @@ let test_swarm_holds_connections () =
   (* A few hundred keep-alive connections from one process: all confirm,
      the server's open-connection gauge sees them, and closing the swarm
      releases them. *)
-  let srv = Net.Server.start (Lazy.force service) in
+  let srv = Net.Server.start (Net.Service.handle (Lazy.force service)) in
   Fun.protect
     ~finally:(fun () -> Net.Server.stop srv)
     (fun () ->
@@ -1235,7 +1235,7 @@ let test_service_survives_restart () =
    | Wire.Accepted { generation } -> Alcotest.(check int) "built" 1 generation
    | _ -> Alcotest.fail "build refused");
   let user =
-    match Net.Service.handle svc (Wire.Hello { client = "dur-user" }) with
+    match Net.Service.handle svc (Wire.Hello { client = "dur-user"; proto = Wire.proto_version }) with
     | Wire.Welcome p ->
       User.create ~keys:p.Wire.pv_user_keys ~width:p.Wire.pv_width p.Wire.pv_trapdoor
     | _ -> Alcotest.fail "hello refused"
@@ -1277,7 +1277,7 @@ let test_service_survives_restart () =
       (Net.Service.searches_settled svc2);
     (* Fresh traffic settles fresh, against the recovered (post-Insert)
        index, and is still paid — the recovered Ac agrees with chain. *)
-    (match Net.Service.handle svc2 (Wire.Hello { client = "dur-user-2" }) with
+    (match Net.Service.handle svc2 (Wire.Hello { client = "dur-user-2"; proto = Wire.proto_version }) with
      | Wire.Welcome p ->
        let u2 =
          User.create ~keys:p.Wire.pv_user_keys ~width:p.Wire.pv_width p.Wire.pv_trapdoor
@@ -1324,7 +1324,7 @@ let test_witness_index_survives_restart () =
    | Wire.Accepted _ -> ()
    | _ -> Alcotest.fail "build refused");
   let user =
-    match Net.Service.handle svc (Wire.Hello { client = "windex-user" }) with
+    match Net.Service.handle svc (Wire.Hello { client = "windex-user"; proto = Wire.proto_version }) with
     | Wire.Welcome p ->
       User.create ~keys:p.Wire.pv_user_keys ~width:p.Wire.pv_width p.Wire.pv_trapdoor
     | _ -> Alcotest.fail "hello refused"
@@ -1478,7 +1478,7 @@ let test_sigkill_mid_load_recovers () =
       let fd = raw_connect port in
       Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
       @@ fun () ->
-      match raw_request fd (Wire.Hello { client = "sigkill-probe" }) with
+      match raw_request fd (Wire.Hello { client = "sigkill-probe"; proto = Wire.proto_version }) with
       | Wire.Welcome p ->
         let user =
           User.create ~keys:p.Wire.pv_user_keys ~width:p.Wire.pv_width p.Wire.pv_trapdoor
@@ -1535,7 +1535,7 @@ let test_sigkill_mid_load_recovers () =
        Alcotest.(check int) "the probe retry did not settle twice" settled
          (Net.Service.searches_settled svc);
        (* Serve the recovered state and answer a fresh client correctly. *)
-       let srv = Net.Server.start svc in
+       let srv = Net.Server.start (Net.Service.handle svc) in
        Fun.protect
          ~finally:(fun () ->
            Net.Server.stop srv;
