@@ -65,7 +65,12 @@ let make_tests () =
       (Staged.stage (fun () ->
            Obs.set_enabled false;
            Obs.span "bench.noop-off" (fun () -> ());
-           Obs.set_enabled true)) ]
+           Obs.set_enabled true));
+    (* Tracing off (rate 0, no slow threshold) must cost a few loads
+       and a branch on every request — the acceptance budget is
+       < 150 ns for an unsampled root. *)
+    Test.make ~name:"obs/trace-unsampled"
+      (Staged.stage (fun () -> Trace.root "bench.trace-noop" (fun () -> ()))) ]
 
 let run () =
   Bench_common.header "Bechamel micro-benchmarks (ns/op, OLS on monotonic clock)";
@@ -106,5 +111,8 @@ let run () =
       match est with
       | Some e when name = "slicer/obs/span" && e > 1000. ->
         failwith (Printf.sprintf "obs span overhead %.0f ns exceeds the 1 us budget" e)
+      | Some e when name = "slicer/obs/trace-unsampled" && e > 150. ->
+        failwith
+          (Printf.sprintf "unsampled trace root overhead %.0f ns exceeds the 150 ns budget" e)
       | _ -> ())
     rows

@@ -62,6 +62,20 @@ let shards : int ref = ref 0
    empty means "next to this benchmark's own executable tree". *)
 let server_exe : string ref = ref ""
 
+(* --trace-compare: fig_load's single-server mode re-runs the measured
+   fleet with every request traced (sample rate 1) and reports the
+   throughput ratio against the untraced baseline. *)
+let trace_compare : bool ref = ref false
+
+(* --trace-slow-ms N: fig_load's cluster mode arms the slow-query trace
+   threshold on the router and on every spawned shard process, then
+   scrapes and reassembles one probe search's cross-process tree. *)
+let trace_slow_ms : float option ref = ref None
+
+(* --trace-chrome FILE: where the cluster trace probe writes its Chrome
+   trace_event JSON; empty skips the file. *)
+let trace_chrome : string ref = ref ""
+
 (* --- machine-readable output (--json FILE) ------------------------------ *)
 
 (* Figure modules call [json_row] for every measured point; [write_json]

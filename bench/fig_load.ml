@@ -318,6 +318,7 @@ let run_single scale =
      client-name-scoped, so reusing fleet A's names would replay its
      idempotency-cached replies instead of measuring. *)
   let fleet_b = if conns > 0 then fork_fleet clients else [] in
+  let fleet_c = if !Bench_common.trace_compare then fork_fleet (2 * clients) else [] in
   Parallel.set_domains prev_domains;
   let service = Net.Service.of_protocol system in
   let server = Net.Server.start ~listener (Net.Service.handle service) in
@@ -330,7 +331,6 @@ let run_single scale =
     report ~series:"loopback" ~clients ~shards:1 ~conns:0 ~workers ~size ~width
       ~wall:wall_a res_a
   in
-  ignore throughput_a;
   let searches = ref res_a.fr_searches in
   if conns > 0 then begin
     (* Open the swarm, prove the server sees every socket, then re-run
@@ -385,6 +385,46 @@ let run_single scale =
            "load driver: p99 %.1fms under %d connections exceeds 2x baseline p99 %.1fms"
            (p99_b *. 1000.) conns (p99_a *. 1000.));
     if res_b.fr_searches = 0 then failwith "load driver: no search completed under swarm"
+  end;
+  if !Bench_common.trace_compare then begin
+    (* Re-run the measured fleet with every request traced end to end:
+       rate-1 sampling roots a span tree on each worker dispatch and
+       publishes it into the rings (drop-oldest; nothing drains during
+       the measurement). The untraced baseline above shares the scale
+       and fleet shape, so the ratio is the whole tracing tax. *)
+    Trace.set_sample_rate 1.;
+    let t2 = Unix.gettimeofday () in
+    let res_c = run_fleet fleet_c in
+    let wall_c = Unix.gettimeofday () -. t2 in
+    Trace.set_sample_rate 0.;
+    ignore (Trace.drain () : Trace.span list);
+    let throughput_c, _ =
+      report ~series:"traced" ~clients ~shards:1 ~conns:0 ~workers ~size ~width
+        ~wall:wall_c res_c
+    in
+    searches := !searches + res_c.fr_searches;
+    if res_c.fr_searches = 0 then failwith "load driver: no traced search completed";
+    let ratio = if throughput_a > 0. then throughput_c /. throughput_a else 0. in
+    Printf.printf "  tracing tax: %.1f -> %.1f ops/s (ratio %.3f)\n%!" throughput_a
+      throughput_c ratio;
+    json_row ~figure:"trace_overhead" ~series:"traced_vs_untraced"
+      [ ("clients", J_int clients);
+        ("base_ops", J_float throughput_a);
+        ("traced_ops", J_float throughput_c);
+        ("ratio", J_float ratio) ];
+    (* The < 3% regression claim (for the default-off sampling) is
+       enforced by the 150 ns unsampled-root guard in the micro suite,
+       which is statistically robust; this wall-clock ratio on a
+       1-core container swings 0.6–1.0 run to run with 4 client
+       processes competing for the CPU, so the tripwire here only
+       catches a structural collapse (a synchronous drain, a lock on
+       the publish path) — and it traces EVERY request, a strictly
+       harsher setting than production sampling. *)
+    if ratio < 0.5 then
+      failwith
+        (Printf.sprintf
+           "load driver: traced throughput %.1f ops/s fell below half the untraced %.1f"
+           throughput_c throughput_a)
   end;
   let _ = check_stats endpoint ~searches:!searches in
   Net.Server.stop server;
@@ -478,6 +518,9 @@ let spawn_shard ~exe ~shards ~port ~dir i =
       "--shard-id"; string_of_int i; "--shard-count"; string_of_int shards;
       "--instance"; Printf.sprintf "shard-%d" i; "--state-dir"; dir;
       "--log-level"; "error"; "--metrics-interval"; "0" ]
+    @ (match !Bench_common.trace_slow_ms with
+       | None -> []
+       | Some ms -> [ "--trace-slow-ms"; Printf.sprintf "%g" ms ])
   in
   let rd, wr = Unix.pipe () in
   Unix.set_close_on_exec rd;
@@ -518,7 +561,7 @@ let settle_once_probe endpoint ~width ~keys ~trapdoor =
     let tokens = User.gen_tokens ~rng user (Slicer_types.query 2 Slicer_types.Lt) in
     let req =
       Net.Wire.Search
-        { client = Net.Client.name c; request_id = "pinned-probe#1"; batched = false; tokens }
+        { client = Net.Client.name c; request_id = "pinned-probe#1"; batched = false; tokens; trace = None }
     in
     let settled () =
       let _, text = scrape endpoint in
@@ -543,6 +586,95 @@ let settle_once_probe endpoint ~width ~keys ~trapdoor =
       failwith "cluster load: replayed reply disagrees with the original";
     Printf.printf "  settle-once probe: replay held the settled counter at %.0f\n%!" s1;
     Net.Client.close c
+
+(* With --trace-slow-ms armed, one probe search through the router must
+   reassemble into a single cross-process tree: the router's fan-out,
+   every shard's service phase (found by its instance name), and the
+   merge, all under one trace id. Optionally dumped as Chrome
+   trace_event JSON (--trace-chrome). *)
+let trace_probe endpoint ~shards ~chrome =
+  match Net.Client.connect ~name:"trace-probe" endpoint with
+  | Error e -> failwith ("trace probe: could not provision: " ^ Net.Client.error_to_string e)
+  | Ok c ->
+    let has name t =
+      let rec walk n =
+        n.Trace.Tree.n_span.Trace.sp_name = name || List.exists walk n.Trace.Tree.n_children
+      in
+      List.exists walk t.Trace.Tree.t_roots
+    in
+    let flat t =
+      let rec go acc n =
+        List.fold_left go (n.Trace.Tree.n_span :: acc) n.Trace.Tree.n_children
+      in
+      List.fold_left go [] t.Trace.Tree.t_roots
+    in
+    let shard_tags t =
+      List.sort_uniq compare
+        (List.filter_map
+           (fun sp ->
+             if sp.Trace.sp_name = "router.shard" then
+               List.assoc_opt "shard" sp.Trace.sp_tags
+             else None)
+           (flat t))
+    in
+    (* The router fans a Search only to the shards that own its tokens
+       (Shard_key.of_token), so a given value's tree may legitimately
+       cover one shard. Probe candidate values until one search's
+       token set spans every shard — each attempt drains the rings
+       cluster-wide first so its second drain holds exactly its own
+       tree. *)
+    let attempt v =
+      (match Net.Client.traces c with
+       | Ok _ -> ()
+       | Error e ->
+         failwith ("trace probe: clearing drain failed: " ^ Net.Client.error_to_string e));
+      (match Net.Client.search c (Slicer_types.query v Slicer_types.Gt) with
+       | Ok out when out.Protocol.so_verified -> ()
+       | Ok _ -> failwith "trace probe: search failed verification"
+       | Error e -> failwith ("trace probe: search failed: " ^ Net.Client.error_to_string e));
+      let spans =
+        match Net.Client.traces c with
+        | Ok spans -> spans
+        | Error e -> failwith ("trace probe: drain failed: " ^ Net.Client.error_to_string e)
+      in
+      match List.filter (has "router.search") (Trace.Tree.assemble spans) with
+      | [ tree ] -> if List.length (shard_tags tree) = shards then Some tree else None
+      | [] -> failwith "trace probe: no routed search trace drained"
+      | l ->
+        failwith
+          (Printf.sprintf "trace probe: expected one routed trace, drained %d"
+             (List.length l))
+    in
+    let rec first_covering = function
+      | [] ->
+        failwith
+          (Printf.sprintf
+             "trace probe: no candidate query fanned out to all %d shards" shards)
+      | v :: vs -> (match attempt v with Some t -> t | None -> first_covering vs)
+    in
+    let tree = first_covering [ 1; 10; 2; 23; 42; 77; 5; 13; 101; 58; 7; 33 ] in
+    Net.Client.close c;
+    let all = flat tree in
+    if not (has "router.merge" tree) then failwith "trace probe: no merge span in the tree";
+    for i = 0 to shards - 1 do
+      let inst = Printf.sprintf "shard-%d" i in
+      if
+        not
+          (List.exists
+             (fun sp -> sp.Trace.sp_name = "service.search" && sp.Trace.sp_instance = inst)
+             all)
+      then failwith ("trace probe: no service.search span from " ^ inst)
+    done;
+    Printf.printf "  trace probe: 1 trace, %d spans across router + %d shard%s\n%!"
+      tree.Trace.Tree.t_spans shards (if shards = 1 then "" else "s");
+    json_row ~figure:"trace_probe" ~series:(Printf.sprintf "cluster_%d" shards)
+      [ ("shards", J_int shards);
+        ("spans", J_int tree.Trace.Tree.t_spans);
+        ("duration_ms", J_float (Trace.Tree.duration_ms tree)) ];
+    if chrome <> "" then begin
+      Obs.Export.write_file chrome (Trace.Tree.to_chrome [ tree ]);
+      Printf.printf "  trace probe: wrote Chrome trace to %s\n%!" chrome
+    end
 
 (* One cluster measurement point: k shard processes + router, a Build
    shipped through the router, one pre-forked fleet driven through it
@@ -628,6 +760,9 @@ let run_point ~exe ~warm ~duration ~width ~records ~keys ~acc_params ~drill_flee
          (Printf.sprintf "cluster load: %d of %d searches failed across the kill drill"
             dres.fr_errors dres.fr_searches));
   let _ = check_stats endpoint ~searches:res.fr_searches in
+  (match !Bench_common.trace_slow_ms with
+   | None -> ()
+   | Some _ -> trace_probe endpoint ~shards:k ~chrome:!Bench_common.trace_chrome);
   Net.Server.stop server;
   Cluster.Router.close router;
   throughput
@@ -645,6 +780,13 @@ let run_cluster scale n =
       (Printf.sprintf
          "cluster load: slicer-server binary not found at %s (build it, or pass --server-exe)"
          exe);
+  (* The router runs in this process; the shards get the same threshold
+     via their command line (spawn_shard). *)
+  (match !Bench_common.trace_slow_ms with
+   | None -> ()
+   | Some ms ->
+     Trace.set_slow_ms (Some ms);
+     Printf.printf "tracing armed: --trace-slow-ms %g on the router and every shard\n%!" ms);
   Printf.printf
     "%d client processes, %.0f s warmup + %.0f s measured, %d records at width %d\n"
     clients warm duration size width;

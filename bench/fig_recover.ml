@@ -135,7 +135,7 @@ let service_kill_recover () =
             tdp_e = keys.Keys.tdp_public.Rsa_tdp.e;
             user_k = (Keys.for_user keys).Keys.u_k;
             user_k_r = (Keys.for_user keys).Keys.u_k_r; shipment;
-            trapdoor = Owner.export_trapdoor_state owner })
+            trapdoor = Owner.export_trapdoor_state owner; trace = None })
    with
    | Net.Wire.Accepted _ -> ()
    | _ -> failwith "recover bench: build refused");
@@ -155,7 +155,7 @@ let service_kill_recover () =
       Net.Service.handle svc
         (Net.Wire.Search
            { client = "recover-user"; request_id = Printf.sprintf "r-u#%d" i;
-             batched = false; tokens })
+             batched = false; tokens; trace = None })
     with
     | Net.Wire.Found _ -> ()
     | _ -> failwith "recover bench: search refused"

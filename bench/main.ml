@@ -18,6 +18,7 @@ let usage () =
   print_endline
     "usage: main.exe [--scale smoke|default|full] [--full] [--domains N] [--json FILE]\n\
     \       [--conns N] [--shards N] [--server-exe PATH]\n\
+    \       [--trace-compare] [--trace-slow-ms N] [--trace-chrome FILE]\n\
     \       [fig3|fig4|fig5|fig6|fig7|table1|table2|ablation|micro|load|recover|witness|all]";
   exit 1
 
@@ -54,6 +55,17 @@ let () =
     | "--server-exe" :: path :: rest ->
       Bench_common.server_exe := path;
       parse rest
+    | "--trace-compare" :: rest ->
+      Bench_common.trace_compare := true;
+      parse rest
+    | "--trace-slow-ms" :: n :: rest ->
+      (match float_of_string_opt n with
+       | Some ms when ms >= 0. -> Bench_common.trace_slow_ms := Some ms
+       | _ -> Printf.printf "--trace-slow-ms expects a non-negative number, got %S\n" n; usage ());
+      parse rest
+    | "--trace-chrome" :: path :: rest ->
+      Bench_common.trace_chrome := path;
+      parse rest
     | "--json" :: path :: rest ->
       (* Fail on an unwritable path now, not after an hour of measuring
          — without truncating it: earlier runs' rows merge at the end. *)
@@ -63,7 +75,8 @@ let () =
        | exception Sys_error msg -> Printf.printf "--json: %s\n" msg; usage ());
       json_path := Some path;
       parse rest
-    | ("--scale" | "--domains" | "--json" | "--conns" | "--shards" | "--server-exe") :: [] ->
+    | ("--scale" | "--domains" | "--json" | "--conns" | "--shards" | "--server-exe"
+      | "--trace-slow-ms" | "--trace-chrome") :: [] ->
       usage ()
     | t :: rest ->
       targets := t :: !targets;

@@ -229,25 +229,25 @@ let scrape endpoint =
      | Ok snap -> Ok snap
      | Error e -> Error (Net.Client.error_to_string e))
 
+let parse_endpoints host port socket addrs =
+  match addrs with
+  | [] ->
+    (match socket with
+     | Some path -> Ok [ ("", Net.Server.Unix_socket path) ]
+     | None -> Ok [ ("", Net.Server.Tcp (host, port)) ])
+  | addrs ->
+    let rec parse acc = function
+      | [] -> Ok (List.rev acc)
+      | a :: rest ->
+        (match Cluster.Topology.endpoint_of_string a with
+         | Ok ep -> parse ((a, ep) :: acc) rest
+         | Error e -> Error e)
+    in
+    parse [] addrs
+
 let run_stats host port socket json addrs verbose log_level =
   setup_logs log_level verbose;
-  let endpoints =
-    match addrs with
-    | [] ->
-      (match socket with
-       | Some path -> Ok [ ("", Net.Server.Unix_socket path) ]
-       | None -> Ok [ ("", Net.Server.Tcp (host, port)) ])
-    | addrs ->
-      let rec parse acc = function
-        | [] -> Ok (List.rev acc)
-        | a :: rest ->
-          (match Cluster.Topology.endpoint_of_string a with
-           | Ok ep -> parse ((a, ep) :: acc) rest
-           | Error e -> Error e)
-      in
-      parse [] addrs
-  in
-  match endpoints with
+  match parse_endpoints host port socket addrs with
   | Error e -> `Error (false, e)
   | Ok [ (_, endpoint) ] ->
     (match scrape endpoint with
@@ -259,15 +259,13 @@ let run_stats host port socket json addrs verbose log_level =
     (* Merged cluster view: a failed member is reported inline so one
        dead shard doesn't hide the rest of the fleet. *)
     let results = List.map (fun (addr, ep) -> (addr, scrape ep)) endpoints in
-    if json then begin
-      let member (addr, r) =
-        match r with
-        | Ok (st_json, _) -> Printf.sprintf "{\"addr\":\"%s\",\"stats\":%s}" addr st_json
-        | Error e -> Printf.sprintf "{\"addr\":\"%s\",\"error\":\"%s\"}" addr e
-      in
+    if json then
+      (* One valid JSON array keyed by instance — addresses and error
+         strings escaped, unlike the ad-hoc concatenation this replaces. *)
       print_string
-        ("{\"targets\":[" ^ String.concat "," (List.map member results) ^ "]}\n")
-    end
+        (Cluster.Scrape.merged_stats_json
+           (List.map (fun (addr, r) -> (addr, Result.map fst r)) results)
+        ^ "\n")
     else
       List.iter
         (fun (addr, r) ->
@@ -291,6 +289,101 @@ let stats_cmd =
       ret (const run_stats $ host_arg $ port_arg $ socket_arg $ json_arg $ addrs_arg
          $ verbose_arg $ log_level_arg))
 
+(* --- trace -------------------------------------------------------------- *)
+
+let follow_arg =
+  let doc = "Keep scraping every second and print traces as they complete." in
+  Arg.(value & flag & info [ "follow"; "f" ] ~doc)
+
+let min_ms_arg =
+  let doc = "Only show traces at least $(docv) milliseconds long." in
+  Arg.(value & opt float 0. & info [ "min-ms" ] ~docv:"N" ~doc)
+
+let chrome_arg =
+  let doc = "Write Chrome trace_event JSON to $(docv) (load in about:tracing \
+             or Perfetto) instead of printing timelines." in
+  Arg.(value & opt (some string) None & info [ "chrome" ] ~docv:"FILE" ~doc)
+
+let scrape_traces endpoint =
+  match Net.Client.connect ~name:"slicer-cli-trace" ~provision:false endpoint with
+  | Error e -> Error (Net.Client.error_to_string e)
+  | Ok c ->
+    let r = Net.Client.traces c in
+    Net.Client.close c;
+    (match r with
+     | Ok spans -> Ok spans
+     | Error e -> Error (Net.Client.error_to_string e))
+
+let run_trace host port socket addrs follow min_ms json chrome verbose log_level =
+  setup_logs log_level verbose;
+  match parse_endpoints host port socket addrs with
+  | Error e -> `Error (false, e)
+  | Ok endpoints ->
+    if follow && chrome <> None then
+      `Error (false, "--follow and --chrome are mutually exclusive")
+    else begin
+      (* One pass: drain every member (a router additionally forwards
+         the drain to its shards) and reassemble cross-process trees by
+         trace id. Draining is destructive, so a span is only ever seen
+         by one pass. *)
+      let pass () =
+        let spans, ok =
+          List.fold_left
+            (fun (spans, ok) (addr, ep) ->
+              match scrape_traces ep with
+              | Ok s -> (s @ spans, ok)
+              | Error e ->
+                Logs.warn (fun m -> m "%s: trace scrape failed: %s" addr e);
+                (spans, false))
+            ([], true) endpoints
+        in
+        let trees =
+          List.filter
+            (fun t -> Trace.Tree.duration_ms t >= min_ms)
+            (Trace.Tree.assemble spans)
+        in
+        (trees, ok)
+      in
+      let print_trees trees =
+        if json then print_string (Trace.Tree.to_chrome trees)
+        else List.iter (fun t -> print_string (Trace.Tree.render t)) trees;
+        flush stdout
+      in
+      if follow then
+        let rec loop () =
+          let trees, _ = pass () in
+          if trees <> [] then print_trees trees;
+          Unix.sleepf 1.;
+          loop ()
+        in
+        loop ()
+      else begin
+        let trees, ok = pass () in
+        (match chrome with
+         | Some file ->
+           Obs.Export.write_file file (Trace.Tree.to_chrome trees);
+           Printf.printf "wrote %d trace(s) to %s\n" (List.length trees) file
+         | None ->
+           if trees = [] && not json then print_endline "(no completed traces)"
+           else print_trees trees);
+        if ok then `Ok () else `Error (false, "one or more members failed to answer")
+      end
+    end
+
+let trace_cmd =
+  let info =
+    Cmd.info "trace"
+      ~doc:"Drain completed request traces from one slicer-server or router — \
+            or, with repeated $(b,--addr), a whole cluster — and print each \
+            as an indented cross-process timeline ($(b,--json)/$(b,--chrome) \
+            for Chrome trace_event output). Servers publish traces when \
+            started with $(b,--trace-sample) or $(b,--trace-slow-ms)."
+  in
+  Cmd.v info
+    Term.(
+      ret (const run_trace $ host_arg $ port_arg $ socket_arg $ addrs_arg $ follow_arg
+         $ min_ms_arg $ json_arg $ chrome_arg $ verbose_arg $ log_level_arg))
+
 let () =
   let info = Cmd.info "slicer" ~version:"1.0.0" ~doc:"Verifiable encrypted numerical search (ICDCS'22 reproduction)" in
-  exit (Cmd.eval (Cmd.group info [ demo_cmd; sore_cmd; features_cmd; gas_cmd; stats_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ demo_cmd; sore_cmd; features_cmd; gas_cmd; stats_cmd; trace_cmd ]))

@@ -134,17 +134,28 @@ let repeat_arg =
   let doc = "Run the search N times (distinct request ids)." in
   Arg.(value & opt int 1 & info [ "repeat" ] ~docv:"N" ~doc)
 
+let trace_arg =
+  let doc = "Trace every search end to end: the client mints the trace \
+             id and stamps it on the wire, so the server (and, behind a \
+             router, every shard) records its phases under the same \
+             trace — dump them afterwards with $(b,slicer trace)." in
+  Arg.(value & flag & info [ "trace" ] ~doc)
+
 let run_search host port socket name timeout attempts log_level verbose value cond attr batched
-    repeat =
+    repeat trace =
   setup_logs log_level verbose;
+  if trace then Trace.set_sample_rate 1.;
   match connect host port socket name timeout attempts with
   | Error e -> `Error (false, Net.Client.error_to_string e)
   | Ok c ->
     let query = Slicer_types.query ~attr value cond in
+    let searched () = Net.Client.search ~batched c query in
     let rec go i =
       if i > repeat then `Ok ()
       else begin
-        match Net.Client.search ~batched c query with
+        match
+          if trace then Trace.root "client.search" searched else searched ()
+        with
         | Error e -> `Error (false, Net.Client.error_to_string e)
         | Ok out ->
           Printf.printf
@@ -162,6 +173,12 @@ let run_search host port socket name timeout attempts log_level verbose value co
     in
     let r = go 1 in
     Net.Client.close c;
+    (* The client's own spans (the round-trip roots) print here; the
+       server-side phases are drained with [slicer trace]. *)
+    if trace then
+      List.iter
+        (fun t -> print_string (Trace.Tree.render t))
+        (Trace.Tree.assemble (Trace.drain ()));
     r
 
 let search_cmd =
@@ -171,7 +188,7 @@ let search_cmd =
       ret
         (const run_search $ host_arg $ port_arg $ socket_arg $ name_arg $ timeout_arg
        $ attempts_arg $ log_level_arg $ verbose_arg $ value_arg $ cond_arg $ attr_arg
-       $ batched_arg $ repeat_arg))
+       $ batched_arg $ repeat_arg $ trace_arg))
 
 let () =
   let info =

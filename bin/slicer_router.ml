@@ -69,6 +69,19 @@ let workers_arg =
              short-lived thread per involved shard." in
   Arg.(value & opt int 4 & info [ "workers" ] ~docv:"N" ~doc)
 
+let trace_sample_arg =
+  let doc = "Probability that a routed request starts a published trace \
+             (0 disables sampling; requests arriving with an upstream \
+             trace context are always recorded). A trace minted here \
+             follows the request through every shard and back." in
+  Arg.(value & opt float 0. & info [ "trace-sample" ] ~docv:"P" ~doc)
+
+let trace_slow_ms_arg =
+  let doc = "Slow-query threshold: force-publish (and log, with a phase \
+             breakdown) every routed request that runs at least $(docv) \
+             milliseconds, sampled or not. 0 traces everything." in
+  Arg.(value & opt (some float) None & info [ "trace-slow-ms" ] ~docv:"N" ~doc)
+
 let verbose_arg =
   let doc = "Enable debug logging (same as --log-level debug)." in
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc)
@@ -116,9 +129,11 @@ let resolve_topology shards topology_file =
        Ok topo)
 
 let run host port socket shards topology_file instance pool attempts read_timeout
-    max_inflight max_conns workers verbose log_level =
+    max_inflight max_conns workers trace_sample trace_slow_ms verbose log_level =
   setup_logs log_level verbose;
   Obs.set_instance instance;
+  Trace.set_sample_rate trace_sample;
+  Trace.set_slow_ms trace_slow_ms;
   if pool < 1 then `Error (false, "--pool must be >= 1")
   else if attempts < 1 then `Error (false, "--attempts must be >= 1")
   else if max_conns < 1 then `Error (false, "--max-conns must be >= 1")
@@ -177,6 +192,7 @@ let cmd =
       ret
         (const run $ host_arg $ port_arg $ socket_arg $ shard_arg $ topology_arg
        $ instance_arg $ pool_arg $ attempts_arg $ read_timeout_arg $ max_inflight_arg
-       $ max_conns_arg $ workers_arg $ verbose_arg $ log_level_arg))
+       $ max_conns_arg $ workers_arg $ trace_sample_arg $ trace_slow_ms_arg
+       $ verbose_arg $ log_level_arg))
 
 let () = exit (Cmd.eval cmd)

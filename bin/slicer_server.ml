@@ -146,6 +146,18 @@ let shard_count_arg =
              default) means a standalone server." in
   Arg.(value & opt int 1 & info [ "shard-count" ] ~docv:"N" ~doc)
 
+let trace_sample_arg =
+  let doc = "Probability that a request starts a published trace (0 \
+             disables sampling; requests arriving with an upstream trace \
+             context are always recorded)." in
+  Arg.(value & opt float 0. & info [ "trace-sample" ] ~docv:"P" ~doc)
+
+let trace_slow_ms_arg =
+  let doc = "Slow-query threshold: force-publish (and log, with a phase \
+             breakdown) every request that runs at least $(docv) \
+             milliseconds, sampled or not. 0 traces everything." in
+  Arg.(value & opt (some float) None & info [ "trace-slow-ms" ] ~docv:"N" ~doc)
+
 let dump_metrics path =
   let content =
     if Filename.check_suffix path ".prom" then Obs.Export.to_prometheus ()
@@ -176,9 +188,11 @@ let self_seed ~seed ~records ~width ~payment ~witness_index ~instance ~shard =
 let run host port socket seed records width payment domains read_timeout max_inflight
     max_conns workers verbose
     log_level state_dir snapshot_bytes no_fsync metrics_dump metrics_interval no_metrics
-    no_witness_index instance shard_id shard_count =
+    no_witness_index instance shard_id shard_count trace_sample trace_slow_ms =
   setup_logs log_level verbose;
   Obs.set_enabled (not no_metrics);
+  Trace.set_sample_rate trace_sample;
+  Trace.set_slow_ms trace_slow_ms;
   let witness_index = not no_witness_index in
   if domains < 1 then `Error (false, "--domains must be >= 1")
   else if records < 0 then `Error (false, "--records must be >= 0")
@@ -290,6 +304,7 @@ let cmd =
        $ max_conns_arg $ workers_arg $ verbose_arg
        $ log_level_arg $ state_dir_arg $ snapshot_bytes_arg $ no_fsync_arg
        $ metrics_dump_arg $ metrics_interval_arg $ no_metrics_arg $ no_witness_index_arg
-       $ instance_arg $ shard_id_arg $ shard_count_arg))
+       $ instance_arg $ shard_id_arg $ shard_count_arg $ trace_sample_arg
+       $ trace_slow_ms_arg))
 
 let () = exit (Cmd.eval cmd)

@@ -104,18 +104,30 @@ let call t i req =
      | Error _ -> Net.Client.close c);
     r
 
+(* One sub-request under its own [router.shard] span: the span carries
+   the shard number, and its id becomes the remote parent stamped onto
+   the wire — so the shard's tree hangs exactly under the fan-out arm
+   that caused it. No-ops entirely when the request is untraced. *)
+let shard_call t i req =
+  let tags = [ ("shard", string_of_int i) ] in
+  Trace.child ~tags "router.shard" (fun () ->
+      call t i (Net.Wire.with_trace (Trace.current ()) req))
+
 (* Parallel fan-out: one thread per target shard (cheap systhreads —
    each blocks on its own socket, so N shards' work overlaps and the
    request's latency is max, not sum, of the shard latencies). Results
-   come back in the order of [targets]. *)
+   come back in the order of [targets]. The trace context is captured
+   once and resumed on each fan thread; every thread is joined before
+   the capture's root can close, as {!Trace.resume} requires. *)
 let fan t targets =
   let t0 = Obs.Clock.now_ns () in
   Fun.protect
     ~finally:(fun () -> Obs.Histogram.record_s h_fan (Obs.Clock.elapsed_s t0))
     (fun () ->
       match targets with
-      | [ (i, req) ] -> [ (i, call t i req) ]
+      | [ (i, req) ] -> [ (i, shard_call t i req) ]
       | _ ->
+        let carrier = Trace.capture () in
         let arr = Array.of_list targets in
         let results = Array.make (Array.length arr) None in
         let threads =
@@ -124,7 +136,7 @@ let fan t targets =
               Thread.create
                 (fun () ->
                   let r =
-                    try call t i req
+                    try Trace.resume carrier (fun () -> shard_call t i req)
                     with exn ->
                       Error (Net.Client.Transport (Printexc.to_string exn))
                   in
@@ -255,7 +267,8 @@ let do_search t ~client ~request_id ~batched ~tokens =
         let toks = List.rev_map snd buckets.(i) |> List.rev in
         ( i,
           Net.Wire.Search
-            { client; request_id = sub_id request_id i; batched; tokens = toks } ))
+            { client; request_id = sub_id request_id i; batched; tokens = toks;
+              trace = None } ))
       involved
   in
   match all_ok t (fan t targets) with
@@ -271,6 +284,7 @@ let do_search t ~client ~request_id ~batched ~tokens =
     (match founds [] resps with
      | Error resp -> resp
      | Ok found ->
+       Trace.child "router.merge" @@ fun () ->
        let merged = Array.make (List.length tokens) None in
        let arity_ok =
          List.for_all
@@ -337,7 +351,7 @@ let do_build t ~client ~request_id ~width ~payment ~acc ~tdp_n ~tdp_e ~user_k ~u
             Net.Wire.Build
               { client; request_id = sub_id request_id i; width; payment; acc; tdp_n;
                 tdp_e; user_k; user_k_r; shipment = subs.(i);
-                trapdoor } ))
+                trapdoor; trace = None } ))
     in
     (match all_ok t (fan t targets) with
      | Error resp -> resp
@@ -373,8 +387,8 @@ let do_insert t ~client ~request_id ~shipment ~trapdoor =
          List.init (Array.length base) (fun i ->
              ( i,
                Net.Wire.Insert
-                 { client; request_id = sub_id request_id i; shipment = subs.(i); trapdoor }
-             ))
+                 { client; request_id = sub_id request_id i; shipment = subs.(i); trapdoor;
+                   trace = None } ))
        in
        (match all_ok t (fan t targets) with
         | Error resp -> resp
@@ -409,33 +423,71 @@ let do_stats t =
           (String.concat "," shard_jsons);
       st_text = String.concat "" (own_text :: shard_texts) }
 
+(* --- Traces: cluster-wide drain ------------------------------------------ *)
+
+(* Like Stats, read-only and partially degrading: a dead shard loses
+   its spans from this scrape, it does not fail it. The reply holds the
+   router's own spans plus every shard's — one scrape, whole cluster. *)
+let do_traces t =
+  let n = Topology.shards t.topo in
+  let results = fan t (List.init n (fun i -> (i, Net.Wire.Traces))) in
+  let shard_spans =
+    List.concat_map
+      (fun (i, r) ->
+        match r with
+        | Ok (Net.Wire.Traces_reply { tr_spans }) -> tr_spans
+        | Ok _ | Error _ ->
+          Obs.Counter.incr c_shard_errors;
+          Log.warn (fun m -> m "shard %d: trace drain failed" i);
+          [])
+      results
+  in
+  Net.Wire.Traces_reply { tr_spans = Trace.drain () @ shard_spans }
+
+let dispatch t req =
+  match req with
+  | Net.Wire.Ping -> Net.Wire.Pong
+  | Net.Wire.Stats -> do_stats t
+  | Net.Wire.Traces -> do_traces t
+  | Net.Wire.Hello { proto; _ } when not (Net.Wire.proto_accepted proto) ->
+    refused Net.Wire.Version_mismatch
+      (Printf.sprintf "client speaks protocol revision %d, this router speaks %d..%d" proto
+         Net.Wire.min_proto_version Net.Wire.proto_version)
+  | Net.Wire.Hello { client; _ } -> do_hello t ~client
+  | Net.Wire.Search { client; request_id; batched; tokens; _ } ->
+    do_search t ~client ~request_id ~batched ~tokens
+  | Net.Wire.Build
+      { client; request_id; width; payment; acc; tdp_n; tdp_e; user_k; user_k_r;
+        shipment; trapdoor; trace = _ } ->
+    Mutex.lock t.owner_lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.owner_lock)
+      (fun () ->
+        do_build t ~client ~request_id ~width ~payment ~acc ~tdp_n ~tdp_e ~user_k
+          ~user_k_r ~shipment ~trapdoor)
+  | Net.Wire.Insert { client; request_id; shipment; trapdoor; _ } ->
+    Mutex.lock t.owner_lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.owner_lock)
+      (fun () -> do_insert t ~client ~request_id ~shipment ~trapdoor)
+
+(* Span taxonomy name for the routed requests worth tracing. *)
+let traced_as = function
+  | Net.Wire.Search _ -> Some "router.search"
+  | Net.Wire.Build _ -> Some "router.build"
+  | Net.Wire.Insert _ -> Some "router.insert"
+  | Net.Wire.Hello _ | Net.Wire.Ping | Net.Wire.Stats | Net.Wire.Traces -> None
+
 let handle t req =
   Obs.Counter.incr c_requests;
   try
-    match req with
-    | Net.Wire.Ping -> Net.Wire.Pong
-    | Net.Wire.Stats -> do_stats t
-    | Net.Wire.Hello { proto; _ } when proto <> Net.Wire.proto_version ->
-      refused Net.Wire.Version_mismatch
-        (Printf.sprintf "client speaks protocol revision %d, this router speaks %d" proto
-           Net.Wire.proto_version)
-    | Net.Wire.Hello { client; _ } -> do_hello t ~client
-    | Net.Wire.Search { client; request_id; batched; tokens } ->
-      do_search t ~client ~request_id ~batched ~tokens
-    | Net.Wire.Build
-        { client; request_id; width; payment; acc; tdp_n; tdp_e; user_k; user_k_r;
-          shipment; trapdoor } ->
-      Mutex.lock t.owner_lock;
-      Fun.protect
-        ~finally:(fun () -> Mutex.unlock t.owner_lock)
-        (fun () ->
-          do_build t ~client ~request_id ~width ~payment ~acc ~tdp_n ~tdp_e ~user_k
-            ~user_k_r ~shipment ~trapdoor)
-    | Net.Wire.Insert { client; request_id; shipment; trapdoor } ->
-      Mutex.lock t.owner_lock;
-      Fun.protect
-        ~finally:(fun () -> Mutex.unlock t.owner_lock)
-        (fun () -> do_insert t ~client ~request_id ~shipment ~trapdoor)
+    match traced_as req with
+    | None -> dispatch t req
+    | Some name ->
+      (* The router is where a client-unsampled request gets its
+         sampling decision; a trace id minted here follows the request
+         through every shard and back. *)
+      Trace.root ?remote:(Net.Wire.request_trace req) name (fun () -> dispatch t req)
   with exn ->
     Log.err (fun m -> m "router dispatch raised: %s" (Printexc.to_string exn));
     refused Net.Wire.Internal (Printexc.to_string exn)

@@ -1,0 +1,64 @@
+(* Merging admin scrapes from many cluster members into one valid JSON
+   document. Pure string-level work — the CLI calls this so the output
+   shape is testable without sockets. *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* [Obs.Export.to_json] puts the ["instance"] field first when the
+   process has one; a router's merged reply has no top-level instance.
+   Only the leading bytes are searched, so a metric named "instance"
+   deeper in the document can never be mistaken for the field. *)
+let instance_of_stats_json j =
+  let key = "\"instance\": \"" in
+  let klen = String.length key in
+  let limit = min (String.length j) 64 in
+  let rec find i =
+    if i + klen > limit then None
+    else if String.sub j i klen = key then Some (i + klen)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some start ->
+    let buf = Buffer.create 16 in
+    let rec go i =
+      if i >= String.length j then None
+      else
+        match j.[i] with
+        | '"' -> Some (Buffer.contents buf)
+        | '\\' when i + 1 < String.length j ->
+          Buffer.add_char buf j.[i + 1];
+          go (i + 2)
+        | c ->
+          Buffer.add_char buf c;
+          go (i + 1)
+    in
+    go start
+
+let merged_stats_json members =
+  let member (addr, r) =
+    match r with
+    | Ok st_json ->
+      let instance =
+        match instance_of_stats_json st_json with Some i -> i | None -> addr
+      in
+      Printf.sprintf "{\"addr\":\"%s\",\"instance\":\"%s\",\"stats\":%s}"
+        (json_escape addr) (json_escape instance) st_json
+    | Error e ->
+      Printf.sprintf "{\"addr\":\"%s\",\"instance\":\"%s\",\"error\":\"%s\"}"
+        (json_escape addr) (json_escape addr) (json_escape e)
+  in
+  "[" ^ String.concat "," (List.map member members) ^ "]"

@@ -1,0 +1,19 @@
+(** Merging per-member admin scrapes into one valid JSON document —
+    the pure half of [slicer stats --json] with repeated [--addr]. *)
+
+val json_escape : string -> string
+(** JSON string-content escaping (quotes, backslashes, control
+    characters). *)
+
+val instance_of_stats_json : string -> string option
+(** The ["instance"] field of one {!Obs.Export.to_json} snapshot, when
+    the scraped process had one (only the document head is examined). *)
+
+val merged_stats_json : (string * (string, string) result) list -> string
+(** [merged_stats_json [(addr, Ok stats_json | Error msg); ...]] — one
+    JSON array, a member object per scrape target:
+    [{"addr":..., "instance":..., "stats":{...}}] on success,
+    [{"addr":..., "instance":..., "error":"..."}] on failure (the
+    instance falls back to the address when the member did not answer
+    or reports none). Always valid JSON: addresses and error strings
+    are escaped, member stats embed verbatim (already JSON). *)

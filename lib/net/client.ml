@@ -70,6 +70,11 @@ type t = {
   mutable gen : int;
   mutable counter : int;
   mutable ever_connected : bool;
+  (* Negotiated protocol revision: starts at ours, downgraded by
+     [hello] when the server refuses it. Trace contexts only ride on
+     revision-3 frames — a revision-2 peer must see byte-identical
+     revision-2 encodings. *)
+  mutable proto : int;
 }
 
 let name t = t.cname
@@ -203,12 +208,27 @@ let apply_provision t (p : Wire.provision) =
   t.gen <- p.Wire.pv_generation
 
 let hello t =
-  match rpc t (Wire.Hello { client = t.cname; proto = Wire.proto_version }) with
-  | Ok (Wire.Welcome p) ->
-    apply_provision t p;
-    Ok ()
-  | Ok _ -> Error (Bad_reply "expected a welcome")
-  | Error e -> Error e
+  let rec go proto =
+    match rpc t (Wire.Hello { client = t.cname; proto }) with
+    | Ok (Wire.Welcome p) ->
+      t.proto <- proto;
+      apply_provision t p;
+      Ok ()
+    | Error (Refused (Wire.Version_mismatch, _)) when proto > Wire.min_proto_version ->
+      (* An older server refused our revision: walk down to the oldest
+         one we still speak. Landing on 2 disables trace stamping. *)
+      go (proto - 1)
+    | Ok _ -> Error (Bad_reply "expected a welcome")
+    | Error e -> Error e
+  in
+  go Wire.proto_version
+
+let proto t = t.proto
+
+(* Stamp the calling thread's trace context (if any) onto an outgoing
+   effectful request — but never toward a peer that negotiated < 3. *)
+let stamp t req =
+  if t.proto >= 3 then Wire.with_trace (Trace.current ()) req else req
 
 let connect ?(config = default_config) ?name ?(provision = true) endpoint =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
@@ -224,7 +244,8 @@ let connect ?(config = default_config) ?name ?(provision = true) endpoint =
       prov = None;
       gen = 0;
       counter = 0;
-      ever_connected = false }
+      ever_connected = false;
+      proto = Wire.proto_version }
   in
   if not provision then Ok t
   else
@@ -247,6 +268,12 @@ let stats t =
   match rpc t Wire.Stats with
   | Ok (Wire.Stats_reply { st_json; st_text }) -> Ok (st_json, st_text)
   | Ok _ -> Error (Bad_reply "expected a stats reply")
+  | Error e -> Error e
+
+let traces t =
+  match rpc t Wire.Traces with
+  | Ok (Wire.Traces_reply { tr_spans }) -> Ok tr_spans
+  | Ok _ -> Error (Bad_reply "expected a traces reply")
   | Error e -> Error e
 
 let fresh_request_id t =
@@ -322,7 +349,8 @@ let search ?(batched = false) t query =
   let tokens = User.gen_tokens ~rng:t.rng prov.p_user query in
   let request_id = fresh_request_id t in
   match
-    rpc t (Wire.Search { client = t.cname; request_id; batched; tokens })
+    rpc t
+      (stamp t (Wire.Search { client = t.cname; request_id; batched; tokens; trace = None }))
   with
   | Ok (Wire.Found r) when r.Wire.sr_request_id = request_id ->
     Ok (outcome_of_reply t prov ~token_count:(List.length tokens) r)
@@ -335,11 +363,12 @@ let build t ~width ~payment ~acc ~tdp_public ~user_keys ~shipment ~trapdoor =
   let request_id = fresh_request_id t in
   match
     rpc t
-      (Wire.Build
-         { client = t.cname; request_id; width; payment; acc;
-           tdp_n = tdp_public.Rsa_tdp.pn; tdp_e = tdp_public.Rsa_tdp.e;
-           user_k = user_keys.Keys.u_k; user_k_r = user_keys.Keys.u_k_r;
-           shipment; trapdoor })
+      (stamp t
+         (Wire.Build
+            { client = t.cname; request_id; width; payment; acc;
+              tdp_n = tdp_public.Rsa_tdp.pn; tdp_e = tdp_public.Rsa_tdp.e;
+              user_k = user_keys.Keys.u_k; user_k_r = user_keys.Keys.u_k_r;
+              shipment; trapdoor; trace = None }))
   with
   | Ok (Wire.Accepted { generation }) ->
     t.gen <- generation;
@@ -349,7 +378,10 @@ let build t ~width ~payment ~acc ~tdp_public ~user_keys ~shipment ~trapdoor =
 
 let insert t ~shipment ~trapdoor =
   let request_id = fresh_request_id t in
-  match rpc t (Wire.Insert { client = t.cname; request_id; shipment; trapdoor }) with
+  match
+    rpc t
+      (stamp t (Wire.Insert { client = t.cname; request_id; shipment; trapdoor; trace = None }))
+  with
   | Ok (Wire.Accepted { generation }) ->
     t.gen <- generation;
     Ok generation

@@ -489,10 +489,20 @@ let worker_loop t =
           Obs.Counter.incr c_rejects;
           refusal Wire.Bad_request "unparseable request"
         | Some req ->
-          (try t.handler req
-           with exn ->
-             Log.err (fun m -> m "handler raised: %s" (Printexc.to_string exn));
-             refusal Wire.Internal (Printexc.to_string exn))
+          let dispatch () =
+            try t.handler req
+            with exn ->
+              Log.err (fun m -> m "handler raised: %s" (Printexc.to_string exn));
+              refusal Wire.Internal (Printexc.to_string exn)
+          in
+          (* The worker span roots the request's trace in this process
+             (joining an upstream context carried on the wire), so the
+             handoff from the event loop is visible in timelines. Admin
+             and handshake frames stay untraced. *)
+          (match req with
+           | Wire.Search _ | Wire.Build _ | Wire.Insert _ ->
+             Trace.root ?remote:(Wire.request_trace req) "net.worker" dispatch
+           | _ -> dispatch ())
       in
       let framed = Frame.encode ~tag:Wire.response_tag (Wire.encode_response resp) in
       Mutex.lock t.lock;

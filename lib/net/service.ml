@@ -194,6 +194,7 @@ let do_search t b ~req ~client ~request_id ~batched tokens =
           settled can hit this — the key includes its name. *)
        Log.debug (fun m -> m "replaying cached settlement for %S/%S" client request_id);
        Obs.Counter.incr c_replays;
+       Trace.tag "cached" "true";
        cached
      | None ->
        (* Speculative warm-up off the settlement path's caches: derive
@@ -215,6 +216,8 @@ let do_search t b ~req ~client ~request_id ~batched tokens =
         | Ok { Station.se_claims; se_batch_witness; se_receipt } ->
           t.settled <- t.settled + 1;
           Obs.Counter.incr c_settled;
+          Trace.tag "tokens" (string_of_int (List.length tokens));
+          Trace.tag "gas" (string_of_int se_receipt.Vm.r_gas_used);
           let ac =
             match Station.onchain_ac b.b_station with
             | Some ac -> ac
@@ -237,7 +240,7 @@ let do_search t b ~req ~client ~request_id ~batched tokens =
 let do_build t req =
   match req with
   | Wire.Build { client; request_id; width; payment; acc; tdp_n; tdp_e; user_k; user_k_r;
-                 shipment; trapdoor } ->
+                 shipment; trapdoor; trace = _ } ->
     (match cached_reply t ~client ~request_id with
      | Some cached ->
        (* The build was applied but the response frame was lost: the
@@ -292,19 +295,24 @@ let handle_locked t req =
        the whole process, not just this service's database. *)
     Wire.Stats_reply
       { st_json = Obs.Export.to_json (); st_text = Obs.Export.to_prometheus () }
-  | (Wire.Hello { proto; _ }, _) when proto <> Wire.proto_version ->
+  | (Wire.Traces, _) ->
+    (* Admin drain, like Stats: whole completed span trees only, so a
+       scraper never sees a half-built trace. *)
+    Wire.Traces_reply { tr_spans = Trace.drain () }
+  | (Wire.Hello { proto; _ }, _) when not (Wire.proto_accepted proto) ->
     (* Loud handshake failure for cross-version peers: a revision-1
        client must not receive replies it would mis-frame (sharded
-       Found parts, topology Welcome tails). *)
+       Found parts, topology Welcome tails). Revision 2 is accepted —
+       its frames are a strict subset of revision 3's. *)
     refused Wire.Version_mismatch
-      (Printf.sprintf "client speaks protocol revision %d, this server speaks %d" proto
-         Wire.proto_version)
+      (Printf.sprintf "client speaks protocol revision %d, this server speaks %d..%d" proto
+         Wire.min_proto_version Wire.proto_version)
   | (Wire.Build _, _) -> do_build t req
   | (_, None) -> refused Wire.Not_ready "no database: awaiting the owner's Build shipment"
   | (Wire.Hello { client; _ }, Some b) -> provision t b client
-  | ((Wire.Search { client; request_id; batched; tokens } as req), Some b) ->
+  | ((Wire.Search { client; request_id; batched; tokens; _ } as req), Some b) ->
     do_search t b ~req ~client ~request_id ~batched tokens
-  | ((Wire.Insert { client; request_id; shipment; trapdoor } as req), Some b) ->
+  | ((Wire.Insert { client; request_id; shipment; trapdoor; _ } as req), Some b) ->
     (match cached_reply t ~client ~request_id with
      | Some cached ->
        (* Applied already, response frame lost: replaying the accept is
@@ -602,7 +610,7 @@ let recover ?max_cached_replies ?faucet ?witness_index ?instance ?shard cfg =
 
 let effectful = function
   | Wire.Search _ | Wire.Build _ | Wire.Insert _ | Wire.Hello _ -> true
-  | Wire.Ping | Wire.Stats -> false
+  | Wire.Ping | Wire.Stats | Wire.Traces -> false
 
 (* The durability barrier, outside [t.lock] so concurrent settlements
    group-commit on one fsync. Also where the snapshot cadence lives:
@@ -683,7 +691,15 @@ let schedule_warm t =
     if spawn then ignore (Thread.create warm_pass t)
   end
 
-let handle t req =
+(* Span taxonomy name for the requests worth tracing; admin and
+   handshake frames stay untraced. *)
+let traced_as = function
+  | Wire.Search _ -> Some "service.search"
+  | Wire.Build _ -> Some "service.build"
+  | Wire.Insert _ -> Some "service.insert"
+  | Wire.Hello _ | Wire.Ping | Wire.Stats | Wire.Traces -> None
+
+let handle_inner t req =
   Obs.Counter.incr c_requests;
   Mutex.lock t.lock;
   let resp =
@@ -708,3 +724,14 @@ let handle t req =
   | exception exn ->
     Log.err (fun m -> m "durability barrier failed: %s" (Printexc.to_string exn));
     refused Wire.Internal ("durability barrier failed: " ^ Printexc.to_string exn)
+
+let handle t req =
+  match traced_as req with
+  | None -> handle_inner t req
+  | Some name ->
+    (* Joins the upstream trace when the request carries one (the
+       router's fan-out), otherwise makes its own sampling decision —
+       so a directly-addressed server is traceable too. *)
+    Trace.root ?remote:(Wire.request_trace req) name (fun () ->
+        if snd t.shard > 1 then Trace.tag "shard" (string_of_int (fst t.shard));
+        handle_inner t req)

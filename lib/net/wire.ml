@@ -5,24 +5,36 @@ let response_tag = 0x02
 
 (* Protocol feature revision, negotiated in Hello. Revision 1 is the
    pre-cluster protocol (no proto field on the wire); revision 2 adds
-   cluster topology to Welcome and per-shard parts to Found. Servers
-   refuse a mismatched Hello with [Version_mismatch] so old clients
-   fail loudly instead of mis-framing sharded replies. *)
-let proto_version = 2
+   cluster topology to Welcome and per-shard parts to Found; revision 3
+   adds an optional trace-context piece to Search/Build/Insert (absent
+   ⇒ byte-identical to revision 2) and the Traces admin drain. Servers
+   accept any revision in [min_proto_version, proto_version] and refuse
+   older Hellos with [Version_mismatch] so pre-cluster clients fail
+   loudly instead of mis-framing sharded replies; a revision-3 client
+   that is itself refused downgrades to 2 and simply stops attaching
+   trace contexts. *)
+let proto_version = 3
+let min_proto_version = 2
+
+let proto_accepted proto = proto >= min_proto_version && proto <= proto_version
 
 type request =
   | Hello of { client : string; proto : int }
   | Search of { client : string; request_id : string; batched : bool;
-                tokens : Slicer_types.search_token list }
+                tokens : Slicer_types.search_token list;
+                trace : Trace.wire_ctx option }
   | Build of { client : string; request_id : string;
                width : int; payment : int; acc : Rsa_acc.params;
                tdp_n : Bigint.t; tdp_e : Bigint.t;
                user_k : string; user_k_r : string;
-               shipment : Owner.shipment; trapdoor : Owner.trapdoor_state }
+               shipment : Owner.shipment; trapdoor : Owner.trapdoor_state;
+               trace : Trace.wire_ctx option }
   | Insert of { client : string; request_id : string;
-                shipment : Owner.shipment; trapdoor : Owner.trapdoor_state }
+                shipment : Owner.shipment; trapdoor : Owner.trapdoor_state;
+                trace : Trace.wire_ctx option }
   | Ping
   | Stats
+  | Traces
 
 type provision = {
   pv_width : int;
@@ -84,6 +96,7 @@ type response =
   | Accepted of { generation : int }
   | Pong
   | Stats_reply of { st_json : string; st_text : string }
+  | Traces_reply of { tr_spans : Trace.span list }
   | Refused of { code : err_code; detail : string }
 
 (* Small helpers: non-negative ints and option-of-bigint pieces. *)
@@ -107,29 +120,147 @@ let opt_bigint_of_bytes s =
   | [ "1"; w ] -> Some (Some (Bigint.of_bytes_be w))
   | _ -> None
 
+(* --- trace context ----------------------------------------------------- *)
+
+(* The optional trailing piece a revision-3 peer may append to
+   Search/Build/Insert. With [trace = None] nothing is appended, so the
+   encoding is byte-identical to revision 2 — journaled bytes, cached
+   idempotency keys and old peers all keep working. *)
+
+let trace_to_bytes (w : Trace.wire_ctx) =
+  Bytesutil.concat [ Trace.id_to_string w.Trace.w_trace; string_of_int w.Trace.w_parent ]
+
+let trace_of_bytes s =
+  let* pieces = Bytesutil.split s in
+  match pieces with
+  | [ id; parent ] ->
+    let* w_trace = Trace.id_of_string id in
+    let* w_parent = nat_of_string parent in
+    if w_trace = 0L then None else Some { Trace.w_trace; w_parent }
+  | _ -> None
+
+let request_trace = function
+  | Search { trace; _ } | Build { trace; _ } | Insert { trace; _ } -> trace
+  | Hello _ | Ping | Stats | Traces -> None
+
+let with_trace trace req =
+  match trace with
+  | None -> req
+  | Some _ ->
+    (match req with
+     | Search r -> Search { r with trace }
+     | Build r -> Build { r with trace }
+     | Insert r -> Insert { r with trace }
+     | (Hello _ | Ping | Stats | Traces) as r -> r)
+
+(* --- spans (Traces replies) -------------------------------------------- *)
+
+let tags_to_bytes tags =
+  Bytesutil.concat (List.concat_map (fun (k, v) -> [ k; v ]) tags)
+
+let tags_of_bytes blob =
+  let* pieces = Bytesutil.split blob in
+  let rec pair acc = function
+    | [] -> Some (List.rev acc)
+    | k :: v :: rest -> pair ((k, v) :: acc) rest
+    | [ _ ] -> None
+  in
+  pair [] pieces
+
+let span_to_bytes (sp : Trace.span) =
+  Bytesutil.concat
+    [ Trace.id_to_string sp.Trace.sp_trace;
+      string_of_int sp.Trace.sp_id;
+      string_of_int sp.Trace.sp_parent;
+      sp.Trace.sp_name;
+      sp.Trace.sp_instance;
+      string_of_int sp.Trace.sp_start_ns;
+      string_of_int sp.Trace.sp_end_ns;
+      tags_to_bytes sp.Trace.sp_tags ]
+
+let span_of_bytes s =
+  let* pieces = Bytesutil.split s in
+  match pieces with
+  | [ trace; id; parent; name; instance; start_ns; end_ns; tags_blob ] ->
+    let* sp_trace = Trace.id_of_string trace in
+    let* sp_id = nat_of_string id in
+    let* sp_parent = nat_of_string parent in
+    let* sp_start_ns = int_of_string_opt start_ns in
+    let* sp_end_ns = int_of_string_opt end_ns in
+    let* sp_tags = tags_of_bytes tags_blob in
+    if sp_trace = 0L || sp_id = 0 then None
+    else
+      Some
+        { Trace.sp_trace; sp_id; sp_parent; sp_name = name; sp_instance = instance;
+          sp_start_ns; sp_end_ns; sp_tags }
+  | _ -> None
+
+let spans_of_bytes blob =
+  let* pieces = Bytesutil.split blob in
+  let rec go acc = function
+    | [] -> Some (List.rev acc)
+    | p :: rest ->
+      let* sp = span_of_bytes p in
+      go (sp :: acc) rest
+  in
+  go [] pieces
+
 (* --- requests --------------------------------------------------------- *)
+
+(* [trace] appends the optional trailing context piece. *)
+let with_trace_piece base = function
+  | None -> Bytesutil.concat base
+  | Some w -> Bytesutil.concat (base @ [ trace_to_bytes w ])
 
 let encode_request = function
   | Hello { client; proto } ->
     if proto = 1 then Bytesutil.concat [ "hello"; client ]
     else Bytesutil.concat [ "hello"; client; string_of_int proto ]
-  | Search { client; request_id; batched; tokens } ->
-    Bytesutil.concat
+  | Search { client; request_id; batched; tokens; trace } ->
+    with_trace_piece
       [ "search"; client; request_id; bool_tag batched; Persist.tokens_to_bytes tokens ]
+      trace
   | Build { client; request_id; width; payment; acc; tdp_n; tdp_e; user_k; user_k_r;
-            shipment; trapdoor } ->
-    Bytesutil.concat
+            shipment; trapdoor; trace } ->
+    with_trace_piece
       [ "build"; client; request_id; string_of_int width; string_of_int payment;
         Bigint.to_bytes_be acc.Rsa_acc.modulus; Bigint.to_bytes_be acc.Rsa_acc.generator;
         Bigint.to_bytes_be tdp_n; Bigint.to_bytes_be tdp_e;
         user_k; user_k_r;
         Persist.shipment_to_bytes shipment; Persist.trapdoor_state_to_bytes trapdoor ]
-  | Insert { client; request_id; shipment; trapdoor } ->
-    Bytesutil.concat
+      trace
+  | Insert { client; request_id; shipment; trapdoor; trace } ->
+    with_trace_piece
       [ "insert"; client; request_id;
         Persist.shipment_to_bytes shipment; Persist.trapdoor_state_to_bytes trapdoor ]
+      trace
   | Ping -> Bytesutil.concat [ "ping" ]
   | Stats -> Bytesutil.concat [ "stats" ]
+  | Traces -> Bytesutil.concat [ "traces" ]
+
+let decode_search ~trace client request_id batched tokens_blob =
+  let* batched = bool_of_tag batched in
+  let* tokens = Persist.tokens_of_bytes tokens_blob in
+  Some (Search { client; request_id; batched; tokens; trace })
+
+let decode_build ~trace client request_id width payment modulus generator tdp_n tdp_e
+    user_k user_k_r shipment_blob trapdoor_blob =
+  let* width = nat_of_string width in
+  let* payment = nat_of_string payment in
+  let* shipment = Persist.shipment_of_bytes shipment_blob in
+  let* trapdoor = Persist.trapdoor_state_of_bytes trapdoor_blob in
+  Some
+    (Build
+       { client; request_id; width; payment;
+         acc = { Rsa_acc.modulus = Bigint.of_bytes_be modulus;
+                 generator = Bigint.of_bytes_be generator };
+         tdp_n = Bigint.of_bytes_be tdp_n; tdp_e = Bigint.of_bytes_be tdp_e;
+         user_k; user_k_r; shipment; trapdoor; trace })
+
+let decode_insert ~trace client request_id shipment_blob trapdoor_blob =
+  let* shipment = Persist.shipment_of_bytes shipment_blob in
+  let* trapdoor = Persist.trapdoor_state_of_bytes trapdoor_blob in
+  Some (Insert { client; request_id; shipment; trapdoor; trace })
 
 let decode_request s =
   let* pieces = Bytesutil.split s in
@@ -142,28 +273,27 @@ let decode_request s =
     let* proto = nat_of_string proto in
     Some (Hello { client; proto })
   | [ "search"; client; request_id; batched; tokens_blob ] ->
-    let* batched = bool_of_tag batched in
-    let* tokens = Persist.tokens_of_bytes tokens_blob in
-    Some (Search { client; request_id; batched; tokens })
+    decode_search ~trace:None client request_id batched tokens_blob
+  | [ "search"; client; request_id; batched; tokens_blob; trace_blob ] ->
+    let* trace = trace_of_bytes trace_blob in
+    decode_search ~trace:(Some trace) client request_id batched tokens_blob
   | [ "build"; client; request_id; width; payment; modulus; generator; tdp_n; tdp_e;
       user_k; user_k_r; shipment_blob; trapdoor_blob ] ->
-    let* width = nat_of_string width in
-    let* payment = nat_of_string payment in
-    let* shipment = Persist.shipment_of_bytes shipment_blob in
-    let* trapdoor = Persist.trapdoor_state_of_bytes trapdoor_blob in
-    Some
-      (Build
-         { client; request_id; width; payment;
-           acc = { Rsa_acc.modulus = Bigint.of_bytes_be modulus;
-                   generator = Bigint.of_bytes_be generator };
-           tdp_n = Bigint.of_bytes_be tdp_n; tdp_e = Bigint.of_bytes_be tdp_e;
-           user_k; user_k_r; shipment; trapdoor })
+    decode_build ~trace:None client request_id width payment modulus generator tdp_n tdp_e
+      user_k user_k_r shipment_blob trapdoor_blob
+  | [ "build"; client; request_id; width; payment; modulus; generator; tdp_n; tdp_e;
+      user_k; user_k_r; shipment_blob; trapdoor_blob; trace_blob ] ->
+    let* trace = trace_of_bytes trace_blob in
+    decode_build ~trace:(Some trace) client request_id width payment modulus generator
+      tdp_n tdp_e user_k user_k_r shipment_blob trapdoor_blob
   | [ "insert"; client; request_id; shipment_blob; trapdoor_blob ] ->
-    let* shipment = Persist.shipment_of_bytes shipment_blob in
-    let* trapdoor = Persist.trapdoor_state_of_bytes trapdoor_blob in
-    Some (Insert { client; request_id; shipment; trapdoor })
+    decode_insert ~trace:None client request_id shipment_blob trapdoor_blob
+  | [ "insert"; client; request_id; shipment_blob; trapdoor_blob; trace_blob ] ->
+    let* trace = trace_of_bytes trace_blob in
+    decode_insert ~trace:(Some trace) client request_id shipment_blob trapdoor_blob
   | [ "ping" ] -> Some Ping
   | [ "stats" ] -> Some Stats
+  | [ "traces" ] -> Some Traces
   | _ -> None
 
 (* --- responses -------------------------------------------------------- *)
@@ -229,6 +359,8 @@ let encode_response = function
   | Accepted { generation } -> Bytesutil.concat [ "accepted"; string_of_int generation ]
   | Pong -> Bytesutil.concat [ "pong" ]
   | Stats_reply { st_json; st_text } -> Bytesutil.concat [ "stats"; st_json; st_text ]
+  | Traces_reply { tr_spans } ->
+    Bytesutil.concat [ "traces"; Bytesutil.concat (List.map span_to_bytes tr_spans) ]
   | Refused { code; detail } ->
     Bytesutil.concat [ "refused"; err_code_to_string code; detail ]
 
@@ -298,6 +430,9 @@ let decode_response s =
     Some (Accepted { generation })
   | [ "pong" ] -> Some Pong
   | [ "stats"; st_json; st_text ] -> Some (Stats_reply { st_json; st_text })
+  | [ "traces"; spans_blob ] ->
+    let* tr_spans = spans_of_bytes spans_blob in
+    Some (Traces_reply { tr_spans })
   | [ "refused"; code; detail ] ->
     let* code = err_code_of_string code in
     Some (Refused { code; detail })

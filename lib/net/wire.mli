@@ -8,12 +8,21 @@ val request_tag : int
 val response_tag : int
 
 val proto_version : int
-(** The protocol feature revision this build speaks (2). Revision 1 is
+(** The protocol feature revision this build speaks (3). Revision 1 is
     the pre-cluster protocol: its Hello carries no proto field and its
-    Found replies can never carry per-shard parts. A server refuses a
-    Hello whose revision differs from its own with
-    [Refused Version_mismatch], so mixed-version deployments fail
-    loudly at the handshake instead of mis-framing later replies. *)
+    Found replies can never carry per-shard parts. Revision 3 adds an
+    optional trace-context piece to Search/Build/Insert — absent, the
+    bytes are identical to revision 2 — plus the {!Traces} admin drain.
+    A server accepts any revision in [{!min_proto_version},
+    {!proto_version}] and refuses older Hellos with
+    [Refused Version_mismatch], so pre-cluster clients fail loudly at
+    the handshake instead of mis-framing later replies. *)
+
+val min_proto_version : int
+(** Oldest revision a server still accepts (2). *)
+
+val proto_accepted : int -> bool
+(** Whether a Hello's revision falls in the accepted window. *)
 
 type request =
   | Hello of { client : string; proto : int }
@@ -22,24 +31,29 @@ type request =
           the client's {!proto_version}; legacy two-piece hellos decode
           as [proto = 1]. *)
   | Search of { client : string; request_id : string; batched : bool;
-                tokens : Slicer_types.search_token list }
+                tokens : Slicer_types.search_token list;
+                trace : Trace.wire_ctx option }
       (** The user → cloud search message. [(client, request_id)] is the
           idempotency key: a retry with the same pair returns the cached
           settlement instead of touching escrow again. The pair is only
           honoured for the registered [client] that settled it — another
-          client re-using the id gets its own fresh settlement. *)
+          client re-using the id gets its own fresh settlement. [trace]
+          carries the sampled upstream trace context, if any; it is not
+          part of the idempotency key. *)
   | Build of { client : string; request_id : string;
                width : int; payment : int; acc : Rsa_acc.params;
                tdp_n : Bigint.t; tdp_e : Bigint.t;
                user_k : string; user_k_r : string;
-               shipment : Owner.shipment; trapdoor : Owner.trapdoor_state }
+               shipment : Owner.shipment; trapdoor : Owner.trapdoor_state;
+               trace : Trace.wire_ctx option }
       (** The owner → cloud bootstrap shipment: public parameters, user
           key material to provision with, and the Build artifacts.
           [(client, request_id)] is the idempotency key — a retry after a
           lost reply replays the original accept instead of refusing
           [Already_built]. *)
   | Insert of { client : string; request_id : string;
-                shipment : Owner.shipment; trapdoor : Owner.trapdoor_state }
+                shipment : Owner.shipment; trapdoor : Owner.trapdoor_state;
+                trace : Trace.wire_ctx option }
       (** A forward-secure Insert shipment (owner → cloud).
           [(client, request_id)] is the idempotency key — a retry after a
           lost reply must {e not} re-append the shipment's primes or bump
@@ -48,6 +62,17 @@ type request =
   | Stats
       (** Admin: a snapshot of the server's {!Obs} registry. Served even
           before a Build, and without a Hello — it reads state only. *)
+  | Traces
+      (** Admin: drain the process's completed trace spans
+          ({!Trace.drain}); a router additionally drains every shard and
+          merges, so one scrape sees the whole cluster. Like [Stats],
+          served before a Build and without a Hello. *)
+
+val request_trace : request -> Trace.wire_ctx option
+
+val with_trace : Trace.wire_ctx option -> request -> request
+(** Stamp a trace context onto a Search/Build/Insert (identity for
+    other requests or a [None] context). *)
 
 type provision = {
   pv_width : int;
@@ -101,6 +126,9 @@ type response =
   | Stats_reply of { st_json : string; st_text : string }
       (** The same registry snapshot rendered twice: [st_json] for
           programs, [st_text] in Prometheus text exposition format. *)
+  | Traces_reply of { tr_spans : Trace.span list }
+      (** Flat list of completed spans (whole trees only); the scraper
+          reassembles them with {!Trace.Tree.assemble}. *)
   | Refused of { code : err_code; detail : string }
       (** Structured error frame — the server's graceful degradation
           path; it never answers bad input with silence or a crash. *)

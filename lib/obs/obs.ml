@@ -131,12 +131,19 @@ module Histogram = struct
     units : units;
     counts : int Atomic.t array array; (* shard -> bucket *)
     sums : int Atomic.t array;         (* shard *)
+    (* Exemplars: the most recent published trace id per bucket, so a
+       p99 bucket in the exposition links to a dumpable trace. Lazily
+       allocated — only traced processes pay — and written plainly:
+       last-writer-wins is exactly the wanted semantics, and 0L marks
+       an empty cell (trace ids are minted non-zero). *)
+    exemplar_cells : int64 array option Atomic.t;
   }
 
   let create ?(units = Seconds) () =
     { units;
       counts = Array.init n_shards (fun _ -> Array.init n_buckets (fun _ -> Atomic.make 0));
-      sums = make_cells () }
+      sums = make_cells ();
+      exemplar_cells = Atomic.make None }
 
   let units t = t.units
 
@@ -206,6 +213,29 @@ module Histogram = struct
       in
       walk 0 0
     end
+
+  let set_exemplar t ~value ~trace =
+    if trace <> 0L then begin
+      let cells =
+        match Atomic.get t.exemplar_cells with
+        | Some a -> a
+        | None ->
+          let a = Array.make n_buckets 0L in
+          if Atomic.compare_and_set t.exemplar_cells None (Some a) then a
+          else (match Atomic.get t.exemplar_cells with Some a -> a | None -> a)
+      in
+      cells.(bucket_of value) <- trace
+    end
+
+  let exemplars t =
+    match Atomic.get t.exemplar_cells with
+    | None -> []
+    | Some a ->
+      let out = ref [] in
+      for b = n_buckets - 1 downto 0 do
+        if a.(b) <> 0L then out := (bucket_bound b, a.(b)) :: !out
+      done;
+      !out
 
   (* Display scale: raw units -> exported units. *)
   let scale t = match t with Seconds -> 1e-9 | Raw -> 1.
@@ -298,17 +328,37 @@ let span_histogram name =
     publish ();
     h
 
+(* Cache-only lookup: a histogram for a span name that has actually
+   been recorded, never creating one (Trace uses it to attach
+   exemplars without polluting the registry with empty series). *)
+let find_span_histogram name = Smap.find_opt name (Atomic.get span_cache)
+
+(* --- trace integration -------------------------------------------------- *)
+
+(* Hook cells installed by [Trace] at module-init time (identity when
+   tracing never links). [span] consults them only when [trace_live]
+   says some thread currently carries a trace context, so the untraced
+   hot path pays one atomic load and a branch. [trace_enter] returns a
+   non-zero token when a span was opened; [trace_exit] closes the
+   innermost open span on the calling thread. *)
+let trace_live : int Atomic.t = Atomic.make 0
+let trace_enter : (string -> int) ref = ref (fun _ -> 0)
+let trace_exit : (unit -> unit) ref = ref (fun () -> ())
+
 let span name f =
   if not !enabled_flag then f ()
   else begin
     let h = span_histogram name in
+    let tok = if Atomic.get trace_live > 0 then !trace_enter name else 0 in
     let t0 = Clock.now_ns () in
     match f () with
     | r ->
       Histogram.record h (Clock.now_ns () - t0);
+      if tok <> 0 then !trace_exit ();
       r
     | exception exn ->
       Histogram.record h (Clock.now_ns () - t0);
+      if tok <> 0 then !trace_exit ();
       raise exn
   end
 
@@ -398,7 +448,7 @@ module Export = struct
     in
     let hists =
       pick (fun e -> match e.Registry.e_metric with
-        | Histogram h -> Some (e.Registry.e_name, Histogram.snapshot h)
+        | Histogram h -> Some (e.Registry.e_name, h, Histogram.snapshot h)
         | _ -> None)
     in
     let scalar_obj kvs =
@@ -413,7 +463,7 @@ module Export = struct
     Buffer.add_string buf (Printf.sprintf "  \"gauges\": {%s},\n" (scalar_obj gauges));
     Buffer.add_string buf "  \"histograms\": {";
     List.iteri
-      (fun i (name, sn) ->
+      (fun i (name, h, sn) ->
         let scale = Histogram.scale sn.Histogram.sn_units in
         if i > 0 then Buffer.add_string buf ",";
         let q p = fmt_float (Histogram.quantile sn p *. scale) in
@@ -425,12 +475,27 @@ module Export = struct
                     Printf.sprintf "[%s, %d]" (fmt_float (float_of_int bound *. scale)) n)
                   sn.Histogram.sn_buckets))
         in
+        (* Exemplars only appear once a trace has been published into
+           this histogram, so untraced processes keep the exact
+           pre-tracing snapshot format. *)
+        let exemplars =
+          match Histogram.exemplars h with
+          | [] -> ""
+          | exs ->
+            Printf.sprintf ", \"exemplars\": [%s]"
+              (String.concat ", "
+                 (List.map
+                    (fun (bound, trace) ->
+                      Printf.sprintf "[%s, \"%016Lx\"]"
+                        (fmt_float (float_of_int bound *. scale)) trace)
+                    exs))
+        in
         Buffer.add_string buf
           (Printf.sprintf
-             "\n    \"%s\": {\"count\": %d, \"sum\": %s, \"p50\": %s, \"p95\": %s, \"p99\": %s, \"buckets\": [%s]}"
+             "\n    \"%s\": {\"count\": %d, \"sum\": %s, \"p50\": %s, \"p95\": %s, \"p99\": %s, \"buckets\": [%s]%s}"
              (json_escape name) sn.Histogram.sn_count
              (fmt_float (float_of_int sn.Histogram.sn_sum *. scale))
-             (q 0.5) (q 0.95) (q 0.99) buckets))
+             (q 0.5) (q 0.95) (q 0.99) buckets exemplars))
       hists;
     if hists <> [] then Buffer.add_string buf "\n  ";
     Buffer.add_string buf "}\n}\n";

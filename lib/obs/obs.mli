@@ -113,6 +113,16 @@ module Histogram : sig
 
   val bucket_bound : int -> int
   (** Inclusive upper bound of a bucket index. *)
+
+  val set_exemplar : t -> value:int -> trace:int64 -> unit
+  (** Remember [trace] as the most recent published trace id for the
+      bucket [value] lands in (last-writer-wins; [0L] is ignored).
+      Storage is allocated lazily on first use, so untraced processes
+      pay nothing. *)
+
+  val exemplars : t -> (int * int64) list
+  (** [(inclusive bucket upper bound, trace id)] for every bucket that
+      holds an exemplar, ascending; [[]] until {!set_exemplar} runs. *)
 end
 
 module Registry : sig
@@ -146,7 +156,31 @@ val metric_of_span : string -> string
 val span : string -> (unit -> 'a) -> 'a
 (** [span name f] times [f ()] (exceptions included) into the histogram
     {!metric_of_span}[ name] in the default registry. When disabled,
-    runs [f] directly. *)
+    runs [f] directly. When the calling thread carries a live [Trace]
+    context, the same interval is also recorded as a child span of the
+    surrounding trace (see {!trace_enter}). *)
+
+val find_span_histogram : string -> Histogram.t option
+(** The histogram behind a span name, if that span has ever been
+    recorded in this process — a cache-only lookup that never creates
+    registry entries (unlike {!span} itself). *)
+
+(** {2 Trace integration (internal)}
+
+    Hook cells wired up by the [Trace] module at init time so {!span}
+    can report finished intervals into the surrounding request trace
+    without [Obs] depending on [Trace]. Not for application use. *)
+
+val trace_live : int Atomic.t
+(** Number of threads currently carrying a trace context; {!span}
+    skips the hooks entirely while it reads 0. *)
+
+val trace_enter : (string -> int) ref
+(** Opens a child span on the calling thread's trace context; returns
+    a non-zero token when it did. *)
+
+val trace_exit : (unit -> unit) ref
+(** Closes the innermost open span on the calling thread. *)
 
 module Export : sig
   val to_prometheus : ?registry:Registry.t -> unit -> string

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Every span name that can appear in a trace tree must be documented in
+# DESIGN.md's taxonomy (backticked, so prose mentions don't count by
+# accident). The name universe is extracted from lib/ and bin/ sources:
+#
+#   - Trace.root / Trace.child call sites (literal span names),
+#   - Obs.span call sites (timed spans join a live trace via the
+#     trace_enter hook, so they show up as tree nodes too),
+#   - the traced_as request->name tables (`-> Some "layer.name"`),
+#
+# taking every "seg.seg" string literal on those lines. bench/ is
+# deliberately out of scope: its bench.* spans are harness-local and
+# never ship. Run via `dune build @trace` or directly from the repo
+# root.
+set -u
+
+cd "$(dirname "$0")/.." || exit 1
+
+design=DESIGN.md
+[ -f "$design" ] || { echo "check_span_taxonomy: $design not found" >&2; exit 1; }
+
+# grep exits 1 on zero matches; that just means an empty universe.
+names=$(grep -rhE 'Trace\.(root|child)|Obs\.span|-> Some "[a-z_]+\.' \
+          lib bin --include='*.ml' 2>/dev/null \
+        | grep -oE '"[a-z_]+(\.[a-z_0-9]+)+"' \
+        | tr -d '"' | sort -u) || true
+
+if [ -z "$names" ]; then
+  echo "check_span_taxonomy: no span names found under lib/ or bin/ — extraction broke?" >&2
+  exit 1
+fi
+
+missing=0
+for name in $names; do
+  if ! grep -qF "\`$name\`" "$design"; then
+    echo "span \`$name\` is not documented in $design's taxonomy" >&2
+    missing=1
+  fi
+done
+
+count=$(echo "$names" | wc -l)
+if [ "$missing" -ne 0 ]; then
+  echo "check_span_taxonomy: add the spans above to $design (section 7 / section 12)" >&2
+  exit 1
+fi
+echo "check_span_taxonomy: all $count span names documented in $design"

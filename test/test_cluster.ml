@@ -24,6 +24,7 @@ let resp_label = function
   | Wire.Accepted _ -> "Accepted"
   | Wire.Pong -> "Pong"
   | Wire.Stats_reply _ -> "Stats_reply"
+  | Wire.Traces_reply _ -> "Traces_reply"
   | Wire.Refused { code; detail } ->
     Printf.sprintf "Refused %s (%s)" (Wire.err_code_to_string code) detail
 
@@ -408,7 +409,7 @@ let test_cluster_end_to_end () =
       let tokens = User.gen_tokens ~rng:trng user (q 15 Slicer_types.Lt) in
       let pinned =
         Wire.Search
-          { client = "e2e-user"; request_id = "pinned#1"; batched = false; tokens }
+          { client = "e2e-user"; request_id = "pinned#1"; batched = false; tokens; trace = None }
       in
       let reply req =
         match Net.Client.rpc uc_r req with
@@ -472,6 +473,59 @@ let test_cluster_end_to_end () =
          check_ids "post-insert twins agree" solo.Protocol.so_ids cluster.Protocol.so_ids
        | Error e, _ | _, Error e ->
          Alcotest.failf "post-insert search: %s" (Net.Client.error_to_string e));
+      (* One traced search: the scraped, reassembled tree must span the
+         router fan-out, both shards' phases and the merge under a
+         single trace id, with properly nested intervals. *)
+      Trace.set_slow_ms (Some 0.);
+      ignore (Trace.drain () : Trace.span list);
+      Fun.protect
+        ~finally:(fun () -> Trace.set_slow_ms None)
+        (fun () ->
+          match Net.Client.search uc_r (q 10 Slicer_types.Gt) with
+          | Ok out ->
+            Alcotest.(check bool) "traced search verified" true out.Protocol.so_verified
+          | Error e -> Alcotest.failf "traced search: %s" (Net.Client.error_to_string e));
+      let spans =
+        match Net.Client.traces uc_r with
+        | Ok spans -> spans
+        | Error e -> Alcotest.failf "traces drain: %s" (Net.Client.error_to_string e)
+      in
+      (match Trace.Tree.assemble spans with
+       | [ tree ] ->
+         let all = ref [] in
+         let rec walk parent node =
+           let sp = node.Trace.Tree.n_span in
+           all := sp :: !all;
+           Alcotest.(check bool)
+             (Printf.sprintf "span %s is monotone" sp.Trace.sp_name)
+             true
+             (sp.Trace.sp_start_ns <= sp.Trace.sp_end_ns);
+           (match (parent : Trace.span option) with
+            | Some p ->
+              Alcotest.(check bool)
+                (Printf.sprintf "span %s nests inside %s" sp.Trace.sp_name p.Trace.sp_name)
+                true
+                (p.Trace.sp_start_ns <= sp.Trace.sp_start_ns
+                && sp.Trace.sp_end_ns <= p.Trace.sp_end_ns)
+            | None -> ());
+           List.iter (walk (Some sp)) node.Trace.Tree.n_children
+         in
+         List.iter (walk None) tree.Trace.Tree.t_roots;
+         let named n = List.filter (fun sp -> sp.Trace.sp_name = n) !all in
+         Alcotest.(check int) "one router root span" 1
+           (List.length (named "router.search"));
+         Alcotest.(check int) "one merge span" 1 (List.length (named "router.merge"));
+         let shard_tags name =
+           List.sort compare
+             (List.filter_map
+                (fun sp -> List.assoc_opt "shard" sp.Trace.sp_tags)
+                (named name))
+         in
+         Alcotest.(check (list string)) "fan-out hit both shards" [ "0"; "1" ]
+           (shard_tags "router.shard");
+         Alcotest.(check (list string)) "both shards recorded their search phase"
+           [ "0"; "1" ] (shard_tags "service.search")
+       | l -> Alcotest.failf "expected one assembled trace, got %d trees" (List.length l));
       (* Kill shard 1. A search whose tokens touch it must come back as
          a busy refusal naming the shard — never a half answer. *)
       Net.Server.stop srv1;
@@ -490,7 +544,7 @@ let test_cluster_end_to_end () =
       (match
          Cluster.Router.handle router
            (Wire.Search
-              { client = "e2e-user"; request_id = "down#1"; batched = false; tokens = ts })
+              { client = "e2e-user"; request_id = "down#1"; batched = false; tokens = ts; trace = None })
        with
        | Wire.Refused { code = Wire.Busy; detail } ->
          let contains needle =

@@ -168,7 +168,7 @@ let sample_requests =
      [ Wire.Hello { client = "alice"; proto = Wire.proto_version };
        Wire.Search
          { client = "alice"; request_id = "alice#7"; batched = true;
-           tokens = Lazy.force sample_tokens };
+           tokens = Lazy.force sample_tokens; trace = None };
        Wire.Build
          { client = "owner"; request_id = "owner#1";
            width;
@@ -179,10 +179,10 @@ let sample_requests =
            user_k = (Keys.for_user keys).Keys.u_k;
            user_k_r = (Keys.for_user keys).Keys.u_k_r;
            shipment;
-           trapdoor = Owner.export_trapdoor_state owner };
+           trapdoor = Owner.export_trapdoor_state owner; trace = None };
        Wire.Insert
          { client = "owner"; request_id = "owner#2";
-           shipment; trapdoor = Owner.export_trapdoor_state owner };
+           shipment; trapdoor = Owner.export_trapdoor_state owner; trace = None };
        Wire.Ping;
        Wire.Stats ])
 
@@ -240,7 +240,7 @@ let sample_found =
           Net.Service.handle svc
             (Wire.Search
                { client = "codec-probe"; request_id = "codec-probe#1"; batched = false;
-                 tokens = Lazy.force sample_tokens })
+                 tokens = Lazy.force sample_tokens; trace = None })
         with
         | Wire.Found _ as r -> r
         | r -> Alcotest.failf "expected Found, got %s" (String.sub (Wire.encode_response r) 0 8))
@@ -391,7 +391,7 @@ let test_idempotent_settlement () =
    | _ -> Alcotest.fail "hello refused");
   let tokens = User.gen_tokens ~rng:(Protocol.rng m) (Protocol.user m) (q 20 Slicer_types.Gt) in
   let req =
-    Wire.Search { client = "idem"; request_id = "idem#1"; batched = false; tokens }
+    Wire.Search { client = "idem"; request_id = "idem#1"; batched = false; tokens; trace = None }
   in
   let settled_before = Net.Service.searches_settled svc in
   let first = Net.Service.handle svc req in
@@ -420,7 +420,7 @@ let test_replay_confined_to_client () =
     User.gen_tokens ~rng:(Protocol.rng m) (Protocol.user m) (q 40 Slicer_types.Lt)
   in
   let search client request_id =
-    Net.Service.handle svc (Wire.Search { client; request_id; batched = false; tokens })
+    Net.Service.handle svc (Wire.Search { client; request_id; batched = false; tokens; trace = None })
   in
   (match search "replay-a" "shared#1" with
    | Wire.Found _ -> ()
@@ -458,7 +458,7 @@ let test_idempotent_build_and_insert () =
       { client = "idem-owner"; request_id; width; payment = 500; acc = acc_params;
         tdp_n = keys.Keys.tdp_public.Rsa_tdp.pn; tdp_e = keys.Keys.tdp_public.Rsa_tdp.e;
         user_k = (Keys.for_user keys).Keys.u_k; user_k_r = (Keys.for_user keys).Keys.u_k_r;
-        shipment; trapdoor = Owner.export_trapdoor_state owner }
+        shipment; trapdoor = Owner.export_trapdoor_state owner; trace = None }
   in
   (match Net.Service.handle svc (build_req "o#1") with
    | Wire.Accepted { generation } -> Alcotest.(check int) "built" 1 generation
@@ -478,7 +478,7 @@ let test_idempotent_build_and_insert () =
   let insert_req =
     Wire.Insert
       { client = "idem-owner"; request_id = "o#3"; shipment = shipment2;
-        trapdoor = Owner.export_trapdoor_state owner }
+        trapdoor = Owner.export_trapdoor_state owner; trace = None }
   in
   (match Net.Service.handle svc insert_req with
    | Wire.Accepted { generation } -> Alcotest.(check int) "insert applied" 2 generation
@@ -498,7 +498,7 @@ let test_idempotent_build_and_insert () =
     let tokens = User.gen_tokens ~rng user (q 3 Slicer_types.Eq) in
     (match
        Net.Service.handle svc
-         (Wire.Search { client = "idem-user"; request_id = "u#1"; batched = false; tokens })
+         (Wire.Search { client = "idem-user"; request_id = "u#1"; batched = false; tokens; trace = None })
      with
      | Wire.Found r ->
        (match r.Wire.sr_receipt.Vm.r_output with
@@ -520,7 +520,7 @@ let test_stats_counters_advance () =
     User.gen_tokens ~rng:(Protocol.rng m) (Protocol.user m) (q 12 Slicer_types.Gt)
   in
   let req =
-    Wire.Search { client = "stats-user"; request_id = "stats-user#1"; batched = false; tokens }
+    Wire.Search { client = "stats-user"; request_id = "stats-user#1"; batched = false; tokens; trace = None }
   in
   let requests0 = Obs.counter_value "slicer_net_requests_total" in
   let settled0 = Obs.counter_value "slicer_net_searches_settled_total" in
@@ -548,7 +548,7 @@ let test_service_refusals () =
      Net.Service.handle svc
        (Wire.Search
           { client = "never-registered"; request_id = "n#1"; batched = false;
-            tokens = Lazy.force sample_tokens })
+            tokens = Lazy.force sample_tokens; trace = None })
    with
    | Wire.Refused { code = Wire.Unknown_user; _ } -> ()
    | _ -> Alcotest.fail "search without Hello should be Unknown_user")
@@ -1230,7 +1230,7 @@ let test_service_survives_restart () =
             tdp_e = keys.Keys.tdp_public.Rsa_tdp.e;
             user_k = (Keys.for_user keys).Keys.u_k;
             user_k_r = (Keys.for_user keys).Keys.u_k_r; shipment;
-            trapdoor = Owner.export_trapdoor_state owner })
+            trapdoor = Owner.export_trapdoor_state owner; trace = None })
    with
    | Wire.Accepted { generation } -> Alcotest.(check int) "built" 1 generation
    | _ -> Alcotest.fail "build refused");
@@ -1242,7 +1242,7 @@ let test_service_survives_restart () =
   in
   let tokens = User.gen_tokens ~rng user (q 30 Slicer_types.Lt) in
   let search_req =
-    Wire.Search { client = "dur-user"; request_id = "dur-user#1"; batched = false; tokens }
+    Wire.Search { client = "dur-user"; request_id = "dur-user#1"; batched = false; tokens; trace = None }
   in
   let first =
     match Net.Service.handle svc search_req with
@@ -1254,7 +1254,7 @@ let test_service_survives_restart () =
      Net.Service.handle svc
        (Wire.Insert
           { client = "dur-owner"; request_id = "dur#2"; shipment = shipment2;
-            trapdoor = Owner.export_trapdoor_state owner })
+            trapdoor = Owner.export_trapdoor_state owner; trace = None })
    with
    | Wire.Accepted { generation } -> Alcotest.(check int) "inserted" 2 generation
    | _ -> Alcotest.fail "insert refused");
@@ -1286,7 +1286,7 @@ let test_service_survives_restart () =
        (match
           Net.Service.handle svc2
             (Wire.Search
-               { client = "dur-user-2"; request_id = "du2#1"; batched = false; tokens = t2 })
+               { client = "dur-user-2"; request_id = "du2#1"; batched = false; tokens = t2; trace = None })
         with
         | Wire.Found r ->
           (match r.Wire.sr_receipt.Vm.r_output with
@@ -1319,7 +1319,7 @@ let test_witness_index_survives_restart () =
             tdp_e = keys.Keys.tdp_public.Rsa_tdp.e;
             user_k = (Keys.for_user keys).Keys.u_k;
             user_k_r = (Keys.for_user keys).Keys.u_k_r; shipment;
-            trapdoor = Owner.export_trapdoor_state owner })
+            trapdoor = Owner.export_trapdoor_state owner; trace = None })
    with
    | Wire.Accepted _ -> ()
    | _ -> Alcotest.fail "build refused");
@@ -1339,7 +1339,7 @@ let test_witness_index_survives_restart () =
     (witnesses_of
        (Net.Service.handle svc
           (Wire.Search
-             { client = "windex-user"; request_id = "wi#1"; batched = false; tokens })));
+             { client = "windex-user"; request_id = "wi#1"; batched = false; tokens; trace = None })));
   (* Insert so some warm leaves go stale, then query again: the second
      settlement re-bases them at the latest generation. *)
   let shipment2 = Owner.insert owner [ Slicer_types.record_of_value "wi-new" 3 ] in
@@ -1347,7 +1347,7 @@ let test_witness_index_survives_restart () =
      Net.Service.handle svc
        (Wire.Insert
           { client = "windex-owner"; request_id = "wi#i"; shipment = shipment2;
-            trapdoor = Owner.export_trapdoor_state owner })
+            trapdoor = Owner.export_trapdoor_state owner; trace = None })
    with
    | Wire.Accepted _ -> ()
    | _ -> Alcotest.fail "insert refused");
@@ -1355,7 +1355,7 @@ let test_witness_index_survives_restart () =
     witnesses_of
       (Net.Service.handle svc
          (Wire.Search
-            { client = "windex-user"; request_id = "wi#2"; batched = false; tokens }))
+            { client = "windex-user"; request_id = "wi#2"; batched = false; tokens; trace = None }))
   in
   Option.iter Store.close (Net.Service.store svc);
   (* Restart 1: WAL replay reconstructs (and re-warms) the index; the
@@ -1384,7 +1384,7 @@ let test_witness_index_survives_restart () =
       witnesses_of
         (Net.Service.handle svc3
            (Wire.Search
-              { client = "windex-user"; request_id = "wi#3"; batched = false; tokens }))
+              { client = "windex-user"; request_id = "wi#3"; batched = false; tokens; trace = None }))
     in
     Alcotest.(check (list string)) "restored index serves identical witnesses" before after;
     (match Cloud.witness_index_stats cloud with
@@ -1486,7 +1486,7 @@ let test_sigkill_mid_load_recovers () =
         let tokens = User.gen_tokens ~rng user (q 30 Slicer_types.Lt) in
         let req =
           Wire.Search
-            { client = "sigkill-probe"; request_id = "sigkill-probe#1"; batched = false;
+            { client = "sigkill-probe"; request_id = "sigkill-probe#1"; batched = false; trace = None;
               tokens }
         in
         (match raw_request fd req with
