@@ -19,7 +19,7 @@ let usage () =
     "usage: main.exe [--scale smoke|default|full] [--full] [--domains N] [--json FILE]\n\
     \       [--conns N] [--shards N] [--server-exe PATH]\n\
     \       [--trace-compare] [--trace-slow-ms N] [--trace-chrome FILE]\n\
-    \       [fig3|fig4|fig5|fig6|fig7|table1|table2|ablation|micro|load|recover|witness|all]";
+    \       [fig3|fig4|fig5|fig6|fig7|table1|table2|ablation|micro|load|recover|witness|settle|all]";
   exit 1
 
 let () =
@@ -98,6 +98,7 @@ let () =
     | "load" -> Fig_load.run scale
     | "recover" -> Fig_recover.run scale
     | "witness" -> Fig_witness.run scale
+    | "settle" -> Fig_settle.run scale
     | "all" ->
       Tables.table1 ();
       Tables.table2 ();
@@ -107,6 +108,7 @@ let () =
       Fig_load.run scale;
       Fig_recover.run scale;
       Fig_witness.run scale;
+      Fig_settle.run scale;
       Ablation.run ();
       Bechamel_suite.run ()
     | other ->

@@ -134,6 +134,19 @@ let repeat_arg =
   let doc = "Run the search N times (distinct request ids)." in
   Arg.(value & opt int 1 & info [ "repeat" ] ~docv:"N" ~doc)
 
+let settlement_arg =
+  let doc = "After each search, poll and print the settlement status of \
+             its receipt (pending / committed / final / refunded) — \
+             meaningful against a server running with --settle-batch." in
+  Arg.(value & flag & info [ "settlement" ] ~doc)
+
+let dispute_arg =
+  let doc = "If the local Algorithm-5 check rejects a deferred result, \
+             file an on-chain dispute with the claims bytes kept from \
+             the reply: a proven-bad leaf slashes the cloud's deposit \
+             to this client and refunds the whole batch." in
+  Arg.(value & flag & info [ "dispute-on-reject" ] ~doc)
+
 let trace_arg =
   let doc = "Trace every search end to end: the client mints the trace \
              id and stamps it on the wire, so the server (and, behind a \
@@ -141,8 +154,37 @@ let trace_arg =
              trace — dump them afterwards with $(b,slicer trace)." in
   Arg.(value & flag & info [ "trace" ] ~doc)
 
+let describe_status = function
+  | Net.Wire.Rcp_unknown -> "unknown (not a deferred receipt)"
+  | Net.Wire.Rcp_pending si ->
+    Printf.sprintf "pending in open batch %s (leaf %d)" si.Net.Wire.si_batch si.Net.Wire.si_index
+  | Net.Wire.Rcp_committed si ->
+    Printf.sprintf "committed in batch %s (leaf %d) - dispute window open"
+      si.Net.Wire.si_batch si.Net.Wire.si_index
+  | Net.Wire.Rcp_final { batch } -> Printf.sprintf "final (batch %s settled; cloud paid)" batch
+  | Net.Wire.Rcp_refunded { batch } ->
+    Printf.sprintf "refunded (batch %s slashed)" batch
+
+let print_settlement c ~disputing verified =
+  match Net.Client.last_request_id c with
+  | None -> ()
+  | Some rid ->
+    (match Net.Client.receipt c ~request_id:rid with
+     | Ok st -> Printf.printf "  settlement: %s\n" (describe_status st)
+     | Error e -> Printf.printf "  settlement: %s\n" (Net.Client.error_to_string e));
+    if disputing && not verified then begin
+      match Net.Client.dispute c ~request_id:rid with
+      | Ok (true, r) ->
+        Printf.printf "  dispute: proven bad - cloud slashed, batch refunded (gas %d)\n"
+          r.Vm.r_gas_used
+      | Ok (false, r) ->
+        Printf.printf "  dispute: rejected on-chain (%s)\n"
+          (match r.Vm.r_output with Error e -> e | Ok _ -> "leaf verified")
+      | Error e -> Printf.printf "  dispute: %s\n" (Net.Client.error_to_string e)
+    end
+
 let run_search host port socket name timeout attempts log_level verbose value cond attr batched
-    repeat trace =
+    repeat settlement disputing trace =
   setup_logs log_level verbose;
   if trace then Trace.set_sample_rate 1.;
   match connect host port socket name timeout attempts with
@@ -168,6 +210,8 @@ let run_search host port socket name timeout attempts log_level verbose value co
           if i = 1 then
             Printf.printf "  matches: [%s]\n"
               (String.concat "; " (List.sort compare out.Protocol.so_ids));
+          if settlement || disputing then
+            print_settlement c ~disputing out.Protocol.so_verified;
           go (i + 1)
       end
     in
@@ -188,7 +232,7 @@ let search_cmd =
       ret
         (const run_search $ host_arg $ port_arg $ socket_arg $ name_arg $ timeout_arg
        $ attempts_arg $ log_level_arg $ verbose_arg $ value_arg $ cond_arg $ attr_arg
-       $ batched_arg $ repeat_arg $ trace_arg))
+       $ batched_arg $ repeat_arg $ settlement_arg $ dispute_arg $ trace_arg))
 
 let () =
   let info =

@@ -158,6 +158,23 @@ let trace_slow_ms_arg =
              milliseconds, sampled or not. 0 traces everything." in
   Arg.(value & opt (some float) None & info [ "trace-slow-ms" ] ~docv:"N" ~doc)
 
+let settle_batch_arg =
+  let doc = "Batched optimistic settlement: defer on-chain verification and \
+             commit one Merkle root per $(docv) search receipts. 0 or 1 \
+             keeps the eager per-search settlement." in
+  Arg.(value & opt int 0 & info [ "settle-batch" ] ~docv:"N" ~doc)
+
+let settle_window_ms_arg =
+  let doc = "Commit a non-empty settlement batch at most $(docv) \
+             milliseconds after its first receipt, even when below the \
+             --settle-batch size." in
+  Arg.(value & opt float 1000. & info [ "settle-window-ms" ] ~docv:"MS" ~doc)
+
+let settle_dispute_window_arg =
+  let doc = "Dispute window, in blocks: a committed batch finalizes once \
+             this many blocks sealed after its commitment." in
+  Arg.(value & opt int 4 & info [ "settle-dispute-window" ] ~docv:"BLOCKS" ~doc)
+
 let dump_metrics path =
   let content =
     if Filename.check_suffix path ".prom" then Obs.Export.to_prometheus ()
@@ -177,18 +194,19 @@ let log_snapshot () =
         (Obs.counter_value "slicer_net_bytes_out_total")
         (Obs.counter_value "slicer_chain_gas_total"))
 
-let self_seed ~seed ~records ~width ~payment ~witness_index ~instance ~shard =
+let self_seed ~seed ~records ~width ~payment ~witness_index ?settle ~instance ~shard () =
   Printf.printf "self-seeding %d records (width %d, seed %S)...\n%!" records width seed;
   let rng = Drbg.create ~seed:(seed ^ ":data") in
   let db = Gen.uniform_records ~rng ~width records in
   let system = Protocol.setup ~width ~payment ~witness_index ~seed db in
   Cloud.precompute_witnesses (Protocol.cloud system);
-  Net.Service.of_protocol ~witness_index ~instance ~shard system
+  Net.Service.of_protocol ~witness_index ?settle ~instance ~shard system
 
 let run host port socket seed records width payment domains read_timeout max_inflight
     max_conns workers verbose
     log_level state_dir snapshot_bytes no_fsync metrics_dump metrics_interval no_metrics
-    no_witness_index instance shard_id shard_count trace_sample trace_slow_ms =
+    no_witness_index instance shard_id shard_count trace_sample trace_slow_ms
+    settle_batch settle_window_ms settle_dispute_window =
   setup_logs log_level verbose;
   Obs.set_enabled (not no_metrics);
   Trace.set_sample_rate trace_sample;
@@ -202,6 +220,9 @@ let run host port socket seed records width payment domains read_timeout max_inf
   else if shard_count < 1 then `Error (false, "--shard-count must be >= 1")
   else if shard_id < 0 || shard_id >= shard_count then
     `Error (false, "--shard-id must be in [0, shard-count)")
+  else if settle_batch < 0 then `Error (false, "--settle-batch must be >= 0")
+  else if settle_dispute_window < 1 then
+    `Error (false, "--settle-dispute-window must be >= 1")
   else begin
     Parallel.set_domains domains;
     let shard = (shard_id, shard_count) in
@@ -211,17 +232,29 @@ let run host port socket seed records width payment domains read_timeout max_inf
       | None -> if shard_count > 1 then Printf.sprintf "shard-%d" shard_id else ""
     in
     Obs.set_instance instance;
+    let settle =
+      if settle_batch > 1 then
+        Some
+          { Settle_batch.default_config with
+            Settle_batch.sb_size = settle_batch;
+            sb_window_ms = settle_window_ms;
+            sb_dispute_blocks = settle_dispute_window }
+      else None
+    in
     let service_or_error =
       match state_dir with
       | None ->
         if records = 0 then begin
           Printf.printf "starting empty: awaiting an owner Build shipment\n%!";
-          Ok (Net.Service.create ~witness_index ~instance ~shard ())
+          Ok (Net.Service.create ~witness_index ?settle ~instance ~shard ())
         end
-        else Ok (self_seed ~seed ~records ~width ~payment ~witness_index ~instance ~shard)
+        else
+          Ok
+            (self_seed ~seed ~records ~width ~payment ~witness_index ?settle ~instance
+               ~shard ())
       | Some dir ->
         let cfg = { Store.dir; fsync = not no_fsync; snapshot_bytes } in
-        (match Net.Service.recover ~witness_index ~instance ~shard cfg with
+        (match Net.Service.recover ~witness_index ?settle ~instance ~shard cfg with
          | Error e -> Error (Printf.sprintf "recovery from %s failed: %s" dir e)
          | Ok (svc, stats) ->
            if Net.Service.built svc then begin
@@ -241,7 +274,8 @@ let run host port socket seed records width payment domains read_timeout max_inf
                 store to the seeded service, whose attach checkpoint
                 makes the seed durable. *)
              let seeded =
-               self_seed ~seed ~records ~width ~payment ~witness_index ~instance ~shard
+               self_seed ~seed ~records ~width ~payment ~witness_index ?settle ~instance
+                 ~shard ()
              in
              (match Net.Service.store svc with
               | Some store -> Net.Service.attach_store seeded store
@@ -274,6 +308,9 @@ let run host port socket seed records width payment domains read_timeout max_inf
     let last_snapshot = ref (Obs.Clock.now ()) in
     while not !stopping do
       Unix.sleepf 0.2;
+      (* Settlement timer: commit window-expired batches, finalize past
+         the dispute cutoff. No-op without --settle-batch. *)
+      ignore (Net.Service.settle_tick service);
       if metrics_interval > 0. && Obs.Clock.now () -. !last_snapshot >= metrics_interval
       then begin
         last_snapshot := Obs.Clock.now ();
@@ -305,6 +342,7 @@ let cmd =
        $ log_level_arg $ state_dir_arg $ snapshot_bytes_arg $ no_fsync_arg
        $ metrics_dump_arg $ metrics_interval_arg $ no_metrics_arg $ no_witness_index_arg
        $ instance_arg $ shard_id_arg $ shard_count_arg $ trace_sample_arg
-       $ trace_slow_ms_arg))
+       $ trace_slow_ms_arg $ settle_batch_arg $ settle_window_ms_arg
+       $ settle_dispute_window_arg))
 
 let () = exit (Cmd.eval cmd)

@@ -68,7 +68,7 @@ let sealer_for t number = t.validators.(number mod Array.length t.validators)
 let seal_block t =
   let txns = List.rev t.mempool in
   t.mempool <- [];
-  let receipts = List.map (Vm.execute t.vm_state) txns in
+  let receipts = List.map (Vm.execute ~height:(height t + 1) t.vm_state) txns in
   List.iter (fun (r : Vm.receipt) -> Hashtbl.replace t.receipts r.Vm.r_txn_hash r) receipts;
   let number = height t + 1 in
   let v = sealer_for t number in

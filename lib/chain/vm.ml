@@ -15,7 +15,14 @@ type state = {
   mutable events : string list; (* collected during the current txn *)
 }
 
-and ctx = { state : state; meter : Gasmeter.t; sender : address; self : address; value : int }
+and ctx = {
+  state : state;
+  meter : Gasmeter.t;
+  sender : address;
+  self : address;
+  value : int;
+  height : int;
+}
 
 and method_impl = ctx -> string list -> (string list, string) result
 
@@ -184,7 +191,7 @@ let intrinsic_gas t =
     | Deploy { def; _ } -> Gas.tx_create + (Gas.code_deposit_per_byte * String.length def.cd_code)
     | Transfer | Call _ -> 0
 
-let run_payload state meter t =
+let run_payload state meter ~height t =
   match t.tx_payload with
   | Transfer -> Ok []
   | Deploy { def; init_args } ->
@@ -195,7 +202,8 @@ let run_payload state meter t =
       (match List.assoc_opt "constructor" def.cd_methods with
        | None -> Ok []
        | Some ctor ->
-         ctor { state; meter; sender = t.tx_sender; self = t.tx_to; value = t.tx_value } init_args)
+         ctor { state; meter; sender = t.tx_sender; self = t.tx_to; value = t.tx_value; height }
+           init_args)
     end
   | Call { method_; args } ->
     (match contract_at state t.tx_to with
@@ -204,9 +212,10 @@ let run_payload state meter t =
        (match List.assoc_opt method_ def.cd_methods with
         | None -> Error (Printf.sprintf "unknown method %s" method_)
         | Some impl ->
-          impl { state; meter; sender = t.tx_sender; self = t.tx_to; value = t.tx_value } args))
+          impl { state; meter; sender = t.tx_sender; self = t.tx_to; value = t.tx_value; height }
+            args))
 
-let execute state t =
+let execute ?(height = 0) state t =
   if state.journal <> None then invalid_arg "Vm.execute: reentrant execution";
   state.events <- [];
   let meter = Gasmeter.create () in
@@ -224,7 +233,8 @@ let execute state t =
     let output =
       match move_value state ~from:t.tx_sender ~to_:t.tx_to t.tx_value with
       | Error _ as e -> e |> Result.map (fun () -> [])
-      | Ok () -> ( try run_payload state meter t with Gasmeter.Out_of_gas _ -> Error "out of gas" )
+      | Ok () -> (
+        try run_payload state meter ~height t with Gasmeter.Out_of_gas _ -> Error "out of gas" )
     in
     (match output with
      | Ok _ -> ()

@@ -23,6 +23,7 @@ type ctx = {
   sender : address; (** [msg.sender] *)
   self : address;   (** the executing contract's address *)
   value : int;      (** [msg.value], already credited to [self] *)
+  height : int;     (** [block.number] of the sealing block (0 off-chain) *)
 }
 
 type method_impl = ctx -> string list -> (string list, string) result
@@ -113,7 +114,9 @@ type receipt = {
   r_output : (string list, string) result;
 }
 
-val execute : state -> txn -> receipt
+val execute : ?height:int -> state -> txn -> receipt
 (** Applies the transaction: checks nonce and balance, charges intrinsic
     and execution gas, runs the payload, and rolls back on revert. A
-    failed transaction still consumes its gas and bumps the nonce. *)
+    failed transaction still consumes its gas and bumps the nonce.
+    [height] is exposed to contracts as [ctx.height] ([block.number]);
+    the ledger passes the sealing block's number. *)

@@ -308,7 +308,8 @@ let do_search t ~client ~request_id ~batched ~tokens =
                  shp_claims = r.Net.Wire.sr_claims;
                  shp_batch_witness = r.Net.Wire.sr_batch_witness;
                  shp_ac = r.Net.Wire.sr_ac;
-                 shp_receipt = r.Net.Wire.sr_receipt })
+                 shp_receipt = r.Net.Wire.sr_receipt;
+                 shp_settle = r.Net.Wire.sr_settle })
              found
          in
          let generation =
@@ -324,7 +325,10 @@ let do_search t ~client ~request_id ~batched ~tokens =
              sr_batch_witness = None;
              sr_receipt = merge_receipts parts;
              sr_ac = (List.hd parts).Net.Wire.shp_ac;
-             sr_parts = parts }
+             sr_parts = parts;
+             (* Per-shard settlement coordinates live in the parts: a
+                merged reply has no single (batch, leaf) identity. *)
+             sr_settle = None }
        end)
 
 (* --- Build / Insert: split shipments ------------------------------------ *)
@@ -397,6 +401,69 @@ let do_insert t ~client ~request_id ~shipment ~trapdoor =
            | Error resp -> resp
            | Ok generation -> Net.Wire.Accepted { generation })))
 
+(* --- Receipt / Dispute: settlement finality across shards ---------------- *)
+
+(* A routed search settles independently on every involved shard, so
+   its finality is the *least* settled sub-receipt: pending < committed
+   < refunded < final. The poll fans to all shards (the router does not
+   remember which shards a past search touched) and merges to the
+   minimum; shards that never saw the sub-request answer Rcp_unknown
+   and are skipped — all-unknown merges to unknown. *)
+let status_rank = function
+  | Net.Wire.Rcp_pending _ -> 0
+  | Net.Wire.Rcp_committed _ -> 1
+  | Net.Wire.Rcp_refunded _ -> 2
+  | Net.Wire.Rcp_final _ -> 3
+  | Net.Wire.Rcp_unknown -> 4
+
+let do_receipt t ~client ~request_id =
+  let n = Topology.shards t.topo in
+  let targets =
+    List.init n (fun i ->
+        (i, Net.Wire.Receipt { client; request_id = sub_id request_id i }))
+  in
+  match all_ok t (fan t targets) with
+  | Error resp -> resp
+  | Ok resps ->
+    let rec statuses acc = function
+      | [] -> Ok (List.rev acc)
+      | (_, Net.Wire.Receipt_reply st) :: rest -> statuses (st :: acc) rest
+      | (i, _) :: _ ->
+        Error
+          (refused Net.Wire.Internal (Printf.sprintf "shard %d: expected a receipt" i))
+    in
+    (match statuses [] resps with
+     | Error resp -> resp
+     | Ok sts ->
+       let known = List.filter (fun st -> st <> Net.Wire.Rcp_unknown) sts in
+       let least =
+         List.fold_left
+           (fun best st -> if status_rank st < status_rank best then st else best)
+           Net.Wire.Rcp_unknown known
+       in
+       Net.Wire.Receipt_reply least)
+
+(* A dispute names the shard whose part carried the bad claims (the
+   client learned it from [shp_shard]); route it there alone, with the
+   request id rewritten to that shard's sub-id. *)
+let do_dispute t ~client ~request_id ~shard ~claims_blob ~batch_witness =
+  let n = Topology.shards t.topo in
+  if shard < 0 || shard >= n then
+    refused Net.Wire.Bad_request
+      (Printf.sprintf "shard %d out of range (cluster has %d)" shard n)
+  else
+    let req =
+      Net.Wire.Dispute
+        { client; request_id = sub_id request_id shard; shard = 0; claims_blob;
+          batch_witness }
+    in
+    (match all_ok t (fan t [ (shard, req) ]) with
+     | Error resp -> resp
+     | Ok [ (_, (Net.Wire.Disputed _ as resp)) ] -> resp
+     | Ok _ ->
+       refused Net.Wire.Internal
+         (Printf.sprintf "shard %d: expected a dispute verdict" shard))
+
 (* --- Stats: shard-aware aggregate ---------------------------------------- *)
 
 (* Read-only, so unlike searches it degrades partially: a dead shard
@@ -456,6 +523,9 @@ let dispatch t req =
   | Net.Wire.Hello { client; _ } -> do_hello t ~client
   | Net.Wire.Search { client; request_id; batched; tokens; _ } ->
     do_search t ~client ~request_id ~batched ~tokens
+  | Net.Wire.Receipt { client; request_id } -> do_receipt t ~client ~request_id
+  | Net.Wire.Dispute { client; request_id; shard; claims_blob; batch_witness } ->
+    do_dispute t ~client ~request_id ~shard ~claims_blob ~batch_witness
   | Net.Wire.Build
       { client; request_id; width; payment; acc; tdp_n; tdp_e; user_k; user_k_r;
         shipment; trapdoor; trace = _ } ->
@@ -476,7 +546,9 @@ let traced_as = function
   | Net.Wire.Search _ -> Some "router.search"
   | Net.Wire.Build _ -> Some "router.build"
   | Net.Wire.Insert _ -> Some "router.insert"
-  | Net.Wire.Hello _ | Net.Wire.Ping | Net.Wire.Stats | Net.Wire.Traces -> None
+  | Net.Wire.Dispute _ -> Some "router.search"
+  | Net.Wire.Hello _ | Net.Wire.Ping | Net.Wire.Stats | Net.Wire.Traces
+  | Net.Wire.Receipt _ -> None
 
 let handle t req =
   Obs.Counter.incr c_requests;

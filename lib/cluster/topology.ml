@@ -9,21 +9,38 @@ let endpoint t i = t.eps.(i)
 let endpoints t = Array.to_list t.eps
 
 let endpoint_to_string = function
-  | Net.Server.Tcp (host, port) -> Printf.sprintf "%s:%d" host port
+  | Net.Server.Tcp (host, port) ->
+    (* Bracket hosts containing ':' (IPv6 literals) so the PORT
+       separator stays unambiguous and the string round-trips. *)
+    if String.contains host ':' then Printf.sprintf "[%s]:%d" host port
+    else Printf.sprintf "%s:%d" host port
   | Net.Server.Unix_socket path -> "unix:" ^ path
 
 let endpoint_of_string s =
   match String.index_opt s ':' with
   | None -> Error (Printf.sprintf "%S: expected HOST:PORT or unix:PATH" s)
-  | Some _ when String.length s > 5 && String.sub s 0 5 = "unix:" ->
-    Ok (Net.Server.Unix_socket (String.sub s 5 (String.length s - 5)))
+  | Some _ when String.length s >= 5 && String.sub s 0 5 = "unix:" ->
+    let path = String.sub s 5 (String.length s - 5) in
+    if path = "" then Error (Printf.sprintf "%S: empty unix socket path" s)
+    else Ok (Net.Server.Unix_socket path)
   | Some _ ->
     (* The port is after the last colon, so IPv6 literals work too. *)
     let i = String.rindex s ':' in
     let host = String.sub s 0 i and port = String.sub s (i + 1) (String.length s - i - 1) in
-    (match int_of_string_opt port with
-     | Some p when p > 0 && p < 65536 && host <> "" -> Ok (Net.Server.Tcp (host, p))
-     | _ -> Error (Printf.sprintf "%S: bad port" s))
+    let host =
+      (* [::1]:8080 — strip the RFC 3986 brackets around an IPv6 host. *)
+      let n = String.length host in
+      if n >= 2 && host.[0] = '[' && host.[n - 1] = ']' then String.sub host 1 (n - 2)
+      else host
+    in
+    if host = "" then Error (Printf.sprintf "%S: empty host" s)
+    else if String.contains host '[' || String.contains host ']' then
+      Error (Printf.sprintf "%S: mismatched brackets in host" s)
+    else begin
+      match int_of_string_opt port with
+      | Some p when p > 0 && p < 65536 -> Ok (Net.Server.Tcp (host, p))
+      | _ -> Error (Printf.sprintf "%S: bad port" s)
+    end
 
 let magic = "slicer-topology-v1"
 

@@ -111,11 +111,11 @@ let search_with t query ~batched =
         (Format.asprintf "%a" Slicer_types.pp_condition query.Slicer_types.q_cond)
         (List.length tokens));
   match
-    Station.settle t.p_station ~user:t.p_user_addr ~request_id ~payment:t.p_payment
-      ~token_blobs:(List.map Slicer_types.token_bytes tokens) ~batched
+    Station.settle t.p_station ~client:"protocol" ~user:t.p_user_addr ~request_id
+      ~payment:t.p_payment ~token_blobs:(List.map Slicer_types.token_bytes tokens) ~batched
   with
   | Error e -> failwith ("Protocol.search: request failed: " ^ e)
-  | Ok { Station.se_claims = claims; se_batch_witness; se_receipt } ->
+  | Ok { Station.se_claims = claims; se_batch_witness; se_receipt; se_outcome = _ } ->
     let vo_bytes =
       match se_batch_witness with
       | Some w -> String.length (Bigint.to_bytes_be w)

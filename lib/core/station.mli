@@ -19,14 +19,38 @@ val ledger : t -> Ledger.t
 val contract : t -> Vm.address
 val cloud_addr : t -> Vm.address
 
+val batcher : t -> Settle_batch.t option
+(** The batched-settlement manager, when optimistic settlement is on. *)
+
+val enable_batching :
+  ?state:string -> t -> config:Settle_batch.config -> (unit, string) result
+(** Switch {!settle} to optimistic batched settlement: receipts join an
+    open batch instead of settling eagerly, and the cloud's slashable
+    deposit is posted unless already on the contract (so the call is
+    idempotent across recovery). [state] is a {!Settle_batch.export}
+    blob from a snapshot. The cloud address must hold [sb_deposit]. *)
+
+type deferral = {
+  sd_batch : string;          (** the open batch the receipt joined *)
+  sd_index : int;             (** its leaf index *)
+  sd_leaf : string;           (** encoded {!Slicer_contract.receipt_leaf} bytes *)
+}
+
+type outcome =
+  | Settled of Vm.receipt     (** eager: the settlement transaction's receipt *)
+  | Deferred of deferral      (** optimistic: committed later in a batch *)
+
 type settlement = {
   se_claims : Slicer_contract.claim list;  (** encrypted results + per-claim VOs *)
   se_batch_witness : Bigint.t option;      (** the one shared VO on the batched path *)
-  se_receipt : Vm.receipt;                 (** the settlement transaction's receipt *)
+  se_receipt : Vm.receipt;                 (** settlement receipt (eager) or the
+                                               escrow receipt (deferred) *)
+  se_outcome : outcome;
 }
 
 val settle :
   t ->
+  client:string ->
   user:Vm.address ->
   request_id:string ->
   payment:int ->
@@ -35,11 +59,13 @@ val settle :
   (settlement, string) result
 (** The full cloud+chain half of one search: post the request with the
     fee escrowed from [user], let the cloud retrieve the tokens from
-    the chain's event log and search, then submit results + witnesses
-    for on-chain verification. [Error] is returned when the request
-    transaction itself reverts (bad escrow, duplicate id …); a failed
-    {e verification} is not an error — it surfaces as the receipt's
-    ["refunded"] output. *)
+    the chain's event log and search, then either submit results +
+    witnesses for eager on-chain verification, or (with batching
+    enabled) append the receipt to the open settlement batch. [client]
+    is the registered client name committed into the receipt leaf.
+    [Error] is returned when the request transaction itself reverts
+    (bad escrow, duplicate id …); a failed {e verification} is not an
+    error — it surfaces as the receipt's ["refunded"] output. *)
 
 val onchain_ac : t -> Bigint.t option
 (** The accumulation value currently on chain (freshness anchor). *)

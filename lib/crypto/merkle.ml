@@ -50,7 +50,25 @@ let prove t index =
   in
   { index; path = go 0 index [] }
 
+(* The side sequence re-encodes the leaf index bit by bit (a node is a
+   left child — sibling on the `Right — exactly when its level index
+   is even, including the self-paired odd tail). A proof whose claimed
+   index disagrees with its path proves membership of a different
+   position, so verification rejects it. *)
+let index_consistent proof =
+  let depth = List.length proof.path in
+  proof.index >= 0
+  && (depth >= Sys.int_size - 2 || proof.index < 1 lsl depth)
+  && fst
+       (List.fold_left
+          (fun (ok, i) (_, side) ->
+            let expect = if i land 1 = 0 then `Right else `Left in
+            (ok && side = expect, i / 2))
+          (true, proof.index) proof.path)
+
 let verify ~root:expected ~leaf proof =
+  index_consistent proof
+  &&
   let digest =
     List.fold_left
       (fun acc (sibling, side) ->
@@ -62,3 +80,24 @@ let verify ~root:expected ~leaf proof =
   Bytesutil.const_equal digest expected
 
 let proof_size_bytes proof = (List.length proof.path * 33) + 4
+
+let proof_to_bytes proof =
+  let sides =
+    String.concat ""
+      (List.map (fun (_, side) -> match side with `Left -> "L" | `Right -> "R") proof.path)
+  in
+  Bytesutil.concat (Bytesutil.be32 proof.index :: sides :: List.map fst proof.path)
+
+let proof_of_bytes bytes =
+  match Bytesutil.split bytes with
+  | Some (idx :: sides :: sibs)
+    when String.length idx = 4
+         && String.length sides = List.length sibs
+         && String.for_all (fun c -> c = 'L' || c = 'R') sides ->
+    let index =
+      (Char.code idx.[0] lsl 24) lor (Char.code idx.[1] lsl 16) lor (Char.code idx.[2] lsl 8)
+      lor Char.code idx.[3]
+    in
+    let path = List.mapi (fun i sib -> (sib, if sides.[i] = 'L' then `Left else `Right)) sibs in
+    Some { index; path }
+  | Some _ | None -> None

@@ -28,7 +28,18 @@ val prove : t -> int -> proof
     @raise Invalid_argument when out of bounds. *)
 
 val verify : root:string -> leaf:string -> proof -> bool
-(** Checks an inclusion proof against a root and the claimed payload. *)
+(** Checks an inclusion proof against a root and the claimed payload.
+    The claimed [index] must agree with the path's side sequence (the
+    sides re-encode the index bit by bit), so a proof cannot be
+    re-attached to a different position. Never raises. *)
+
+val index_consistent : proof -> bool
+(** Whether [proof.index] matches the path's side sequence. *)
+
+val proof_to_bytes : proof -> string
+
+val proof_of_bytes : string -> proof option
+(** All-or-nothing decode of {!proof_to_bytes} output. *)
 
 val proof_size_bytes : proof -> int
 (** Serialized size of a proof (32 bytes per level plus one side bit

@@ -75,6 +75,15 @@ type t = {
      revision-3 frames — a revision-2 peer must see byte-identical
      revision-2 encodings. *)
   mutable proto : int;
+  (* Dispute evidence for recent deferred settlements: request id →
+     per-shard (shard, claims bytes, batch witness). A dispute replays
+     exactly the claims the cloud served, so the client keeps them for
+     as long as the batch may still be open to challenge. Bounded FIFO
+     like the server's reply cache. *)
+  recent : (string, (int * string * Bigint.t option) list) Hashtbl.t;
+  recent_order : string Queue.t;
+  max_recent : int;
+  mutable last_request : string option;
 }
 
 let name t = t.cname
@@ -245,7 +254,11 @@ let connect ?(config = default_config) ?name ?(provision = true) endpoint =
       gen = 0;
       counter = 0;
       ever_connected = false;
-      proto = Wire.proto_version }
+      proto = Wire.proto_version;
+      recent = Hashtbl.create 64;
+      recent_order = Queue.create ();
+      max_recent = 256;
+      last_request = None }
   in
   if not provision then Ok t
   else
@@ -280,7 +293,38 @@ let fresh_request_id t =
   t.counter <- t.counter + 1;
   Printf.sprintf "%s#%d" t.cname t.counter
 
-let outcome_of_reply t prov ~token_count (r : Wire.search_reply) =
+let remember t key entry =
+  if not (Hashtbl.mem t.recent key) then begin
+    if Queue.length t.recent_order >= t.max_recent then
+      Hashtbl.remove t.recent (Queue.pop t.recent_order);
+    Queue.push key t.recent_order;
+    Hashtbl.replace t.recent key entry
+  end
+
+(* Client-side check of a deferred receipt: recompute the leaf the
+   cloud must have committed — the leaf binds this client's name, the
+   composite on-chain request id, and digests of exactly the claims and
+   VO received — and, once the batch is committed, check the Merkle
+   inclusion proof against the posted root. A cloud that batches
+   different bytes than it served is caught here, before any dispute. *)
+let settle_ok ~client ~onchain_id ~claims ~witness (si : Wire.settle_info) =
+  let leaf =
+    Slicer_contract.encode_leaf
+      { Slicer_contract.rl_client = client;
+        rl_request = onchain_id;
+        rl_claim_hash = Sha256.digest (Slicer_contract.encode_claims claims);
+        rl_witness_digest = Slicer_contract.witness_digest ~claims ~batch_witness:witness }
+  in
+  String.equal leaf si.Wire.si_leaf
+  && (match (si.Wire.si_root, si.Wire.si_proof) with
+      | Some root, Some proof -> Merkle.verify ~root ~leaf proof
+      | _ -> true)
+
+(* The sub-request id a router derives for shard [i] — must mirror
+   [Cluster.Router.sub_id] so the client can recompute a part's leaf. *)
+let sub_id request_id shard = Printf.sprintf "%s/s%d" request_id shard
+
+let outcome_of_reply t prov ~request_id ~token_count (r : Wire.search_reply) =
   let claims = r.Wire.sr_claims in
   let paid =
     match r.Wire.sr_receipt.Vm.r_output with Ok [ "paid" ] -> true | Ok _ | Error _ -> false
@@ -303,6 +347,43 @@ let outcome_of_reply t prov ~token_count (r : Wire.search_reply) =
         (fun (p : Wire.shard_part) ->
           verify ~ac:p.Wire.shp_ac ~witness:p.Wire.shp_batch_witness p.Wire.shp_claims)
         parts
+  in
+  (* Deferred settlements: check leaf/membership and squirrel away the
+     dispute evidence. [deferred] is false on the eager path, where the
+     chain already verified. *)
+  let deferred, membership_ok =
+    match (r.Wire.sr_settle, r.Wire.sr_parts) with
+    | Some si, _ ->
+      remember t request_id [ (0, Slicer_contract.encode_claims claims, r.Wire.sr_batch_witness) ];
+      ( true,
+        settle_ok ~client:t.cname
+          ~onchain_id:(Bytesutil.concat [ t.cname; request_id ])
+          ~claims ~witness:r.Wire.sr_batch_witness si )
+    | None, parts ->
+      let settle_parts =
+        List.filter_map
+          (fun (p : Wire.shard_part) ->
+            Option.map (fun si -> (p, si)) p.Wire.shp_settle)
+          parts
+      in
+      if settle_parts = [] then (false, true)
+      else begin
+        remember t request_id
+          (List.map
+             (fun ((p : Wire.shard_part), _) ->
+               ( p.Wire.shp_shard,
+                 Slicer_contract.encode_claims p.Wire.shp_claims,
+                 p.Wire.shp_batch_witness ))
+             settle_parts);
+        ( true,
+          List.for_all
+            (fun ((p : Wire.shard_part), si) ->
+              settle_ok ~client:t.cname
+                ~onchain_id:
+                  (Bytesutil.concat [ t.cname; sub_id request_id p.Wire.shp_shard ])
+                ~claims:p.Wire.shp_claims ~witness:p.Wire.shp_batch_witness si)
+            settle_parts )
+      end
   in
   let ids =
     List.filter_map
@@ -338,7 +419,10 @@ let outcome_of_reply t prov ~token_count (r : Wire.search_reply) =
   in
   t.gen <- r.Wire.sr_generation;
   { Protocol.so_ids = ids;
-    so_verified = paid && locally_ok;
+    (* Eager: the chain's word ([paid]) plus our own Algorithm 5.
+       Deferred: no chain verdict yet — our Algorithm 5 plus the leaf /
+       Merkle membership check stand in until finality. *)
+    so_verified = (if deferred then membership_ok else paid) && locally_ok;
     so_token_count = token_count;
     so_result_bytes = result_bytes;
     so_vo_bytes = vo_bytes;
@@ -348,12 +432,13 @@ let search ?(batched = false) t query =
   let prov = provisioned_exn t in
   let tokens = User.gen_tokens ~rng:t.rng prov.p_user query in
   let request_id = fresh_request_id t in
+  t.last_request <- Some request_id;
   match
     rpc t
       (stamp t (Wire.Search { client = t.cname; request_id; batched; tokens; trace = None }))
   with
   | Ok (Wire.Found r) when r.Wire.sr_request_id = request_id ->
-    Ok (outcome_of_reply t prov ~token_count:(List.length tokens) r)
+    Ok (outcome_of_reply t prov ~request_id ~token_count:(List.length tokens) r)
   | Ok (Wire.Found r) ->
     Error (Bad_reply (Printf.sprintf "reply for %S, expected %S" r.Wire.sr_request_id request_id))
   | Ok _ -> Error (Bad_reply "expected a search result")
@@ -387,6 +472,36 @@ let insert t ~shipment ~trapdoor =
     Ok generation
   | Ok _ -> Error (Bad_reply "expected an accept")
   | Error e -> Error e
+
+(* --- batched settlement: finality polling and disputes ------------------- *)
+
+let last_request_id t = t.last_request
+
+let receipt t ~request_id =
+  match rpc t (Wire.Receipt { client = t.cname; request_id }) with
+  | Ok (Wire.Receipt_reply st) -> Ok st
+  | Ok _ -> Error (Bad_reply "expected a receipt reply")
+  | Error e -> Error e
+
+let dispute ?shard t ~request_id =
+  match Hashtbl.find_opt t.recent request_id with
+  | None -> Error (Bad_reply (Printf.sprintf "no deferred evidence kept for %S" request_id))
+  | Some entries ->
+    let entry =
+      match shard with
+      | None -> List.nth_opt entries 0
+      | Some s -> List.find_opt (fun (i, _, _) -> i = s) entries
+    in
+    (match entry with
+     | None -> Error (Bad_reply "no deferred evidence for that shard")
+     | Some (shard, claims_blob, batch_witness) ->
+       (match
+          rpc t (Wire.Dispute { client = t.cname; request_id; shard; claims_blob;
+                                batch_witness })
+        with
+        | Ok (Wire.Disputed { dp_slashed; dp_receipt }) -> Ok (dp_slashed, dp_receipt)
+        | Ok _ -> Error (Bad_reply "expected a dispute verdict")
+        | Error e -> Error e))
 
 (* --- high-connection-count mode ------------------------------------------ *)
 

@@ -107,6 +107,28 @@ val insert :
 val requests_sent : t -> int
 (** Distinct request ids issued (retries excluded). *)
 
+(** {1 Batched settlement}
+
+    With the server in optimistic-settlement mode, a search's Found
+    reply defers on-chain verification; the client checks the receipt
+    leaf and (once committed) its Merkle membership itself, keeps the
+    claims bytes as dispute evidence, and can poll finality. *)
+
+val last_request_id : t -> string option
+(** The id of the most recent {!search} — what {!receipt} and
+    {!dispute} key on. *)
+
+val receipt : t -> request_id:string -> (Wire.receipt_status, error) result
+(** Poll the settlement status of a deferred search. *)
+
+val dispute :
+  ?shard:int -> t -> request_id:string -> (bool * Vm.receipt, error) result
+(** Challenge a committed leaf with the claims bytes this client kept
+    from the original reply. [Ok (slashed, receipt)] — a rejected
+    dispute (the leaf verifies on-chain) returns [(false, _)].
+    [shard] picks which part of a routed reply to challenge (default:
+    the first deferred part). *)
+
 val rpc : t -> Wire.request -> (Wire.response, error) result
 (** One raw request round trip under the full retry/backoff machinery,
     with the response returned untyped. [Refused] frames other than

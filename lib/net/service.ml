@@ -49,6 +49,11 @@ type t = {
   (* Whether Build creates the cloud with the persistent witness index
      (the [--no-witness-index] server escape hatch sets this false). *)
   witness_index : bool;
+  (* Batched optimistic settlement: [Some cfg] switches settlement to
+     deferred receipts batched under one Merkle commitment per
+     [sb_size] receipts (or [sb_window_ms] of wall clock). Enabled on
+     the station as soon as a database exists. *)
+  settle : Settle_batch.config option;
   (* Cluster identity: [instance] names this process in Welcome frames
      and metric exposition; [shard = (i, n)] is stamped into the
      contract at deploy time so a shard's chain records which slice of
@@ -65,7 +70,7 @@ type t = {
 }
 
 let create ?(max_cached_replies = 8192) ?(faucet = 100_000_000) ?(witness_index = true)
-    ?(instance = "") ?(shard = (0, 1)) () =
+    ?settle ?(instance = "") ?(shard = (0, 1)) () =
   { lock = Mutex.create ();
     state = None;
     users = Hashtbl.create 64;
@@ -76,25 +81,52 @@ let create ?(max_cached_replies = 8192) ?(faucet = 100_000_000) ?(witness_index 
     settled = 0;
     store = None;
     witness_index;
+    settle;
     instance;
     shard;
     warm_lock = Mutex.create ();
     warm_running = false;
     warm_again = false }
 
-let of_protocol ?max_cached_replies ?faucet ?witness_index ?instance ?shard p =
-  let t = create ?max_cached_replies ?faucet ?witness_index ?instance ?shard () in
+(* Turn batching on for a freshly built (or recovered) station. The
+   cloud's address must hold the slashable deposit, so faucet it first
+   when short — conditionally, so a recovery that restored the balance
+   from the snapshot does not drift it. [ensure_deposit] (inside
+   [Station.enable_batching]) is itself idempotent against recovered
+   chain state, making the whole call safe to repeat. *)
+let maybe_enable_batching ?state t (b : built) =
+  match t.settle with
+  | None -> ()
+  | Some cfg ->
+    if Station.batcher b.b_station = None then begin
+      let vmst = Ledger.state (Station.ledger b.b_station) in
+      let cloud_addr = Station.cloud_addr b.b_station in
+      if Vm.balance vmst cloud_addr < cfg.Settle_batch.sb_deposit then
+        Vm.fund vmst cloud_addr (cfg.Settle_batch.sb_deposit + t.faucet);
+      match Station.enable_batching ?state b.b_station ~config:cfg with
+      | Ok () ->
+        Log.info (fun m ->
+            m "batched settlement on: size %d, window %.0f ms, deposit %d"
+              cfg.Settle_batch.sb_size cfg.Settle_batch.sb_window_ms
+              cfg.Settle_batch.sb_deposit)
+      | Error e -> Log.err (fun m -> m "enabling batched settlement failed: %s" e)
+    end
+
+let of_protocol ?max_cached_replies ?faucet ?witness_index ?settle ?instance ?shard p =
+  let t = create ?max_cached_replies ?faucet ?witness_index ?settle ?instance ?shard () in
   let owner = Protocol.owner p in
-  t.state <-
-    Some
-      { b_station = Protocol.station p;
-        b_acc = Owner.acc_params owner;
-        b_user_keys = Keys.for_user (Owner.keys owner);
-        b_width = Owner.width owner;
-        b_payment = Protocol.payment p;
-        b_owner_addr = Protocol.owner_address p;
-        b_trapdoor = Owner.export_trapdoor_state owner;
-        b_generation = 1 };
+  let b =
+    { b_station = Protocol.station p;
+      b_acc = Owner.acc_params owner;
+      b_user_keys = Keys.for_user (Owner.keys owner);
+      b_width = Owner.width owner;
+      b_payment = Protocol.payment p;
+      b_owner_addr = Protocol.owner_address p;
+      b_trapdoor = Owner.export_trapdoor_state owner;
+      b_generation = 1 }
+  in
+  t.state <- Some b;
+  maybe_enable_batching t b;
   t
 
 let built t = t.state <> None
@@ -138,6 +170,17 @@ let tag_build = 2
 let tag_insert = 3
 let tag_search = 4
 let tag_delete = 5
+(* Wall-clock settlement events. Size-triggered flushes and the
+   finalizes that follow deterministic points are *not* journaled —
+   they replay as a consequence of the search events themselves. Only
+   the timer's decisions need a record: [tag_flush] = the window
+   expired and the open batch was committed; [tag_finalize] = the tick
+   finalized every due batch. Their payloads are empty — the effect is
+   fully determined by the state at that point in the WAL. Disputes
+   are journaled as their request bytes under [tag_dispute]. *)
+let tag_flush = 6
+let tag_finalize = 7
+let tag_dispute = 8
 
 let _ = tag_delete
 
@@ -208,16 +251,48 @@ let do_search t b ~req ~client ~request_id ~batched tokens =
              contract refuses duplicate ids globally, so namespacing by
              client keeps one client's ids from colliding with (or
              squatting on) another's. *)
-          Station.settle b.b_station ~user ~request_id:(reply_key ~client ~request_id)
-            ~payment:b.b_payment
+          Station.settle b.b_station ~client ~user
+            ~request_id:(reply_key ~client ~request_id) ~payment:b.b_payment
             ~token_blobs:(List.map Slicer_types.token_bytes tokens) ~batched
         with
         | Error e -> refused Wire.Bad_request ("request rejected on chain: " ^ e)
-        | Ok { Station.se_claims; se_batch_witness; se_receipt } ->
+        | Ok { Station.se_claims; se_batch_witness; se_receipt; se_outcome } ->
           t.settled <- t.settled + 1;
           Obs.Counter.incr c_settled;
           Trace.tag "tokens" (string_of_int (List.length tokens));
           Trace.tag "gas" (string_of_int se_receipt.Vm.r_gas_used);
+          (* Deterministic settlement housekeeping, *before* the reply
+             is built: a size-triggered commit (and any finalize its
+             blocks make due) is a pure function of the search sequence,
+             so it is not journaled — replaying the searches replays
+             the flush. Doing it here also lets the reply carry the
+             inclusion proof when this very search filled the batch. *)
+          (match Station.batcher b.b_station with
+           | Some sb ->
+             if Settle_batch.should_flush sb then ignore (Settle_batch.flush sb);
+             ignore (Settle_batch.finalize_due sb)
+           | None -> ());
+          let settle_info =
+            match se_outcome with
+            | Station.Settled _ -> None
+            | Station.Deferred d ->
+              let base =
+                { Wire.si_batch = d.Station.sd_batch;
+                  si_index = d.Station.sd_index;
+                  si_leaf = d.Station.sd_leaf;
+                  si_root = None;
+                  si_proof = None }
+              in
+              (match Station.batcher b.b_station with
+               | Some sb ->
+                 (match
+                    Settle_batch.status sb ~request:(reply_key ~client ~request_id)
+                  with
+                  | Some (Settle_batch.Committed { root; proof; _ }) ->
+                    Some { base with Wire.si_root = Some root; si_proof = Some proof }
+                  | _ -> Some base)
+               | None -> Some base)
+          in
           let ac =
             match Station.onchain_ac b.b_station with
             | Some ac -> ac
@@ -231,7 +306,8 @@ let do_search t b ~req ~client ~request_id ~batched tokens =
                 sr_batch_witness = se_batch_witness;
                 sr_receipt = se_receipt;
                 sr_ac = ac;
-                sr_parts = [] }
+                sr_parts = [];
+                sr_settle = settle_info }
           in
           journal t ~tag:tag_search (Wire.encode_request req);
           cache_reply t (reply_key ~client ~request_id) reply;
@@ -259,8 +335,13 @@ let do_build t req =
        let owner_addr = Vm.address_of_name "slicer-net:owner" in
        let cloud_addr = Vm.address_of_name "slicer-net:cloud" in
        Vm.fund (Ledger.state ledger) owner_addr t.faucet;
+       let dispute_window =
+         match t.settle with
+         | Some cfg -> cfg.Settle_batch.sb_dispute_blocks
+         | None -> 4
+       in
        let contract, receipt =
-         Slicer_contract.deploy ~shard:t.shard ledger ~owner:owner_addr
+         Slicer_contract.deploy ~shard:t.shard ~dispute_window ledger ~owner:owner_addr
            ~modulus:acc.Rsa_acc.modulus ~generator:acc.Rsa_acc.generator
            ~initial_ac:shipment.Owner.sh_ac
        in
@@ -278,6 +359,9 @@ let do_build t req =
                 b_owner_addr = owner_addr;
                 b_trapdoor = trapdoor;
                 b_generation = 1 };
+          (match t.state with
+           | Some b -> maybe_enable_batching t b
+           | None -> ());
           Log.info (fun m ->
               m "built from wire shipment: %d index entries, deploy gas %d"
                 (List.length shipment.Owner.sh_entries) receipt.Vm.r_gas_used);
@@ -286,6 +370,39 @@ let do_build t req =
           cache_reply t (reply_key ~client ~request_id) reply;
           reply))
   | _ -> assert false
+
+let receipt_status_of sb ~request =
+  match Settle_batch.status sb ~request with
+  | None -> Wire.Rcp_unknown
+  | Some (Settle_batch.Pending { batch; index }) ->
+    Wire.Rcp_pending
+      { Wire.si_batch = batch; si_index = index; si_leaf = ""; si_root = None;
+        si_proof = None }
+  | Some (Settle_batch.Committed { batch; index; leaf; root; proof }) ->
+    Wire.Rcp_committed
+      { Wire.si_batch = batch; si_index = index; si_leaf = leaf; si_root = Some root;
+        si_proof = Some proof }
+  | Some (Settle_batch.Final { batch }) -> Wire.Rcp_final { batch }
+  | Some (Settle_batch.Refunded { batch }) -> Wire.Rcp_refunded { batch }
+
+let do_dispute t b ~req ~client ~request_id ~claims_blob ~batch_witness =
+  match Station.batcher b.b_station with
+  | None -> refused Wire.Bad_request "batched settlement is not enabled"
+  | Some sb ->
+    (* The disputer is the client's own funded address: a won dispute
+       pays the slashed deposit there as the challenge bounty. *)
+    let disputer = user_address t b client in
+    (match
+       Settle_batch.dispute sb ~disputer ~request:(reply_key ~client ~request_id)
+         ~claims_blob ~batch_witness
+     with
+     | Error e -> refused Wire.Bad_request e
+     | Ok (dp_slashed, dp_receipt) ->
+       (* Journaled like a search: the chain transaction happened, so
+          recovery must replay it. A refused dispute above is never
+          journaled — replay cannot hit the determinism check. *)
+       journal t ~tag:tag_dispute (Wire.encode_request req);
+       Wire.Disputed { dp_slashed; dp_receipt })
 
 let handle_locked t req =
   match (req, t.state) with
@@ -312,6 +429,16 @@ let handle_locked t req =
   | (Wire.Hello { client; _ }, Some b) -> provision t b client
   | ((Wire.Search { client; request_id; batched; tokens; _ } as req), Some b) ->
     do_search t b ~req ~client ~request_id ~batched tokens
+  | (Wire.Receipt { client; request_id }, Some b) ->
+    (* Read-only finality poll — served from the batch manager's view,
+       no transaction, nothing journaled. *)
+    (match Station.batcher b.b_station with
+     | None -> Wire.Receipt_reply Wire.Rcp_unknown
+     | Some sb ->
+       Wire.Receipt_reply (receipt_status_of sb ~request:(reply_key ~client ~request_id)))
+  | ((Wire.Dispute { client; request_id; shard = _; claims_blob; batch_witness } as req),
+     Some b) ->
+    do_dispute t b ~req ~client ~request_id ~claims_blob ~batch_witness
   | ((Wire.Insert { client; request_id; shipment; trapdoor; _ } as req), Some b) ->
     (match cached_reply t ~client ~request_id with
      | Some cached ->
@@ -340,9 +467,11 @@ let handle_locked t req =
 
 let ( let* ) = Option.bind
 
-let snap_magic_built = "slicer-service-built-v2"
-(* v1 snapshots (pre witness-index) decode too: same pieces, no
-   trailing witness blob — the index rebuilds cold and re-warms. *)
+let snap_magic_built = "slicer-service-built-v3"
+(* Older snapshots decode too: v2 (pre batched settlement) has no
+   trailing settle blob, v1 (pre witness-index) neither blob — the
+   missing state rebuilds cold (and batching starts a fresh batch). *)
+let snap_magic_built_v2 = "slicer-service-built-v2"
 let snap_magic_built_v1 = "slicer-service-built-v1"
 let snap_magic_empty = "slicer-service-empty-v1"
 
@@ -407,7 +536,13 @@ let encode_snapshot t =
            products rebuild from [primes] above; grafting this back
            means a restarted server serves witnesses without a single
            recomputation. Empty when the index is disabled. *)
-        Cloud.export_witness_index cloud ]
+        Cloud.export_witness_index cloud;
+        (* Pending settlement batches (open tail + committed-not-final),
+           so a SIGKILL between commit and finalize recovers the batch
+           and settles it exactly once. Empty when batching is off. *)
+        (match Station.batcher st with
+         | Some sb -> Settle_batch.export sb
+         | None -> "") ]
 
 let rec pairs_of = function
   | [] -> Some []
@@ -425,19 +560,23 @@ let rec account_triples = function
     Some ((a, bal, n) :: tail)
   | _ -> None
 
-let decode_snapshot ?max_cached_replies ?faucet ?witness_index ?instance ?shard bytes =
+let decode_snapshot ?max_cached_replies ?faucet ?witness_index ?settle ?instance ?shard
+    bytes =
   let* pieces = Bytesutil.split bytes in
   match pieces with
   | [ m ] when String.equal m snap_magic_empty ->
-    Some (create ?max_cached_replies ?faucet ?witness_index ?instance ?shard ())
+    Some (create ?max_cached_replies ?faucet ?witness_index ?settle ?instance ?shard ())
   | m :: width :: payment :: generation :: settled :: modulus :: gen :: pn :: e :: u_k
     :: u_k_r :: owner_addr :: contract :: cloud_addr :: validators :: trapdoor :: entries
     :: primes :: ac :: accounts :: storage :: users :: replies :: tail
-    when String.equal m snap_magic_built || String.equal m snap_magic_built_v1 ->
-    let* windex_blob =
+    when String.equal m snap_magic_built
+         || String.equal m snap_magic_built_v2
+         || String.equal m snap_magic_built_v1 ->
+    let* windex_blob, settle_blob =
       match tail with
-      | [ w ] when String.equal m snap_magic_built -> Some w
-      | [] when String.equal m snap_magic_built_v1 -> Some ""
+      | [ w; sb ] when String.equal m snap_magic_built -> Some (w, sb)
+      | [ w ] when String.equal m snap_magic_built_v2 -> Some (w, "")
+      | [] when String.equal m snap_magic_built_v1 -> Some ("", "")
       | _ -> None
     in
     let* width = int_of_string_opt width in
@@ -493,17 +632,24 @@ let decode_snapshot ?max_cached_replies ?faucet ?witness_index ?instance ?shard 
     Slicer_contract.restore ledger ~contract ~modulus:acc_params.Rsa_acc.modulus
       ~generator:acc_params.Rsa_acc.generator;
     Vm.restore_storage vmst contract storage;
-    let t = create ?max_cached_replies ?faucet ?witness_index ?instance ?shard () in
-    t.state <-
-      Some
-        { b_station = Station.create ~cloud ~ledger ~contract ~cloud_addr;
-          b_acc = acc_params;
-          b_user_keys = { Keys.u_k; u_k_r; u_tdp_public = tdp_public };
-          b_width = width;
-          b_payment = payment;
-          b_owner_addr = owner_addr;
-          b_trapdoor = trapdoor;
-          b_generation = generation };
+    let t = create ?max_cached_replies ?faucet ?witness_index ?settle ?instance ?shard () in
+    let b =
+      { b_station = Station.create ~cloud ~ledger ~contract ~cloud_addr;
+        b_acc = acc_params;
+        b_user_keys = { Keys.u_k; u_k_r; u_tdp_public = tdp_public };
+        b_width = width;
+        b_payment = payment;
+        b_owner_addr = owner_addr;
+        b_trapdoor = trapdoor;
+        b_generation = generation }
+    in
+    t.state <- Some b;
+    (* Re-arm batching over the restored chain state: pending batches
+       come back from the settle blob; the deposit is already in the
+       contract's storage, so [ensure_deposit] is a no-op. *)
+    (match settle_blob with
+     | "" -> maybe_enable_batching t b
+     | blob -> maybe_enable_batching ~state:blob t b);
     t.settled <- settled;
     List.iter
       (fun name ->
@@ -520,6 +666,20 @@ let apply_event t (ev : Store.event) =
       ignore (user_address t b ev.Store.ev_payload);
       Ok ()
     | None -> Error (Printf.sprintf "event %d: register before build" ev.Store.ev_seq)
+  else if ev.Store.ev_tag = tag_flush || ev.Store.ev_tag = tag_finalize then
+    (* Timer decisions, re-applied: the wall clock that fired is gone,
+       but the effect is a pure function of the state at this point in
+       the WAL — the same open batch commits, the same due batches
+       finalize. *)
+    match Option.bind t.state (fun b -> Station.batcher b.b_station) with
+    | None ->
+      Error
+        (Printf.sprintf "event %d (tag %d): settlement event without batching"
+           ev.Store.ev_seq ev.Store.ev_tag)
+    | Some sb ->
+      if ev.Store.ev_tag = tag_flush then ignore (Settle_batch.flush sb)
+      else ignore (Settle_batch.finalize_due sb);
+      Ok ()
   else
     match Wire.decode_request ev.Store.ev_payload with
     | None ->
@@ -570,7 +730,7 @@ type recovery_stats = {
   rs_dropped_tail : bool;
 }
 
-let recover ?max_cached_replies ?faucet ?witness_index ?instance ?shard cfg =
+let recover ?max_cached_replies ?faucet ?witness_index ?settle ?instance ?shard cfg =
   Obs.span "store.recover" (fun () ->
       let store, rc = Store.open_ cfg in
       let fail msg =
@@ -579,9 +739,12 @@ let recover ?max_cached_replies ?faucet ?witness_index ?instance ?shard cfg =
       in
       let base =
         match rc.Store.rc_snapshot with
-        | None -> Some (create ?max_cached_replies ?faucet ?witness_index ?instance ?shard ())
+        | None ->
+          Some
+            (create ?max_cached_replies ?faucet ?witness_index ?settle ?instance ?shard ())
         | Some (_seq, payload) ->
-          decode_snapshot ?max_cached_replies ?faucet ?witness_index ?instance ?shard payload
+          decode_snapshot ?max_cached_replies ?faucet ?witness_index ?settle ?instance
+            ?shard payload
       in
       match base with
       | None -> fail "snapshot failed to decode (codec mismatch)"
@@ -609,8 +772,8 @@ let recover ?max_cached_replies ?faucet ?witness_index ?instance ?shard cfg =
                     rs_dropped_tail = rc.Store.rc_dropped_tail } ))))
 
 let effectful = function
-  | Wire.Search _ | Wire.Build _ | Wire.Insert _ | Wire.Hello _ -> true
-  | Wire.Ping | Wire.Stats | Wire.Traces -> false
+  | Wire.Search _ | Wire.Build _ | Wire.Insert _ | Wire.Hello _ | Wire.Dispute _ -> true
+  | Wire.Ping | Wire.Stats | Wire.Traces | Wire.Receipt _ -> false
 
 (* The durability barrier, outside [t.lock] so concurrent settlements
    group-commit on one fsync. Also where the snapshot cadence lives:
@@ -697,7 +860,8 @@ let traced_as = function
   | Wire.Search _ -> Some "service.search"
   | Wire.Build _ -> Some "service.build"
   | Wire.Insert _ -> Some "service.insert"
-  | Wire.Hello _ | Wire.Ping | Wire.Stats | Wire.Traces -> None
+  | Wire.Dispute _ -> Some "service.search"
+  | Wire.Hello _ | Wire.Ping | Wire.Stats | Wire.Traces | Wire.Receipt _ -> None
 
 let handle_inner t req =
   Obs.Counter.incr c_requests;
@@ -735,3 +899,62 @@ let handle t req =
     Trace.root ?remote:(Wire.request_trace req) name (fun () ->
         if snd t.shard > 1 then Trace.tag "shard" (string_of_int (fst t.shard));
         handle_inner t req)
+
+
+(* --- settlement timer ---------------------------------------------------
+
+   The server's main loop calls [settle_tick] between poll rounds; the
+   bench calls [settle_flush] at measurement boundaries. Both journal
+   their effects — these are the wall-clock decisions a WAL replay
+   cannot re-derive (§8), unlike the size-triggered flush inside
+   [do_search]. *)
+
+let settle_tick_locked t =
+  match Option.bind t.state (fun b -> Station.batcher b.b_station) with
+  | None -> (false, 0)
+  | Some sb ->
+    let flushed =
+      if Settle_batch.window_expired sb then (
+        match Settle_batch.flush sb with
+        | None -> false
+        | Some _ ->
+          journal t ~tag:tag_flush "";
+          true)
+      else false
+    in
+    let finalized = Settle_batch.finalize_due sb in
+    if finalized <> [] then journal t ~tag:tag_finalize "";
+    (flushed, List.length finalized)
+
+let settle_sync t ~dirty =
+  if dirty then match t.store with None -> () | Some store -> Store.sync store
+
+let settle_tick t =
+  Mutex.lock t.lock;
+  let flushed, finalized =
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) (fun () -> settle_tick_locked t)
+  in
+  settle_sync t ~dirty:(flushed || finalized > 0);
+  (flushed, finalized)
+
+let settle_flush t =
+  Mutex.lock t.lock;
+  let dirty =
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.lock)
+      (fun () ->
+        match Option.bind t.state (fun b -> Station.batcher b.b_station) with
+        | None -> false
+        | Some sb ->
+          let flushed =
+            match Settle_batch.flush sb with
+            | None -> false
+            | Some _ ->
+              journal t ~tag:tag_flush "";
+              true
+          in
+          let finalized = Settle_batch.finalize_due sb in
+          if finalized <> [] then journal t ~tag:tag_finalize "";
+          flushed || finalized <> [])
+  in
+  settle_sync t ~dirty

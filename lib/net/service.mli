@@ -17,21 +17,23 @@ val log_src : Logs.src
 type t
 
 val create :
-  ?max_cached_replies:int -> ?faucet:int -> ?witness_index:bool -> ?instance:string ->
-  ?shard:int * int -> unit -> t
+  ?max_cached_replies:int -> ?faucet:int -> ?witness_index:bool ->
+  ?settle:Settle_batch.config -> ?instance:string -> ?shard:int * int -> unit -> t
 (** An empty service awaiting a [Wire.Build] shipment from the data
     owner. [faucet] is the balance granted to each newly registered
     user (default 100,000,000 wei). [witness_index] (default [true])
     controls whether Build creates the cloud with the persistent
     witness index ({!Cloud.create}); [false] is the
-    [--no-witness-index] escape hatch. [instance] (default [""]) names
+    [--no-witness-index] escape hatch. [settle] switches settlement to
+    the optimistic batched mode as soon as a database exists (see
+    {!section-settlement}). [instance] (default [""]) names
     this process in Welcome frames; [shard = (i, n)] (default [(0, 1)])
     is the cluster slice this service owns — stamped into the contract
     at Build and echoed as [pv_shards] so clients know the topology. *)
 
 val of_protocol :
-  ?max_cached_replies:int -> ?faucet:int -> ?witness_index:bool -> ?instance:string ->
-  ?shard:int * int -> Protocol.t -> t
+  ?max_cached_replies:int -> ?faucet:int -> ?witness_index:bool ->
+  ?settle:Settle_batch.config -> ?instance:string -> ?shard:int * int -> Protocol.t -> t
 (** Serve an in-process system (e.g. one the server built from
     [--records N] at startup): the service drives the {e same} station,
     so wire searches and [Protocol.search] settle identically. *)
@@ -49,6 +51,27 @@ val searches_settled : t -> int
 val station : t -> Station.t option
 (** The underlying settlement endpoint (for tests: e.g. configuring
     cloud misbehaviour or inspecting balances). [None] before Build. *)
+
+(** {1:settlement Batched settlement}
+
+    With a [settle] config, a settled Search defers on-chain
+    verification: its receipt leaf joins the open batch and the Found
+    reply carries [sr_settle] coordinates instead of a payment
+    receipt. Size-triggered commits happen inline in the search path
+    (deterministic, replayed from the WAL's search events); the
+    wall-clock window and dispute-cutoff decisions live in
+    {!settle_tick}, which journals what it did. *)
+
+val settle_tick : t -> bool * int
+(** Drive the settlement timer once: commit the open batch if its
+    window expired, finalize every batch whose dispute window passed.
+    Returns [(flushed, finalized_count)]; journals + syncs only when
+    something happened. The server's poll loop calls this between
+    rounds; a no-batching service returns [(false, 0)]. *)
+
+val settle_flush : t -> unit
+(** Force-commit the open batch now (and finalize anything due) —
+    measurement boundaries in benches and tests. *)
 
 (** {1 Durability}
 
@@ -79,8 +102,8 @@ type recovery_stats = {
 }
 
 val recover :
-  ?max_cached_replies:int -> ?faucet:int -> ?witness_index:bool -> ?instance:string ->
-  ?shard:int * int -> Store.config ->
+  ?max_cached_replies:int -> ?faucet:int -> ?witness_index:bool ->
+  ?settle:Settle_batch.config -> ?instance:string -> ?shard:int * int -> Store.config ->
   (t * recovery_stats, string) result
 (** Open (or create) the durable state at [cfg.dir], rebuild the
     service from the newest valid snapshot plus the contiguous WAL

@@ -12,8 +12,10 @@ let response_tag = 0x02
    older Hellos with [Version_mismatch] so pre-cluster clients fail
    loudly instead of mis-framing sharded replies; a revision-3 client
    that is itself refused downgrades to 2 and simply stops attaching
-   trace contexts. *)
-let proto_version = 3
+   trace contexts. Revision 4 adds batched optimistic settlement: an
+   optional settlement piece on Found (absent ⇒ byte-identical to
+   revision 3), the Receipt finality poll and the Dispute request. *)
+let proto_version = 4
 let min_proto_version = 2
 
 let proto_accepted proto = proto >= min_proto_version && proto <= proto_version
@@ -32,9 +34,27 @@ type request =
   | Insert of { client : string; request_id : string;
                 shipment : Owner.shipment; trapdoor : Owner.trapdoor_state;
                 trace : Trace.wire_ctx option }
+  | Receipt of { client : string; request_id : string }
+  | Dispute of { client : string; request_id : string; shard : int;
+                 claims_blob : string; batch_witness : Bigint.t option }
   | Ping
   | Stats
   | Traces
+
+type settle_info = {
+  si_batch : string;
+  si_index : int;
+  si_leaf : string;
+  si_root : string option;
+  si_proof : Merkle.proof option;
+}
+
+type receipt_status =
+  | Rcp_unknown
+  | Rcp_pending of settle_info
+  | Rcp_committed of settle_info
+  | Rcp_final of { batch : string }
+  | Rcp_refunded of { batch : string }
 
 type provision = {
   pv_width : int;
@@ -55,6 +75,7 @@ type shard_part = {
   shp_batch_witness : Bigint.t option;
   shp_ac : Bigint.t;
   shp_receipt : Vm.receipt;
+  shp_settle : settle_info option;
 }
 
 type search_reply = {
@@ -65,6 +86,7 @@ type search_reply = {
   sr_receipt : Vm.receipt;
   sr_ac : Bigint.t;
   sr_parts : shard_part list;
+  sr_settle : settle_info option;
 }
 
 type err_code =
@@ -94,6 +116,8 @@ type response =
   | Welcome of provision
   | Found of search_reply
   | Accepted of { generation : int }
+  | Receipt_reply of receipt_status
+  | Disputed of { dp_slashed : bool; dp_receipt : Vm.receipt }
   | Pong
   | Stats_reply of { st_json : string; st_text : string }
   | Traces_reply of { tr_spans : Trace.span list }
@@ -141,7 +165,7 @@ let trace_of_bytes s =
 
 let request_trace = function
   | Search { trace; _ } | Build { trace; _ } | Insert { trace; _ } -> trace
-  | Hello _ | Ping | Stats | Traces -> None
+  | Hello _ | Receipt _ | Dispute _ | Ping | Stats | Traces -> None
 
 let with_trace trace req =
   match trace with
@@ -151,7 +175,7 @@ let with_trace trace req =
      | Search r -> Search { r with trace }
      | Build r -> Build { r with trace }
      | Insert r -> Insert { r with trace }
-     | (Hello _ | Ping | Stats | Traces) as r -> r)
+     | (Hello _ | Receipt _ | Dispute _ | Ping | Stats | Traces) as r -> r)
 
 (* --- spans (Traces replies) -------------------------------------------- *)
 
@@ -205,6 +229,48 @@ let spans_of_bytes blob =
   in
   go [] pieces
 
+(* --- settlement info (revision 4) -------------------------------------- *)
+
+(* The optional Found piece carrying a deferred receipt's coordinates:
+   the open batch it joined and its leaf index, plus — once the batch
+   is committed on-chain — the Merkle root and inclusion proof the
+   client checks membership against. *)
+
+let settle_to_bytes si =
+  let base = [ si.si_batch; string_of_int si.si_index; si.si_leaf ] in
+  match (si.si_root, si.si_proof) with
+  | Some root, Some proof -> Bytesutil.concat (base @ [ root; Merkle.proof_to_bytes proof ])
+  | _ -> Bytesutil.concat base
+
+let settle_of_bytes s =
+  let* pieces = Bytesutil.split s in
+  match pieces with
+  | [ si_batch; index; si_leaf ] ->
+    let* si_index = nat_of_string index in
+    Some { si_batch; si_index; si_leaf; si_root = None; si_proof = None }
+  | [ si_batch; index; si_leaf; root; proof_blob ] ->
+    let* si_index = nat_of_string index in
+    let* proof = Merkle.proof_of_bytes proof_blob in
+    Some { si_batch; si_index; si_leaf; si_root = Some root; si_proof = Some proof }
+  | _ -> None
+
+let status_pieces = function
+  | Rcp_unknown -> [ "unknown" ]
+  | Rcp_pending si -> [ "pending"; settle_to_bytes si ]
+  | Rcp_committed si -> [ "committed"; settle_to_bytes si ]
+  | Rcp_final { batch } -> [ "final"; batch ]
+  | Rcp_refunded { batch } -> [ "refunded"; batch ]
+
+let status_of_pieces = function
+  | [ "unknown" ] -> Some Rcp_unknown
+  | [ "pending"; si ] -> Option.map (fun si -> Rcp_pending si) (settle_of_bytes si)
+  | [ "committed"; si ] ->
+    let* si = settle_of_bytes si in
+    if si.si_root = None || si.si_proof = None then None else Some (Rcp_committed si)
+  | [ "final"; batch ] -> Some (Rcp_final { batch })
+  | [ "refunded"; batch ] -> Some (Rcp_refunded { batch })
+  | _ -> None
+
 (* --- requests --------------------------------------------------------- *)
 
 (* [trace] appends the optional trailing context piece. *)
@@ -234,6 +300,11 @@ let encode_request = function
       [ "insert"; client; request_id;
         Persist.shipment_to_bytes shipment; Persist.trapdoor_state_to_bytes trapdoor ]
       trace
+  | Receipt { client; request_id } -> Bytesutil.concat [ "receipt"; client; request_id ]
+  | Dispute { client; request_id; shard; claims_blob; batch_witness } ->
+    Bytesutil.concat
+      [ "dispute"; client; request_id; string_of_int shard; claims_blob;
+        opt_bigint_to_bytes batch_witness ]
   | Ping -> Bytesutil.concat [ "ping" ]
   | Stats -> Bytesutil.concat [ "stats" ]
   | Traces -> Bytesutil.concat [ "traces" ]
@@ -291,6 +362,11 @@ let decode_request s =
   | [ "insert"; client; request_id; shipment_blob; trapdoor_blob; trace_blob ] ->
     let* trace = trace_of_bytes trace_blob in
     decode_insert ~trace:(Some trace) client request_id shipment_blob trapdoor_blob
+  | [ "receipt"; client; request_id ] -> Some (Receipt { client; request_id })
+  | [ "dispute"; client; request_id; shard; claims_blob; witness_blob ] ->
+    let* shard = int_of_string_opt shard in
+    let* batch_witness = opt_bigint_of_bytes witness_blob in
+    Some (Dispute { client; request_id; shard; claims_blob; batch_witness })
   | [ "ping" ] -> Some Ping
   | [ "stats" ] -> Some Stats
   | [ "traces" ] -> Some Traces
@@ -302,22 +378,34 @@ let decode_request s =
    against its own [shp_ac] (the shard's on-chain accumulation value),
    and its receipt is the settlement on that shard's chain. *)
 let part_to_bytes p =
-  Bytesutil.concat
+  let base =
     [ string_of_int p.shp_shard;
       Persist.claims_to_bytes p.shp_claims;
       opt_bigint_to_bytes p.shp_batch_witness;
       Bigint.to_bytes_be p.shp_ac;
       Persist.receipt_to_bytes p.shp_receipt ]
+  in
+  match p.shp_settle with
+  | None -> Bytesutil.concat base
+  | Some si -> Bytesutil.concat (base @ [ settle_to_bytes si ])
 
 let part_of_bytes s =
   let* pieces = Bytesutil.split s in
-  match pieces with
-  | [ shard; claims_blob; witness_blob; ac; receipt_blob ] ->
+  let decode shard claims_blob witness_blob ac receipt_blob shp_settle =
     let* shp_shard = nat_of_string shard in
     let* shp_claims = Persist.claims_of_bytes claims_blob in
     let* shp_batch_witness = opt_bigint_of_bytes witness_blob in
     let* shp_receipt = Persist.receipt_of_bytes receipt_blob in
-    Some { shp_shard; shp_claims; shp_batch_witness; shp_ac = Bigint.of_bytes_be ac; shp_receipt }
+    Some
+      { shp_shard; shp_claims; shp_batch_witness; shp_ac = Bigint.of_bytes_be ac; shp_receipt;
+        shp_settle }
+  in
+  match pieces with
+  | [ shard; claims_blob; witness_blob; ac; receipt_blob ] ->
+    decode shard claims_blob witness_blob ac receipt_blob None
+  | [ shard; claims_blob; witness_blob; ac; receipt_blob; settle_blob ] ->
+    let* si = settle_of_bytes settle_blob in
+    decode shard claims_blob witness_blob ac receipt_blob (Some si)
   | _ -> None
 
 let parts_of_bytes blob =
@@ -353,10 +441,19 @@ let encode_response = function
         Persist.receipt_to_bytes r.sr_receipt;
         Bigint.to_bytes_be r.sr_ac ]
     in
-    (match r.sr_parts with
-     | [] -> Bytesutil.concat base
-     | parts -> Bytesutil.concat (base @ [ Bytesutil.concat (List.map part_to_bytes parts) ]))
+    (match (r.sr_parts, r.sr_settle) with
+     | [], None -> Bytesutil.concat base
+     | parts, None -> Bytesutil.concat (base @ [ Bytesutil.concat (List.map part_to_bytes parts) ])
+     | parts, Some si ->
+       (* Piece 8 forces piece 7 to exist, so an empty parts blob is
+          unambiguous here (a 7-piece Found still requires parts). *)
+       Bytesutil.concat
+         (base
+          @ [ Bytesutil.concat (List.map part_to_bytes parts); settle_to_bytes si ]))
   | Accepted { generation } -> Bytesutil.concat [ "accepted"; string_of_int generation ]
+  | Receipt_reply status -> Bytesutil.concat ("receipt" :: status_pieces status)
+  | Disputed { dp_slashed; dp_receipt } ->
+    Bytesutil.concat [ "disputed"; bool_tag dp_slashed; Persist.receipt_to_bytes dp_receipt ]
   | Pong -> Bytesutil.concat [ "pong" ]
   | Stats_reply { st_json; st_text } -> Bytesutil.concat [ "stats"; st_json; st_text ]
   | Traces_reply { tr_spans } ->
@@ -390,7 +487,7 @@ let decode_welcome ~shards pieces =
            pv_shards; pv_instance })
   | _ -> None
 
-let decode_found ~parts pieces =
+let decode_found ?settle ~parts pieces =
   match pieces with
   | [ sr_request_id; generation; claims_blob; witness_blob; receipt_blob; ac ] ->
     let* sr_generation = nat_of_string generation in
@@ -400,7 +497,7 @@ let decode_found ~parts pieces =
     Some
       (Found
          { sr_request_id; sr_generation; sr_claims; sr_batch_witness; sr_receipt;
-           sr_ac = Bigint.of_bytes_be ac; sr_parts = parts })
+           sr_ac = Bigint.of_bytes_be ac; sr_parts = parts; sr_settle = settle })
   | _ -> None
 
 let decode_response s =
@@ -425,6 +522,19 @@ let decode_response s =
     let* () = if parts = [] then None else Some () in
     decode_found ~parts
       [ sr_request_id; generation; claims_blob; witness_blob; receipt_blob; ac ]
+  | [ "found"; sr_request_id; generation; claims_blob; witness_blob; receipt_blob; ac;
+      parts_blob; settle_blob ] ->
+    let* parts = parts_of_bytes parts_blob in
+    let* settle = settle_of_bytes settle_blob in
+    decode_found ~settle ~parts
+      [ sr_request_id; generation; claims_blob; witness_blob; receipt_blob; ac ]
+  | "receipt" :: status_pieces ->
+    let* status = status_of_pieces status_pieces in
+    Some (Receipt_reply status)
+  | [ "disputed"; slashed; receipt_blob ] ->
+    let* dp_slashed = bool_of_tag slashed in
+    let* dp_receipt = Persist.receipt_of_bytes receipt_blob in
+    Some (Disputed { dp_slashed; dp_receipt })
   | [ "accepted"; generation ] ->
     let* generation = nat_of_string generation in
     Some (Accepted { generation })

@@ -8,7 +8,12 @@ val request_tag : int
 val response_tag : int
 
 val proto_version : int
-(** The protocol feature revision this build speaks (3). Revision 1 is
+(** The protocol feature revision this build speaks (4). Revision 4
+    adds batched optimistic settlement: an optional settlement piece on
+    Found (absent, the bytes are identical to revision 3), the
+    {!request-Receipt} finality poll, and the {!request-Dispute}
+    challenge. Revision 1 is
+    Revision 1 is
     the pre-cluster protocol: its Hello carries no proto field and its
     Found replies can never carry per-shard parts. Revision 3 adds an
     optional trace-context piece to Search/Build/Insert — absent, the
@@ -58,6 +63,18 @@ type request =
           [(client, request_id)] is the idempotency key — a retry after a
           lost reply must {e not} re-append the shipment's primes or bump
           the generation a second time. *)
+  | Receipt of { client : string; request_id : string }
+      (** Poll the settlement status of a deferred receipt (revision 4).
+          Read-only: served from the batch manager's view, no chain
+          transaction. *)
+  | Dispute of { client : string; request_id : string; shard : int;
+                 claims_blob : string; batch_witness : Bigint.t option }
+      (** Challenge a committed batch leaf (revision 4): the client
+          replays the claims bytes it received ([claims_blob], a
+          {!Slicer_contract.encode_claims} blob) and the shared VO if
+          the search was batched, and the server relays an on-chain
+          [dispute] with the Merkle inclusion proof. [shard] routes the
+          challenge in a cluster (0 for a single server). *)
   | Ping
   | Stats
       (** Admin: a snapshot of the server's {!Obs} registry. Served even
@@ -87,12 +104,34 @@ type provision = {
   pv_instance : string;             (** responder identity (shard id / router) *)
 }
 
+type settle_info = {
+  si_batch : string;             (** the batch the receipt joined *)
+  si_index : int;                (** its leaf index in the batch *)
+  si_leaf : string;              (** encoded {!Slicer_contract.receipt_leaf} —
+                                     the client recomputes and compares *)
+  si_root : string option;       (** Merkle root, once committed on-chain *)
+  si_proof : Merkle.proof option;(** inclusion proof, once committed *)
+}
+(** Settlement coordinates of a deferred (optimistically batched)
+    receipt. Until the batch is committed only the coordinates are
+    known; after commit the root and proof let the client verify
+    membership with {!Merkle.verify}. *)
+
+type receipt_status =
+  | Rcp_unknown                        (** no such deferred receipt *)
+  | Rcp_pending of settle_info         (** in the open batch *)
+  | Rcp_committed of settle_info       (** root posted; window running.
+                                           [si_root]/[si_proof] are [Some]. *)
+  | Rcp_final of { batch : string }    (** finalized — cloud paid *)
+  | Rcp_refunded of { batch : string } (** batch slashed — escrow refunded *)
+
 type shard_part = {
   shp_shard : int;                      (** which shard produced this section *)
   shp_claims : Slicer_contract.claim list;
   shp_batch_witness : Bigint.t option;
   shp_ac : Bigint.t;                    (** that shard's on-chain [Ac_i] *)
   shp_receipt : Vm.receipt;             (** that shard's settlement receipt *)
+  shp_settle : settle_info option;      (** that shard's deferred coordinates *)
 }
 (** One shard's section of a routed search reply. Algorithm-5
     verification stays per-shard and constant-size: each part's claims
@@ -110,6 +149,9 @@ type search_reply = {
   sr_parts : shard_part list;
       (** empty for a single server; non-empty means the reply was
           merged by a router and each part must verify separately *)
+  sr_settle : settle_info option;
+      (** present when settlement was deferred into a batch (single
+          server); routed replies carry per-part coordinates instead *)
 }
 
 type err_code =
@@ -122,6 +164,11 @@ type response =
   | Welcome of provision
   | Found of search_reply
   | Accepted of { generation : int }   (** Build/Insert acknowledged *)
+  | Receipt_reply of receipt_status    (** answer to {!request-Receipt} *)
+  | Disputed of { dp_slashed : bool; dp_receipt : Vm.receipt }
+      (** answer to {!request-Dispute}: whether the leaf was proven bad
+          (deposit slashed, batch refunded) plus the chain receipt — a
+          rejected dispute carries the revert reason inside. *)
   | Pong
   | Stats_reply of { st_json : string; st_text : string }
       (** The same registry snapshot rendered twice: [st_json] for
@@ -138,6 +185,10 @@ val decode_request : string -> request option
 
 val encode_response : response -> string
 val decode_response : string -> response option
+
+val settle_to_bytes : settle_info -> string
+val settle_of_bytes : string -> settle_info option
+(** Standalone codec for {!settle_info} (also used by the service WAL). *)
 
 val retryable : response -> bool
 (** [true] only for [Refused {code = Busy; _}] — the one server error a

@@ -70,11 +70,40 @@ let slow_ms () =
 
 (* --- id minting and sampling (splitmix64 behind a CAS) ------------------ *)
 
+(* Seed material beyond clock xor pid: a router and a shard forked in
+   the same scheduler tick share both, and colliding streams make
+   [Tree.assemble] merge two processes' spans into one bogus tree. Mix
+   in /dev/urandom (finalized through splitmix64 so even a correlated
+   fallback decorrelates the stream). *)
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let urandom64 () =
+  try
+    let ic = open_in_bin "/dev/urandom" in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let b = really_input_string ic 8 in
+        let acc = ref 0L in
+        String.iter
+          (fun c -> acc := Int64.logor (Int64.shift_left !acc 8) (Int64.of_int (Char.code c)))
+          b;
+        Some !acc)
+  with _ -> None
+
+let seed_of ~now_ns ~pid ~entropy =
+  let base =
+    Int64.logxor (Int64.of_int now_ns) (Int64.mul (Int64.of_int pid) 0x9E3779B97F4A7C15L)
+  in
+  let base = match entropy with None -> base | Some e -> Int64.logxor (mix64 e) base in
+  mix64 base
+
 let rng =
   Atomic.make
-    (Int64.logxor
-       (Int64.of_int (Obs.Clock.now_ns ()))
-       (Int64.mul (Int64.of_int (Unix.getpid ())) 0x9E3779B97F4A7C15L))
+    (seed_of ~now_ns:(Obs.Clock.now_ns ()) ~pid:(Unix.getpid ()) ~entropy:(urandom64 ()))
 
 let next64 () =
   let rec claim () =

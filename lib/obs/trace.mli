@@ -45,6 +45,18 @@ val slow_ms : unit -> float option
 val log_src : Logs.src
 (** The [slicer.trace] log source carrying slow-query breakdowns. *)
 
+(** {1 Id-generator seeding} *)
+
+val urandom64 : unit -> int64 option
+(** Eight bytes of [/dev/urandom]; [None] when the device is
+    unreadable (the seed then degrades to clock-and-pid mixing). *)
+
+val seed_of : now_ns:int -> pid:int -> entropy:int64 option -> int64
+(** The id generator's initial state. Pure, exposed for the collision
+    regression test: two processes sharing [now_ns] {e and} [pid]
+    (fork in the same scheduler tick) must still obtain distinct
+    streams whenever their [entropy] words differ. *)
+
 (** {1 Spans} *)
 
 type span = {

@@ -38,9 +38,30 @@ for name in $names; do
   fi
 done
 
+# Reverse direction: every span the taxonomy table documents must still
+# exist in the sources — a renamed or deleted span otherwise leaves a
+# ghost row that readers will grep for in vain. Taxonomy rows are the
+# table lines whose first cell is a backticked dotted name (the §2
+# component table backticks plain module names, so it doesn't match).
+documented=$(grep -E '^\| `[a-z_]+\.' "$design" \
+             | grep -oE '`[a-z_]+(\.[a-z_0-9]+)+`' \
+             | tr -d '`' | sort -u) || true
+
+stale=0
+for name in $documented; do
+  if ! echo "$names" | grep -qxF "$name"; then
+    echo "span \`$name\` is documented in $design but no longer exists in lib/ or bin/" >&2
+    stale=1
+  fi
+done
+
 count=$(echo "$names" | wc -l)
 if [ "$missing" -ne 0 ]; then
   echo "check_span_taxonomy: add the spans above to $design (section 7 / section 12)" >&2
   exit 1
 fi
-echo "check_span_taxonomy: all $count span names documented in $design"
+if [ "$stale" -ne 0 ]; then
+  echo "check_span_taxonomy: remove or rename the ghost rows above in $design" >&2
+  exit 1
+fi
+echo "check_span_taxonomy: all $count span names documented in $design (and no ghost rows)"

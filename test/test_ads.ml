@@ -404,7 +404,48 @@ let props =
         let t = Merkle.build leaves in
         List.for_all
           (fun i -> Merkle.verify ~root:(Merkle.root t) ~leaf:(List.nth leaves i) (Merkle.prove t i))
-          (List.init n Fun.id))
+          (List.init n Fun.id));
+    (prop "merkle proof survives codec, corruption always fails closed" ~count:200
+       QCheck2.Gen.(
+         tup4 (int_range 2 32) (int_range 0 1000) (int_range 0 2) (int_range 0 10_000))
+       (fun (n, pick, mode, bits) ->
+         let leaves = List.init n (fun i -> Printf.sprintf "leaf-%d-payload" i) in
+         let t = Merkle.build leaves in
+         let root = Merkle.root t in
+         let i = pick mod n in
+         let leaf = List.nth leaves i in
+         let proof = Merkle.prove t i in
+         let codec_ok =
+           match Merkle.proof_of_bytes (Merkle.proof_to_bytes proof) with
+           | Some p -> p = proof && Merkle.verify ~root ~leaf p
+           | None -> false
+         in
+         (* One targeted corruption — a flipped bit in the leaf bytes, a
+            flipped bit in one path sibling, or a shifted index — must
+            make verification return [false], never raise. *)
+         let flip_bit s k =
+           let b = Bytes.of_string s in
+           let byte = k / 8 mod Bytes.length b in
+           Bytes.set b byte (Char.chr (Char.code (Bytes.get b byte) lxor (1 lsl (k mod 8))));
+           Bytes.to_string b
+         in
+         let corrupt_verifies =
+           match mode with
+           | 0 -> Merkle.verify ~root ~leaf:(flip_bit leaf bits) proof
+           | 1 when proof.Merkle.path <> [] ->
+             let target = bits mod List.length proof.Merkle.path in
+             let path =
+               List.mapi
+                 (fun j (h, side) -> if j = target then (flip_bit h bits, side) else (h, side))
+                 proof.Merkle.path
+             in
+             Merkle.verify ~root ~leaf { proof with Merkle.path }
+           | 1 -> false (* single-leaf tree: no siblings to corrupt *)
+           | _ ->
+             let index = (proof.Merkle.index + 1 + (bits mod (n - 1))) mod n in
+             Merkle.verify ~root ~leaf { proof with Merkle.index }
+         in
+         codec_ok && not corrupt_verifies))
   ]
 
 let () =

@@ -423,6 +423,220 @@ let test_decode_claims_malformed () =
     (Slicer_contract.decode_claims (Bytesutil.concat [ "not-a-claim" ]) = None);
   Alcotest.(check bool) "empty is zero claims" true (Slicer_contract.decode_claims "" = Some [])
 
+(* --- batched optimistic settlement -------------------------------------- *)
+
+(* A two-request batch against the standard scenario: both requests
+   escrowed, receipts committed under one Merkle root. Returns
+   everything a lifecycle test needs to finalize or dispute it. *)
+let committed_batch ?(deposit = 50_000) ?(payment = 400) () =
+  let ledger, contract, _, token, results, witness = deployed () in
+  let dr = Slicer_contract.post_deposit ledger ~cloud:bob ~contract ~amount:deposit in
+  (match dr.Vm.r_output with
+   | Ok _ -> ()
+   | Error e -> Alcotest.failf "deposit failed: %s" e);
+  let requests = [ "ba-1"; "ba-2" ] in
+  List.iter
+    (fun id ->
+      match
+        (Slicer_contract.request_search ledger ~user:alice ~contract ~request_id:id
+           ~tokens:[ token ] ~payment)
+          .Vm.r_output
+      with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "escrow %s failed: %s" id e)
+    requests;
+  let claims = [ { Slicer_contract.token_bytes = token; results; witness } ] in
+  let leaf_of id =
+    Slicer_contract.encode_leaf
+      { Slicer_contract.rl_client = "tester";
+        rl_request = id;
+        rl_claim_hash = Sha256.digest (Slicer_contract.encode_claims claims);
+        rl_witness_digest = Slicer_contract.witness_digest ~claims ~batch_witness:None }
+  in
+  let leaves = List.map leaf_of requests in
+  let tree = Merkle.build leaves in
+  let cr =
+    Slicer_contract.commit_batch ledger ~cloud:bob ~contract ~batch_id:"batch-0"
+      ~root:(Merkle.root tree) ~requests
+  in
+  (match cr.Vm.r_output with
+   | Ok [ "committed" ] -> ()
+   | Ok o -> Alcotest.failf "unexpected commit output [%s]" (String.concat ";" o)
+   | Error e -> Alcotest.failf "commit failed: %s" e);
+  (ledger, contract, claims, leaves, tree)
+
+(* Seal empty-ish blocks (plain transfers) until [n] more exist. *)
+let advance_blocks ledger n =
+  for _ = 1 to n do
+    ignore
+      (Ledger.submit_and_seal ledger
+         (Vm.make_transfer (Ledger.state ledger) ~sender:alice ~to_:carol ~value:1))
+  done
+
+let test_batch_commit_and_finalize () =
+  let ledger, contract, _, _, _ = committed_batch () in
+  Alcotest.(check (option string)) "committed" (Some "committed")
+    (Slicer_contract.batch_status ledger ~contract ~batch_id:"batch-0");
+  (* Too early: the dispute window (4 blocks) still runs. *)
+  let early = Slicer_contract.finalize_batch ledger ~cloud:bob ~contract ~batch_id:"batch-0" in
+  Alcotest.(check bool) "early finalize reverts" true (Result.is_error early.Vm.r_output);
+  advance_blocks ledger 4;
+  let cloud_before = Vm.balance (Ledger.state ledger) bob in
+  let fr = Slicer_contract.finalize_batch ledger ~cloud:bob ~contract ~batch_id:"batch-0" in
+  (match fr.Vm.r_output with
+   | Ok [ "finalized"; total ] -> Alcotest.(check string) "payout total" "800" total
+   | Ok o -> Alcotest.failf "unexpected finalize output [%s]" (String.concat ";" o)
+   | Error e -> Alcotest.failf "finalize failed: %s" e);
+  Alcotest.(check int) "cloud paid both escrows" (cloud_before + 800)
+    (Vm.balance (Ledger.state ledger) bob);
+  Alcotest.(check (option string)) "final" (Some "final")
+    (Slicer_contract.batch_status ledger ~contract ~batch_id:"batch-0");
+  (* Wholesale settlement is once-only. *)
+  let again = Slicer_contract.finalize_batch ledger ~cloud:bob ~contract ~batch_id:"batch-0" in
+  Alcotest.(check bool) "double finalize reverts" true (Result.is_error again.Vm.r_output)
+
+let test_batch_requires_deposit_and_escrow () =
+  let ledger, contract, _, token, results, witness = deployed () in
+  ignore (token, results, witness);
+  (* No deposit: the commitment has nothing slashable behind it. *)
+  let cr =
+    Slicer_contract.commit_batch ledger ~cloud:bob ~contract ~batch_id:"nb" ~root:"r"
+      ~requests:[ "nope" ]
+  in
+  Alcotest.(check bool) "commit without deposit reverts" true (Result.is_error cr.Vm.r_output);
+  ignore (Slicer_contract.post_deposit ledger ~cloud:bob ~contract ~amount:1000);
+  (* Member that was never escrowed. *)
+  let cr2 =
+    Slicer_contract.commit_batch ledger ~cloud:bob ~contract ~batch_id:"nb" ~root:"r"
+      ~requests:[ "nope" ]
+  in
+  Alcotest.(check bool) "unescrowed member reverts" true (Result.is_error cr2.Vm.r_output)
+
+let test_batch_double_commit_refused () =
+  let ledger, contract, claims, _, tree = committed_batch () in
+  ignore claims;
+  (* Same id again... *)
+  let cr =
+    Slicer_contract.commit_batch ledger ~cloud:bob ~contract ~batch_id:"batch-0"
+      ~root:(Merkle.root tree) ~requests:[ "ba-1" ]
+  in
+  Alcotest.(check bool) "batch id reuse reverts" true (Result.is_error cr.Vm.r_output);
+  (* ...and the members are no longer "pending", so a second batch over
+     them is refused too. *)
+  let cr2 =
+    Slicer_contract.commit_batch ledger ~cloud:bob ~contract ~batch_id:"batch-1"
+      ~root:(Merkle.root tree) ~requests:[ "ba-1"; "ba-2" ]
+  in
+  Alcotest.(check bool) "already-batched member reverts" true (Result.is_error cr2.Vm.r_output)
+
+let test_batch_dispute_good_leaf_rejected () =
+  let ledger, contract, claims, leaves, tree = committed_batch () in
+  let dr =
+    Slicer_contract.dispute_leaf ledger ~disputer:alice ~contract ~batch_id:"batch-0" ~index:0
+      ~leaf:(List.nth leaves 0) ~proof:(Merkle.prove tree 0)
+      ~claims_blob:(Slicer_contract.encode_claims claims) ~batch_witness:None
+  in
+  (match dr.Vm.r_output with
+   | Error e ->
+     Alcotest.(check bool) "names the rejection" true
+       (String.length e >= 16 && String.sub e 0 16 = "dispute rejected")
+   | Ok o -> Alcotest.failf "good leaf must not slash (got [%s])" (String.concat ";" o));
+  Alcotest.(check (option string)) "still committed" (Some "committed")
+    (Slicer_contract.batch_status ledger ~contract ~batch_id:"batch-0")
+
+let test_batch_dispute_bad_leaf_slashes () =
+  let deposit = 50_000 in
+  let ledger, contract, _, token, results, witness = deployed () in
+  ignore (Slicer_contract.post_deposit ledger ~cloud:bob ~contract ~amount:deposit);
+  let requests = [ "bd-1"; "bd-2" ] in
+  List.iter
+    (fun id ->
+      ignore
+        (Slicer_contract.request_search ledger ~user:alice ~contract ~request_id:id
+           ~tokens:[ token ] ~payment:400))
+    requests;
+  (* An honest leaf for bd-1, a tampered one for bd-2: right token set
+     (so the escrow binding holds) but a forged witness — exactly what a
+     cloud that skipped the work would commit. *)
+  let good = [ { Slicer_contract.token_bytes = token; results; witness } ] in
+  let bad =
+    [ { Slicer_contract.token_bytes = token; results;
+        witness = Bigint.mod_mul witness Bigint.two acc_params.Rsa_acc.modulus } ]
+  in
+  let leaf_of id claims =
+    Slicer_contract.encode_leaf
+      { Slicer_contract.rl_client = "tester";
+        rl_request = id;
+        rl_claim_hash = Sha256.digest (Slicer_contract.encode_claims claims);
+        rl_witness_digest = Slicer_contract.witness_digest ~claims ~batch_witness:None }
+  in
+  let leaves = [ leaf_of "bd-1" good; leaf_of "bd-2" bad ] in
+  let tree = Merkle.build leaves in
+  let cr =
+    Slicer_contract.commit_batch ledger ~cloud:bob ~contract ~batch_id:"bd"
+      ~root:(Merkle.root tree) ~requests
+  in
+  (match cr.Vm.r_output with
+   | Ok _ -> ()
+   | Error e -> Alcotest.failf "commit failed: %s" e);
+  let state = Ledger.state ledger in
+  let alice_before = Vm.balance state alice in
+  let dr =
+    Slicer_contract.dispute_leaf ledger ~disputer:alice ~contract ~batch_id:"bd" ~index:1
+      ~leaf:(List.nth leaves 1) ~proof:(Merkle.prove tree 1)
+      ~claims_blob:(Slicer_contract.encode_claims bad) ~batch_witness:None
+  in
+  (match dr.Vm.r_output with
+   | Ok [ "slashed" ] -> ()
+   | Ok o -> Alcotest.failf "unexpected dispute output [%s]" (String.concat ";" o)
+   | Error e -> Alcotest.failf "dispute failed: %s" e);
+  Alcotest.(check (option string)) "slashed" (Some "slashed")
+    (Slicer_contract.batch_status ledger ~contract ~batch_id:"bd");
+  (* Bounty (whole deposit) + both escrows refunded to alice, minus the
+     double-move of the escrow she paid (she is also the user here). *)
+  Alcotest.(check int) "bounty + refunds" (alice_before + deposit + 800)
+    (Vm.balance state alice);
+  Alcotest.(check int) "deposit gone" 0
+    (Slicer_contract.stored_deposit ledger ~contract ~who:bob);
+  (* The slashed batch can be neither finalized nor re-disputed. *)
+  advance_blocks ledger 4;
+  let fr = Slicer_contract.finalize_batch ledger ~cloud:bob ~contract ~batch_id:"bd" in
+  Alcotest.(check bool) "slashed batch cannot finalize" true (Result.is_error fr.Vm.r_output)
+
+let test_batch_dispute_window_closes () =
+  let ledger, contract, claims, leaves, tree = committed_batch () in
+  advance_blocks ledger 4;
+  let dr =
+    Slicer_contract.dispute_leaf ledger ~disputer:alice ~contract ~batch_id:"batch-0" ~index:0
+      ~leaf:(List.nth leaves 0) ~proof:(Merkle.prove tree 0)
+      ~claims_blob:(Slicer_contract.encode_claims claims) ~batch_witness:None
+  in
+  Alcotest.(check bool) "late dispute reverts" true (Result.is_error dr.Vm.r_output)
+
+let test_batch_dispute_foreign_proof_rejected () =
+  let ledger, contract, claims, leaves, tree = committed_batch () in
+  (* An inclusion proof for leaf 1 cannot vouch for leaf 0 — the index
+     binding inside Merkle.verify refuses the splice. *)
+  let wrong = { (Merkle.prove tree 1) with Merkle.index = 0 } in
+  let dr =
+    Slicer_contract.dispute_leaf ledger ~disputer:alice ~contract ~batch_id:"batch-0" ~index:0
+      ~leaf:(List.nth leaves 0) ~proof:wrong
+      ~claims_blob:(Slicer_contract.encode_claims claims) ~batch_witness:None
+  in
+  Alcotest.(check bool) "spliced proof reverts" true (Result.is_error dr.Vm.r_output)
+
+let test_leaf_codec_roundtrip () =
+  let leaf =
+    { Slicer_contract.rl_client = "c";
+      rl_request = "r/1";
+      rl_claim_hash = String.make 32 'h';
+      rl_witness_digest = String.make 32 'w' }
+  in
+  (match Slicer_contract.decode_leaf (Slicer_contract.encode_leaf leaf) with
+   | Some back -> Alcotest.(check bool) "roundtrip" true (back = leaf)
+   | None -> Alcotest.fail "leaf failed to decode");
+  Alcotest.(check bool) "garbage rejected" true (Slicer_contract.decode_leaf "junk" = None)
+
 let test_gas_regime () =
   (* Table II sanity: deployment in the hundreds of thousands, insertion
      and verification in the tens of thousands. *)
@@ -476,4 +690,17 @@ let () =
           Alcotest.test_case "forged seal detected" `Quick test_forged_seal_detected;
           Alcotest.test_case "malformed claims rejected" `Quick test_decode_claims_malformed;
           Alcotest.test_case "gas regime (Table II shape)" `Quick test_gas_regime ] );
+      ( "settle_batch",
+        [ Alcotest.test_case "commit and finalize" `Quick test_batch_commit_and_finalize;
+          Alcotest.test_case "deposit and escrow required" `Quick
+            test_batch_requires_deposit_and_escrow;
+          Alcotest.test_case "double commit refused" `Quick test_batch_double_commit_refused;
+          Alcotest.test_case "good-leaf dispute rejected" `Quick
+            test_batch_dispute_good_leaf_rejected;
+          Alcotest.test_case "bad-leaf dispute slashes" `Quick
+            test_batch_dispute_bad_leaf_slashes;
+          Alcotest.test_case "window closes" `Quick test_batch_dispute_window_closes;
+          Alcotest.test_case "foreign proof rejected" `Quick
+            test_batch_dispute_foreign_proof_rejected;
+          Alcotest.test_case "leaf codec" `Quick test_leaf_codec_roundtrip ] );
       ("contract properties", claims_props) ]

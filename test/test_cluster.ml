@@ -25,6 +25,8 @@ let resp_label = function
   | Wire.Pong -> "Pong"
   | Wire.Stats_reply _ -> "Stats_reply"
   | Wire.Traces_reply _ -> "Traces_reply"
+  | Wire.Receipt_reply _ -> "Receipt_reply"
+  | Wire.Disputed _ -> "Disputed"
   | Wire.Refused { code; detail } ->
     Printf.sprintf "Refused %s (%s)" (Wire.err_code_to_string code) detail
 
@@ -249,15 +251,44 @@ let test_topology_endpoints () =
   in
   ok "127.0.0.1:7071" (Net.Server.Tcp ("127.0.0.1", 7071));
   ok "::1:7071" (Net.Server.Tcp ("::1", 7071));
+  ok "[::1]:8080" (Net.Server.Tcp ("::1", 8080));
+  ok "[fe80::2]:9000" (Net.Server.Tcp ("fe80::2", 9000));
   ok "unix:/tmp/slicer.sock" (Net.Server.Unix_socket "/tmp/slicer.sock");
+  ok "unix:/var/run/sock:with:colons" (Net.Server.Unix_socket "/var/run/sock:with:colons");
   List.iter
     (fun s ->
       match Cluster.Topology.endpoint_of_string s with
       | Error _ -> ()
       | Ok _ -> Alcotest.failf "%S parsed as an endpoint" s)
-    [ "nohost"; "host:"; "host:notaport"; "host:0"; "host:70000"; ":7071" ];
+    [ "nohost"; "host:"; "host:notaport"; "host:0"; "host:70000"; ":7071"; "unix:";
+      "[::1:8080"; "::1]:8080" ];
   Alcotest.(check bool) "empty topology refused" true
     (try ignore (Cluster.Topology.create []); false with Invalid_argument _ -> true)
+
+(* The printer and the parser are exact inverses: any endpoint —
+   hostnames, IPv6 literals (bracketed on print), unix paths with
+   colons — survives a print/parse round trip structurally intact.
+   [unix] is excluded from the host alphabet because a host literally
+   named "unix" is genuinely ambiguous with the unix: scheme prefix. *)
+let endpoint_gen =
+  QCheck2.Gen.(
+    let host =
+      string_size ~gen:(oneofl [ 'a'; 'z'; '0'; '9'; '.'; ':'; '-' ]) (int_range 1 16)
+    in
+    let path =
+      string_size ~gen:(oneofl [ '/'; 't'; 'm'; 'p'; '-'; '.'; ':'; '7' ]) (int_range 1 20)
+    in
+    oneof
+      [ map2 (fun h p -> Net.Server.Tcp (h, p)) host (int_range 1 65535);
+        map (fun p -> Net.Server.Unix_socket p) path ])
+
+let topology_props =
+  [ prop "endpoint strings round-trip" ~count:500 endpoint_gen (fun ep ->
+        match
+          Cluster.Topology.endpoint_of_string (Cluster.Topology.endpoint_to_string ep)
+        with
+        | Ok ep' -> ep' = ep
+        | Error _ -> false) ]
 
 let test_topology_save_load () =
   let dir = Filename.temp_file "slicer-topo" "" in
@@ -580,6 +611,7 @@ let () =
            test_split_degenerate_and_archive ]);
       ("topology",
        [ Alcotest.test_case "endpoint parsing" `Quick test_topology_endpoints;
-         Alcotest.test_case "save and load" `Quick test_topology_save_load ]);
+         Alcotest.test_case "save and load" `Quick test_topology_save_load ]
+       @ topology_props);
       ("router",
        [ Alcotest.test_case "2-shard cluster end to end" `Quick test_cluster_end_to_end ]) ]

@@ -1402,12 +1402,14 @@ let server_exe () =
       "_build/default/bin/slicer_server.exe";
       "bin/slicer_server.exe" ]
 
-let spawn_server ~exe ~dir =
+let spawn_server ?(extra = []) ~exe ~dir () =
   let out_r, out_w = Unix.pipe () in
   let null = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0 in
   let argv =
-    [| exe; "--records"; "0"; "--port"; "0"; "--state-dir"; dir;
-       "--log-level"; "quiet"; "--metrics-interval"; "0" |]
+    Array.of_list
+      ([ exe; "--records"; "0"; "--port"; "0"; "--state-dir"; dir;
+         "--log-level"; "quiet"; "--metrics-interval"; "0" ]
+       @ extra)
   in
   let pid = Unix.create_process exe argv null out_w Unix.stderr in
   Unix.close out_w;
@@ -1451,7 +1453,7 @@ let test_sigkill_mid_load_recovers () =
   | Some exe ->
     let dir = fresh_state_dir () in
     Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
-    let pid, out_fd, port = spawn_server ~exe ~dir in
+    let pid, out_fd, port = spawn_server ~exe ~dir () in
     Fun.protect
       ~finally:(fun () ->
         (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
@@ -1554,6 +1556,244 @@ let test_sigkill_mid_load_recovers () =
           | Error e -> Alcotest.failf "post-recovery search: %s" (Net.Client.error_to_string e));
          Net.Client.close c)
 
+(* --- batched optimistic settlement over the wire ------------------------ *)
+
+let settle_system seed ~settle =
+  let small_db = List.filteri (fun i _ -> i < 25) db in
+  let system = Protocol.setup ~width ~seed small_db in
+  let svc = Net.Service.of_protocol ~settle system in
+  let srv = Net.Server.start (Net.Service.handle svc) in
+  (small_db, svc, srv)
+
+let settle_client name srv =
+  match Net.Client.connect ~name (Net.Server.endpoint srv) with
+  | Ok c -> c
+  | Error e -> Alcotest.failf "connect: %s" (Net.Client.error_to_string e)
+
+let rid_exn c = match Net.Client.last_request_id c with
+  | Some id -> id
+  | None -> Alcotest.fail "client has no last request id"
+
+let test_batched_settlement_over_the_wire () =
+  (* Size-2 batches, a 3-block dispute window, an effectively-off
+     wall clock: the second search commits its batch inline, so its
+     own reply already carries the Merkle coordinates the client
+     verifies membership against. *)
+  let settle =
+    { Settle_batch.sb_size = 2; sb_window_ms = 1e9; sb_deposit = 100_000;
+      sb_dispute_blocks = 3 }
+  in
+  let small_db, svc, srv = settle_system "net-settle" ~settle in
+  Fun.protect ~finally:(fun () -> Net.Server.stop srv) @@ fun () ->
+  let st = match Net.Service.station svc with
+    | Some st -> st | None -> Alcotest.fail "no station"
+  in
+  let bal addr = Vm.balance (Ledger.state (Station.ledger st)) addr in
+  let c = settle_client "settle-e2e" srv in
+  Fun.protect ~finally:(fun () -> Net.Client.close c) @@ fun () ->
+  let payment = Net.Client.payment c in
+  let query = q 30 Slicer_types.Lt in
+  let expected = Slicer_types.reference_search small_db query in
+  (* Search 1: pending — verified on the leaf commitment alone. *)
+  (match Net.Client.search c query with
+   | Ok out ->
+     Alcotest.(check bool) "pending search verified" true out.Protocol.so_verified;
+     check_ids "pending ids" expected out.Protocol.so_ids
+   | Error e -> Alcotest.failf "search 1: %s" (Net.Client.error_to_string e));
+  let rid1 = rid_exn c in
+  (match Net.Client.receipt c ~request_id:rid1 with
+   | Ok (Wire.Rcp_pending _) -> ()
+   | Ok _ -> Alcotest.fail "expected a pending receipt before the flush"
+   | Error e -> Alcotest.failf "receipt 1: %s" (Net.Client.error_to_string e));
+  (* Search 2 fills the batch: the inline commit means this reply
+     carries root + inclusion proof, and so_verified now attests
+     Merkle membership, not an on-chain payment. *)
+  (match Net.Client.search c query with
+   | Ok out -> Alcotest.(check bool) "committed search verified" true out.Protocol.so_verified
+   | Error e -> Alcotest.failf "search 2: %s" (Net.Client.error_to_string e));
+  let rid2 = rid_exn c in
+  (match Net.Client.receipt c ~request_id:rid2 with
+   | Ok (Wire.Rcp_committed si) ->
+     (match (si.Wire.si_root, si.Wire.si_proof) with
+      | Some root, Some proof ->
+        Alcotest.(check int) "root is a digest" 32 (String.length root);
+        Alcotest.(check int) "proof binds index 1" 1 proof.Merkle.index
+      | _ -> Alcotest.fail "committed receipt without root/proof")
+   | Ok _ -> Alcotest.fail "expected a committed receipt after the flush"
+   | Error e -> Alcotest.failf "receipt 2: %s" (Net.Client.error_to_string e));
+  let cloud_mid = bal (Station.cloud_addr st) in
+  (* The window is measured in blocks and blocks only seal on
+     transactions: keep searching (each escrow seals one) and forcing
+     the timer until the first batch drops out of its dispute window
+     and settles wholesale, paying both escrows at once. *)
+  let rec drive tries =
+    if tries = 0 then Alcotest.fail "first batch never finalized"
+    else begin
+      (match Net.Client.search c query with
+       | Ok _ -> () | Error e -> Alcotest.failf "drive search: %s" (Net.Client.error_to_string e));
+      Net.Service.settle_flush svc;
+      match Net.Client.receipt c ~request_id:rid1 with
+      | Ok (Wire.Rcp_final _) -> ()
+      | Ok _ -> drive (tries - 1)
+      | Error e -> Alcotest.failf "receipt final: %s" (Net.Client.error_to_string e)
+    end
+  in
+  drive 8;
+  Alcotest.(check bool) "finalize paid the batched escrows" true
+    (bal (Station.cloud_addr st) >= cloud_mid + (2 * payment))
+
+let test_batched_dispute_slashes_over_the_wire () =
+  (* A tampering cloud commits a provably-bad leaf; the client's kept
+     claims bytes are exactly the dispute evidence. The slash pays the
+     whole deposit to the disputer and refunds the whole batch. *)
+  let deposit = 60_000 in
+  let settle =
+    { Settle_batch.sb_size = 2; sb_window_ms = 1e9; sb_deposit = deposit;
+      sb_dispute_blocks = 50 }
+  in
+  let _, svc, srv = settle_system "net-settle-bad" ~settle in
+  Fun.protect ~finally:(fun () -> Net.Server.stop srv) @@ fun () ->
+  let st = match Net.Service.station svc with
+    | Some st -> st | None -> Alcotest.fail "no station"
+  in
+  let bal addr = Vm.balance (Ledger.state (Station.ledger st)) addr in
+  let c = settle_client "settle-victim" srv in
+  Fun.protect ~finally:(fun () -> Net.Client.close c) @@ fun () ->
+  let payment = Net.Client.payment c in
+  let query = q 30 Slicer_types.Lt in
+  (match Net.Client.search c query with
+   | Ok out -> Alcotest.(check bool) "honest leaf verified" true out.Protocol.so_verified
+   | Error e -> Alcotest.failf "search 1: %s" (Net.Client.error_to_string e));
+  Cloud.set_behavior (Station.cloud st) Cloud.Tamper_result;
+  Fun.protect ~finally:(fun () -> Cloud.set_behavior (Station.cloud st) Cloud.Honest)
+  @@ fun () ->
+  (match Net.Client.search c query with
+   | Ok out ->
+     Alcotest.(check bool) "tampered results fail the local check" false
+       out.Protocol.so_verified
+   | Error e -> Alcotest.failf "search 2: %s" (Net.Client.error_to_string e));
+  let rid2 = rid_exn c in
+  let user_before = bal (Net.Client.user_address c) in
+  (match Net.Client.dispute c ~request_id:rid2 with
+   | Ok (slashed, receipt) ->
+     Alcotest.(check bool) "dispute slashed the cloud" true slashed;
+     (match receipt.Vm.r_output with
+      | Ok [ "slashed" ] -> ()
+      | _ -> Alcotest.fail "unexpected dispute receipt")
+   | Error e -> Alcotest.failf "dispute: %s" (Net.Client.error_to_string e));
+  (* Bounty (the whole deposit) + both refunded escrows land on the
+     disputing client's chain address. *)
+  Alcotest.(check int) "bounty and refunds" (user_before + deposit + (2 * payment))
+    (bal (Net.Client.user_address c));
+  (match Net.Client.receipt c ~request_id:rid2 with
+   | Ok (Wire.Rcp_refunded _) -> ()
+   | Ok _ -> Alcotest.fail "slashed batch should read refunded"
+   | Error e -> Alcotest.failf "receipt: %s" (Net.Client.error_to_string e))
+
+let settle_flags = [ "--settle-batch"; "2"; "--settle-window-ms"; "100000";
+                     "--settle-dispute-window"; "1" ]
+
+let test_batched_sigkill_between_commit_and_finalize () =
+  (* The acceptance crash: SIGKILL lands after the batch commitment is
+     on chain but before its dispute window lets it finalize. The
+     restarted server replays the WAL (escrows, adds, the inline
+     commit), and its settlement timer finalizes the recovered batch —
+     exactly once, since there is exactly one recovered chain. *)
+  match server_exe () with
+  | None -> Alcotest.skip ()
+  | Some exe ->
+    let dir = fresh_state_dir () in
+    Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+    let pid, out_fd, port = spawn_server ~extra:settle_flags ~exe ~dir () in
+    let killed = ref false in
+    Fun.protect
+      ~finally:(fun () ->
+        if not !killed then begin
+          (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+          (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+        end;
+        try Unix.close out_fd with Unix.Unix_error _ -> ())
+    @@ fun () ->
+    let ep = Net.Server.Tcp ("127.0.0.1", port) in
+    let rng, keys, acc_params, owner, records, shipment = durable_owner "skb-owner" in
+    ignore rng;
+    (match Net.Client.connect ~name:"skb-owner" ~provision:false ep with
+     | Error e -> Alcotest.failf "owner connect: %s" (Net.Client.error_to_string e)
+     | Ok oc ->
+       (match
+          Net.Client.build oc ~width ~payment:500 ~acc:acc_params
+            ~tdp_public:keys.Keys.tdp_public ~user_keys:(Keys.for_user keys) ~shipment
+            ~trapdoor:(Owner.export_trapdoor_state owner)
+        with
+        | Ok _ -> ()
+        | Error e -> Alcotest.failf "build: %s" (Net.Client.error_to_string e));
+       Net.Client.close oc);
+    let query = q 30 Slicer_types.Lt in
+    let rid1, rid2 =
+      match Net.Client.connect ~name:"skb-user" ep with
+      | Error e -> Alcotest.failf "user connect: %s" (Net.Client.error_to_string e)
+      | Ok c ->
+        Fun.protect ~finally:(fun () -> try Net.Client.close c with _ -> ())
+        @@ fun () ->
+        (match Net.Client.search c query with
+         | Ok out -> Alcotest.(check bool) "search 1 verified" true out.Protocol.so_verified
+         | Error e -> Alcotest.failf "search 1: %s" (Net.Client.error_to_string e));
+        let rid1 = rid_exn c in
+        (match Net.Client.search c query with
+         | Ok out -> Alcotest.(check bool) "search 2 verified" true out.Protocol.so_verified
+         | Error e -> Alcotest.failf "search 2: %s" (Net.Client.error_to_string e));
+        let rid2 = rid_exn c in
+        (* The size-2 batch committed inline with search 2; its window
+           (1 block) has not passed within the same tick cadence
+           guarantee, so kill NOW — commit on chain, finality not. *)
+        (rid1, rid2)
+    in
+    Unix.kill pid Sys.sigkill;
+    ignore (Unix.waitpid [] pid);
+    killed := true;
+    (try Unix.close out_fd with Unix.Unix_error _ -> ());
+    (* Restart over the same state directory, same settlement flags. *)
+    let pid2, out_fd2, port2 = spawn_server ~extra:settle_flags ~exe ~dir () in
+    Fun.protect
+      ~finally:(fun () ->
+        (try Unix.kill pid2 Sys.sigkill with Unix.Unix_error _ -> ());
+        (try ignore (Unix.waitpid [] pid2) with Unix.Unix_error _ -> ());
+        try Unix.close out_fd2 with Unix.Unix_error _ -> ())
+    @@ fun () ->
+    let ep2 = Net.Server.Tcp ("127.0.0.1", port2) in
+    (match Net.Client.connect ~name:"skb-user" ep2 with
+     | Error e -> Alcotest.failf "reconnect: %s" (Net.Client.error_to_string e)
+     | Ok c ->
+       Fun.protect ~finally:(fun () -> Net.Client.close c) @@ fun () ->
+       match Net.Client.connect ~name:"skb-after" ep2 with
+       | Error e -> Alcotest.failf "fresh connect: %s" (Net.Client.error_to_string e)
+       | Ok c2 ->
+         Fun.protect ~finally:(fun () -> Net.Client.close c2) @@ fun () ->
+         (* The recovered service still settles fresh traffic... *)
+         (match Net.Client.search c2 query with
+          | Ok out ->
+            Alcotest.(check bool) "post-recovery batched search verified" true
+              out.Protocol.so_verified;
+            check_ids "post-recovery ids" (Slicer_types.reference_search records query)
+              out.Protocol.so_ids
+          | Error e -> Alcotest.failf "post-recovery search: %s" (Net.Client.error_to_string e));
+         (* ...and the recovered pre-kill batch finalizes under the
+            server's own timer. The window is counted in blocks, so the
+            fresh searches both prove liveness and seal the blocks that
+            let the old batch out of its dispute window. *)
+         let rec await rid tries =
+           match Net.Client.receipt c ~request_id:rid with
+           | Ok (Wire.Rcp_final _) -> ()
+           | Ok _ when tries > 0 ->
+             (match Net.Client.search c2 query with Ok _ | Error _ -> ());
+             Thread.delay 0.3;
+             await rid (tries - 1)
+           | Ok _ -> Alcotest.failf "receipt %s never finalized after recovery" rid
+           | Error e -> Alcotest.failf "receipt %s: %s" rid (Net.Client.error_to_string e)
+         in
+         await rid1 30;
+         await rid2 5)
+
 let () =
   Alcotest.run "net"
     [ ( "frame",
@@ -1611,4 +1851,11 @@ let () =
           Alcotest.test_case "witness index survives a restart" `Quick
             test_witness_index_survives_restart;
           Alcotest.test_case "SIGKILL mid-load, recover, serve again" `Quick
-            test_sigkill_mid_load_recovers ] ) ]
+            test_sigkill_mid_load_recovers ] );
+      ( "settlement",
+        [ Alcotest.test_case "batched settlement over the wire" `Quick
+            test_batched_settlement_over_the_wire;
+          Alcotest.test_case "dispute slashes a tampering cloud" `Quick
+            test_batched_dispute_slashes_over_the_wire;
+          Alcotest.test_case "SIGKILL between commit and finalize" `Quick
+            test_batched_sigkill_between_commit_and_finalize ] ) ]

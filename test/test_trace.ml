@@ -462,6 +462,27 @@ let test_merged_stats_json () =
        \"error\":\"connect: \\\"refused\\\"\"}]")
     out
 
+(* Regression: two processes (or a fork pair) sharing a clock tick and
+   a recycled pid used to derive the same id-generator seed, colliding
+   their trace ids. The /dev/urandom word must separate seeds even when
+   (now, pid) collide exactly. *)
+let test_seed_entropy_separates () =
+  let now_ns = 1_723_000_000_000_000_000 and pid = 4242 in
+  let a = Trace.seed_of ~now_ns ~pid ~entropy:(Some 1L) in
+  let b = Trace.seed_of ~now_ns ~pid ~entropy:(Some 2L) in
+  let c = Trace.seed_of ~now_ns ~pid ~entropy:None in
+  Alcotest.(check bool) "distinct entropy, distinct seeds" true (a <> b);
+  Alcotest.(check bool) "entropy perturbs the fallback seed" true (a <> c && b <> c);
+  let seen = Hashtbl.create 256 in
+  for i = 1 to 256 do
+    Hashtbl.replace seen (Trace.seed_of ~now_ns ~pid ~entropy:(Some (Int64.of_int i))) ()
+  done;
+  Alcotest.(check int) "256 entropy words, 256 seeds" 256 (Hashtbl.length seen);
+  (* And the fallback still separates distinct (now, pid) pairs. *)
+  Alcotest.(check bool) "clock separates seeds without entropy" true
+    (Trace.seed_of ~now_ns ~pid ~entropy:None
+     <> Trace.seed_of ~now_ns:(now_ns + 1) ~pid ~entropy:None)
+
 let () =
   Alcotest.run "trace"
     [ ( "roots",
@@ -482,6 +503,8 @@ let () =
             test_unsampled_overhead_sane ] );
       ( "wire",
         Alcotest.test_case "id strings" `Quick test_id_strings
+        :: Alcotest.test_case "seed entropy separates processes" `Quick
+             test_seed_entropy_separates
         :: Alcotest.test_case "revision-2 byte identity" `Quick test_v2_byte_identity
         :: Alcotest.test_case "zero ids refused" `Quick test_span_codec_rejects_zero_ids
         :: (id_props @ search_props @ span_props) );
